@@ -1,0 +1,100 @@
+//! Shortest-augmenting-path Hungarian solver with dual potentials.
+//!
+//! Classic `O(rows² · cols)` formulation (Jonker–Volgenant / e-maxx): rows
+//! are inserted one at a time; for each row a Dijkstra-like search over
+//! reduced costs finds the shortest augmenting path, and the dual potentials
+//! `u` (rows) / `v` (columns) are updated to keep all reduced costs
+//! non-negative. Exact for `f64` inputs up to floating-point accumulation.
+
+use crate::matrix::CostMatrix;
+
+/// An optimal assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// `row_to_col[r]` is the column assigned to row `r`.
+    pub row_to_col: Vec<usize>,
+    /// Total cost of the assignment (sum of selected entries).
+    pub cost: f64,
+}
+
+/// Solve the minimum-cost assignment problem for `costs`.
+pub(crate) fn solve(costs: &CostMatrix) -> Solution {
+    let n = costs.rows();
+    let m = costs.cols();
+    debug_assert!(n <= m);
+    for r in 0..n {
+        for c in 0..m {
+            assert!(costs.get(r, c).is_finite(), "non-finite cost at ({r}, {c})");
+        }
+    }
+
+    // 1-based arrays with a dummy 0 column/row, as in the classic
+    // presentation. p[j] = row matched to column j (0 = free).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1];
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            let row = costs.row(i0 - 1);
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = row[j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            debug_assert!(delta.is_finite(), "augmenting path search stuck");
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the found path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            row_to_col[p[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(row_to_col.iter().all(|&c| c != usize::MAX));
+    let cost = row_to_col
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| costs.get(r, c))
+        .sum();
+    Solution { row_to_col, cost }
+}

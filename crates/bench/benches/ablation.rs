@@ -1,0 +1,48 @@
+//! Ablation benches: the runtime cost of each SSS design choice
+//! (quality impact is reported by `experiments ablation`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obm_bench::harness::paper_instance;
+use obm_core::algorithms::sss::{SelectionRule, SortSelectSwap};
+use obm_core::algorithms::Mapper;
+use workload::PaperConfig;
+
+fn sss_variants(c: &mut Criterion) {
+    let pi = paper_instance(PaperConfig::C1);
+    let mut group = c.benchmark_group("sss_variants");
+    let base = SortSelectSwap::default();
+    let variants: Vec<(&str, SortSelectSwap)> = vec![
+        ("default_w4", base),
+        ("no_swap_w1", SortSelectSwap { window: 1, ..base }),
+        ("window_w2", SortSelectSwap { window: 2, ..base }),
+        ("window_w5", SortSelectSwap { window: 5, ..base }),
+        (
+            "no_final_sam",
+            SortSelectSwap {
+                final_sam: false,
+                ..base
+            },
+        ),
+        (
+            "step_cap_1",
+            SortSelectSwap {
+                max_step: Some(1),
+                ..base
+            },
+        ),
+        (
+            "select_first",
+            SortSelectSwap {
+                selection: SelectionRule::First,
+                ..base
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        group.bench_function(name, |b| b.iter(|| cfg.map(&pi.instance, 0)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sss_variants);
+criterion_main!(benches);

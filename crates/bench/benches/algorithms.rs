@@ -1,0 +1,68 @@
+//! Runtime of the four mapping algorithms (the cost axis of Figure 12 and
+//! the complexity claims of §IV.B), plus SSS scaling across mesh sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+use obm_bench::harness::paper_instance;
+use obm_core::algorithms::{Global, Mapper, MonteCarlo, SimulatedAnnealing, SortSelectSwap};
+use obm_core::ObmInstance;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use workload::PaperConfig;
+
+fn mapper_runtimes(c: &mut Criterion) {
+    let pi = paper_instance(PaperConfig::C1);
+    let mut group = c.benchmark_group("mappers_8x8_c1");
+    group.bench_function("SSS", |b| {
+        b.iter(|| SortSelectSwap::default().map(&pi.instance, 0))
+    });
+    group.bench_function("Global", |b| b.iter(|| Global.map(&pi.instance, 0)));
+    group.bench_function("MC_1k", |b| {
+        b.iter(|| MonteCarlo::with_samples(1_000).map(&pi.instance, 0))
+    });
+    group.bench_function("SA_10k", |b| {
+        b.iter(|| SimulatedAnnealing::with_iterations(10_000).map(&pi.instance, 0))
+    });
+    group.finish();
+}
+
+fn synthetic_instance(n: usize, apps: usize, seed: u64) -> ObmInstance {
+    let mesh = Mesh::square(n);
+    let mcs = MemoryControllers::corners(&mesh);
+    let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+    let total = n * n;
+    let per_app = total / apps;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut c = Vec::with_capacity(total);
+    let mut bounds = vec![0];
+    for a in 0..apps {
+        let scale = 1.8f64.powi(a as i32);
+        let count = if a + 1 == apps {
+            total - per_app * (apps - 1)
+        } else {
+            per_app
+        };
+        for _ in 0..count {
+            c.push(scale * rng.gen_range(0.5..2.0));
+        }
+        bounds.push(c.len());
+    }
+    let m: Vec<f64> = c.iter().map(|x| x * 0.15).collect();
+    ObmInstance::new(tiles, bounds, c, m)
+}
+
+/// SSS runtime vs mesh size — the `O(N³)` scaling claim.
+fn sss_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sss_scaling");
+    group.sample_size(10);
+    for n in [4usize, 8, 12, 16] {
+        let inst = synthetic_instance(n, 4, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &inst, |b, inst| {
+            b.iter(|| SortSelectSwap::default().map(inst, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mapper_runtimes, sss_scaling);
+criterion_main!(benches);

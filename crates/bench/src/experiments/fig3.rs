@@ -1,0 +1,37 @@
+//! **Figure 3** — per-tile packet latencies on the 8×8 mesh: cache access
+//! latency `TC(k)` (low in the center, Figure 3a) and memory-controller
+//! access latency `TM(k)` (low in the corners, Figure 3b).
+
+use noc_model::{Coord, Mesh, TileLatencies};
+
+pub fn run() -> String {
+    let mesh = Mesh::square(8);
+    let tl = TileLatencies::paper_default(&mesh);
+    let grid = |vals: &dyn Fn(Coord) -> f64| {
+        let mut s = String::new();
+        for r in 0..8 {
+            for c in 0..8 {
+                s.push_str(&format!("{:>7.2}", vals(Coord::new(r, c))));
+            }
+            s.push('\n');
+        }
+        s
+    };
+    let tc = grid(&|c| tl.tc(mesh.tile(c)));
+    let tm = grid(&|c| tl.tm(mesh.tile(c)));
+    format!(
+        "## Figure 3 — packet latencies on the 8×8 mesh\n\n\
+         (a) cache latency TC(k), cycles — smaller in the center:\n{tc}\n\
+         (b) memory latency TM(k), cycles — smaller in the corners:\n{tm}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig3_gradients() {
+        let out = super::run();
+        assert!(out.contains("(a)"));
+        assert!(out.contains("(b)"));
+    }
+}

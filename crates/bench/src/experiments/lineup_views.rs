@@ -1,0 +1,138 @@
+//! Views over the shared four-algorithms × eight-configurations sweep:
+//! **Table 4** (dev-APL), **Figure 9** (max-APL), **Figure 10** (normalized
+//! g-APL) and **Figure 11** (normalized dynamic NoC power).
+
+use crate::lineup::{mean_over_configs, run_lineup, Lineup};
+use crate::table::{f, pct, MarkdownTable};
+use std::sync::OnceLock;
+
+const ALGOS: [&str; 4] = ["Global", "MC", "SA", "SSS"];
+
+/// The sweep is expensive (SA budget calibration per config); share it
+/// across the table/figure views within one process.
+fn lineup() -> &'static Lineup {
+    static LINEUP: OnceLock<Lineup> = OnceLock::new();
+    LINEUP.get_or_init(|| run_lineup(0))
+}
+
+fn metric_table(title: &str, metric: impl Fn(&crate::lineup::AlgoResult) -> f64) -> String {
+    let l = lineup();
+    let mut header = vec!["algo".to_string()];
+    header.extend(l.configs.iter().map(|c| c.config.name().to_string()));
+    header.push("avg".to_string());
+    let mut t = MarkdownTable::new(header);
+    for algo in ALGOS {
+        let mut row = vec![algo.to_string()];
+        let mut sum = 0.0;
+        for c in &l.configs {
+            let v = metric(c.algo(algo));
+            sum += v;
+            row.push(f(v));
+        }
+        row.push(f(sum / l.configs.len() as f64));
+        t.row(row);
+    }
+    format!("## {title}\n\n{}", t.render())
+}
+
+/// Table 4 — dev-APL of the four algorithms on C1–C8.
+pub fn run_table4() -> String {
+    let l = lineup();
+    let base = metric_table("Table 4 — dev-APL for different configurations", |a| {
+        a.report.dev_apl
+    });
+    let g = mean_over_configs(l, "Global", |a| a.report.dev_apl);
+    let mc = mean_over_configs(l, "MC", |a| a.report.dev_apl);
+    let sa = mean_over_configs(l, "SA", |a| a.report.dev_apl);
+    let sss = mean_over_configs(l, "SSS", |a| a.report.dev_apl);
+    format!(
+        "{base}\nSSS reduces dev-APL by {} vs Global, {} vs MC, {} vs SA \
+         (paper: −99.65%, −95.45%, −83.15%).\n",
+        pct(sss / g - 1.0),
+        pct(sss / mc - 1.0),
+        pct(sss / sa - 1.0),
+    )
+}
+
+/// Figure 9 — max-APL of the four algorithms on C1–C8.
+pub fn run_fig9() -> String {
+    let l = lineup();
+    let base = metric_table("Figure 9 — max-APL comparison (cycles)", |a| {
+        a.report.max_apl
+    });
+    let g = mean_over_configs(l, "Global", |a| a.report.max_apl);
+    let mc = mean_over_configs(l, "MC", |a| a.report.max_apl);
+    let sa = mean_over_configs(l, "SA", |a| a.report.max_apl);
+    let sss = mean_over_configs(l, "SSS", |a| a.report.max_apl);
+    format!(
+        "{base}\nvs Global: SSS {}, MC {}, SA {} \
+         (paper: SSS −10.42%, MC −8.74%, SA −9.44%).\n",
+        pct(sss / g - 1.0),
+        pct(mc / g - 1.0),
+        pct(sa / g - 1.0),
+    )
+}
+
+/// Figure 10 — g-APL normalized to Global.
+pub fn run_fig10() -> String {
+    let l = lineup();
+    let mut header = vec!["algo".to_string()];
+    header.extend(l.configs.iter().map(|c| c.config.name().to_string()));
+    header.push("avg".to_string());
+    let mut t = MarkdownTable::new(header);
+    for algo in ALGOS {
+        let mut row = vec![algo.to_string()];
+        let mut sum = 0.0;
+        for c in &l.configs {
+            let norm = c.algo(algo).report.g_apl / c.algo("Global").report.g_apl;
+            sum += norm;
+            row.push(format!("{norm:.3}"));
+        }
+        row.push(format!("{:.3}", sum / l.configs.len() as f64));
+        t.row(row);
+    }
+    let sss_avg: f64 = l
+        .configs
+        .iter()
+        .map(|c| c.algo("SSS").report.g_apl / c.algo("Global").report.g_apl)
+        .sum::<f64>()
+        / l.configs.len() as f64;
+    format!(
+        "## Figure 10 — normalized g-APL (Global = 1.0)\n\n{}\n\
+         SSS overall-latency overhead vs Global: {} (paper: < +3.82%; SA +4.82%, MC +5.35%).\n",
+        t.render(),
+        pct(sss_avg - 1.0),
+    )
+}
+
+/// Figure 11 — dynamic NoC power normalized to Global.
+pub fn run_fig11() -> String {
+    let l = lineup();
+    let mut header = vec!["algo".to_string()];
+    header.extend(l.configs.iter().map(|c| c.config.name().to_string()));
+    header.push("avg".to_string());
+    let mut t = MarkdownTable::new(header);
+    for algo in ALGOS {
+        let mut row = vec![algo.to_string()];
+        let mut sum = 0.0;
+        for c in &l.configs {
+            let norm = c.algo(algo).dynamic_power_mw / c.algo("Global").dynamic_power_mw;
+            sum += norm;
+            row.push(format!("{norm:.3}"));
+        }
+        row.push(format!("{:.3}", sum / l.configs.len() as f64));
+        t.row(row);
+    }
+    let sss_avg: f64 = l
+        .configs
+        .iter()
+        .map(|c| c.algo("SSS").dynamic_power_mw / c.algo("Global").dynamic_power_mw)
+        .sum::<f64>()
+        / l.configs.len() as f64;
+    format!(
+        "## Figure 11 — normalized dynamic NoC power (Global = 1.0)\n\n{}\n\
+         SSS power overhead vs Global: {} (paper: < +2.7%).\n",
+        t.render(),
+        pct(sss_avg - 1.0),
+    )
+}

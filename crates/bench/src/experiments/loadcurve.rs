@@ -1,0 +1,81 @@
+//! **Load curve** (extension) — the classic NoC latency-vs-offered-load
+//! characterization of the simulated network, plus an XY-vs-YX routing
+//! check. Establishes that the paper's Table 3 loads (≈2–11 cache requests
+//! per kilocycle per tile) sit far below saturation, which is why `td_q`
+//! stays in the 0–1 cycle band and the analytic model is valid.
+
+use crate::table::{f, MarkdownTable};
+use noc_model::Mesh;
+use noc_sim::config::RoutingKind;
+use noc_sim::{Network, Schedule, SimConfig, SourceSpec};
+
+fn uniform_sources(mesh: Mesh, cache_per_kcycle: f64) -> Vec<SourceSpec> {
+    mesh.tiles()
+        .map(|t| SourceSpec {
+            tile: t,
+            group: 0,
+            cache: Schedule::per_kilocycle(cache_per_kcycle),
+            mem: Schedule::per_kilocycle(cache_per_kcycle * 0.15),
+        })
+        .collect()
+}
+
+fn run_point(rate: f64, routing: RoutingKind, cycles: u64) -> noc_sim::SimReport {
+    let mesh = Mesh::square(8);
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.warmup_cycles = cycles / 10;
+    cfg.measure_cycles = cycles;
+    cfg.max_drain_cycles = 4 * cycles;
+    cfg.routing = routing;
+    cfg.seed = 5;
+    Network::new(cfg, uniform_sources(mesh, rate), 1).run()
+}
+
+pub fn run(fast: bool) -> String {
+    let cycles: u64 = if fast { 10_000 } else { 40_000 };
+    let rates: &[f64] = if fast {
+        &[4.0, 16.0, 48.0]
+    } else {
+        &[2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0]
+    };
+    let mut t = MarkdownTable::new(vec![
+        "cache req/kcycle/tile",
+        "g-APL (cycles)",
+        "td_q (cycles)",
+        "link util",
+        "peak buffered flits",
+    ]);
+    for &r in rates {
+        let rep = run_point(r, RoutingKind::Xy, cycles);
+        t.row(vec![
+            format!("{r}"),
+            f(rep.g_apl()),
+            f(rep.mean_td_q()),
+            format!("{:.3}", rep.network.mean_link_utilization()),
+            format!("{}", rep.network.peak_buffered_flits),
+        ]);
+    }
+    // Routing ablation at a paper-scale load: XY vs YX must agree on a
+    // symmetric uniform workload.
+    let xy = run_point(8.0, RoutingKind::Xy, cycles);
+    let yx = run_point(8.0, RoutingKind::Yx, cycles);
+    format!(
+        "## Load curve (extension) — 8×8 mesh, uniform traffic\n\n{}\n\
+         Routing ablation at 8 req/kcycle: XY g-APL {} vs YX g-APL {} \
+         (symmetric workload ⇒ statistically equal).\n\
+         Paper-scale loads (2–11 req/kcycle) sit far below saturation — the basis for the td_q ≈ 0 analytic arrays.\n",
+        t.render(),
+        f(xy.g_apl()),
+        f(yx.g_apl()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "runs the cycle-level simulator; exercised by `experiments loadcurve`"]
+    fn loadcurve_runs() {
+        let out = super::run(true);
+        assert!(out.contains("Load curve"));
+    }
+}

@@ -1,0 +1,86 @@
+//! One module per table/figure of the paper. Each `run()` returns the
+//! formatted output block; the `experiments` binary dispatches on the
+//! experiment id and prints it.
+
+pub mod ablation;
+pub mod fig12;
+pub mod fig3;
+pub mod fig3sim;
+pub mod fig4;
+pub mod fig5;
+pub mod fig8;
+pub mod firstprinciples;
+pub mod lineup_views;
+pub mod loadcurve;
+pub mod nocparams;
+pub mod optgap;
+pub mod oversub;
+pub mod queueing;
+pub mod scaling;
+pub mod table1;
+pub mod table3;
+pub mod tails;
+pub mod torus;
+pub mod validate;
+pub mod weighted;
+
+/// All experiment ids: the paper's tables/figures in order, then the
+/// validation pass and this repo's extension studies.
+pub const ALL: &[&str] = &[
+    "table1",
+    "table3",
+    "table4",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "validate",
+    "ablation",
+    "loadcurve",
+    "scaling",
+    "weighted",
+    "torus",
+    "firstprinciples",
+    "optgap",
+    "queueing",
+    "fig3sim",
+    "oversub",
+    "nocparams",
+    "tails",
+];
+
+/// Run one experiment by id. `fast` trims sample counts / simulated cycles
+/// so the full suite stays CI-friendly.
+pub fn run(id: &str, fast: bool) -> Option<String> {
+    Some(match id {
+        "table1" => table1::run(fast),
+        "table3" => table3::run(),
+        "table4" => lineup_views::run_table4(),
+        "fig3" => fig3::run(),
+        "fig4" => fig4::run(),
+        "fig5" => fig5::run(),
+        "fig8" => fig8::run(),
+        "fig9" => lineup_views::run_fig9(),
+        "fig10" => lineup_views::run_fig10(),
+        "fig11" => lineup_views::run_fig11(),
+        "fig12" => fig12::run(fast),
+        "validate" => validate::run(fast),
+        "ablation" => ablation::run(),
+        "loadcurve" => loadcurve::run(fast),
+        "scaling" => scaling::run(fast),
+        "weighted" => weighted::run(),
+        "torus" => torus::run(),
+        "firstprinciples" => firstprinciples::run(fast),
+        "optgap" => optgap::run(fast),
+        "queueing" => queueing::run(fast),
+        "fig3sim" => fig3sim::run(fast),
+        "oversub" => oversub::run(),
+        "nocparams" => nocparams::run(fast),
+        "tails" => tails::run(fast),
+        _ => return None,
+    })
+}

@@ -1,0 +1,86 @@
+//! **Table 1** — "Imbalance exacerbation by global optimization":
+//! average g-APL / max-APL / dev-APL over >10⁴ random mappings vs the
+//! Global mapping, on configurations C1–C4.
+
+use crate::harness::paper_instance;
+use crate::table::{f, MarkdownTable};
+use obm_core::algorithms::{random::random_averages, Global, Mapper};
+use obm_core::evaluate;
+use workload::PaperConfig;
+
+pub fn run(fast: bool) -> String {
+    let samples = if fast { 2_000 } else { 10_000 };
+    let configs = [
+        PaperConfig::C1,
+        PaperConfig::C2,
+        PaperConfig::C3,
+        PaperConfig::C4,
+    ];
+    let mut t = MarkdownTable::new(vec![
+        "cfg",
+        "g-APL rand",
+        "g-APL Global",
+        "max-APL rand",
+        "max-APL Global",
+        "dev-APL rand",
+        "dev-APL Global",
+    ]);
+    let mut sums = [0.0f64; 6];
+    for cfg in configs {
+        let pi = paper_instance(cfg);
+        let rand = random_averages(&pi.instance, samples, 0xA5);
+        let glob = evaluate(&pi.instance, &Global.map(&pi.instance, 0));
+        let row = [
+            rand.mean_g_apl,
+            glob.g_apl,
+            rand.mean_max_apl,
+            glob.max_apl,
+            rand.mean_dev_apl,
+            glob.dev_apl,
+        ];
+        for (s, v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+        t.row(vec![
+            cfg.name().to_string(),
+            f(row[0]),
+            f(row[1]),
+            f(row[2]),
+            f(row[3]),
+            f(row[4]),
+            f(row[5]),
+        ]);
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / 4.0).collect();
+    t.row(vec![
+        "Avg".to_string(),
+        f(avg[0]),
+        f(avg[1]),
+        f(avg[2]),
+        f(avg[3]),
+        f(avg[4]),
+        f(avg[5]),
+    ]);
+    format!(
+        "## Table 1 — imbalance exacerbation by global optimization\n\
+         (paper: Random avg g-APL 22.61 / Global 21.53; max-APL 22.73 → 24.97; dev-APL 0.54 → 1.84)\n\n{}\n\
+         Global reduces g-APL by {:.2}% but raises max-APL by {:.2}% and dev-APL {:.1}×.\n",
+        t.render(),
+        (1.0 - avg[1] / avg[0]) * 100.0,
+        (avg[3] / avg[2] - 1.0) * 100.0,
+        avg[5] / avg[4],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_shape_holds() {
+        let out = super::run(true);
+        assert!(out.contains("Table 1"));
+        assert!(out.contains("C4"));
+        // shape assertions live in the integration tests; here we only
+        // check the experiment runs end-to-end.
+        assert!(out.contains("Avg"));
+    }
+}

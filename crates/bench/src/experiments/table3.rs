@@ -1,0 +1,50 @@
+//! **Table 3** — average values and standard deviations of the cache and
+//! memory communication rates of the eight configurations, measured on the
+//! generated traces and compared against the paper's targets.
+
+use crate::table::{f, MarkdownTable};
+use workload::{PaperConfig, WorkloadBuilder};
+
+pub fn run() -> String {
+    let mut t = MarkdownTable::new(vec![
+        "cfg",
+        "cache avg (paper)",
+        "cache avg (ours)",
+        "cache std (paper)",
+        "cache std (ours)",
+        "mem avg (paper)",
+        "mem avg (ours)",
+        "mem std (paper)",
+        "mem std (ours)",
+    ]);
+    for cfg in PaperConfig::ALL {
+        let (cache_t, mem_t) = cfg.targets();
+        let traces = WorkloadBuilder::paper(cfg).build_traces();
+        let cs = traces.cache_stats();
+        let ms = traces.mem_stats();
+        t.row(vec![
+            cfg.name().to_string(),
+            f(cache_t.mean),
+            f(cs.mean()),
+            f(cache_t.std_dev),
+            f(cs.std_dev()),
+            f(mem_t.mean),
+            f(ms.mean()),
+            f(mem_t.std_dev),
+            f(ms.std_dev()),
+        ]);
+    }
+    format!(
+        "## Table 3 — communication-rate statistics of C1–C8 (trace-sample level)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table3_runs() {
+        let out = super::run();
+        assert!(out.contains("C8"));
+    }
+}

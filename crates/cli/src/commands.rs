@@ -1,0 +1,393 @@
+//! CLI command implementations, kept pure (string in → string out) so the
+//! tests can drive them without a process boundary.
+
+use crate::spec::{spec_from_workload, InstanceSpec};
+use noc_model::{LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
+use noc_sim::{Network, Schedule, SimConfig, SourceSpec};
+use obm_core::algorithms::{
+    BalancedGreedy, BranchAndBound, Global, Mapper, MonteCarlo, RandomMapper, SimulatedAnnealing,
+    SortSelectSwap,
+};
+use obm_core::{evaluate, Mapping, ObmInstance};
+use workload::{PaperConfig, WorkloadBuilder};
+
+/// Resolve an algorithm name to a mapper.
+pub fn mapper_by_name(name: &str) -> Result<Box<dyn Mapper>, String> {
+    Ok(match name {
+        "sss" => Box::new(SortSelectSwap::default()),
+        "global" => Box::new(Global),
+        "mc" => Box::new(MonteCarlo::with_samples(10_000)),
+        "sa" => Box::new(SimulatedAnnealing::with_iterations(100_000)),
+        "greedy" => Box::new(BalancedGreedy),
+        "random" => Box::new(RandomMapper),
+        other => {
+            return Err(format!(
+                "unknown algorithm '{other}' (try sss, global, mc, sa, greedy, random)"
+            ))
+        }
+    })
+}
+
+/// `obm gen <C1..C8> [seed]` — emit an instance spec for a paper
+/// configuration.
+pub fn generate(config: &str, seed: Option<u64>) -> Result<String, String> {
+    let cfg = PaperConfig::ALL
+        .iter()
+        .find(|c| c.name().eq_ignore_ascii_case(config))
+        .copied()
+        .ok_or_else(|| format!("unknown configuration '{config}' (C1..C8)"))?;
+    let mut builder = WorkloadBuilder::paper(cfg);
+    if let Some(s) = seed {
+        builder = builder.seed(s);
+    }
+    let (w, _) = builder.build();
+    Ok(format!(
+        "# generated from paper configuration {} (4 apps x 16 threads, 8x8 mesh)\n{}",
+        cfg.name(),
+        spec_from_workload(&w, 8, 8).render()
+    ))
+}
+
+fn report_block(spec: &InstanceSpec, inst: &ObmInstance, mapping: &Mapping) -> String {
+    let r = evaluate(inst, mapping);
+    let mut out = String::new();
+    out.push_str("per-app APL (cycles):\n");
+    for (name, apl) in spec.app_names().iter().zip(&r.per_app) {
+        out.push_str(&format!("  {name:<20} {apl:.3}\n"));
+    }
+    out.push_str(&format!(
+        "max-APL {:.3} | dev-APL {:.4} | g-APL {:.3}\n",
+        r.max_apl, r.dev_apl, r.g_apl
+    ));
+    out
+}
+
+fn mapping_grid(mesh: &Mesh, inst: &ObmInstance, mapping: &Mapping) -> String {
+    let inv = mapping.tile_to_thread(inst.num_tiles());
+    let mut out = String::new();
+    for row in 0..mesh.rows() {
+        for col in 0..mesh.cols() {
+            let t = mesh.tile(noc_model::Coord::new(row, col));
+            match inv[t.index()] {
+                Some(j) => out.push_str(&format!("{:>3}", inst.app_of_thread(j) + 1)),
+                None => out.push_str("  ."),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `obm map` — compute a mapping for a spec.
+pub fn map_command(spec_text: &str, algo: &str, seed: u64, grid: bool) -> Result<String, String> {
+    let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let inst = spec.to_instance();
+    let mapper = mapper_by_name(algo)?;
+    let mapping = mapper.map(&inst, seed);
+    let mut out = String::new();
+    out.push_str(&format!("# algorithm: {}\n", mapper.name()));
+    out.push_str("# thread -> tile (paper 1-based numbering)\n");
+    for j in 0..inst.num_threads() {
+        out.push_str(&format!("{}\n", mapping.tile_of(j).to_paper()));
+    }
+    out.push('\n');
+    if grid {
+        out.push_str("application grid (1 = first declared app):\n");
+        out.push_str(&mapping_grid(&spec.mesh(), &inst, &mapping));
+        out.push('\n');
+    }
+    out.push_str(&report_block(&spec, &inst, &mapping));
+    Ok(out)
+}
+
+/// `obm eval` — evaluate an existing mapping (one paper tile number per
+/// line, thread order; '#' comments allowed).
+pub fn eval_command(spec_text: &str, mapping_text: &str) -> Result<String, String> {
+    let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let inst = spec.to_instance();
+    let tiles: Result<Vec<TileId>, String> = mapping_text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let k: usize = l
+                .parse()
+                .map_err(|e| format!("bad tile number '{l}': {e}"))?;
+            if k == 0 || k > inst.num_tiles() {
+                return Err(format!("tile {k} out of range 1..={}", inst.num_tiles()));
+            }
+            Ok(TileId::from_paper(k))
+        })
+        .collect();
+    let tiles = tiles?;
+    if tiles.len() != inst.num_threads() {
+        return Err(format!(
+            "mapping has {} entries for {} threads",
+            tiles.len(),
+            inst.num_threads()
+        ));
+    }
+    let mut seen = vec![false; inst.num_tiles()];
+    for &t in &tiles {
+        if seen[t.index()] {
+            return Err(format!("tile {} assigned twice", t.to_paper()));
+        }
+        seen[t.index()] = true;
+    }
+    let mapping = Mapping::new(tiles);
+    Ok(report_block(&spec, &inst, &mapping))
+}
+
+/// `obm simulate` — map and replay through the cycle-level simulator.
+pub fn simulate_command(
+    spec_text: &str,
+    algo: &str,
+    seed: u64,
+    cycles: u64,
+) -> Result<String, String> {
+    let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let inst = spec.to_instance();
+    let mapper = mapper_by_name(algo)?;
+    let mapping = mapper.map(&inst, seed);
+    let mesh = spec.mesh();
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.controllers = spec.memory_controllers();
+    cfg.warmup_cycles = (cycles / 10).max(100);
+    cfg.measure_cycles = cycles;
+    cfg.seed = seed ^ 0xC0FFEE;
+    let sources: Vec<SourceSpec> = (0..inst.num_threads())
+        .map(|j| SourceSpec {
+            tile: mapping.tile_of(j),
+            group: inst.app_of_thread(j),
+            cache: Schedule::per_kilocycle(inst.cache_rate(j)),
+            mem: Schedule::per_kilocycle(inst.mem_rate(j)),
+        })
+        .collect();
+    let report = Network::new(cfg, sources, inst.num_apps()).run();
+    let analytic = evaluate(&inst, &mapping);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "algorithm {} | {} measured cycles\n",
+        mapper.name(),
+        cycles
+    ));
+    out.push_str("per-app APL, analytic vs simulated (cycles):\n");
+    for (i, name) in spec.app_names().iter().enumerate() {
+        out.push_str(&format!(
+            "  {name:<20} {:>8.3} {:>8.3}\n",
+            analytic.per_app[i],
+            report.groups[i].apl()
+        ));
+    }
+    out.push_str(&format!(
+        "g-APL analytic {:.3} vs simulated {:.3} | td_q {:.3} cycles | {}/{} packets{}\n",
+        analytic.g_apl,
+        report.g_apl(),
+        report.mean_td_q(),
+        report.delivered,
+        report.injected,
+        if report.fully_drained {
+            ""
+        } else {
+            " (undrained)"
+        }
+    ));
+    Ok(out)
+}
+
+/// `obm exact` — prove the optimal max-APL with branch-and-bound (small
+/// instances; the node budget bounds the proof effort).
+pub fn exact_command(spec_text: &str, node_budget: u64) -> Result<String, String> {
+    let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let inst = spec.to_instance();
+    if inst.num_threads() > 20 {
+        return Err(format!(
+            "{} threads is beyond practical exact solving (≤ 20)",
+            inst.num_threads()
+        ));
+    }
+    let solver = BranchAndBound {
+        node_budget: node_budget.max(1),
+    };
+    let r = solver.solve(&inst);
+    let sss = obm_core::evaluate(&inst, &SortSelectSwap::default().map(&inst, 0)).max_apl;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} after {} nodes: objective {:.6}
+",
+        if r.proven_optimal {
+            "PROVEN OPTIMAL"
+        } else {
+            "budget exhausted (best incumbent)"
+        },
+        r.nodes,
+        r.objective
+    ));
+    out.push_str(&format!(
+        "SSS heuristic: {:.6} ({:+.3}% vs {})
+",
+        sss,
+        (sss / r.objective - 1.0) * 100.0,
+        if r.proven_optimal {
+            "optimum"
+        } else {
+            "incumbent"
+        }
+    ));
+    out.push_str(
+        "# thread -> tile (paper numbering)
+",
+    );
+    for j in 0..inst.num_threads() {
+        out.push_str(&format!(
+            "{}
+",
+            r.mapping.tile_of(j).to_paper()
+        ));
+    }
+    Ok(out)
+}
+
+/// `obm latency` — print the TC/TM arrays for a chip.
+pub fn latency_command(n: usize, controllers: &str) -> Result<String, String> {
+    let mesh = Mesh::square(n);
+    let mcs = match controllers {
+        "corners" => MemoryControllers::corners(&mesh),
+        "edges" => MemoryControllers::edge_centers(&mesh),
+        other => return Err(format!("unknown controller placement '{other}'")),
+    };
+    let tl = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+    let mut out = String::new();
+    out.push_str(&format!("TC(k) — average cache latency, {n}x{n} mesh:\n"));
+    for row in 0..n {
+        for col in 0..n {
+            out.push_str(&format!(
+                "{:>7.2}",
+                tl.tc(mesh.tile(noc_model::Coord::new(row, col)))
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str("TM(k) — average memory latency:\n");
+    for row in 0..n {
+        for col in 0..n {
+            out.push_str(&format!(
+                "{:>7.2}",
+                tl.tm(mesh.tile(noc_model::Coord::new(row, col)))
+            ));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "\
+mesh 4 4
+app light 4
+thread 1.0 0.15
+thread 1.2 0.18
+thread 0.8 0.12
+thread 1.1 0.16
+app heavy 4
+thread 8.0 1.2
+thread 9.0 1.4
+thread 7.0 1.0
+thread 8.5 1.3
+";
+
+    #[test]
+    fn gen_produces_parseable_spec() {
+        let out = generate("C1", Some(3)).unwrap();
+        let spec = InstanceSpec::parse(&out).unwrap();
+        assert_eq!(spec.apps.len(), 4);
+        assert_eq!(spec.apps.iter().map(|a| a.threads.len()).sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn gen_rejects_unknown_config() {
+        assert!(generate("C9", None).is_err());
+    }
+
+    #[test]
+    fn map_then_eval_roundtrip() {
+        let mapped = map_command(SPEC, "sss", 0, false).unwrap();
+        // Extract the tile list (non-comment numeric lines before the blank).
+        let tiles: Vec<&str> = mapped
+            .lines()
+            .take_while(|l| !l.is_empty())
+            .filter(|l| !l.starts_with('#'))
+            .collect();
+        assert_eq!(tiles.len(), 8);
+        let eval_out = eval_command(SPEC, &tiles.join("\n")).unwrap();
+        assert!(eval_out.contains("max-APL"));
+        // Evaluated metrics must equal the mapper's own report.
+        let metrics_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("max-APL"))
+                .map(str::to_string)
+                .expect("metrics line")
+        };
+        assert_eq!(metrics_line(&mapped), metrics_line(&eval_out));
+    }
+
+    #[test]
+    fn eval_rejects_bad_mappings() {
+        assert!(eval_command(SPEC, "1\n1\n2\n3\n4\n5\n6\n7\n").is_err()); // dup
+        assert!(eval_command(SPEC, "1\n2\n3\n").is_err()); // too few
+        assert!(eval_command(SPEC, "0\n2\n3\n4\n5\n6\n7\n8\n").is_err()); // 0 invalid
+        assert!(eval_command(SPEC, "99\n2\n3\n4\n5\n6\n7\n8\n").is_err()); // range
+    }
+
+    #[test]
+    fn map_grid_output() {
+        let out = map_command(SPEC, "greedy", 0, true).unwrap();
+        assert!(out.contains("application grid"));
+        assert!(out.contains("  .") || out.contains("  1"), "{out}");
+    }
+
+    #[test]
+    fn unknown_algo_rejected() {
+        assert!(map_command(SPEC, "quantum", 0, false).is_err());
+    }
+
+    #[test]
+    fn simulate_small() {
+        let out = simulate_command(SPEC, "sss", 1, 5_000).unwrap();
+        assert!(out.contains("simulated"), "{out}");
+        assert!(!out.contains("undrained"), "{out}");
+    }
+
+    #[test]
+    fn exact_small_spec() {
+        let spec = "\
+mesh 2 2
+app a 2
+thread 1.0 0.1
+thread 3.0 0.4
+app b 2
+thread 2.0 0.2
+thread 5.0 0.7
+";
+        let out = exact_command(spec, 1_000_000).unwrap();
+        assert!(out.contains("PROVEN OPTIMAL"), "{out}");
+        assert!(out.contains("SSS heuristic"));
+    }
+
+    #[test]
+    fn exact_rejects_large_instances() {
+        let out = generate("C1", Some(1)).unwrap();
+        assert!(exact_command(&out, 1000).is_err());
+    }
+
+    #[test]
+    fn latency_grids() {
+        let out = latency_command(4, "corners").unwrap();
+        assert!(out.contains("TC(k)"));
+        assert!(out.contains("TM(k)"));
+        assert!(latency_command(4, "ring").is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! `obm` — balanced multi-application NoC mapping from the command line.
+//!
+//! ```text
+//! obm gen C1 [--seed S]                         emit an instance spec (stdout)
+//! obm map <spec> [--algo sss] [--seed S] [--grid]
+//! obm eval <spec> <mapping>                     mapping: one tile number per line
+//! obm simulate <spec> [--algo sss] [--cycles N] [--seed S]
+//! obm exact <spec> [--budget NODES]              prove the optimum (small chips)
+//! obm latency [--mesh N] [--controllers corners|edges]
+//! ```
+
+mod commands;
+mod spec;
+
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "obm — balanced multi-application NoC mapping (IPDPS'14 OBM reproduction)
+
+USAGE:
+  obm gen <C1..C8> [--seed S]
+  obm map <spec-file> [--algo sss|global|mc|sa|greedy|random] [--seed S] [--grid]
+  obm eval <spec-file> <mapping-file>
+  obm simulate <spec-file> [--algo NAME] [--cycles N] [--seed S]
+  obm exact <spec-file> [--budget NODES]
+  obm latency [--mesh N] [--controllers corners|edges]
+
+The spec format is documented in the repository README and crates/cli/src/spec.rs."
+}
+
+/// Minimal flag extraction: returns (positional, flag-lookup).
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = if it.peek().is_some_and(|v| !v.starts_with("--")) {
+                    it.next()
+                } else {
+                    None
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&Option<String>> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    fn value_flag(&self, name: &str) -> Result<Option<&str>, String> {
+        match self.flag(name) {
+            None => Ok(None),
+            Some(Some(v)) => Ok(Some(v)),
+            Some(None) => Err(format!("--{name} requires a value")),
+        }
+    }
+
+    fn parse_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.value_flag(name)? {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn run() -> Result<String, String> {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        return Err(usage().to_string());
+    }
+    let cmd = raw.remove(0);
+    let args = Args::parse(raw)?;
+    match cmd.as_str() {
+        "gen" => {
+            let cfg = args
+                .positional
+                .first()
+                .ok_or("gen needs a configuration name (C1..C8)")?;
+            let seed = args.parse_flag::<u64>("seed", u64::MAX)?;
+            commands::generate(cfg, (seed != u64::MAX).then_some(seed))
+        }
+        "map" => {
+            let spec = read(args.positional.first().ok_or("map needs a spec file")?)?;
+            let algo = args.value_flag("algo")?.unwrap_or("sss");
+            let seed = args.parse_flag::<u64>("seed", 0)?;
+            commands::map_command(&spec, algo, seed, args.flag("grid").is_some())
+        }
+        "eval" => {
+            let spec = read(args.positional.first().ok_or("eval needs a spec file")?)?;
+            let mapping = read(args.positional.get(1).ok_or("eval needs a mapping file")?)?;
+            commands::eval_command(&spec, &mapping)
+        }
+        "simulate" => {
+            let spec = read(
+                args.positional
+                    .first()
+                    .ok_or("simulate needs a spec file")?,
+            )?;
+            let algo = args.value_flag("algo")?.unwrap_or("sss");
+            let seed = args.parse_flag::<u64>("seed", 0)?;
+            let cycles = args.parse_flag::<u64>("cycles", 50_000)?;
+            commands::simulate_command(&spec, algo, seed, cycles)
+        }
+        "exact" => {
+            let spec = read(args.positional.first().ok_or("exact needs a spec file")?)?;
+            let budget = args.parse_flag::<u64>("budget", 20_000_000)?;
+            commands::exact_command(&spec, budget)
+        }
+        "latency" => {
+            let n = args.parse_flag::<usize>("mesh", 8)?;
+            let ctrl = args.value_flag("controllers")?.unwrap_or("corners");
+            commands::latency_command(n, ctrl)
+        }
+        "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! The plain-text instance specification format read and written by the
+//! `obm` CLI.
+//!
+//! ```text
+//! # comments start with '#'
+//! mesh 8 8                 # rows cols
+//! controllers corners      # corners | edges | tiles k1 k2 ... (paper numbering)
+//! app web 2                # name thread-count, followed by that many:
+//! thread 4.0 0.6           # cache-rate memory-rate (requests/kilocycle)
+//! thread 3.5 0.5
+//! app batch 2
+//! thread 9.0 1.2
+//! thread 8.0 1.1
+//! weights 2 1              # optional per-app priority weights
+//! ```
+//!
+//! Thread counts may total less than the tile count (surplus tiles stay
+//! idle), never more.
+
+use noc_model::{LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
+use obm_core::ObmInstance;
+use std::fmt::Write as _;
+
+/// A parsed instance specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceSpec {
+    pub rows: usize,
+    pub cols: usize,
+    pub controllers: ControllerSpec,
+    pub apps: Vec<AppEntry>,
+    pub weights: Option<Vec<f64>>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerSpec {
+    Corners,
+    Edges,
+    Tiles(Vec<usize>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppEntry {
+    pub name: String,
+    /// (cache_rate, mem_rate) per thread.
+    pub threads: Vec<(f64, f64)>,
+}
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl InstanceSpec {
+    /// Parse the text format.
+    pub fn parse(text: &str) -> Result<InstanceSpec, ParseError> {
+        let mut mesh: Option<(usize, usize)> = None;
+        let mut controllers = ControllerSpec::Corners;
+        let mut apps: Vec<AppEntry> = Vec::new();
+        let mut weights: Option<Vec<f64>> = None;
+        let mut pending_threads = 0usize;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut tok = line.split_whitespace();
+            let keyword = tok.next().expect("non-empty line");
+            let rest: Vec<&str> = tok.collect();
+            match keyword {
+                "mesh" => {
+                    if rest.len() != 2 {
+                        return Err(err(lineno, "mesh takes: rows cols"));
+                    }
+                    let rows = rest[0]
+                        .parse::<usize>()
+                        .map_err(|e| err(lineno, format!("bad rows: {e}")))?;
+                    let cols = rest[1]
+                        .parse::<usize>()
+                        .map_err(|e| err(lineno, format!("bad cols: {e}")))?;
+                    if rows == 0 || cols == 0 {
+                        return Err(err(lineno, "mesh dimensions must be positive"));
+                    }
+                    mesh = Some((rows, cols));
+                }
+                "controllers" => match rest.first() {
+                    Some(&"corners") => controllers = ControllerSpec::Corners,
+                    Some(&"edges") => controllers = ControllerSpec::Edges,
+                    Some(&"tiles") => {
+                        let ids: Result<Vec<usize>, _> =
+                            rest[1..].iter().map(|s| s.parse::<usize>()).collect();
+                        let ids = ids.map_err(|e| err(lineno, format!("bad tile id: {e}")))?;
+                        if ids.is_empty() {
+                            return Err(err(lineno, "controllers tiles needs at least one id"));
+                        }
+                        if ids.contains(&0) {
+                            return Err(err(lineno, "tile numbers are 1-based (paper Eq. 1)"));
+                        }
+                        controllers = ControllerSpec::Tiles(ids);
+                    }
+                    _ => {
+                        return Err(err(
+                            lineno,
+                            "controllers takes: corners | edges | tiles k1 k2 ...",
+                        ))
+                    }
+                },
+                "app" => {
+                    if pending_threads > 0 {
+                        return Err(err(
+                            lineno,
+                            format!("previous app still expects {pending_threads} thread line(s)"),
+                        ));
+                    }
+                    if rest.len() != 2 {
+                        return Err(err(lineno, "app takes: name thread-count"));
+                    }
+                    let count = rest[1]
+                        .parse::<usize>()
+                        .map_err(|e| err(lineno, format!("bad thread count: {e}")))?;
+                    if count == 0 {
+                        return Err(err(lineno, "apps need at least one thread"));
+                    }
+                    apps.push(AppEntry {
+                        name: rest[0].to_string(),
+                        threads: Vec::with_capacity(count),
+                    });
+                    pending_threads = count;
+                }
+                "thread" => {
+                    if pending_threads == 0 {
+                        return Err(err(lineno, "thread line outside an app block"));
+                    }
+                    if rest.len() != 2 {
+                        return Err(err(lineno, "thread takes: cache-rate mem-rate"));
+                    }
+                    let c = rest[0]
+                        .parse::<f64>()
+                        .map_err(|e| err(lineno, format!("bad cache rate: {e}")))?;
+                    let m = rest[1]
+                        .parse::<f64>()
+                        .map_err(|e| err(lineno, format!("bad mem rate: {e}")))?;
+                    if c < 0.0 || m < 0.0 || !c.is_finite() || !m.is_finite() {
+                        return Err(err(lineno, "rates must be finite and non-negative"));
+                    }
+                    apps.last_mut()
+                        .expect("inside app block")
+                        .threads
+                        .push((c, m));
+                    pending_threads -= 1;
+                }
+                "weights" => {
+                    let ws: Result<Vec<f64>, _> = rest.iter().map(|s| s.parse::<f64>()).collect();
+                    let ws = ws.map_err(|e| err(lineno, format!("bad weight: {e}")))?;
+                    if ws.iter().any(|&w| !w.is_finite() || w <= 0.0) {
+                        return Err(err(lineno, "weights must be positive"));
+                    }
+                    weights = Some(ws);
+                }
+                other => return Err(err(lineno, format!("unknown keyword '{other}'"))),
+            }
+        }
+        if pending_threads > 0 {
+            return Err(err(
+                text.lines().count(),
+                format!("last app still expects {pending_threads} thread line(s)"),
+            ));
+        }
+        let (rows, cols) = mesh.ok_or_else(|| err(1, "missing 'mesh rows cols' line"))?;
+        if apps.is_empty() {
+            return Err(err(1, "no applications declared"));
+        }
+        let total: usize = apps.iter().map(|a| a.threads.len()).sum();
+        if total > rows * cols {
+            return Err(err(
+                1,
+                format!("{total} threads exceed {} tiles", rows * cols),
+            ));
+        }
+        if let Some(ws) = &weights {
+            if ws.len() != apps.len() {
+                return Err(err(
+                    1,
+                    format!("{} weights for {} apps", ws.len(), apps.len()),
+                ));
+            }
+        }
+        Ok(InstanceSpec {
+            rows,
+            cols,
+            controllers,
+            apps,
+            weights,
+        })
+    }
+
+    /// Serialize back to the text format (parse∘render is the identity on
+    /// the parsed structure).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "mesh {} {}", self.rows, self.cols);
+        match &self.controllers {
+            ControllerSpec::Corners => {
+                let _ = writeln!(out, "controllers corners");
+            }
+            ControllerSpec::Edges => {
+                let _ = writeln!(out, "controllers edges");
+            }
+            ControllerSpec::Tiles(ids) => {
+                let list: Vec<String> = ids.iter().map(|k| k.to_string()).collect();
+                let _ = writeln!(out, "controllers tiles {}", list.join(" "));
+            }
+        }
+        for app in &self.apps {
+            let _ = writeln!(out, "app {} {}", app.name, app.threads.len());
+            for &(c, m) in &app.threads {
+                let _ = writeln!(out, "thread {c} {m}");
+            }
+        }
+        if let Some(ws) = &self.weights {
+            let list: Vec<String> = ws.iter().map(|w| w.to_string()).collect();
+            let _ = writeln!(out, "weights {}", list.join(" "));
+        }
+        out
+    }
+
+    /// The mesh described by this spec.
+    pub fn mesh(&self) -> Mesh {
+        Mesh::new(self.rows, self.cols)
+    }
+
+    /// The memory-controller placement.
+    pub fn memory_controllers(&self) -> MemoryControllers {
+        let mesh = self.mesh();
+        match &self.controllers {
+            ControllerSpec::Corners => MemoryControllers::corners(&mesh),
+            ControllerSpec::Edges => MemoryControllers::edge_centers(&mesh),
+            ControllerSpec::Tiles(ids) => MemoryControllers::custom(
+                &mesh,
+                ids.iter().map(|&k| TileId::from_paper(k)).collect(),
+            ),
+        }
+    }
+
+    /// Build the OBM instance (Table 2 latency parameters).
+    pub fn to_instance(&self) -> ObmInstance {
+        let mesh = self.mesh();
+        let tiles = TileLatencies::compute(
+            &mesh,
+            &self.memory_controllers(),
+            LatencyParams::paper_table2(),
+        );
+        let mut c = Vec::new();
+        let mut m = Vec::new();
+        let mut bounds = vec![0];
+        for app in &self.apps {
+            for &(cj, mj) in &app.threads {
+                c.push(cj);
+                m.push(mj);
+            }
+            bounds.push(c.len());
+        }
+        let inst = ObmInstance::new(tiles, bounds, c, m);
+        match &self.weights {
+            Some(ws) => inst.with_app_weights(ws.clone()),
+            None => inst,
+        }
+    }
+
+    /// Application names in declaration order.
+    pub fn app_names(&self) -> Vec<&str> {
+        self.apps.iter().map(|a| a.name.as_str()).collect()
+    }
+}
+
+/// Build a spec from a generated paper workload (the `obm gen` command).
+pub fn spec_from_workload(w: &workload::Workload, rows: usize, cols: usize) -> InstanceSpec {
+    InstanceSpec {
+        rows,
+        cols,
+        controllers: ControllerSpec::Corners,
+        apps: w
+            .apps
+            .iter()
+            .map(|a| AppEntry {
+                name: a.name.replace(' ', "-"),
+                threads: a
+                    .threads
+                    .iter()
+                    .map(|t| (t.cache_rate, t.mem_rate))
+                    .collect(),
+            })
+            .collect(),
+        weights: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# demo chip
+mesh 4 4
+controllers corners
+app web 2
+thread 4.0 0.6
+thread 3.5 0.5
+app batch 2
+thread 9.0 1.2
+thread 8.0 1.1
+weights 2 1
+";
+
+    #[test]
+    fn parse_sample() {
+        let spec = InstanceSpec::parse(SAMPLE).unwrap();
+        assert_eq!(spec.rows, 4);
+        assert_eq!(spec.apps.len(), 2);
+        assert_eq!(spec.apps[0].name, "web");
+        assert_eq!(spec.apps[1].threads[0], (9.0, 1.2));
+        assert_eq!(spec.weights, Some(vec![2.0, 1.0]));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let spec = InstanceSpec::parse(SAMPLE).unwrap();
+        let again = InstanceSpec::parse(&spec.render()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn to_instance_dimensions_and_weights() {
+        let spec = InstanceSpec::parse(SAMPLE).unwrap();
+        let inst = spec.to_instance();
+        assert_eq!(inst.num_tiles(), 16);
+        assert_eq!(inst.num_threads(), 4);
+        assert_eq!(inst.num_apps(), 2);
+        assert!(inst.is_weighted());
+        assert_eq!(inst.app_weight(0), 2.0);
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let e = InstanceSpec::parse("mesh 4\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = InstanceSpec::parse("mesh 2 2\napp a 1\nbogus 1 2\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus") || e.message.contains("expects"));
+    }
+
+    #[test]
+    fn thread_count_enforced() {
+        let e = InstanceSpec::parse("mesh 2 2\napp a 2\nthread 1 0.1\napp b 1\nthread 1 0.1\n")
+            .unwrap_err();
+        assert!(e.message.contains("expects"), "{e}");
+        let e = InstanceSpec::parse("mesh 2 2\napp a 1\nthread 1 0.1\nthread 1 0.1\n").unwrap_err();
+        assert!(e.message.contains("outside"), "{e}");
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut text = String::from("mesh 2 2\napp big 5\n");
+        for _ in 0..5 {
+            text.push_str("thread 1 0.1\n");
+        }
+        let e = InstanceSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("exceed"), "{e}");
+    }
+
+    #[test]
+    fn custom_controllers_parse_and_build() {
+        let spec = InstanceSpec::parse("mesh 3 3\ncontrollers tiles 1 9\napp a 1\nthread 1 0.1\n")
+            .unwrap();
+        let mcs = spec.memory_controllers();
+        assert_eq!(mcs.tiles().len(), 2);
+    }
+
+    #[test]
+    fn weight_count_mismatch_rejected() {
+        let e = InstanceSpec::parse("mesh 2 2\napp a 1\nthread 1 0.1\nweights 1 2\n").unwrap_err();
+        assert!(
+            e.message.contains("weights") || e.message.contains("apps"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = InstanceSpec::parse(
+            "\n# hi\nmesh 2 2 # trailing\n\napp a 1 # one thread\nthread 1 0.1\n",
+        )
+        .unwrap();
+        assert_eq!(spec.apps.len(), 1);
+    }
+}

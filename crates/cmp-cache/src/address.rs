@@ -1,0 +1,160 @@
+//! Synthetic per-thread memory-address streams.
+//!
+//! Three archetypes cover the locality regimes that differentiate the
+//! PARSEC codes' miss rates: streaming (sequential), hot-working-set
+//! (Zipf-weighted reuse) and scattered (uniform over a large footprint).
+//! A thread mixes a private stream with accesses to its application's
+//! shared region — the latter is what exercises the coherence protocol.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A generator of line-aligned physical addresses.
+#[derive(Debug, Clone)]
+pub enum AddressPattern {
+    /// Sequential streaming through a large buffer.
+    Stream {
+        base: u64,
+        /// Footprint in lines (wraps around).
+        lines: u64,
+        /// Stride in lines per access.
+        stride: u64,
+        /// Internal cursor.
+        cursor: u64,
+    },
+    /// Zipf-weighted reuse over a working set: rank `r` (0-based) is
+    /// drawn with probability ∝ `1/(r+1)^s`.
+    WorkingSet {
+        base: u64,
+        lines: u64,
+        /// Zipf skew (0 = uniform; ~1 = typical hot-set reuse).
+        skew: f64,
+    },
+    /// Uniform over a footprint far larger than any cache (thrashing).
+    Scatter { base: u64, lines: u64 },
+}
+
+const LINE: u64 = 64;
+
+impl AddressPattern {
+    /// Streaming pattern helper.
+    pub fn stream(base: u64, lines: u64) -> Self {
+        AddressPattern::Stream {
+            base,
+            lines: lines.max(1),
+            stride: 1,
+            cursor: 0,
+        }
+    }
+
+    /// Working-set pattern helper.
+    pub fn working_set(base: u64, lines: u64, skew: f64) -> Self {
+        assert!(skew >= 0.0);
+        AddressPattern::WorkingSet {
+            base,
+            lines: lines.max(1),
+            skew,
+        }
+    }
+
+    /// Scatter pattern helper.
+    pub fn scatter(base: u64, lines: u64) -> Self {
+        AddressPattern::Scatter {
+            base,
+            lines: lines.max(1),
+        }
+    }
+
+    /// Next line-aligned address.
+    pub fn next(&mut self, rng: &mut SmallRng) -> u64 {
+        match self {
+            AddressPattern::Stream {
+                base,
+                lines,
+                stride,
+                cursor,
+            } => {
+                let addr = *base + (*cursor % *lines) * LINE;
+                *cursor = cursor.wrapping_add(*stride);
+                addr
+            }
+            AddressPattern::WorkingSet { base, lines, skew } => {
+                let rank = zipf_rank(*lines, *skew, rng);
+                *base + rank * LINE
+            }
+            AddressPattern::Scatter { base, lines } => *base + rng.gen_range(0..*lines) * LINE,
+        }
+    }
+}
+
+/// Draw a Zipf-distributed rank in `0..n` with skew `s` by inverse-CDF
+/// over the (approximated) harmonic weights. Uses the standard
+/// approximation via rejection-free inversion on the integral of
+/// `x^(-s)`, accurate enough for traffic shaping.
+fn zipf_rank(n: u64, s: f64, rng: &mut SmallRng) -> u64 {
+    if s < 1e-9 || n <= 1 {
+        return rng.gen_range(0..n.max(1));
+    }
+    // Inverse-transform on the continuous density x^-s over [1, n+1).
+    let u: f64 = rng.gen();
+    let nf = (n + 1) as f64;
+    let x = if (s - 1.0).abs() < 1e-9 {
+        nf.powf(u)
+    } else {
+        let a = 1.0 - s;
+        ((nf.powf(a) - 1.0) * u + 1.0).powf(1.0 / a)
+    };
+    (x.floor() as u64 - 1).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stream_is_sequential_and_wraps() {
+        let mut p = AddressPattern::stream(0x1000, 3);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let a: Vec<u64> = (0..5).map(|_| p.next(&mut rng)).collect();
+        assert_eq!(a, vec![0x1000, 0x1040, 0x1080, 0x1000, 0x1040]);
+    }
+
+    #[test]
+    fn scatter_stays_in_footprint_and_line_aligned() {
+        let mut p = AddressPattern::scatter(0x10_0000, 1000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let a = p.next(&mut rng);
+            assert!((0x10_0000..0x10_0000 + 1000 * 64).contains(&a));
+            assert_eq!(a % 64, 0);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_low_ranks() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 1000u64;
+        let count_top_decile = |skew: f64, rng: &mut SmallRng| -> usize {
+            let mut p = AddressPattern::working_set(0, n, skew);
+            (0..10_000).filter(|_| p.next(rng) < n / 10 * 64).count()
+        };
+        let uniform = count_top_decile(0.0, &mut rng);
+        let skewed = count_top_decile(1.2, &mut rng);
+        assert!(
+            skewed > 2 * uniform,
+            "skewed {skewed} not concentrated vs uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn zipf_rank_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for s in [0.0, 0.5, 1.0, 1.5] {
+            for _ in 0..2000 {
+                let r = zipf_rank(100, s, &mut rng);
+                assert!(r < 100);
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! MOESI-lite directory coherence at the shared L2.
+//!
+//! The paper's platform runs MOESI (Table 2). For traffic-rate purposes
+//! only the *protocol events* matter — which accesses generate which
+//! packets — not the full state machine, so this directory tracks, per
+//! line, one optional owner (M/O states collapsed) and a sharer set
+//! (S state), and reports the packet-generating events of each access:
+//! owner forwards on remote reads, invalidations on writes. The classic
+//! invariants (owner ∉ sharers; write ⇒ sole owner, no sharers) are
+//! enforced with debug assertions and checked by tests.
+
+use std::collections::HashMap;
+
+/// Directory entry for one cached line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Core holding the line in an owned (M/O/E) state.
+    pub owner: Option<u16>,
+    /// Bitmask of cores holding the line shared (S).
+    pub sharers: u64,
+}
+
+impl DirEntry {
+    fn is_sharer(&self, core: u16) -> bool {
+        self.sharers >> core & 1 == 1
+    }
+
+    /// Number of cores holding the line in shared state.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+
+    /// Whether `core` holds the line shared (test/introspection helper).
+    pub fn has_sharer(&self, core: u16) -> bool {
+        self.is_sharer(core)
+    }
+
+    fn check_invariants(&self) {
+        if let Some(o) = self.owner {
+            debug_assert!(!self.is_sharer(o), "owner {o} also a sharer");
+        }
+    }
+}
+
+/// Packet-relevant outcome of a directory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceEvents {
+    /// Checking/forwarding packets to other private L1s (each is
+    /// cache-class traffic in the paper's model).
+    pub forwards: u32,
+    /// Invalidation packets sent to sharers/owner on a write.
+    pub invalidations: u32,
+}
+
+/// The directory (one logically; physically distributed across L2 banks —
+/// bank selection is handled by the system model).
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+    /// Cores whose L1 must invalidate a line as a side effect of the last
+    /// access (the system model applies these to the L1 models).
+    pending_invalidations: Vec<(u16, u64)>,
+}
+
+impl Directory {
+    /// Empty directory (supports up to 64 cores).
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// A read of `line` by `core` reached the directory (L1 missed).
+    /// Returns the coherence packets generated beyond the base
+    /// request/response pair.
+    pub fn read(&mut self, core: u16, line: u64) -> CoherenceEvents {
+        assert!(core < 64);
+        let e = self.entries.entry(line).or_default();
+        let mut ev = CoherenceEvents {
+            forwards: 0,
+            invalidations: 0,
+        };
+        match e.owner {
+            Some(o) if o != core => {
+                // Owner forwards the data (M/O → O, reader becomes sharer).
+                ev.forwards = 1;
+                e.sharers |= 1 << core;
+            }
+            Some(_) => { /* silent upgrade of our own owned line */ }
+            None => {
+                e.sharers |= 1 << core;
+            }
+        }
+        e.check_invariants();
+        ev
+    }
+
+    /// A write of `line` by `core` reached the directory. All other
+    /// holders are invalidated; `core` becomes sole owner.
+    pub fn write(&mut self, core: u16, line: u64) -> CoherenceEvents {
+        assert!(core < 64);
+        let e = self.entries.entry(line).or_default();
+        let mut inv = 0;
+        if let Some(o) = e.owner {
+            if o != core {
+                inv += 1;
+                self.pending_invalidations.push((o, line));
+            }
+        }
+        let mut sharers = e.sharers & !(1 << core);
+        while sharers != 0 {
+            let s = sharers.trailing_zeros() as u16;
+            sharers &= sharers - 1;
+            inv += 1;
+            self.pending_invalidations.push((s, line));
+        }
+        e.owner = Some(core);
+        e.sharers = 0;
+        e.check_invariants();
+        CoherenceEvents {
+            forwards: 0,
+            invalidations: inv,
+        }
+    }
+
+    /// The line left the L2 (capacity eviction): every cached private copy
+    /// must be invalidated too (inclusive hierarchy).
+    pub fn evict(&mut self, line: u64) -> u32 {
+        let Some(e) = self.entries.remove(&line) else {
+            return 0;
+        };
+        let mut count = 0;
+        if let Some(o) = e.owner {
+            self.pending_invalidations.push((o, line));
+            count += 1;
+        }
+        let mut sharers = e.sharers;
+        while sharers != 0 {
+            let s = sharers.trailing_zeros() as u16;
+            sharers &= sharers - 1;
+            self.pending_invalidations.push((s, line));
+            count += 1;
+        }
+        count
+    }
+
+    /// Drain the L1 invalidations produced by recent writes/evictions.
+    pub fn take_invalidations(&mut self) -> Vec<(u16, u64)> {
+        std::mem::take(&mut self.pending_invalidations)
+    }
+
+    /// Directory state of a line (testing / introspection).
+    pub fn entry(&self, line: u64) -> Option<DirEntry> {
+        self.entries.get(&line).copied()
+    }
+
+    /// Number of tracked lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no lines are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_read_share() {
+        let mut d = Directory::new();
+        assert_eq!(d.read(0, 100).forwards, 0);
+        assert_eq!(d.read(1, 100).forwards, 0);
+        let e = d.entry(100).unwrap();
+        assert_eq!(e.owner, None);
+        assert_eq!(e.sharer_count(), 2);
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut d = Directory::new();
+        d.read(0, 7);
+        d.read(1, 7);
+        d.read(2, 7);
+        let ev = d.write(3, 7);
+        assert_eq!(ev.invalidations, 3);
+        let e = d.entry(7).unwrap();
+        assert_eq!(e.owner, Some(3));
+        assert_eq!(e.sharer_count(), 0);
+        let mut invs = d.take_invalidations();
+        invs.sort_unstable();
+        assert_eq!(invs, vec![(0, 7), (1, 7), (2, 7)]);
+    }
+
+    #[test]
+    fn remote_read_of_owned_line_forwards() {
+        let mut d = Directory::new();
+        d.write(0, 9);
+        let ev = d.read(1, 9);
+        assert_eq!(ev.forwards, 1);
+        let e = d.entry(9).unwrap();
+        // owner retains ownership (O state), reader becomes sharer
+        assert_eq!(e.owner, Some(0));
+        assert!(e.is_sharer(1));
+    }
+
+    #[test]
+    fn own_write_after_own_write_is_silent() {
+        let mut d = Directory::new();
+        d.write(5, 11);
+        let ev = d.write(5, 11);
+        assert_eq!(ev.invalidations, 0);
+        assert!(d.take_invalidations().is_empty());
+    }
+
+    #[test]
+    fn writer_among_sharers_not_self_invalidated() {
+        let mut d = Directory::new();
+        d.read(0, 3);
+        d.read(1, 3);
+        let ev = d.write(0, 3);
+        assert_eq!(ev.invalidations, 1); // only core 1
+        assert_eq!(d.take_invalidations(), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn evict_invalidates_every_copy() {
+        let mut d = Directory::new();
+        d.write(0, 42);
+        d.read(1, 42);
+        d.read(2, 42);
+        let n = d.evict(42);
+        assert_eq!(n, 3); // owner + 2 sharers
+        assert!(d.entry(42).is_none());
+        assert_eq!(d.take_invalidations().len(), 3);
+    }
+
+    #[test]
+    fn invariant_owner_never_sharer() {
+        let mut d = Directory::new();
+        for step in 0..200u64 {
+            let core = (step % 5) as u16;
+            let line = step % 7;
+            if step % 3 == 0 {
+                d.write(core, line);
+            } else {
+                d.read(core, line);
+            }
+            if let Some(e) = d.entry(line) {
+                if let Some(o) = e.owner {
+                    assert!(!e.is_sharer(o));
+                }
+            }
+            d.take_invalidations();
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! A fixed-associativity LRU set — the building block of every cache
+//! level (Table 2: L1 2-way LRU, L2 16-way LRU).
+
+/// One set of an LRU cache: at most `ways` tags, most-recently-used first.
+#[derive(Debug, Clone)]
+pub struct LruSet {
+    ways: usize,
+    /// Tags in recency order (index 0 = MRU).
+    tags: Vec<u64>,
+}
+
+/// Outcome of an access to a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Tag was present; promoted to MRU.
+    Hit,
+    /// Tag was absent and inserted without eviction.
+    MissFilled,
+    /// Tag was absent; the returned victim tag was evicted.
+    MissEvicted(u64),
+}
+
+impl LruSet {
+    /// An empty set with the given associativity.
+    ///
+    /// # Panics
+    /// Panics if `ways == 0`.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        LruSet {
+            ways,
+            tags: Vec::with_capacity(ways),
+        }
+    }
+
+    /// Access `tag`, updating recency and filling on a miss.
+    pub fn access(&mut self, tag: u64) -> Access {
+        if let Some(pos) = self.tags.iter().position(|&t| t == tag) {
+            let t = self.tags.remove(pos);
+            self.tags.insert(0, t);
+            return Access::Hit;
+        }
+        self.tags.insert(0, tag);
+        if self.tags.len() > self.ways {
+            let victim = self.tags.pop().expect("overflow tag");
+            Access::MissEvicted(victim)
+        } else {
+            Access::MissFilled
+        }
+    }
+
+    /// Whether `tag` is resident (no recency update).
+    pub fn contains(&self, tag: u64) -> bool {
+        self.tags.contains(&tag)
+    }
+
+    /// Invalidate `tag` if present (coherence back-invalidation).
+    pub fn invalidate(&mut self, tag: u64) -> bool {
+        if let Some(pos) = self.tags.iter().position(|&t| t == tag) {
+            self.tags.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resident line count.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the set holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_promotes_to_mru() {
+        let mut s = LruSet::new(2);
+        assert_eq!(s.access(1), Access::MissFilled);
+        assert_eq!(s.access(2), Access::MissFilled);
+        assert_eq!(s.access(1), Access::Hit); // 1 is MRU now
+        assert_eq!(s.access(3), Access::MissEvicted(2)); // 2 was LRU
+        assert!(s.contains(1) && s.contains(3) && !s.contains(2));
+    }
+
+    #[test]
+    fn strict_lru_order() {
+        let mut s = LruSet::new(3);
+        for t in [10, 20, 30] {
+            s.access(t);
+        }
+        // Touch 10, insert 40: victim must be 20.
+        s.access(10);
+        assert_eq!(s.access(40), Access::MissEvicted(20));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut s = LruSet::new(2);
+        s.access(5);
+        assert!(s.invalidate(5));
+        assert!(!s.contains(5));
+        assert!(!s.invalidate(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn direct_mapped_behaviour() {
+        let mut s = LruSet::new(1);
+        assert_eq!(s.access(1), Access::MissFilled);
+        assert_eq!(s.access(2), Access::MissEvicted(1));
+        assert_eq!(s.access(2), Access::Hit);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ways_rejected() {
+        let _ = LruSet::new(0);
+    }
+}

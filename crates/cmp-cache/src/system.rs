@@ -1,0 +1,526 @@
+//! The CMP memory system: per-core private L1s, a distributed shared L2
+//! (address-interleaved banks) with a MOESI-lite directory, driven by
+//! synthetic per-thread access streams. Produces the per-thread
+//! cache/memory request-rate traces that the OBM formulation consumes —
+//! derived from first principles instead of postulated.
+//!
+//! Traffic accounting follows the paper's §II.B taxonomy:
+//!
+//! * every L1 miss sends a request packet to the home L2 bank — **cache
+//!   traffic** (`c_j`);
+//! * directory forwards and invalidations are checking/forwarding packets
+//!   between the bank and other L1s — also cache traffic;
+//! * every L2 bank miss sends a request to the nearest memory
+//!   controller — **memory traffic** (`m_j`).
+
+use crate::address::AddressPattern;
+use crate::cache::{AccessResult, Cache, CacheConfig, CacheStats};
+use crate::coherence::Directory;
+use noc_model::hashing::BankHash;
+use noc_model::Mesh;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use workload::{Application, ThreadLoad, Workload};
+
+const LINE_BYTES: u64 = 64;
+
+/// One thread's behavioural description.
+#[derive(Debug, Clone)]
+pub struct ThreadSpec {
+    /// Memory accesses issued per kilocycle (before cache filtering).
+    pub accesses_per_kilocycle: f64,
+    /// Fraction of accesses that are writes.
+    pub write_fraction: f64,
+    /// Consecutive word-level touches per generated line (spatial
+    /// locality; only the first can miss). 8 ≈ word-granular streaming
+    /// over 64-byte lines.
+    pub line_reuse: u32,
+    /// Private address stream.
+    pub private: AddressPattern,
+    /// Probability an access targets the application's shared region.
+    pub shared_fraction: f64,
+}
+
+/// One application: threads plus a shared data region.
+#[derive(Debug, Clone)]
+pub struct CacheAppSpec {
+    pub name: String,
+    pub threads: Vec<ThreadSpec>,
+    /// Shared-region pattern (cloned per thread; same base region).
+    pub shared: AddressPattern,
+}
+
+/// System-level configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Mesh (defines the number of L2 banks = tiles).
+    pub mesh: Mesh,
+    /// Private L1 geometry (Table 2: 32 KB, 2-way).
+    pub l1: CacheConfig,
+    /// Per-bank L2 geometry (Table 2: 256 KB, 16-way).
+    pub l2_bank: CacheConfig,
+    /// Trace epochs to produce.
+    pub epochs: usize,
+    /// Cycles per epoch.
+    pub epoch_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// Table 2 defaults on the given mesh.
+    pub fn paper_defaults(mesh: Mesh) -> Self {
+        SystemConfig {
+            mesh,
+            l1: CacheConfig::paper_l1(),
+            l2_bank: CacheConfig::paper_l2_bank(),
+            epochs: 200,
+            epoch_cycles: 1_000,
+            seed: 7,
+        }
+    }
+}
+
+/// Output traces plus hierarchy statistics.
+#[derive(Debug, Clone)]
+pub struct CacheTraces {
+    pub epoch_cycles: u64,
+    /// Per thread: (cache requests, memory requests) per kilocycle, per
+    /// epoch.
+    pub cache: Vec<Vec<f64>>,
+    pub mem: Vec<Vec<f64>>,
+    pub app_sizes: Vec<usize>,
+    pub app_names: Vec<String>,
+    /// Aggregate L1 statistics over all cores.
+    pub l1_stats: CacheStats,
+    /// Aggregate L2 statistics over all banks.
+    pub l2_stats: CacheStats,
+    /// Coherence packets observed (forwards + invalidations).
+    pub coherence_packets: u64,
+}
+
+impl CacheTraces {
+    /// Mean cache-request rate per thread (requests/kilocycle).
+    pub fn mean_cache_rate(&self, thread: usize) -> f64 {
+        mean(&self.cache[thread])
+    }
+
+    /// Mean memory-request rate per thread.
+    pub fn mean_mem_rate(&self, thread: usize) -> f64 {
+        mean(&self.mem[thread])
+    }
+
+    /// Collapse to a [`Workload`] for the mapping layer.
+    pub fn to_workload(&self) -> Workload {
+        let mut apps = Vec::with_capacity(self.app_sizes.len());
+        let mut idx = 0;
+        for (size, name) in self.app_sizes.iter().zip(&self.app_names) {
+            let threads = (idx..idx + size)
+                .map(|j| ThreadLoad {
+                    cache_rate: self.mean_cache_rate(j),
+                    mem_rate: self.mean_mem_rate(j),
+                })
+                .collect();
+            idx += size;
+            apps.push(Application {
+                name: name.clone(),
+                threads,
+            });
+        }
+        Workload::new(apps)
+    }
+
+    /// Ratio of total cache traffic to total memory traffic (the paper
+    /// reports 6.78 on average across PARSEC mixes).
+    pub fn cache_to_mem_ratio(&self) -> f64 {
+        let c: f64 = self.cache.iter().flatten().sum();
+        let m: f64 = self.mem.iter().flatten().sum();
+        if m == 0.0 {
+            f64::INFINITY
+        } else {
+            c / m
+        }
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// The CMP memory-system model.
+pub struct CmpSystem {
+    cfg: SystemConfig,
+    apps: Vec<CacheAppSpec>,
+    l1s: Vec<Cache>,
+    banks: Vec<Cache>,
+    directory: Directory,
+    hash: BankHash,
+    rng: SmallRng,
+}
+
+impl CmpSystem {
+    /// Build the system.
+    ///
+    /// # Panics
+    /// Panics if the total thread count exceeds the tile count or any
+    /// spec parameter is out of range.
+    pub fn new(cfg: SystemConfig, apps: Vec<CacheAppSpec>) -> Self {
+        let threads: usize = apps.iter().map(|a| a.threads.len()).sum();
+        assert!(threads > 0 && threads <= cfg.mesh.num_tiles());
+        assert!(threads <= 64, "directory sharer mask supports 64 cores");
+        for a in &apps {
+            for t in &a.threads {
+                assert!(t.accesses_per_kilocycle >= 0.0);
+                assert!((0.0..=1.0).contains(&t.write_fraction));
+                assert!((0.0..=1.0).contains(&t.shared_fraction));
+                assert!(t.line_reuse >= 1);
+            }
+        }
+        let hash = BankHash::new(&cfg.mesh, LINE_BYTES as u32);
+        CmpSystem {
+            l1s: (0..threads).map(|_| Cache::new(cfg.l1)).collect(),
+            banks: (0..cfg.mesh.num_tiles())
+                .map(|_| Cache::new(cfg.l2_bank))
+                .collect(),
+            directory: Directory::new(),
+            hash,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            apps,
+        }
+    }
+
+    /// Run the configured number of epochs, producing rate traces.
+    pub fn run(mut self) -> CacheTraces {
+        let threads: usize = self.apps.iter().map(|a| a.threads.len()).sum();
+        let mut cache_traces = vec![Vec::with_capacity(self.cfg.epochs); threads];
+        let mut mem_traces = vec![Vec::with_capacity(self.cfg.epochs); threads];
+        // Clone the mutable per-thread pattern state out of the specs.
+        let mut privates: Vec<AddressPattern> = Vec::with_capacity(threads);
+        let mut shareds: Vec<AddressPattern> = Vec::with_capacity(threads);
+        let mut specs: Vec<(f64, f64, u32, f64)> = Vec::with_capacity(threads);
+        for app in &self.apps {
+            for t in &app.threads {
+                privates.push(t.private.clone());
+                shareds.push(app.shared.clone());
+                specs.push((
+                    t.accesses_per_kilocycle,
+                    t.write_fraction,
+                    t.line_reuse,
+                    t.shared_fraction,
+                ));
+            }
+        }
+        // Fractional access accumulators for exact long-run rates.
+        let mut carry = vec![0.0f64; threads];
+        let mut coherence_packets = 0u64;
+        for _epoch in 0..self.cfg.epochs {
+            let mut epoch_cache = vec![0u64; threads];
+            let mut epoch_mem = vec![0u64; threads];
+            for t in 0..threads {
+                let (rate, wfrac, reuse, sfrac) = specs[t];
+                let want = rate * self.cfg.epoch_cycles as f64 / 1000.0 + carry[t];
+                let n = want.floor() as u64;
+                carry[t] = want - n as f64;
+                // `n` word-level accesses → `n / reuse` distinct lines.
+                let mut issued = 0u64;
+                while issued < n {
+                    let addr = if self.rng.gen_bool(sfrac) {
+                        shareds[t].next(&mut self.rng)
+                    } else {
+                        privates[t].next(&mut self.rng)
+                    };
+                    let burst = reuse.min((n - issued).max(1) as u32);
+                    issued += burst as u64;
+                    let is_write = self.rng.gen_bool(wfrac);
+                    let (c, m, coh) = self.access_line(t as u16, addr, is_write);
+                    // The remaining word touches of the line hit in L1 by
+                    // construction; record them so hit rates are
+                    // word-granular like hardware counters.
+                    self.l1s[t].record_free_hits(burst as u64 - 1);
+                    epoch_cache[t] += c;
+                    epoch_mem[t] += m;
+                    coherence_packets += coh;
+                }
+            }
+            let k = self.cfg.epoch_cycles as f64 / 1000.0;
+            for t in 0..threads {
+                cache_traces[t].push(epoch_cache[t] as f64 / k);
+                mem_traces[t].push(epoch_mem[t] as f64 / k);
+            }
+        }
+        let mut l1_stats = CacheStats::default();
+        for c in &self.l1s {
+            let s = c.stats();
+            l1_stats.hits += s.hits;
+            l1_stats.misses += s.misses;
+            l1_stats.evictions += s.evictions;
+            l1_stats.invalidations += s.invalidations;
+        }
+        let mut l2_stats = CacheStats::default();
+        for b in &self.banks {
+            let s = b.stats();
+            l2_stats.hits += s.hits;
+            l2_stats.misses += s.misses;
+            l2_stats.evictions += s.evictions;
+            l2_stats.invalidations += s.invalidations;
+        }
+        CacheTraces {
+            epoch_cycles: self.cfg.epoch_cycles,
+            cache: cache_traces,
+            mem: mem_traces,
+            app_sizes: self.apps.iter().map(|a| a.threads.len()).collect(),
+            app_names: self.apps.iter().map(|a| a.name.clone()).collect(),
+            l1_stats,
+            l2_stats,
+            coherence_packets,
+        }
+    }
+
+    /// One line-granular access by `core`: returns (cache packets, memory
+    /// packets, coherence packets) generated.
+    fn access_line(&mut self, core: u16, addr: u64, is_write: bool) -> (u64, u64, u64) {
+        let mut cache_pkts = 0u64;
+        let mut mem_pkts = 0u64;
+        let mut coh_pkts = 0u64;
+        let line = addr / LINE_BYTES;
+        let l1_hit = matches!(self.l1s[core as usize].access(addr), AccessResult::Hit);
+        if l1_hit {
+            if is_write {
+                // Write hit on a line we don't own → upgrade through the
+                // directory (one request packet + invalidations).
+                let owned = self
+                    .directory
+                    .entry(line)
+                    .map(|e| e.owner == Some(core))
+                    .unwrap_or(false);
+                if !owned {
+                    cache_pkts += 1;
+                    let ev = self.directory.write(core, line);
+                    coh_pkts += ev.invalidations as u64;
+                    self.apply_invalidations();
+                }
+            }
+            return (cache_pkts, mem_pkts, coh_pkts);
+        }
+        // L1 miss: request to the home bank. The bank's tag array indexes
+        // on the *bank-local* line number (global line ÷ bank count) —
+        // indexing on the raw address would waste the sets whose index
+        // bits overlap the bank-selection bits.
+        cache_pkts += 1;
+        let nb = self.banks.len() as u64;
+        let bank = self.hash.bank_of(addr).index();
+        let local_addr = (line / nb) * LINE_BYTES;
+        match self.banks[bank].access(local_addr) {
+            AccessResult::Hit => {
+                let ev = if is_write {
+                    self.directory.write(core, line)
+                } else {
+                    self.directory.read(core, line)
+                };
+                coh_pkts += (ev.forwards + ev.invalidations) as u64;
+            }
+            AccessResult::Miss { victim } => {
+                // Off-chip fetch.
+                mem_pkts += 1;
+                if let Some(vaddr) = victim {
+                    // Reconstruct the global line of the bank-local victim.
+                    let victim_line = (vaddr / LINE_BYTES) * nb + bank as u64;
+                    coh_pkts += self.directory.evict(victim_line) as u64;
+                }
+                let ev = if is_write {
+                    self.directory.write(core, line)
+                } else {
+                    self.directory.read(core, line)
+                };
+                coh_pkts += (ev.forwards + ev.invalidations) as u64;
+            }
+        }
+        self.apply_invalidations();
+        (cache_pkts, mem_pkts, coh_pkts)
+    }
+
+    fn apply_invalidations(&mut self) {
+        for (core, line) in self.directory.take_invalidations() {
+            self.l1s[core as usize].invalidate(line * LINE_BYTES);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_thread_system(pattern: AddressPattern, shared_fraction: f64) -> CmpSystem {
+        let mesh = Mesh::square(4);
+        let cfg = SystemConfig {
+            epochs: 300,
+            ..SystemConfig::paper_defaults(mesh)
+        };
+        let app = CacheAppSpec {
+            name: "solo".into(),
+            threads: vec![ThreadSpec {
+                accesses_per_kilocycle: 2_000.0,
+                write_fraction: 0.2,
+                line_reuse: 8,
+                private: pattern,
+                shared_fraction,
+            }],
+            shared: AddressPattern::working_set(0x8000_0000, 64, 0.8),
+        };
+        CmpSystem::new(cfg, vec![app])
+    }
+
+    #[test]
+    fn small_working_set_mostly_hits() {
+        // 128 lines = 8 KB ≪ 32 KB L1: after warm-up almost everything
+        // hits, so cache-request rate ≪ access rate and memory rate ≈ 0.
+        let sys = one_thread_system(AddressPattern::working_set(0x1000_0000, 128, 0.0), 0.0);
+        let tr = sys.run();
+        assert!(tr.l1_stats.hit_rate() > 0.95, "{}", tr.l1_stats.hit_rate());
+        assert!(tr.mean_mem_rate(0) < 0.5, "{}", tr.mean_mem_rate(0));
+    }
+
+    #[test]
+    fn giant_scatter_misses_everywhere() {
+        // 4M lines = 256 MB ≫ L1+L2: every distinct line misses both
+        // levels, so memory rate tracks the line rate (≈ access/8) and the
+        // cache:mem ratio approaches 1.
+        let sys = one_thread_system(AddressPattern::scatter(0x2000_0000, 1 << 22), 0.0);
+        let tr = sys.run();
+        assert!(tr.l1_stats.hit_rate() < 0.90); // only intra-line reuse hits
+        let ratio = tr.cache_to_mem_ratio();
+        assert!(
+            (0.9..1.3).contains(&ratio),
+            "thrash ratio should be ≈1, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn mid_working_set_gives_paper_like_ratio() {
+        // Working set that overflows L1 but fits in the distributed L2:
+        // plenty of L1 misses (cache traffic) but few L2 misses (memory
+        // traffic) — the PARSEC-like regime the paper reports (≈6.78:1).
+        let sys = one_thread_system(AddressPattern::working_set(0x3000_0000, 12_000, 0.95), 0.0);
+        let tr = sys.run();
+        let ratio = tr.cache_to_mem_ratio();
+        assert!(
+            (1.5..100.0).contains(&ratio),
+            "expected an intermediate ratio, got {ratio}"
+        );
+        assert!(tr.mean_cache_rate(0) > tr.mean_mem_rate(0));
+        // and clearly distinct from the thrashing regime (ratio ≈ 1)
+        assert!(
+            ratio > 1.4,
+            "ratio {ratio} indistinguishable from thrashing"
+        );
+    }
+
+    #[test]
+    fn sharing_generates_coherence_traffic() {
+        let mesh = Mesh::square(4);
+        let cfg = SystemConfig {
+            epochs: 40,
+            ..SystemConfig::paper_defaults(mesh)
+        };
+        let mk_threads = |shared: f64| -> Vec<ThreadSpec> {
+            (0..4)
+                .map(|i| ThreadSpec {
+                    accesses_per_kilocycle: 100.0,
+                    write_fraction: 0.3,
+                    line_reuse: 4,
+                    private: AddressPattern::working_set(0x1000_0000 + i * 0x10_0000, 256, 0.5),
+                    shared_fraction: shared,
+                })
+                .collect()
+        };
+        let run = |shared: f64| -> u64 {
+            let app = CacheAppSpec {
+                name: "sharers".into(),
+                threads: mk_threads(shared),
+                shared: AddressPattern::working_set(0x9000_0000, 64, 0.8),
+            };
+            CmpSystem::new(cfg.clone(), vec![app])
+                .run()
+                .coherence_packets
+        };
+        let without = run(0.0);
+        let with = run(0.5);
+        assert!(
+            with > 10 * without.max(1),
+            "sharing produced {with} coherence packets vs {without} without"
+        );
+    }
+
+    #[test]
+    fn traces_convert_to_workload() {
+        let mesh = Mesh::square(4);
+        let cfg = SystemConfig {
+            epochs: 30,
+            ..SystemConfig::paper_defaults(mesh)
+        };
+        let mk_app = |name: &str, base: u64, rate: f64| CacheAppSpec {
+            name: name.into(),
+            threads: (0..4)
+                .map(|i| ThreadSpec {
+                    accesses_per_kilocycle: rate,
+                    write_fraction: 0.2,
+                    line_reuse: 8,
+                    private: AddressPattern::working_set(base + i * 0x100_0000, 20_000, 0.6),
+                    shared_fraction: 0.1,
+                })
+                .collect(),
+            shared: AddressPattern::working_set(base + 0xF00_0000, 128, 0.8),
+        };
+        let sys = CmpSystem::new(
+            cfg,
+            vec![
+                mk_app("light", 0x1000_0000, 60.0),
+                mk_app("heavy", 0x8000_0000, 300.0),
+            ],
+        );
+        let tr = sys.run();
+        let w = tr.to_workload();
+        assert_eq!(w.num_apps(), 2);
+        assert_eq!(w.num_threads(), 8);
+        // heavier access rate ⇒ heavier NoC traffic, preserved through the
+        // hierarchy
+        assert!(w.apps[1].total_rate() > w.apps[0].total_rate());
+        assert_eq!(w.apps[1].name, "heavy");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mk =
+            || one_thread_system(AddressPattern::working_set(0x1000_0000, 5_000, 0.7), 0.2).run();
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.mem, b.mem);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_threads_rejected() {
+        let mesh = Mesh::square(2);
+        let cfg = SystemConfig::paper_defaults(mesh);
+        let app = CacheAppSpec {
+            name: "big".into(),
+            threads: (0..5)
+                .map(|_| ThreadSpec {
+                    accesses_per_kilocycle: 1.0,
+                    write_fraction: 0.0,
+                    line_reuse: 1,
+                    private: AddressPattern::stream(0, 10),
+                    shared_fraction: 0.0,
+                })
+                .collect(),
+            shared: AddressPattern::stream(0, 1),
+        };
+        let _ = CmpSystem::new(cfg, vec![app]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Address-interleaved L2 bank hashing.
+//!
+//! Commercial CMPs place a cache line in the bank selected by hashing the
+//! low-order bits of the physical address (Figure 2 of the paper): with
+//! 64-byte lines, bits 0–5 are the block offset and the next `log2(N)` bits
+//! select the bank. Consecutive cache lines therefore interleave uniformly
+//! across all `N` banks, which is the property the latency model's Eq. (3)
+//! relies on.
+
+use crate::geometry::{Mesh, TileId};
+
+/// Bank-selection hash for a distributed shared L2.
+#[derive(Debug, Clone, Copy)]
+pub struct BankHash {
+    num_banks: usize,
+    offset_bits: u32,
+}
+
+impl BankHash {
+    /// Hash for a mesh of `N` banks with the given cache-line size.
+    ///
+    /// # Panics
+    /// Panics if `line_bytes` is not a power of two.
+    pub fn new(mesh: &Mesh, line_bytes: u32) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "cache lines are a power of two"
+        );
+        BankHash {
+            num_banks: mesh.num_tiles(),
+            offset_bits: line_bytes.trailing_zeros(),
+        }
+    }
+
+    /// The bank (tile) holding the line containing physical address `addr`.
+    ///
+    /// Uses modulo interleaving on the line index, which is exactly bit
+    /// extraction when `N` is a power of two (the paper's 64-tile case) and
+    /// degrades gracefully to modulo otherwise.
+    #[inline]
+    pub fn bank_of(&self, addr: u64) -> TileId {
+        let line = addr >> self.offset_bits;
+        TileId((line % self.num_banks as u64) as usize)
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.num_banks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_lines_interleave() {
+        let m = Mesh::square(8);
+        let h = BankHash::new(&m, 64);
+        // 64 consecutive cache lines must hit all 64 banks exactly once.
+        let mut seen = [false; 64];
+        for i in 0..64u64 {
+            let t = h.bank_of(i * 64);
+            assert!(!seen[t.index()], "bank hit twice");
+            seen[t.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn same_line_same_bank() {
+        let m = Mesh::square(8);
+        let h = BankHash::new(&m, 64);
+        assert_eq!(h.bank_of(0x1000), h.bank_of(0x103F));
+        assert_ne!(h.bank_of(0x1000), h.bank_of(0x1040));
+    }
+
+    #[test]
+    fn paper_bit_positions() {
+        // 16 MB L2, 64 B lines: offset bits 0–5, index bits 6–11 select
+        // among 64 banks. bank_of must equal bits [6..12) of the address
+        // when N = 64.
+        let m = Mesh::square(8);
+        let h = BankHash::new(&m, 64);
+        for addr in [0u64, 0x40, 0x80, 0xFC0, 0x1000, 0xDEADBEEF] {
+            let expect = ((addr >> 6) & 0x3F) as usize;
+            assert_eq!(h.bank_of(addr).index(), expect);
+        }
+    }
+
+    #[test]
+    fn uniform_over_large_stream() {
+        let m = Mesh::square(4);
+        let h = BankHash::new(&m, 64);
+        let mut counts = vec![0usize; 16];
+        for i in 0..16_000u64 {
+            counts[h.bank_of(i * 64).index()] += 1;
+        }
+        for &c in &counts {
+            assert_eq!(c, 1000);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Analytic link loads and queueing estimates.
+//!
+//! The paper's latency model treats the per-hop queueing latency `td_q` as
+//! a small constant measured from simulation. This module predicts it
+//! instead: expected flit load on every directed mesh link under XY
+//! routing (cache traffic uniform over destinations, memory traffic to the
+//! nearest controller), then a per-link M/D/1-style waiting-time estimate
+//! `W = ρ / (2·(1 − ρ))` cycles. The `queueing` experiment checks the
+//! prediction against the cycle-level simulator across the load sweep.
+
+use crate::geometry::{Mesh, TileId};
+use crate::placement::MemoryControllers;
+use crate::routing::{path_xy, route_xy, RouteDir};
+
+/// Directed-link load table: `load[tile][dir]` is the flit rate
+/// (flits/cycle) on the link leaving `tile` in direction `dir`
+/// (N/S/W/E = 0..4; the local ejection port is not a mesh link).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkLoads {
+    mesh: Mesh,
+    load: Vec<[f64; 4]>,
+}
+
+fn dir_index(d: RouteDir) -> Option<usize> {
+    match d {
+        RouteDir::North => Some(0),
+        RouteDir::South => Some(1),
+        RouteDir::West => Some(2),
+        RouteDir::East => Some(3),
+        RouteDir::Local => None,
+    }
+}
+
+/// One traffic source for the load computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceLoad {
+    /// Injecting tile.
+    pub tile: TileId,
+    /// Cache packets per cycle.
+    pub cache_rate: f64,
+    /// Memory packets per cycle.
+    pub mem_rate: f64,
+}
+
+impl LinkLoads {
+    /// Expected link loads under XY routing for the given sources, with
+    /// `flits_per_packet` the mean packet length.
+    pub fn compute(
+        mesh: &Mesh,
+        mcs: &MemoryControllers,
+        sources: &[SourceLoad],
+        flits_per_packet: f64,
+    ) -> Self {
+        let n = mesh.num_tiles();
+        let mut load = vec![[0.0f64; 4]; n];
+        let mut add_path = |src: TileId, dst: TileId, flit_rate: f64| {
+            if src == dst {
+                return;
+            }
+            let path = path_xy(mesh, src, dst);
+            for w in path.windows(2) {
+                let dir = route_xy(mesh, w[0], dst);
+                if let Some(d) = dir_index(dir) {
+                    load[w[0].index()][d] += flit_rate;
+                }
+            }
+        };
+        for s in sources {
+            // Cache traffic: uniform over all N tiles (incl. self = no
+            // packet).
+            let per_dst = s.cache_rate * flits_per_packet / n as f64;
+            if per_dst > 0.0 {
+                for dst in mesh.tiles() {
+                    add_path(s.tile, dst, per_dst);
+                }
+            }
+            // Memory traffic: nearest controller.
+            if s.mem_rate > 0.0 {
+                let mc = mcs.nearest(mesh, s.tile);
+                add_path(s.tile, mc, s.mem_rate * flits_per_packet);
+            }
+        }
+        LinkLoads { mesh: *mesh, load }
+    }
+
+    /// Flit rate on the link leaving `tile` towards `dir`.
+    ///
+    /// # Panics
+    /// Panics if `dir` is `Local`.
+    pub fn load(&self, tile: TileId, dir: RouteDir) -> f64 {
+        self.load[tile.index()][dir_index(dir).expect("mesh link direction")]
+    }
+
+    /// The most loaded link's flit rate (the saturation indicator).
+    pub fn max_load(&self) -> f64 {
+        self.load
+            .iter()
+            .flat_map(|l| l.iter())
+            .cloned()
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean load over links that exist on the mesh.
+    pub fn mean_load(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for t in self.mesh.tiles() {
+            for (d, dir) in [
+                RouteDir::North,
+                RouteDir::South,
+                RouteDir::West,
+                RouteDir::East,
+            ]
+            .iter()
+            .enumerate()
+            {
+                if link_exists(&self.mesh, t, *dir) {
+                    sum += self.load[t.index()][d];
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// M/D/1-style waiting time of one link: `ρ / (2·(1−ρ))` cycles,
+    /// clamped at `ρ = 0.95` to keep the estimate finite near saturation.
+    pub fn link_wait(&self, tile: TileId, dir: RouteDir) -> f64 {
+        let rho = self.load(tile, dir).min(0.95);
+        rho / (2.0 * (1.0 - rho))
+    }
+
+    /// Predicted mean per-hop queueing latency over a packet population:
+    /// load-weighted average of the per-link waits (each traversing flit
+    /// experiences the wait of the link it crosses).
+    pub fn mean_td_q(&self) -> f64 {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for t in self.mesh.tiles() {
+            for dir in [
+                RouteDir::North,
+                RouteDir::South,
+                RouteDir::West,
+                RouteDir::East,
+            ] {
+                if !link_exists(&self.mesh, t, dir) {
+                    continue;
+                }
+                let rho = self.load(t, dir);
+                if rho > 0.0 {
+                    weighted += rho * self.link_wait(t, dir);
+                    total += rho;
+                }
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            weighted / total
+        }
+    }
+}
+
+fn link_exists(mesh: &Mesh, t: TileId, dir: RouteDir) -> bool {
+    let c = mesh.coord(t);
+    match dir {
+        RouteDir::North => c.row > 0,
+        RouteDir::South => c.row + 1 < mesh.rows(),
+        RouteDir::West => c.col > 0,
+        RouteDir::East => c.col + 1 < mesh.cols(),
+        RouteDir::Local => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Coord;
+
+    fn uniform_sources(mesh: &Mesh, rate: f64) -> Vec<SourceLoad> {
+        mesh.tiles()
+            .map(|t| SourceLoad {
+                tile: t,
+                cache_rate: rate,
+                mem_rate: rate * 0.15,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flit_conservation_total() {
+        // Sum of all link loads = Σ over packets of (hops × flit rate):
+        // verify against a direct hop-count computation.
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let sources = uniform_sources(&mesh, 0.01);
+        let l = LinkLoads::compute(&mesh, &mcs, &sources, 3.0);
+        let total_link_load: f64 = (0..16).map(|t| l.load[t].iter().sum::<f64>()).sum();
+        let mut expect = 0.0;
+        for s in &sources {
+            for dst in mesh.tiles() {
+                expect += s.cache_rate * 3.0 / 16.0 * mesh.hops(s.tile, dst) as f64;
+            }
+            let mc = mcs.nearest(&mesh, s.tile);
+            expect += s.mem_rate * 3.0 * mesh.hops(s.tile, mc) as f64;
+        }
+        assert!(
+            (total_link_load - expect).abs() < 1e-9,
+            "{total_link_load} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn center_links_hotter_than_edge_links() {
+        // Uniform cache traffic under XY concentrates on central columns.
+        let mesh = Mesh::square(8);
+        let mcs = MemoryControllers::corners(&mesh);
+        let l = LinkLoads::compute(&mesh, &mcs, &uniform_sources(&mesh, 0.01), 3.0);
+        let center = l.load(mesh.tile(Coord::new(3, 3)), RouteDir::East);
+        let corner = l.load(mesh.tile(Coord::new(0, 0)), RouteDir::East);
+        assert!(center > corner, "center {center} vs corner {corner}");
+    }
+
+    #[test]
+    fn wait_grows_convexly_with_load() {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let w = |rate: f64| {
+            LinkLoads::compute(&mesh, &mcs, &uniform_sources(&mesh, rate), 3.0).mean_td_q()
+        };
+        let w1 = w(0.002);
+        let w2 = w(0.01);
+        let w3 = w(0.05);
+        assert!(w1 < w2 && w2 < w3);
+        assert!(w3 - w2 > w2 - w1, "convexity: {w1} {w2} {w3}");
+    }
+
+    #[test]
+    fn silent_network_has_zero_wait() {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let l = LinkLoads::compute(&mesh, &mcs, &[], 3.0);
+        assert_eq!(l.mean_td_q(), 0.0);
+        assert_eq!(l.max_load(), 0.0);
+        assert_eq!(l.mean_load(), 0.0);
+    }
+
+    #[test]
+    fn self_traffic_loads_nothing() {
+        // One source whose memory controller is its own tile.
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let s = SourceLoad {
+            tile: mesh.corners()[0],
+            cache_rate: 0.0,
+            mem_rate: 1.0,
+        };
+        let l = LinkLoads::compute(&mesh, &mcs, &[s], 3.0);
+        assert_eq!(l.max_load(), 0.0);
+    }
+}

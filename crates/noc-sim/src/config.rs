@@ -1,0 +1,102 @@
+//! Simulator configuration (paper Table 2 defaults).
+
+use noc_model::{MemoryControllers, Mesh};
+
+/// Dimension-order routing variant used by the routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// X first, then Y (the paper's choice).
+    Xy,
+    /// Y first, then X (ablation).
+    Yx,
+}
+
+/// Configuration of the cycle-level simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The mesh to simulate.
+    pub mesh: Mesh,
+    /// Memory-controller placement (Table 2: one per corner).
+    pub controllers: MemoryControllers,
+    /// Router pipeline depth in cycles (Table 2: 3-stage).
+    pub router_stages: u64,
+    /// Link traversal latency in cycles (1).
+    pub link_cycles: u64,
+    /// Virtual channels per traffic class (Table 2: 3 VCs per class).
+    pub vcs_per_class: usize,
+    /// Input buffer depth per VC in flits (Table 2: 5).
+    pub buffer_depth: usize,
+    /// Flits in a long (data) packet (Table 2: 5 = head + 64B/128b).
+    pub long_flits: u16,
+    /// Fraction of generated packets that are long data packets
+    /// (request/reply mix; 0.5 by default).
+    pub long_fraction: f64,
+    /// Warm-up cycles excluded from measurement.
+    pub warmup_cycles: u64,
+    /// Measured cycles after warm-up.
+    pub measure_cycles: u64,
+    /// Drain: after measurement, keep simulating (no new injections) until
+    /// all measured packets arrive, up to this many extra cycles.
+    pub max_drain_cycles: u64,
+    /// RNG seed for traffic generation.
+    pub seed: u64,
+    /// Dimension-order routing variant (paper: XY).
+    pub routing: RoutingKind,
+    /// Enforce the physical crossbar's one-flit-per-input-port limit in
+    /// switch allocation (true = canonical router; false models an
+    /// idealized input-speedup-∞ switch for ablation).
+    pub crossbar_input_limit: bool,
+}
+
+impl SimConfig {
+    /// Paper Table 2 defaults on the given mesh.
+    pub fn paper_defaults(mesh: Mesh) -> Self {
+        let controllers = MemoryControllers::corners(&mesh);
+        SimConfig {
+            mesh,
+            controllers,
+            router_stages: 3,
+            link_cycles: 1,
+            vcs_per_class: 3,
+            buffer_depth: 5,
+            long_flits: 5,
+            long_fraction: 0.5,
+            warmup_cycles: 10_000,
+            measure_cycles: 100_000,
+            max_drain_cycles: 50_000,
+            seed: 1,
+            routing: RoutingKind::Xy,
+            crossbar_input_limit: true,
+        }
+    }
+
+    /// Total VCs per input port (2 traffic classes).
+    pub fn total_vcs(&self) -> usize {
+        2 * self.vcs_per_class
+    }
+
+    /// Uncontended per-hop latency (router pipeline + link).
+    pub fn per_hop_cycles(&self) -> u64 {
+        self.router_stages + self.link_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let cfg = SimConfig::paper_defaults(Mesh::square(8));
+        assert_eq!(cfg.router_stages, 3);
+        assert_eq!(cfg.link_cycles, 1);
+        assert_eq!(cfg.vcs_per_class, 3);
+        assert_eq!(cfg.buffer_depth, 5);
+        assert_eq!(cfg.long_flits, 5);
+        assert_eq!(cfg.total_vcs(), 6);
+        assert_eq!(cfg.per_hop_cycles(), 4);
+        assert_eq!(cfg.controllers.tiles().len(), 4);
+        assert_eq!(cfg.routing, RoutingKind::Xy);
+        assert!(cfg.crossbar_input_limit);
+    }
+}

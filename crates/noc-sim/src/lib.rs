@@ -1,0 +1,50 @@
+//! Cycle-level NoC simulator — the workspace's substitute for Garnet
+//! (DESIGN.md §4.2).
+//!
+//! Simulates the paper's Table 2 network: an `n×n` mesh of canonical
+//! 3-stage credit-based wormhole routers with class-partitioned virtual
+//! channels (3 per protocol class), 5-flit input buffers, 128-bit links
+//! (1- and 5-flit packets), XY routing, and per-tile network interfaces.
+//! Traffic is generated per tile from Bernoulli processes or replayed
+//! epoch traces ([`Schedule`]), with cache packets hashed uniformly over
+//! all tiles and memory packets forwarded to the nearest corner
+//! controller — exactly the traffic semantics behind the analytic `TC`/`TM`
+//! arrays in `noc-model`.
+//!
+//! Two things the paper needs from the network are validated here:
+//!
+//! 1. the uncontended latency equals Eq. (2) cycle-for-cycle (unit tests in
+//!    [`network`]);
+//! 2. queueing `td_q` stays in the 0–1 cycle band at the evaluated loads,
+//!    so the analytic model the mapping algorithms optimize against is
+//!    faithful ([`SimReport::mean_td_q`]).
+//!
+//! ```no_run
+//! use noc_model::Mesh;
+//! use noc_sim::{Network, Schedule, SimConfig, SourceSpec};
+//!
+//! let mesh = Mesh::square(8);
+//! let cfg = SimConfig::paper_defaults(mesh);
+//! let sources: Vec<SourceSpec> = mesh
+//!     .tiles()
+//!     .map(|t| SourceSpec {
+//!         tile: t,
+//!         group: 0,
+//!         cache: Schedule::per_kilocycle(7.0),
+//!         mem: Schedule::per_kilocycle(0.9),
+//!     })
+//!     .collect();
+//! let report = Network::new(cfg, sources, 1).run();
+//! println!("{}", report.summary());
+//! ```
+
+pub mod config;
+pub mod network;
+pub mod packet;
+pub mod stats;
+pub mod traffic;
+
+pub use config::SimConfig;
+pub use network::Network;
+pub use stats::{LatencyAccum, SimReport};
+pub use traffic::{Schedule, SourceSpec};

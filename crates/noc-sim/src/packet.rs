@@ -1,0 +1,88 @@
+//! Packets and flits.
+
+use noc_model::{PacketClass, TileId};
+
+/// Identifier of an in-flight packet (index into the simulator's packet
+/// table).
+pub type PacketId = u32;
+
+/// One flit on the wire. Flits carry only their packet id and position
+/// markers; the payload is irrelevant to timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    pub packet: PacketId,
+    pub is_head: bool,
+    pub is_tail: bool,
+}
+
+/// Metadata of a packet, kept in a side table.
+#[derive(Debug, Clone)]
+pub struct PacketInfo {
+    pub src: TileId,
+    pub dst: TileId,
+    pub class: PacketClass,
+    /// Traffic group (application id) for per-application accounting.
+    pub group: usize,
+    /// Length in flits.
+    pub len: u16,
+    /// Cycle the packet was created at the source NI.
+    pub inject_cycle: u64,
+    /// Minimal hop count of its route.
+    pub hops: u32,
+    /// Whether the packet was created during the measurement window.
+    pub measured: bool,
+}
+
+impl PacketInfo {
+    /// Expand into the flit sequence.
+    pub fn flits(&self, id: PacketId) -> impl Iterator<Item = Flit> + '_ {
+        let len = self.len;
+        (0..len).map(move |i| Flit {
+            packet: id,
+            is_head: i == 0,
+            is_tail: i + 1 == len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_expansion_markers() {
+        let p = PacketInfo {
+            src: TileId(0),
+            dst: TileId(5),
+            class: PacketClass::Cache,
+            group: 0,
+            len: 5,
+            inject_cycle: 0,
+            hops: 3,
+            measured: true,
+        };
+        let flits: Vec<Flit> = p.flits(7).collect();
+        assert_eq!(flits.len(), 5);
+        assert!(flits[0].is_head && !flits[0].is_tail);
+        assert!(flits[4].is_tail && !flits[4].is_head);
+        assert!(flits[1..4].iter().all(|f| !f.is_head && !f.is_tail));
+        assert!(flits.iter().all(|f| f.packet == 7));
+    }
+
+    #[test]
+    fn single_flit_packet_is_head_and_tail() {
+        let p = PacketInfo {
+            src: TileId(0),
+            dst: TileId(1),
+            class: PacketClass::Memory,
+            group: 1,
+            len: 1,
+            inject_cycle: 3,
+            hops: 1,
+            measured: false,
+        };
+        let flits: Vec<Flit> = p.flits(0).collect();
+        assert_eq!(flits.len(), 1);
+        assert!(flits[0].is_head && flits[0].is_tail);
+    }
+}

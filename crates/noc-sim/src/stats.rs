@@ -1,0 +1,317 @@
+//! Measurement accumulators and the simulation report.
+
+use noc_model::PacketClass;
+use serde_like_display::display_f64;
+
+/// Tiny helper module so the report prints nicely without serde_json.
+mod serde_like_display {
+    pub fn display_f64(x: f64) -> String {
+        format!("{x:.3}")
+    }
+}
+
+/// Histogram geometry: `NUM_BUCKETS` buckets of `BUCKET_WIDTH` cycles,
+/// with the last bucket collecting the overflow tail.
+const NUM_BUCKETS: usize = 64;
+const BUCKET_WIDTH: u64 = 2;
+
+/// Latency accumulator for one bucket (group or class).
+#[derive(Debug, Clone)]
+pub struct LatencyAccum {
+    pub packets: u64,
+    pub total_latency: f64,
+    pub total_hops: u64,
+    pub total_flits: u64,
+    /// Flit-hops (flits × hops), the dynamic-energy proxy.
+    pub flit_hops: u64,
+    /// Sum over packets of (latency − ideal)/hops, for the td_q estimate.
+    queue_excess_per_hop: f64,
+    routed_packets: u64,
+    /// Latency histogram (2-cycle buckets, overflow in the last).
+    histogram: Vec<u64>,
+}
+
+impl Default for LatencyAccum {
+    fn default() -> Self {
+        LatencyAccum {
+            packets: 0,
+            total_latency: 0.0,
+            total_hops: 0,
+            total_flits: 0,
+            flit_hops: 0,
+            queue_excess_per_hop: 0.0,
+            routed_packets: 0,
+            histogram: vec![0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl LatencyAccum {
+    /// Record a delivered packet.
+    pub fn record(&mut self, latency: u64, hops: u32, flits: u16, ideal: u64) {
+        let bucket = ((latency / BUCKET_WIDTH) as usize).min(NUM_BUCKETS - 1);
+        self.histogram[bucket] += 1;
+        self.packets += 1;
+        self.total_latency += latency as f64;
+        self.total_hops += hops as u64;
+        self.total_flits += flits as u64;
+        self.flit_hops += flits as u64 * hops as u64;
+        if hops > 0 {
+            self.queue_excess_per_hop += (latency.saturating_sub(ideal)) as f64 / hops as f64;
+            self.routed_packets += 1;
+        }
+    }
+
+    /// Average packet latency in cycles.
+    pub fn apl(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.total_latency / self.packets as f64
+        }
+    }
+
+    /// Mean per-hop queueing latency (the measured `td_q`).
+    pub fn mean_td_q(&self) -> f64 {
+        if self.routed_packets == 0 {
+            0.0
+        } else {
+            self.queue_excess_per_hop / self.routed_packets as f64
+        }
+    }
+
+    /// Mean hops per packet.
+    pub fn mean_hops(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.packets as f64
+        }
+    }
+
+    /// Latency percentile (0 < q ≤ 1) from the histogram, as the upper
+    /// edge of the bucket containing the q-quantile (2-cycle resolution;
+    /// the overflow bucket reports its lower edge).
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.packets == 0 {
+            return 0.0;
+        }
+        let target = (q * self.packets as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &count) in self.histogram.iter().enumerate() {
+            acc += count;
+            if acc >= target {
+                return ((i as u64 + 1) * BUCKET_WIDTH) as f64;
+            }
+        }
+        (NUM_BUCKETS as u64 * BUCKET_WIDTH) as f64
+    }
+
+    fn merge(&mut self, other: &LatencyAccum) {
+        for (a, b) in self.histogram.iter_mut().zip(&other.histogram) {
+            *a += b;
+        }
+        self.packets += other.packets;
+        self.total_latency += other.total_latency;
+        self.total_hops += other.total_hops;
+        self.total_flits += other.total_flits;
+        self.flit_hops += other.flit_hops;
+        self.queue_excess_per_hop += other.queue_excess_per_hop;
+        self.routed_packets += other.routed_packets;
+    }
+}
+
+/// Aggregate network-level counters (all simulation phases, not just the
+/// measurement window).
+#[derive(Debug, Clone, Default)]
+pub struct NetworkStats {
+    /// Flits forwarded over inter-router links.
+    pub link_flit_traversals: u64,
+    /// Peak number of flits buffered anywhere in the network at once.
+    pub peak_buffered_flits: usize,
+    /// Total cycles simulated (warm-up + measure + drain).
+    pub cycles_run: u64,
+    /// Unidirectional inter-router links in the mesh.
+    pub num_links: usize,
+}
+
+impl NetworkStats {
+    /// Mean link utilization: flit-traversals per link per cycle.
+    pub fn mean_link_utilization(&self) -> f64 {
+        if self.cycles_run == 0 || self.num_links == 0 {
+            0.0
+        } else {
+            self.link_flit_traversals as f64 / (self.cycles_run as f64 * self.num_links as f64)
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-group (application) accumulators.
+    pub groups: Vec<LatencyAccum>,
+    /// Per-source-tile accumulators (validating the TC/TM heatmaps from
+    /// measurement).
+    pub per_source: Vec<LatencyAccum>,
+    /// Per-class accumulators.
+    pub cache: LatencyAccum,
+    pub memory: LatencyAccum,
+    /// Cycles in the measurement window.
+    pub measured_cycles: u64,
+    /// Measured packets injected / delivered (conservation check: equal
+    /// after a successful drain).
+    pub injected: u64,
+    pub delivered: u64,
+    /// Whether the drain phase delivered every measured packet.
+    pub fully_drained: bool,
+    /// Network-level counters (links, buffers).
+    pub network: NetworkStats,
+}
+
+impl SimReport {
+    pub(crate) fn new(num_groups: usize) -> Self {
+        SimReport {
+            groups: vec![LatencyAccum::default(); num_groups],
+            per_source: Vec::new(),
+            cache: LatencyAccum::default(),
+            memory: LatencyAccum::default(),
+            measured_cycles: 0,
+            injected: 0,
+            delivered: 0,
+            fully_drained: false,
+            network: NetworkStats::default(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record(
+        &mut self,
+        group: usize,
+        src: usize,
+        class: PacketClass,
+        latency: u64,
+        hops: u32,
+        flits: u16,
+        ideal: u64,
+    ) {
+        self.groups[group].record(latency, hops, flits, ideal);
+        if src < self.per_source.len() {
+            self.per_source[src].record(latency, hops, flits, ideal);
+        }
+        match class {
+            PacketClass::Cache => self.cache.record(latency, hops, flits, ideal),
+            PacketClass::Memory => self.memory.record(latency, hops, flits, ideal),
+        }
+        self.delivered += 1;
+    }
+
+    /// Per-group APLs.
+    pub fn group_apls(&self) -> Vec<f64> {
+        self.groups.iter().map(LatencyAccum::apl).collect()
+    }
+
+    /// Maximum per-group APL.
+    pub fn max_apl(&self) -> f64 {
+        self.group_apls().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Global APL over every measured packet.
+    pub fn g_apl(&self) -> f64 {
+        let mut all = LatencyAccum::default();
+        all.merge(&self.cache);
+        all.merge(&self.memory);
+        all.apl()
+    }
+
+    /// Mean measured per-hop queueing latency across classes.
+    pub fn mean_td_q(&self) -> f64 {
+        let mut all = LatencyAccum::default();
+        all.merge(&self.cache);
+        all.merge(&self.memory);
+        all.mean_td_q()
+    }
+
+    /// Total flit-hops (dynamic-energy proxy consumed by the power model),
+    /// counting only measured packets.
+    pub fn total_flit_hops(&self) -> u64 {
+        self.cache.flit_hops + self.memory.flit_hops
+    }
+
+    /// Total flits injected by measured packets.
+    pub fn total_flits(&self) -> u64 {
+        self.cache.total_flits + self.memory.total_flits
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "g-APL {} | max-APL {} | td_q {} | {}/{} packets{}",
+            display_f64(self.g_apl()),
+            display_f64(self.max_apl()),
+            display_f64(self.mean_td_q()),
+            self.delivered,
+            self.injected,
+            if self.fully_drained {
+                ""
+            } else {
+                " (UNDRAINED)"
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_math() {
+        let mut a = LatencyAccum::default();
+        a.record(10, 2, 5, 9); // 1 excess over 2 hops = 0.5/hop
+        a.record(20, 4, 1, 20); // 0 excess
+        assert_eq!(a.packets, 2);
+        assert!((a.apl() - 15.0).abs() < 1e-12);
+        assert!((a.mean_td_q() - 0.25).abs() < 1e-12);
+        assert!((a.mean_hops() - 3.0).abs() < 1e-12);
+        assert_eq!(a.flit_hops, 10 + 4);
+    }
+
+    #[test]
+    fn zero_hop_packets_do_not_pollute_tdq() {
+        let mut a = LatencyAccum::default();
+        a.record(0, 0, 1, 0);
+        assert_eq!(a.mean_td_q(), 0.0);
+        assert_eq!(a.apl(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_from_histogram() {
+        let mut a = LatencyAccum::default();
+        for lat in [4u64, 4, 4, 4, 4, 4, 4, 4, 4, 40] {
+            a.record(lat, 1, 1, lat);
+        }
+        // p50 sits in the 4-cycle bucket ([4,6) → upper edge 6); p99 in the
+        // 40-cycle bucket ([40,42) → 42).
+        assert_eq!(a.percentile(0.5), 6.0);
+        assert_eq!(a.percentile(0.99), 42.0);
+        assert_eq!(a.percentile(1.0), 42.0);
+        // overflow latencies land in the last bucket
+        let mut b = LatencyAccum::default();
+        b.record(10_000, 1, 1, 10_000);
+        assert_eq!(b.percentile(0.5), 128.0);
+    }
+
+    #[test]
+    fn report_aggregates_classes() {
+        let mut r = SimReport::new(2);
+        r.record(0, 0, PacketClass::Cache, 10, 2, 1, 9);
+        r.record(1, 0, PacketClass::Memory, 30, 5, 5, 25);
+        assert!((r.g_apl() - 20.0).abs() < 1e-12);
+        assert!((r.group_apls()[0] - 10.0).abs() < 1e-12);
+        assert!((r.max_apl() - 30.0).abs() < 1e-12);
+        assert_eq!(r.total_flit_hops(), 2 + 25);
+        assert_eq!(r.delivered, 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Exhaustive search over all mappings — exponential, for tiny instances
+//! only. Used as the ground truth in tests and in the executable
+//! NP-completeness reduction.
+
+use crate::algorithms::Mapper;
+use crate::eval::IncrementalEvaluator;
+use crate::problem::{Mapping, ObmInstance};
+use noc_model::TileId;
+
+/// Exact minimizer of max-APL by exhaustive enumeration.
+///
+/// # Panics
+/// `map` panics if the instance has more than [`BruteForce::MAX_THREADS`]
+/// threads (the search is factorial).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForce;
+
+impl BruteForce {
+    /// Safety limit on instance size (10! ≈ 3.6M states).
+    pub const MAX_THREADS: usize = 10;
+
+    /// Exact optimal max-APL value (without materializing the argmin).
+    pub fn optimal_value(inst: &ObmInstance) -> f64 {
+        Self::search(inst).1
+    }
+
+    fn search(inst: &ObmInstance) -> (Mapping, f64) {
+        assert!(
+            inst.num_threads() <= Self::MAX_THREADS,
+            "instance too large for brute force"
+        );
+        let n_tiles = inst.num_tiles();
+        let init = Mapping::identity(inst.num_threads());
+        let mut ev = IncrementalEvaluator::new(inst, init.clone());
+        let mut best = (init, f64::INFINITY);
+        let mut used = vec![false; n_tiles];
+        let mut stack: Vec<TileId> = Vec::with_capacity(inst.num_threads());
+        // Depth-first over injective assignments; the evaluator is rebuilt
+        // per leaf via moves, which keeps the inner loop allocation-free.
+        fn recurse(
+            inst: &ObmInstance,
+            ev: &mut IncrementalEvaluator<'_>,
+            used: &mut Vec<bool>,
+            stack: &mut Vec<TileId>,
+            best: &mut (Mapping, f64),
+        ) {
+            let j = stack.len();
+            if j == inst.num_threads() {
+                let val = ev.max_apl();
+                if val < best.1 {
+                    best.1 = val;
+                    best.0 = ev.mapping().clone();
+                }
+                return;
+            }
+            for k in 0..inst.num_tiles() {
+                if used[k] {
+                    continue;
+                }
+                used[k] = true;
+                stack.push(TileId(k));
+                let prev = ev.mapping().tile_of(j);
+                // Temporarily park thread j on tile k. The identity start
+                // means threads j.. occupy tiles j.., which may collide
+                // with k; swap contents to stay injective.
+                ev.swap_tiles(prev, TileId(k));
+                recurse(inst, ev, used, stack, best);
+                ev.swap_tiles(prev, TileId(k));
+                stack.pop();
+                used[k] = false;
+            }
+        }
+        recurse(inst, &mut ev, &mut used, &mut stack, &mut best);
+        best
+    }
+}
+
+impl Mapper for BruteForce {
+    fn name(&self) -> &'static str {
+        "BruteForce"
+    }
+
+    fn map(&self, inst: &ObmInstance, _seed: u64) -> Mapping {
+        Self::search(inst).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{MonteCarlo, SortSelectSwap};
+    use crate::eval::evaluate;
+    use noc_model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+
+    fn small_instance(c: Vec<f64>, bounds: Vec<usize>) -> ObmInstance {
+        let mesh = Mesh::new(2, 3);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let m = c.iter().map(|x| x * 0.2).collect();
+        ObmInstance::new(tiles, bounds, c, m)
+    }
+
+    #[test]
+    fn brute_force_no_worse_than_heuristics() {
+        let inst = small_instance(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![0, 3, 6]);
+        let bf = evaluate(&inst, &BruteForce.map(&inst, 0)).max_apl;
+        let sss = evaluate(&inst, &SortSelectSwap::default().map(&inst, 0)).max_apl;
+        let mc = evaluate(&inst, &MonteCarlo::with_samples(2000).map(&inst, 1)).max_apl;
+        assert!(bf <= sss + 1e-9);
+        assert!(bf <= mc + 1e-9);
+    }
+
+    #[test]
+    fn brute_force_with_spare_tiles() {
+        let inst = small_instance(vec![1.0, 5.0, 2.0, 4.0], vec![0, 2, 4]);
+        let m = BruteForce.map(&inst, 0);
+        assert!(m.is_valid_for(&inst));
+        // Check against a full re-evaluation
+        let val = evaluate(&inst, &m).max_apl;
+        assert!((val - BruteForce::optimal_value(&inst)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_thread_picks_cheapest_tile() {
+        let mesh = Mesh::square(2);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tl = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let inst = ObmInstance::new(tl, vec![0, 1], vec![1.0], vec![0.5]);
+        let m = BruteForce.map(&inst, 0);
+        let best_tile = (0..4)
+            .map(TileId)
+            .min_by(|&a, &b| {
+                inst.placement_cost(0, a)
+                    .partial_cmp(&inst.placement_cost(0, b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(m.tile_of(0), best_tile);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_instance_panics() {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tl = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let inst = ObmInstance::new(tl, vec![0, 16], vec![1.0; 16], vec![0.0; 16]);
+        let _ = BruteForce.map(&inst, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! A cheap `O(N log N)` balance-aware baseline: **balanced greedy
+//! dealing**. Sort tiles by cache latency and deal them to the
+//! applications round-robin (each application receives an even spread of
+//! cheap and expensive tiles — the "select" intuition of SSS without the
+//! Hungarian solve), then within each application pair the heaviest
+//! threads with the cheapest tiles by a simple sort.
+//!
+//! Not in the paper; included as an ablation point between Random and SSS:
+//! it shows how much of SSS's win comes from the even spread alone and how
+//! much the Hungarian + sliding-window machinery adds on top.
+
+use crate::algorithms::Mapper;
+use crate::problem::{Mapping, ObmInstance};
+use noc_model::TileId;
+
+/// Balanced greedy dealing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BalancedGreedy;
+
+impl Mapper for BalancedGreedy {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn map(&self, inst: &ObmInstance, _seed: u64) -> Mapping {
+        // Tiles sorted by TC ascending.
+        let mut tiles: Vec<TileId> = (0..inst.num_tiles()).map(TileId).collect();
+        tiles.sort_by(|&a, &b| {
+            inst.tiles()
+                .tc(a)
+                .partial_cmp(&inst.tiles().tc(b))
+                .expect("finite TC")
+                .then(a.index().cmp(&b.index()))
+        });
+        // Deal tiles to applications round-robin, proportionally to their
+        // thread counts (apps with more threads draw more often).
+        let a = inst.num_apps();
+        let mut app_tiles: Vec<Vec<TileId>> = vec![Vec::new(); a];
+        let mut needs: Vec<usize> = (0..a).map(|i| inst.app_threads(i).len()).collect();
+        let mut t = 0;
+        while needs.iter().any(|&n| n > 0) {
+            for i in 0..a {
+                if needs[i] > 0 {
+                    app_tiles[i].push(tiles[t]);
+                    t += 1;
+                    needs[i] -= 1;
+                }
+            }
+        }
+        // Within each app: heaviest thread ↔ cheapest tile. A thread's
+        // "weight" here is its cache rate (the dominant class); tiles are
+        // already sorted cheap-first.
+        let mut assignment = vec![TileId(0); inst.num_threads()];
+        for (i, tiles_of_app) in app_tiles.iter().enumerate() {
+            let mut threads: Vec<usize> = inst.app_threads(i).collect();
+            threads.sort_by(|&x, &y| {
+                inst.cache_rate(y)
+                    .partial_cmp(&inst.cache_rate(x))
+                    .expect("finite rates")
+                    .then(x.cmp(&y))
+            });
+            for (thread, &tile) in threads.iter().zip(tiles_of_app) {
+                assignment[*thread] = tile;
+            }
+        }
+        Mapping::new(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Global, RandomMapper, SortSelectSwap};
+    use crate::eval::evaluate;
+    use noc_model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn instance(seed: u64) -> ObmInstance {
+        let mesh = Mesh::square(8);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut c = Vec::with_capacity(64);
+        for app in 0..4 {
+            let scale = [0.5, 1.5, 4.0, 9.0][app];
+            for _ in 0..16 {
+                c.push(scale * rng.gen_range(0.2..2.0));
+            }
+        }
+        let m: Vec<f64> = c.iter().map(|x| x * 0.15).collect();
+        ObmInstance::new(tiles, vec![0, 16, 32, 48, 64], c, m)
+    }
+
+    #[test]
+    fn greedy_is_valid_and_deterministic() {
+        let inst = instance(1);
+        let a = BalancedGreedy.map(&inst, 0);
+        assert!(a.is_valid_for(&inst));
+        assert_eq!(a, BalancedGreedy.map(&inst, 99));
+    }
+
+    #[test]
+    fn greedy_beats_random_and_global_on_balance() {
+        let inst = instance(2);
+        let greedy = evaluate(&inst, &BalancedGreedy.map(&inst, 0));
+        let glob = evaluate(&inst, &Global.map(&inst, 0));
+        let rand = evaluate(&inst, &RandomMapper.map(&inst, 7));
+        assert!(greedy.max_apl < glob.max_apl);
+        assert!(greedy.dev_apl < glob.dev_apl);
+        assert!(greedy.max_apl < rand.max_apl);
+    }
+
+    #[test]
+    fn sss_refines_greedy() {
+        // SSS's Hungarian + window machinery must not lose to the cheap
+        // dealing heuristic.
+        for seed in [3u64, 4, 5] {
+            let inst = instance(seed);
+            let greedy = evaluate(&inst, &BalancedGreedy.map(&inst, 0));
+            let sss = evaluate(&inst, &SortSelectSwap::default().map(&inst, 0));
+            assert!(
+                sss.max_apl <= greedy.max_apl + 1e-9,
+                "seed {seed}: SSS {} vs Greedy {}",
+                sss.max_apl,
+                greedy.max_apl
+            );
+        }
+    }
+
+    #[test]
+    fn unequal_app_sizes_supported() {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tl = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let inst = ObmInstance::new(
+            tl,
+            vec![0, 3, 10, 14],
+            (1..=14).map(|x| x as f64).collect(),
+            vec![0.1; 14],
+        );
+        let m = BalancedGreedy.map(&inst, 0);
+        assert!(m.is_valid_for(&inst));
+    }
+}

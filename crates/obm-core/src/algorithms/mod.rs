@@ -1,0 +1,91 @@
+//! Mapping algorithms: the proposed sort-select-swap heuristic and the
+//! three comparison algorithms of the paper's Section V.A (Global,
+//! Monte-Carlo, simulated annealing), plus exact brute force for tiny
+//! instances.
+
+pub mod bnb;
+pub mod brute;
+pub mod global;
+pub mod greedy;
+pub mod hybrid;
+pub mod mc;
+pub mod random;
+pub mod sa;
+pub mod sss;
+
+pub use bnb::BranchAndBound;
+pub use brute::BruteForce;
+pub use global::Global;
+pub use greedy::BalancedGreedy;
+pub use hybrid::HybridSssSa;
+pub use mc::MonteCarlo;
+pub use random::RandomMapper;
+pub use sa::SimulatedAnnealing;
+pub use sss::SortSelectSwap;
+
+use crate::problem::{Mapping, ObmInstance};
+
+/// A mapping algorithm.
+///
+/// Randomized algorithms derive their RNG from `seed`; deterministic ones
+/// ignore it. All implementations return a mapping that is valid for the
+/// instance (injective, in range).
+pub trait Mapper {
+    /// Short display name ("Global", "MC", "SA", "SSS", …).
+    fn name(&self) -> &'static str;
+
+    /// Compute a thread-to-tile mapping.
+    fn map(&self, inst: &ObmInstance, seed: u64) -> Mapping;
+}
+
+/// All 24 permutations of 4 window slots, used by the SSS sliding-window
+/// swap (Algorithm 2, Step 3) and enumerated in lexicographic order so the
+/// identity comes first (ties keep the current assignment).
+pub(crate) const PERMS4: [[usize; 4]; 24] = [
+    [0, 1, 2, 3],
+    [0, 1, 3, 2],
+    [0, 2, 1, 3],
+    [0, 2, 3, 1],
+    [0, 3, 1, 2],
+    [0, 3, 2, 1],
+    [1, 0, 2, 3],
+    [1, 0, 3, 2],
+    [1, 2, 0, 3],
+    [1, 2, 3, 0],
+    [1, 3, 0, 2],
+    [1, 3, 2, 0],
+    [2, 0, 1, 3],
+    [2, 0, 3, 1],
+    [2, 1, 0, 3],
+    [2, 1, 3, 0],
+    [2, 3, 0, 1],
+    [2, 3, 1, 0],
+    [3, 0, 1, 2],
+    [3, 0, 2, 1],
+    [3, 1, 0, 2],
+    [3, 1, 2, 0],
+    [3, 2, 0, 1],
+    [3, 2, 1, 0],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::PERMS4;
+
+    #[test]
+    fn perms4_are_all_distinct_permutations() {
+        let mut seen = std::collections::HashSet::new();
+        for p in PERMS4 {
+            let mut sorted = p;
+            sorted.sort_unstable();
+            assert_eq!(sorted, [0, 1, 2, 3], "not a permutation: {p:?}");
+            assert!(seen.insert(p), "duplicate permutation {p:?}");
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn identity_first() {
+        assert_eq!(PERMS4[0], [0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Uniformly random mapping — the baseline population of the paper's
+//! Table 1 ("Random" column is the average over >10⁴ random mappings).
+
+use crate::algorithms::Mapper;
+use crate::eval::{evaluate, AplReport};
+use crate::problem::{Mapping, ObmInstance};
+use noc_model::TileId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Draws one uniformly random injective mapping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomMapper;
+
+impl RandomMapper {
+    /// Draw a random mapping using an existing RNG (used by Monte-Carlo
+    /// and simulated annealing for their initial states).
+    pub fn draw(inst: &ObmInstance, rng: &mut SmallRng) -> Mapping {
+        let mut tiles: Vec<TileId> = (0..inst.num_tiles()).map(TileId).collect();
+        tiles.shuffle(rng);
+        tiles.truncate(inst.num_threads());
+        Mapping::new(tiles)
+    }
+}
+
+impl Mapper for RandomMapper {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn map(&self, inst: &ObmInstance, seed: u64) -> Mapping {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        RandomMapper::draw(inst, &mut rng)
+    }
+}
+
+/// Averages of the evaluation metrics over `samples` random mappings —
+/// the "Random" row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomAverages {
+    pub samples: usize,
+    pub mean_g_apl: f64,
+    pub mean_max_apl: f64,
+    pub mean_dev_apl: f64,
+}
+
+/// Estimate the random-mapping averages (g-APL, max-APL, dev-APL) over
+/// `samples` draws.
+pub fn random_averages(inst: &ObmInstance, samples: usize, seed: u64) -> RandomAverages {
+    assert!(samples > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sum_g = 0.0;
+    let mut sum_max = 0.0;
+    let mut sum_dev = 0.0;
+    for _ in 0..samples {
+        let m = RandomMapper::draw(inst, &mut rng);
+        let r: AplReport = evaluate(inst, &m);
+        sum_g += r.g_apl;
+        sum_max += r.max_apl;
+        sum_dev += r.dev_apl;
+    }
+    let n = samples as f64;
+    RandomAverages {
+        samples,
+        mean_g_apl: sum_g / n,
+        mean_max_apl: sum_max / n,
+        mean_dev_apl: sum_dev / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+
+    fn inst() -> ObmInstance {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let c: Vec<f64> = (0..16).map(|j| 0.1 * (j + 1) as f64).collect();
+        ObmInstance::new(tiles, vec![0, 8, 16], c, vec![0.01; 16])
+    }
+
+    #[test]
+    fn random_mapping_is_valid_and_seeded() {
+        let inst = inst();
+        let a = RandomMapper.map(&inst, 1);
+        let b = RandomMapper.map(&inst, 1);
+        let c = RandomMapper.map(&inst, 2);
+        assert!(a.is_valid_for(&inst));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn averages_are_finite_and_ordered() {
+        let inst = inst();
+        let avg = random_averages(&inst, 200, 3);
+        assert!(avg.mean_g_apl > 0.0);
+        assert!(avg.mean_max_apl >= avg.mean_g_apl); // max ≥ weighted mean
+        assert!(avg.mean_dev_apl >= 0.0);
+    }
+
+    #[test]
+    fn fewer_threads_than_tiles() {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let inst = ObmInstance::new(tiles, vec![0, 5], vec![1.0; 5], vec![0.0; 5]);
+        let m = RandomMapper.map(&inst, 9);
+        assert!(m.is_valid_for(&inst));
+        assert_eq!(m.num_threads(), 5);
+    }
+}

@@ -1,0 +1,231 @@
+//! Simulated-annealing baseline for the OBM problem (paper §V.A,
+//! comparison algorithm 3).
+//!
+//! A "move" swaps the mapping of two randomly chosen threads (the paper's
+//! definition); when the instance has spare tiles, a move may also relocate
+//! a thread to a free tile. Cooling is geometric; the iteration budget is
+//! the runtime knob the paper sweeps in Figure 12.
+
+use crate::algorithms::{random::RandomMapper, Mapper};
+use crate::eval::IncrementalEvaluator;
+use crate::problem::{Mapping, ObmInstance};
+use noc_model::TileId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated annealing over thread-swap moves, minimizing max-APL.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedAnnealing {
+    /// Total number of proposed moves (per restart).
+    pub iterations: usize,
+    /// Independent restarts (run in parallel; the best final mapping
+    /// wins). 1 = the paper's plain SA.
+    pub restarts: usize,
+    /// Initial temperature as a fraction of the initial max-APL
+    /// (self-scaling keeps the schedule meaningful across instances).
+    pub initial_temp_fraction: f64,
+    /// Final temperature as a fraction of the initial temperature.
+    pub final_temp_fraction: f64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            iterations: 100_000,
+            restarts: 1,
+            initial_temp_fraction: 0.05,
+            final_temp_fraction: 1e-4,
+        }
+    }
+}
+
+impl SimulatedAnnealing {
+    /// Constructor with an explicit iteration budget.
+    pub fn with_iterations(iterations: usize) -> Self {
+        assert!(iterations > 0);
+        SimulatedAnnealing {
+            iterations,
+            ..SimulatedAnnealing::default()
+        }
+    }
+}
+
+impl Mapper for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+
+    fn map(&self, inst: &ObmInstance, seed: u64) -> Mapping {
+        assert!(self.iterations > 0 && self.restarts > 0);
+        if self.restarts > 1 {
+            // Parallel independent restarts with disjoint seed streams.
+            let results = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.restarts)
+                    .map(|r| {
+                        let cfg = SimulatedAnnealing {
+                            restarts: 1,
+                            ..*self
+                        };
+                        let rseed =
+                            seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r as u64 + 1));
+                        scope.spawn(move |_| {
+                            let m = cfg.map(inst, rseed);
+                            let v = crate::eval::evaluate(inst, &m).max_apl;
+                            (v, m)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("SA restart panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("crossbeam scope");
+            return results
+                .into_iter()
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite objective"))
+                .expect("restarts > 0")
+                .1;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let init = RandomMapper::draw(inst, &mut rng);
+        let mut ev = IncrementalEvaluator::new(inst, init);
+        let mut cur = ev.max_apl();
+        let mut best = cur;
+        let mut best_mapping = ev.mapping().clone();
+
+        let t0 = (cur * self.initial_temp_fraction).max(1e-9);
+        let t_end = t0 * self.final_temp_fraction;
+        // Geometric schedule hitting t_end exactly at the last iteration.
+        let alpha = (t_end / t0).powf(1.0 / self.iterations as f64);
+        let mut temp = t0;
+        let num_tiles = inst.num_tiles();
+
+        for _ in 0..self.iterations {
+            // Pick two distinct tiles; swapping their contents covers both
+            // thread↔thread swaps and thread→hole relocations.
+            let a = TileId(rng.gen_range(0..num_tiles));
+            let mut b = TileId(rng.gen_range(0..num_tiles));
+            while b == a {
+                b = TileId(rng.gen_range(0..num_tiles));
+            }
+            ev.swap_tiles(a, b);
+            let cand = ev.max_apl();
+            let delta = cand - cur;
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
+            if accept {
+                cur = cand;
+                if cur < best {
+                    best = cur;
+                    best_mapping = ev.mapping().clone();
+                }
+            } else {
+                ev.swap_tiles(a, b); // revert
+            }
+            temp *= alpha;
+        }
+        debug_assert!(best_mapping.is_valid_for(inst));
+        let _ = best;
+        best_mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use noc_model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+
+    fn inst() -> ObmInstance {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let c: Vec<f64> = (0..4).flat_map(|_| [0.1, 0.2, 0.3, 0.4]).collect();
+        ObmInstance::new(tiles, vec![0, 4, 8, 12, 16], c, vec![0.0; 16])
+    }
+
+    #[test]
+    fn sa_improves_over_its_random_start() {
+        let inst = inst();
+        let start = evaluate(&inst, &RandomMapper.map(&inst, 7)).max_apl;
+        let sa = evaluate(
+            &inst,
+            &SimulatedAnnealing::with_iterations(20_000).map(&inst, 7),
+        );
+        assert!(sa.max_apl < start, "SA {} vs start {}", sa.max_apl, start);
+    }
+
+    #[test]
+    fn sa_approaches_known_optimum_on_fig5() {
+        // Figure 5's optimum is 10.3375 cycles for every app. SA with a
+        // decent budget should get within 2%.
+        let inst = inst();
+        let sa = evaluate(
+            &inst,
+            &SimulatedAnnealing::with_iterations(50_000).map(&inst, 3),
+        );
+        assert!(
+            sa.max_apl < 10.3375 * 1.02,
+            "SA max-APL {} too far from optimum",
+            sa.max_apl
+        );
+    }
+
+    #[test]
+    fn quality_improves_with_budget_on_average() {
+        // Diminishing-returns shape of Figure 12: tiny budgets must be
+        // worse than large ones when averaged over seeds.
+        let inst = inst();
+        let avg = |iters: usize| -> f64 {
+            (0..5)
+                .map(|s| {
+                    evaluate(
+                        &inst,
+                        &SimulatedAnnealing::with_iterations(iters).map(&inst, s),
+                    )
+                    .max_apl
+                })
+                .sum::<f64>()
+                / 5.0
+        };
+        let lo = avg(50);
+        let hi = avg(20_000);
+        assert!(hi < lo, "more budget should help: {hi} !< {lo}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = inst();
+        let sa = SimulatedAnnealing::with_iterations(1000);
+        assert_eq!(sa.map(&inst, 4), sa.map(&inst, 4));
+    }
+
+    #[test]
+    fn restarts_never_hurt() {
+        let inst = inst();
+        let single = SimulatedAnnealing::with_iterations(2_000);
+        let multi = SimulatedAnnealing {
+            restarts: 4,
+            ..single
+        };
+        // The multi-restart result includes seed stream 1 of the single
+        // run's family; quality must be at least as good on average.
+        let avg = |sa: &SimulatedAnnealing| -> f64 {
+            (0..4)
+                .map(|s| evaluate(&inst, &sa.map(&inst, s)).max_apl)
+                .sum::<f64>()
+                / 4.0
+        };
+        assert!(avg(&multi) <= avg(&single) + 0.05);
+    }
+
+    #[test]
+    fn works_with_spare_tiles() {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let inst = ObmInstance::new(tiles, vec![0, 5, 10], vec![1.0; 10], vec![0.1; 10]);
+        let m = SimulatedAnnealing::with_iterations(2000).map(&inst, 0);
+        assert!(m.is_valid_for(&inst));
+    }
+}

@@ -1,0 +1,208 @@
+//! Dynamic multi-application scenarios (paper §IV.B, final paragraph):
+//! because sort-select-swap runs in `O(N³)` — milliseconds at CMP scale —
+//! the mapping can be recomputed whenever applications arrive or depart,
+//! using request-rate statistics collected at runtime.
+//!
+//! [`DynamicSystem`] maintains the live application set and rebuilds the
+//! [`ObmInstance`] + mapping on demand; the `app_consolidation` example
+//! drives a full arrival/departure timeline through it.
+
+use crate::algorithms::Mapper;
+use crate::eval::{evaluate, AplReport};
+use crate::problem::{Mapping, ObmInstance};
+use noc_model::TileLatencies;
+
+/// The measured rates of one application's threads, as a runtime
+/// statistics collector would report them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Display name.
+    pub name: String,
+    /// Per-thread cache request rates.
+    pub cache_rates: Vec<f64>,
+    /// Per-thread memory request rates (same length).
+    pub mem_rates: Vec<f64>,
+}
+
+impl AppSpec {
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.cache_rates.len()
+    }
+}
+
+/// Error returned when an arriving application does not fit on the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Threads requested by the arriving application.
+    pub requested: usize,
+    /// Tiles still free.
+    pub available: usize,
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "application needs {} tiles but only {} are free",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// A CMP hosting a changing set of applications.
+#[derive(Debug, Clone)]
+pub struct DynamicSystem {
+    tiles: TileLatencies,
+    apps: Vec<AppSpec>,
+}
+
+impl DynamicSystem {
+    /// An empty chip with the given tile latency arrays.
+    pub fn new(tiles: TileLatencies) -> Self {
+        DynamicSystem {
+            tiles,
+            apps: Vec::new(),
+        }
+    }
+
+    /// Tiles on the chip.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Threads currently running.
+    pub fn threads_in_use(&self) -> usize {
+        self.apps.iter().map(AppSpec::num_threads).sum()
+    }
+
+    /// Currently hosted applications.
+    pub fn apps(&self) -> &[AppSpec] {
+        &self.apps
+    }
+
+    /// Admit an application; returns its index.
+    ///
+    /// # Errors
+    /// [`CapacityError`] if the chip lacks free tiles.
+    ///
+    /// # Panics
+    /// Panics if the spec's rate vectors disagree in length or the app has
+    /// no threads.
+    pub fn add_app(&mut self, spec: AppSpec) -> Result<usize, CapacityError> {
+        assert_eq!(spec.cache_rates.len(), spec.mem_rates.len());
+        assert!(spec.num_threads() > 0, "empty application");
+        let free = self.num_tiles() - self.threads_in_use();
+        if spec.num_threads() > free {
+            return Err(CapacityError {
+                requested: spec.num_threads(),
+                available: free,
+            });
+        }
+        self.apps.push(spec);
+        Ok(self.apps.len() - 1)
+    }
+
+    /// Remove an application by index (indices above shift down).
+    ///
+    /// # Panics
+    /// Panics if the index is out of range.
+    pub fn remove_app(&mut self, idx: usize) -> AppSpec {
+        self.apps.remove(idx)
+    }
+
+    /// Build the OBM instance for the current application set.
+    ///
+    /// # Panics
+    /// Panics if no applications are hosted.
+    pub fn instance(&self) -> ObmInstance {
+        assert!(!self.apps.is_empty(), "no applications to map");
+        let mut boundaries = vec![0];
+        let mut c = Vec::new();
+        let mut m = Vec::new();
+        for app in &self.apps {
+            c.extend_from_slice(&app.cache_rates);
+            m.extend_from_slice(&app.mem_rates);
+            boundaries.push(c.len());
+        }
+        ObmInstance::new(self.tiles.clone(), boundaries, c, m)
+    }
+
+    /// Recompute the mapping for the current set with `mapper`, returning
+    /// the instance, the mapping and its evaluation.
+    pub fn remap(&self, mapper: &dyn Mapper, seed: u64) -> (ObmInstance, Mapping, AplReport) {
+        let inst = self.instance();
+        let mapping = mapper.map(&inst, seed);
+        let report = evaluate(&inst, &mapping);
+        (inst, mapping, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::SortSelectSwap;
+    use noc_model::{LatencyParams, MemoryControllers, Mesh};
+
+    fn system() -> DynamicSystem {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        DynamicSystem::new(TileLatencies::compute(
+            &mesh,
+            &mcs,
+            LatencyParams::fig5_example(),
+        ))
+    }
+
+    fn spec(name: &str, n: usize, rate: f64) -> AppSpec {
+        AppSpec {
+            name: name.into(),
+            cache_rates: vec![rate; n],
+            mem_rates: vec![rate * 0.15; n],
+        }
+    }
+
+    #[test]
+    fn admit_until_full_then_reject() {
+        let mut sys = system();
+        assert!(sys.add_app(spec("a", 8, 1.0)).is_ok());
+        assert!(sys.add_app(spec("b", 8, 2.0)).is_ok());
+        let err = sys.add_app(spec("c", 1, 1.0)).unwrap_err();
+        assert_eq!(err.available, 0);
+        assert_eq!(err.requested, 1);
+    }
+
+    #[test]
+    fn departure_frees_capacity() {
+        let mut sys = system();
+        sys.add_app(spec("a", 8, 1.0)).unwrap();
+        sys.add_app(spec("b", 8, 2.0)).unwrap();
+        let removed = sys.remove_app(0);
+        assert_eq!(removed.name, "a");
+        assert!(sys.add_app(spec("c", 8, 3.0)).is_ok());
+        assert_eq!(sys.apps().len(), 2);
+    }
+
+    #[test]
+    fn remap_produces_valid_balanced_mapping() {
+        let mut sys = system();
+        sys.add_app(spec("light", 8, 0.5)).unwrap();
+        sys.add_app(spec("heavy", 8, 5.0)).unwrap();
+        let (inst, mapping, report) = sys.remap(&SortSelectSwap::default(), 0);
+        assert!(mapping.is_valid_for(&inst));
+        assert_eq!(report.per_app.len(), 2);
+        // uniform per-thread rates within each app ⇒ near-equal APLs
+        assert!(report.dev_apl < 0.5, "dev-APL {}", report.dev_apl);
+    }
+
+    #[test]
+    fn partial_occupancy_supported() {
+        let mut sys = system();
+        sys.add_app(spec("small", 5, 1.0)).unwrap();
+        let (inst, mapping, _) = sys.remap(&SortSelectSwap::default(), 0);
+        assert_eq!(inst.num_threads(), 5);
+        assert!(mapping.is_valid_for(&inst));
+    }
+}

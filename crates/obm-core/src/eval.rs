@@ -1,0 +1,478 @@
+//! APL evaluation: per-application average packet latency (Eq. 5), the
+//! min-max objective (Eq. 6–7), and the evaluation metrics g-APL / max-APL /
+//! dev-APL used throughout the paper's Section V.
+//!
+//! [`evaluate`] computes a full report from scratch in `O(N)`.
+//! [`IncrementalEvaluator`] maintains per-application latency numerators so
+//! that the sliding-window search of the SSS algorithm can try a window
+//! permutation in `O(window)` instead of `O(N)`.
+
+use crate::problem::{Mapping, ObmInstance};
+use noc_model::TileId;
+use serde::{Deserialize, Serialize};
+
+/// Full latency report for a mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AplReport {
+    /// Per-application APL `d_i` (Eq. 5), in cycles.
+    pub per_app: Vec<f64>,
+    /// The OBM objective: `max_i w_i·d_i` (Eq. 6; weights are all 1 in
+    /// the paper's formulation, making this `max_i d_i`).
+    pub max_apl: f64,
+    /// `min_i d_i`.
+    pub min_apl: f64,
+    /// Index of the application attaining the maximum.
+    pub argmax: usize,
+    /// Population standard deviation of the `d_i` (the paper's dev-APL).
+    pub dev_apl: f64,
+    /// Global APL: total packet latency ÷ total communication volume
+    /// (the paper's g-APL).
+    pub g_apl: f64,
+}
+
+/// Evaluate a mapping from scratch.
+///
+/// # Panics
+/// Panics (debug) if the mapping is not valid for the instance.
+pub fn evaluate(inst: &ObmInstance, mapping: &Mapping) -> AplReport {
+    debug_assert!(mapping.is_valid_for(inst), "invalid mapping");
+    let a = inst.num_apps();
+    let mut per_app = Vec::with_capacity(a);
+    let mut total_num = 0.0;
+    for i in 0..a {
+        let num: f64 = inst
+            .app_threads(i)
+            .map(|j| inst.placement_cost(j, mapping.tile_of(j)))
+            .sum();
+        total_num += num;
+        per_app.push(num / inst.app_volume(i));
+    }
+    summarize(inst, per_app, total_num)
+}
+
+fn summarize(inst: &ObmInstance, per_app: Vec<f64>, total_num: f64) -> AplReport {
+    let (mut max_apl, mut min_apl, mut argmax) = (f64::NEG_INFINITY, f64::INFINITY, 0);
+    for (i, &d) in per_app.iter().enumerate() {
+        let weighted = inst.app_weight(i) * d;
+        if weighted > max_apl {
+            max_apl = weighted;
+            argmax = i;
+        }
+        min_apl = min_apl.min(d);
+    }
+    let mean = per_app.iter().sum::<f64>() / per_app.len() as f64;
+    let dev_apl =
+        (per_app.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / per_app.len() as f64).sqrt();
+    AplReport {
+        per_app,
+        max_apl,
+        min_apl,
+        argmax,
+        dev_apl,
+        g_apl: total_num / inst.total_volume(),
+    }
+}
+
+/// Maintains per-application latency numerators for a mapping under
+/// incremental edits. All query methods are `O(A)` or better; all edits are
+/// `O(1)` per thread moved.
+#[derive(Debug, Clone)]
+pub struct IncrementalEvaluator<'a> {
+    inst: &'a ObmInstance,
+    mapping: Mapping,
+    /// tile → thread inverse view.
+    inverse: Vec<Option<usize>>,
+    /// Per-application latency numerators.
+    app_num: Vec<f64>,
+}
+
+impl<'a> IncrementalEvaluator<'a> {
+    /// Build from an instance and an initial mapping.
+    pub fn new(inst: &'a ObmInstance, mapping: Mapping) -> Self {
+        assert!(mapping.is_valid_for(inst), "invalid mapping");
+        let inverse = mapping.tile_to_thread(inst.num_tiles());
+        let app_num = (0..inst.num_apps())
+            .map(|i| {
+                inst.app_threads(i)
+                    .map(|j| inst.placement_cost(j, mapping.tile_of(j)))
+                    .sum()
+            })
+            .collect();
+        IncrementalEvaluator {
+            inst,
+            mapping,
+            inverse,
+            app_num,
+        }
+    }
+
+    /// Current mapping (borrowed).
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Consume the evaluator, returning the final mapping.
+    pub fn into_mapping(self) -> Mapping {
+        self.mapping
+    }
+
+    /// Thread currently on `tile`, if any.
+    #[inline]
+    pub fn thread_on(&self, tile: TileId) -> Option<usize> {
+        self.inverse[tile.index()]
+    }
+
+    /// APL of application `i`.
+    #[inline]
+    pub fn app_apl(&self, i: usize) -> f64 {
+        self.app_num[i] / self.inst.app_volume(i)
+    }
+
+    /// Current objective value `max_i w_i·d_i` (Eq. 6; plain max-APL for
+    /// unit weights).
+    pub fn max_apl(&self) -> f64 {
+        (0..self.inst.num_apps())
+            .map(|i| self.inst.app_weight(i) * self.app_apl(i))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sum of all applications' latency numerators (the g-APL numerator) —
+    /// a cheap secondary objective for plateau-escaping local search.
+    pub fn total_latency(&self) -> f64 {
+        self.app_num.iter().sum()
+    }
+
+    /// Current full report.
+    pub fn report(&self) -> AplReport {
+        let per_app: Vec<f64> = (0..self.inst.num_apps()).map(|i| self.app_apl(i)).collect();
+        let total: f64 = self.app_num.iter().sum();
+        summarize(self.inst, per_app, total)
+    }
+
+    /// Move thread `j` to `tile`.
+    ///
+    /// # Panics
+    /// Panics (debug) if the tile is occupied by a different thread.
+    pub fn move_thread(&mut self, j: usize, tile: TileId) {
+        let old = self.mapping.tile_of(j);
+        if old == tile {
+            return;
+        }
+        debug_assert!(self.inverse[tile.index()].is_none(), "target tile occupied");
+        let app = self.inst.app_of_thread(j);
+        self.app_num[app] += self.inst.placement_cost(j, tile) - self.inst.placement_cost(j, old);
+        self.inverse[old.index()] = None;
+        self.inverse[tile.index()] = Some(j);
+        self.mapping.set_tile(j, tile);
+    }
+
+    /// Exchange the contents of two tiles (threads, or a thread and a
+    /// hole). No-op if both are empty.
+    pub fn swap_tiles(&mut self, a: TileId, b: TileId) {
+        if a == b {
+            return;
+        }
+        let ta = self.inverse[a.index()];
+        let tb = self.inverse[b.index()];
+        match (ta, tb) {
+            (Some(ja), Some(jb)) => {
+                let (ia, ib) = (self.inst.app_of_thread(ja), self.inst.app_of_thread(jb));
+                self.app_num[ia] +=
+                    self.inst.placement_cost(ja, b) - self.inst.placement_cost(ja, a);
+                self.app_num[ib] +=
+                    self.inst.placement_cost(jb, a) - self.inst.placement_cost(jb, b);
+                self.mapping.set_tile(ja, b);
+                self.mapping.set_tile(jb, a);
+                self.inverse[a.index()] = Some(jb);
+                self.inverse[b.index()] = Some(ja);
+            }
+            (Some(ja), None) => self.move_thread(ja, b),
+            (None, Some(jb)) => self.move_thread(jb, a),
+            (None, None) => {}
+        }
+    }
+
+    /// Apply a permutation of the threads currently occupying `tiles`:
+    /// after the call, the occupant that was on `tiles[perm[s]]` sits on
+    /// `tiles[s]`. Used by the sliding-window search.
+    pub fn apply_window_permutation(&mut self, tiles: &[TileId], perm: &[usize]) {
+        debug_assert_eq!(tiles.len(), perm.len());
+        let occupants: Vec<Option<usize>> = perm
+            .iter()
+            .map(|&p| self.inverse[tiles[p].index()])
+            .collect();
+        // Detach all first to avoid transient duplicate occupancy.
+        for &t in tiles {
+            if let Some(j) = self.inverse[t.index()] {
+                let app = self.inst.app_of_thread(j);
+                self.app_num[app] -= self.inst.placement_cost(j, t);
+                self.inverse[t.index()] = None;
+            }
+        }
+        for (s, occ) in occupants.iter().enumerate() {
+            if let Some(j) = *occ {
+                let t = tiles[s];
+                let app = self.inst.app_of_thread(j);
+                self.app_num[app] += self.inst.placement_cost(j, t);
+                self.inverse[t.index()] = Some(j);
+                self.mapping.set_tile(j, t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use noc_model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+    use proptest::prelude::*;
+
+    fn instance(c: &[f64]) -> ObmInstance {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tl = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+        let m: Vec<f64> = c.iter().map(|x| x * 0.15).collect();
+        ObmInstance::new(tl, vec![0, 8, 16], c.to_vec(), m)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Fuzz the incremental evaluator: an arbitrary sequence of tile
+        /// swaps and window permutations must stay bit-consistent with
+        /// from-scratch evaluation.
+        #[test]
+        fn incremental_consistent_under_random_ops(
+            c in proptest::collection::vec(0.05f64..8.0, 16),
+            ops in proptest::collection::vec((0usize..16, 0usize..16, 0usize..24), 1..60),
+        ) {
+            let inst = instance(&c);
+            let mut ev = IncrementalEvaluator::new(&inst, Mapping::identity(16));
+            let perms = &crate::algorithms::PERMS4;
+            for (i, (a, b, p)) in ops.iter().enumerate() {
+                if i % 3 == 2 {
+                    // window permutation over 4 distinct tiles derived
+                    // from (a, b)
+                    let tiles = [
+                        noc_model::TileId(*a),
+                        noc_model::TileId((*a + 5) % 16),
+                        noc_model::TileId((*b + 9) % 16),
+                        noc_model::TileId((*b + 13) % 16),
+                    ];
+                    let distinct = tiles
+                        .iter()
+                        .collect::<std::collections::HashSet<_>>()
+                        .len();
+                    if distinct == 4 {
+                        ev.apply_window_permutation(&tiles, &perms[*p]);
+                    }
+                } else {
+                    ev.swap_tiles(noc_model::TileId(*a), noc_model::TileId(*b));
+                }
+                let scratch = evaluate(&inst, ev.mapping());
+                prop_assert!((scratch.max_apl - ev.max_apl()).abs() < 1e-9);
+                prop_assert!(
+                    (scratch.g_apl * inst.total_volume() - ev.total_latency()).abs() < 1e-6
+                );
+                prop_assert!(ev.mapping().is_valid_for(&inst));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+
+    /// The paper's Figure 5 example: 4×4 mesh, four 4-thread apps with
+    /// cache rates .1/.2/.3/.4 and no memory traffic.
+    pub(crate) fn fig5_instance() -> ObmInstance {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let c: Vec<f64> = (0..4).flat_map(|_| [0.1, 0.2, 0.3, 0.4]).collect();
+        let m = vec![0.0; 16];
+        ObmInstance::new(tiles, vec![0, 4, 8, 12, 16], c, m)
+    }
+
+    /// An optimal Figure 5(a)-style mapping: within each app, the 0.1-rate
+    /// thread goes to a corner, 0.2/0.3 to edges, 0.4 to a center tile.
+    fn fig5_good_mapping(inst: &ObmInstance) -> Mapping {
+        let tl = inst.tiles();
+        // classify tiles by TC value
+        let mut corners = vec![];
+        let mut edges = vec![];
+        let mut centers = vec![];
+        for k in 0..16 {
+            let t = TileId(k);
+            let tc = tl.tc(t);
+            if (tc - 12.9375).abs() < 1e-9 {
+                corners.push(t);
+            } else if (tc - 10.9375).abs() < 1e-9 {
+                edges.push(t);
+            } else {
+                centers.push(t);
+            }
+        }
+        assert_eq!((corners.len(), edges.len(), centers.len()), (4, 8, 4));
+        let mut assign = vec![TileId(0); 16];
+        for app in 0..4 {
+            assign[app * 4] = corners[app]; // rate .1
+            assign[app * 4 + 1] = edges[2 * app]; // rate .2
+            assign[app * 4 + 2] = edges[2 * app + 1]; // rate .3
+            assign[app * 4 + 3] = centers[app]; // rate .4
+        }
+        Mapping::new(assign)
+    }
+
+    /// A "balanced but bad" Figure 5(b)-style mapping: rates reversed
+    /// (0.4 on corners, 0.1 on centers).
+    fn fig5_bad_mapping(inst: &ObmInstance) -> Mapping {
+        let good = fig5_good_mapping(inst);
+        let mut assign = vec![TileId(0); 16];
+        for app in 0..4 {
+            assign[app * 4] = good.tile_of(app * 4 + 3);
+            assign[app * 4 + 1] = good.tile_of(app * 4 + 2);
+            assign[app * 4 + 2] = good.tile_of(app * 4 + 1);
+            assign[app * 4 + 3] = good.tile_of(app * 4);
+        }
+        Mapping::new(assign)
+    }
+
+    #[test]
+    fn fig5_exact_apls() {
+        // The paper's printed values: 10.3375 cycles for the optimal
+        // mapping, 11.5375 for the equal-but-bad one.
+        let inst = fig5_instance();
+        let good = evaluate(&inst, &fig5_good_mapping(&inst));
+        for &d in &good.per_app {
+            assert!((d - 10.3375).abs() < 1e-9, "good APL {d}");
+        }
+        assert!(good.dev_apl < 1e-9);
+        let bad = evaluate(&inst, &fig5_bad_mapping(&inst));
+        for &d in &bad.per_app {
+            assert!((d - 11.5375).abs() < 1e-9, "bad APL {d}");
+        }
+        assert!(bad.dev_apl < 1e-9);
+        // Both are perfectly "balanced" by dev-APL / min-to-max, yet one is
+        // 1.2 cycles worse — the paper's argument for the max-APL metric.
+        assert!(bad.max_apl > good.max_apl);
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let inst = fig5_instance();
+        let m = Mapping::identity(16);
+        let r = evaluate(&inst, &m);
+        assert_eq!(r.per_app.len(), 4);
+        let max = r.per_app.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = r.per_app.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(r.max_apl, max);
+        assert_eq!(r.min_apl, min);
+        assert_eq!(r.per_app[r.argmax], r.max_apl);
+        assert!(r.g_apl > 0.0);
+        // g-APL is the volume-weighted mean of per-app APLs.
+        let weighted: f64 = (0..4)
+            .map(|i| r.per_app[i] * inst.app_volume(i))
+            .sum::<f64>()
+            / inst.total_volume();
+        assert!((r.g_apl - weighted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_matches_scratch_after_swaps() {
+        let inst = fig5_instance();
+        let mut ev = IncrementalEvaluator::new(&inst, Mapping::identity(16));
+        // A few tile swaps, cross-checking against from-scratch evaluation.
+        let swaps = [(0usize, 5usize), (3, 12), (7, 7), (1, 15), (0, 3)];
+        for &(a, b) in &swaps {
+            ev.swap_tiles(TileId(a), TileId(b));
+            let scratch = evaluate(&inst, ev.mapping());
+            let inc = ev.report();
+            for i in 0..4 {
+                assert!(
+                    (scratch.per_app[i] - inc.per_app[i]).abs() < 1e-9,
+                    "app {i} diverged after swap ({a},{b})"
+                );
+            }
+            assert!((scratch.max_apl - inc.max_apl).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn incremental_window_permutation_matches_scratch() {
+        let inst = fig5_instance();
+        let mut ev = IncrementalEvaluator::new(&inst, Mapping::identity(16));
+        let tiles = [TileId(0), TileId(4), TileId(8), TileId(12)];
+        let perm = [2usize, 0, 3, 1];
+        ev.apply_window_permutation(&tiles, &perm);
+        let scratch = evaluate(&inst, ev.mapping());
+        let inc = ev.report();
+        assert!((scratch.max_apl - inc.max_apl).abs() < 1e-9);
+        // Thread formerly on tiles[2]=8 must now be on tiles[0]=0.
+        assert_eq!(ev.thread_on(TileId(0)), Some(8));
+    }
+
+    #[test]
+    fn window_permutation_with_holes() {
+        // Instance with 3 threads on 4 tiles: one window slot is a hole.
+        let mesh = Mesh::square(2);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let inst = ObmInstance::new(tiles, vec![0, 3], vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0]);
+        let mut ev = IncrementalEvaluator::new(&inst, Mapping::identity(3));
+        assert_eq!(ev.thread_on(TileId(3)), None);
+        let window = [TileId(0), TileId(1), TileId(2), TileId(3)];
+        // rotate: slot s takes occupant of slot s+1
+        ev.apply_window_permutation(&window, &[1, 2, 3, 0]);
+        assert_eq!(ev.thread_on(TileId(0)), Some(1));
+        assert_eq!(ev.thread_on(TileId(1)), Some(2));
+        assert_eq!(ev.thread_on(TileId(2)), None);
+        assert_eq!(ev.thread_on(TileId(3)), Some(0));
+        let scratch = evaluate(&inst, ev.mapping());
+        assert!((scratch.max_apl - ev.max_apl()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_objective_prioritizes_heavy_weight_app() {
+        // Weight 2 on app 0: the objective max(w_i d_i) is minimized when
+        // app 0's APL is about half the others'. Check SSS responds.
+        use crate::algorithms::{Mapper, SortSelectSwap};
+        let inst = fig5_instance().with_app_weights(vec![2.0, 1.0, 1.0, 1.0]);
+        let m = SortSelectSwap::default().map(&inst, 0);
+        let r = evaluate(&inst, &m);
+        assert!(
+            r.per_app[0] < r.per_app[1],
+            "prioritized app not faster: {:?}",
+            r.per_app
+        );
+        // objective = max of weighted APLs
+        let expect = (0..4)
+            .map(|i| inst.app_weight(i) * r.per_app[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((r.max_apl - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_weights_preserve_plain_max() {
+        let inst = fig5_instance();
+        assert!(!inst.is_weighted());
+        let r = evaluate(&inst, &Mapping::identity(16));
+        let plain = r.per_app.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(r.max_apl, plain);
+    }
+
+    #[test]
+    fn move_thread_to_hole() {
+        let mesh = Mesh::square(2);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let inst = ObmInstance::new(tiles, vec![0, 2], vec![1.0, 2.0], vec![0.1, 0.2]);
+        let mut ev = IncrementalEvaluator::new(&inst, Mapping::identity(2));
+        ev.move_thread(0, TileId(3));
+        assert_eq!(ev.mapping().tile_of(0), TileId(3));
+        let scratch = evaluate(&inst, ev.mapping());
+        assert!((scratch.max_apl - ev.max_apl()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,57 @@
+//! On-chip-latency Balanced Mapping (OBM) — the primary contribution of
+//! *"Balancing On-Chip Network Latency in Multi-Application Mapping for
+//! Chip-Multiprocessors"* (Zhu et al., IPDPS 2014).
+//!
+//! * [`problem`] — the OBM instance (Section III.B) and thread-to-tile
+//!   mappings;
+//! * [`eval`] — per-application APL (Eq. 5), max-APL/dev-APL/g-APL metrics,
+//!   and an incremental evaluator for local-search algorithms;
+//! * [`metrics`] — the balance-metric comparison of Section III.A;
+//! * [`sam`] — the Hungarian-based single-application solve (Algorithm 1);
+//! * [`algorithms`] — the proposed [`algorithms::SortSelectSwap`]
+//!   (Algorithm 2) plus the paper's comparison algorithms
+//!   ([`algorithms::Global`], [`algorithms::MonteCarlo`],
+//!   [`algorithms::SimulatedAnnealing`]) and exact brute force;
+//! * [`reduction`] — the NP-completeness proof of Section III.C as
+//!   executable code (set-partition ⇌ DOBM);
+//! * [`dynamic`] — runtime add/remove-application remapping (Section IV.B);
+//! * [`refine`] — pairwise-swap local search usable to polish any mapping
+//!   (extension);
+//! * [`oversub`] — multiple threads per tile via virtual-tile expansion
+//!   (the generalization the paper's §III.B footnote defers).
+//!
+//! # Quick example
+//!
+//! ```
+//! use noc_model::{LatencyParams, Mesh, MemoryControllers, TileLatencies};
+//! use obm_core::algorithms::{Mapper, SortSelectSwap};
+//! use obm_core::{evaluate, ObmInstance};
+//!
+//! // The paper's Figure 5 setting: 4×4 mesh, 4 apps × 4 threads.
+//! let mesh = Mesh::square(4);
+//! let mcs = MemoryControllers::corners(&mesh);
+//! let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+//! let cache_rates: Vec<f64> = (0..4).flat_map(|_| [0.1, 0.2, 0.3, 0.4]).collect();
+//! let inst = ObmInstance::new(tiles, vec![0, 4, 8, 12, 16], cache_rates, vec![0.0; 16]);
+//!
+//! let mapping = SortSelectSwap::default().map(&inst, 0);
+//! let report = evaluate(&inst, &mapping);
+//! assert!((report.max_apl - 10.3375).abs() < 1e-9); // the paper's optimum
+//! ```
+
+pub mod algorithms;
+pub mod dynamic;
+pub mod eval;
+pub mod metrics;
+pub mod oversub;
+pub mod problem;
+pub mod reduction;
+pub mod refine;
+pub mod sam;
+
+pub use algorithms::Mapper;
+pub use eval::{evaluate, AplReport, IncrementalEvaluator};
+pub use metrics::BalanceMetric;
+pub use problem::{Mapping, ObmInstance};
+pub use refine::{polish, Polished};
+pub use sam::{solve_sam, SamSolution};

@@ -1,0 +1,141 @@
+//! Executable version of the paper's NP-completeness proof (§III.C):
+//! a polynomial reduction from **set-partition** to the decision version of
+//! OBM (*DOBM*).
+//!
+//! Given a set `S = {s_k}`, the reduction builds an `N`-tile "chip" with
+//! `TC(k) = s_k`, `TM(k) = 0`, two equal-size unit-rate applications, and
+//! threshold `γ = mean(S)`. A mapping with both APLs `≤ γ` exists **iff**
+//! `S` splits into two equal-cardinality halves of equal sum. With an exact
+//! DOBM oracle (brute force on small instances) this decides set-partition
+//! — which is what the tests verify, making the proof executable.
+
+use crate::algorithms::BruteForce;
+use crate::problem::ObmInstance;
+use noc_model::{LatencyParams, TileLatencies};
+
+/// The DOBM instance and threshold produced by the reduction.
+#[derive(Debug, Clone)]
+pub struct ReducedInstance {
+    /// The constructed OBM instance (two apps, unit cache rates).
+    pub instance: ObmInstance,
+    /// The decision threshold `γ = (1/N)·Σ TC(k)` (Eq. 9).
+    pub gamma: f64,
+}
+
+/// Build the DOBM instance for a set-partition input.
+///
+/// # Panics
+/// Panics if `s` has odd length, is empty, or contains negative/non-finite
+/// values (set-partition is over non-negative numbers).
+pub fn set_partition_to_dobm(s: &[f64]) -> ReducedInstance {
+    assert!(
+        !s.is_empty() && s.len().is_multiple_of(2),
+        "need an even-size set"
+    );
+    assert!(
+        s.iter().all(|&x| x.is_finite() && x >= 0.0),
+        "set elements must be non-negative and finite"
+    );
+    let n = s.len();
+    let tiles = TileLatencies::from_raw(s.to_vec(), vec![0.0; n], LatencyParams::fig5_example());
+    let instance = ObmInstance::new(
+        tiles,
+        vec![0, n / 2, n],
+        vec![1.0; n], // c_j = 1
+        vec![0.0; n], // TM = 0 ⇒ memory rates irrelevant; keep 0
+    );
+    let gamma = s.iter().sum::<f64>() / n as f64;
+    ReducedInstance { instance, gamma }
+}
+
+/// Decide DOBM exactly (brute force): does a mapping exist with every
+/// application's APL ≤ `gamma` (up to `eps` slack for float arithmetic)?
+///
+/// Only valid for instances small enough for [`BruteForce`].
+pub fn decide_dobm_exact(red: &ReducedInstance, eps: f64) -> bool {
+    // The min-max optimum is ≤ γ iff a feasible mapping exists.
+    BruteForce::optimal_value(&red.instance) <= red.gamma + eps
+}
+
+/// Decide set-partition via the reduction (the proof's subroutine-Y call).
+pub fn set_partition_via_dobm(s: &[f64]) -> bool {
+    let red = set_partition_to_dobm(s);
+    decide_dobm_exact(&red, 1e-9)
+}
+
+/// Reference implementation of equal-cardinality set-partition by direct
+/// subset enumeration (for cross-checking the reduction in tests).
+pub fn set_partition_direct(s: &[f64]) -> bool {
+    assert!(s.len().is_multiple_of(2));
+    let n = s.len();
+    let half = n / 2;
+    let total: f64 = s.iter().sum();
+    // enumerate subsets of size n/2 containing element 0 (wlog)
+    (0u32..(1 << n))
+        .filter(|mask| mask.count_ones() as usize == half && (mask & 1) == 1)
+        .any(|mask| {
+            let sum: f64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| s[i]).sum();
+            (2.0 * sum - total).abs() < 1e-9
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yes_instances() {
+        // {1,2,3,4}: {1,4} vs {2,3}.
+        assert!(set_partition_via_dobm(&[1.0, 2.0, 3.0, 4.0]));
+        // {5,5,5,5}: trivially partitionable.
+        assert!(set_partition_via_dobm(&[5.0, 5.0, 5.0, 5.0]));
+        // {1,1,2,4,5,5}: {1,2,5} vs {1,4,5}? sums 8 and 10 — no; but
+        // {1,4,5} vs {1,2,5}… let's use a known-yes: {1,2,3,4,5,7}:
+        // {1,4,6}? Use {2,3,6} vs {1,5,5}: build that set.
+        assert!(set_partition_via_dobm(&[2.0, 3.0, 6.0, 1.0, 5.0, 5.0]));
+    }
+
+    #[test]
+    fn no_instances() {
+        // {1,1,1,10}: total 13, odd halves impossible.
+        assert!(!set_partition_via_dobm(&[1.0, 1.0, 1.0, 10.0]));
+        // {1,2,4,8}: no equal split (sum 15).
+        assert!(!set_partition_via_dobm(&[1.0, 2.0, 4.0, 8.0]));
+        // equal-sum but unequal-cardinality-only splits: {3,3,3,9}:
+        // sum 18, need two pairs summing 9 each: {3,3}=6, {3,9}=12 — no.
+        assert!(!set_partition_via_dobm(&[3.0, 3.0, 3.0, 9.0]));
+    }
+
+    #[test]
+    fn reduction_agrees_with_direct_solver_exhaustively() {
+        // All small integer sets with values in 1..=6, size 4.
+        for a in 1..=6u32 {
+            for b in a..=6 {
+                for c in b..=6 {
+                    for d in c..=6 {
+                        let s = [a as f64, b as f64, c as f64, d as f64];
+                        assert_eq!(
+                            set_partition_via_dobm(&s),
+                            set_partition_direct(&s),
+                            "disagreement on {s:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_matches_eq9() {
+        let red = set_partition_to_dobm(&[2.0, 4.0, 6.0, 8.0]);
+        assert!((red.gamma - 5.0).abs() < 1e-12);
+        assert_eq!(red.instance.num_apps(), 2);
+        assert_eq!(red.instance.num_threads(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_sets_rejected() {
+        let _ = set_partition_to_dobm(&[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Streaming sample statistics (Welford's algorithm).
+//!
+//! Used to characterize generated traces against the paper's Table 3 and to
+//! compute the evaluation metrics' standard deviations without materializing
+//! intermediate vectors.
+
+/// Accumulator for mean / variance / extremes of a stream of samples.
+#[derive(Debug, Clone, Default)]
+pub struct SampleStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SampleStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        SampleStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Add every sample of a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Build directly from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = SampleStats::new();
+        s.extend(xs);
+        s
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty stream).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`), matching how a trace's
+    /// "standard deviation of communication rates" is reported.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample seen (`+inf` for an empty stream).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen (`-inf` for an empty stream).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Population standard deviation of a slice — convenience for the dev-APL
+/// metric.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    SampleStats::from_slice(xs).std_dev()
+}
+
+/// Arithmetic mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    SampleStats::from_slice(xs).mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_stream() {
+        let s = SampleStats::from_slice(&[3.0; 100]);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!(s.std_dev() < 1e-12);
+        assert_eq!(s.min(), 3.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.count(), 100);
+    }
+
+    #[test]
+    fn known_variance() {
+        // {0, 0, 0, 4}: mean 1, population variance (1+1+1+9)/4 = 3.
+        let s = SampleStats::from_slice(&[0.0, 0.0, 0.0, 4.0]);
+        assert!((s.mean() - 1.0).abs() < 1e-12);
+        assert!((s.variance() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.5).collect();
+        let s = SampleStats::from_slice(&xs);
+        let mu = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((s.mean() - mu).abs() < 1e-9);
+        assert!((s.variance() - var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_stream_is_zeroed() {
+        let s = SampleStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 1.0]) - 0.0).abs() < 1e-12);
+    }
+}

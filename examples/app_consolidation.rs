@@ -1,0 +1,104 @@
+//! Dynamic application consolidation on a shared CMP — the scenario the
+//! paper's §IV.B closes with: applications arrive and depart at runtime,
+//! and because sort-select-swap runs in `O(N³)` (well under a millisecond
+//! at this scale) the system can recompute a balanced mapping at every
+//! change using rates collected by a runtime monitor.
+//!
+//! ```text
+//! cargo run --release --example app_consolidation
+//! ```
+
+use obm::mapping::algorithms::SortSelectSwap;
+use obm::mapping::dynamic::{AppSpec, DynamicSystem};
+use obm::model::{Mesh, TileLatencies};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn measured_app(rng: &mut SmallRng, name: &str, threads: usize, scale: f64) -> AppSpec {
+    let cache_rates: Vec<f64> = (0..threads)
+        .map(|_| scale * rng.gen_range(0.5..2.0))
+        .collect();
+    let mem_rates = cache_rates.iter().map(|c| c * 0.15).collect();
+    AppSpec {
+        name: name.to_string(),
+        cache_rates,
+        mem_rates,
+    }
+}
+
+fn main() {
+    let mesh = Mesh::square(8);
+    let mut sys = DynamicSystem::new(TileLatencies::paper_default(&mesh));
+    let mapper = SortSelectSwap::default();
+    let mut rng = SmallRng::seed_from_u64(2014);
+
+    // A timeline of arrivals and departures on the shared chip.
+    let timeline: Vec<(&str, Option<AppSpec>)> = vec![
+        (
+            "t=0   web-frontend (16 threads) arrives",
+            Some(measured_app(&mut rng, "web-frontend", 16, 2.0)),
+        ),
+        (
+            "t=1   analytics    (32 threads) arrives",
+            Some(measured_app(&mut rng, "analytics", 32, 8.0)),
+        ),
+        (
+            "t=2   ml-inference (16 threads) arrives",
+            Some(measured_app(&mut rng, "ml-inference", 16, 4.0)),
+        ),
+        ("t=3   analytics departs", None),
+        (
+            "t=4   batch-etl    (32 threads) arrives",
+            Some(measured_app(&mut rng, "batch-etl", 32, 6.0)),
+        ),
+    ];
+
+    for (label, event) in timeline {
+        println!("== {label}");
+        match event {
+            Some(spec) => {
+                let name = spec.name.clone();
+                match sys.add_app(spec) {
+                    Ok(_) => println!("   admitted {name}"),
+                    Err(e) => {
+                        println!("   REJECTED {name}: {e}");
+                        continue;
+                    }
+                }
+            }
+            None => {
+                // depart the named app (here: "analytics")
+                let idx = sys
+                    .apps()
+                    .iter()
+                    .position(|a| a.name == "analytics")
+                    .expect("analytics is running");
+                sys.remove_app(idx);
+            }
+        }
+        let t0 = Instant::now();
+        let (_, _, report) = sys.remap(&mapper, 0);
+        let dt = t0.elapsed();
+        println!(
+            "   remapped {} threads in {:.2?}: per-app APL {:?} | max-APL {:.2} | dev-APL {:.3}",
+            sys.threads_in_use(),
+            dt,
+            report
+                .per_app
+                .iter()
+                .map(|d| (d * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            report.max_apl,
+            report.dev_apl
+        );
+    }
+
+    // Capacity guard: an application that does not fit is rejected.
+    println!("== t=5   giant (64 threads) arrives");
+    let giant = measured_app(&mut rng, "giant", 64, 1.0);
+    match sys.add_app(giant) {
+        Ok(_) => println!("   admitted (unexpected!)"),
+        Err(e) => println!("   rejected as expected: {e}"),
+    }
+}

@@ -1,0 +1,79 @@
+//! Mapping on non-default chips: a rectangular 4×8 mesh with
+//! edge-centered memory controllers hosting three applications of unequal
+//! size, and a 16×16 chip demonstrating the `O(N³)` scaling headroom of
+//! sort-select-swap.
+//!
+//! ```text
+//! cargo run --release --example custom_chip
+//! ```
+
+use obm::mapping::algorithms::{Mapper, SortSelectSwap};
+use obm::mapping::{evaluate, ObmInstance};
+use obm::model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    // --- A 4×8 rectangular chip with edge-centered controllers.
+    let mesh = Mesh::new(4, 8);
+    let mcs = MemoryControllers::edge_centers(&mesh);
+    let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+    println!(
+        "4×8 mesh, edge-centered controllers at tiles {:?}",
+        mcs.tiles().iter().map(|t| t.to_paper()).collect::<Vec<_>>()
+    );
+
+    // Three apps of unequal size: 8 + 12 + 10 threads on 32 tiles (2 idle).
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut c = Vec::new();
+    let mut bounds = vec![0];
+    for (threads, scale) in [(8usize, 1.0), (12, 5.0), (10, 2.5)] {
+        for _ in 0..threads {
+            c.push(scale * rng.gen_range(0.5..2.0));
+        }
+        bounds.push(c.len());
+    }
+    let m: Vec<f64> = c.iter().map(|x| x * 0.15).collect();
+    let inst = ObmInstance::new(tiles, bounds, c, m);
+    let mapping = SortSelectSwap::default().map(&inst, 0);
+    let r = evaluate(&inst, &mapping);
+    println!(
+        "  3 apps ({} threads on {} tiles): per-app APL {:?} | dev-APL {:.3}",
+        inst.num_threads(),
+        inst.num_tiles(),
+        r.per_app
+            .iter()
+            .map(|d| (d * 100.0).round() / 100.0)
+            .collect::<Vec<f64>>(),
+        r.dev_apl
+    );
+
+    // --- Scaling: 16×16 (256 tiles, 8 apps × 32 threads).
+    let mesh = Mesh::square(16);
+    let tiles = TileLatencies::compute(
+        &mesh,
+        &MemoryControllers::corners(&mesh),
+        LatencyParams::paper_table2(),
+    );
+    let mut c = Vec::new();
+    let mut bounds = vec![0];
+    for app in 0..8 {
+        let scale = 1.5f64.powi(app);
+        for _ in 0..32 {
+            c.push(scale * rng.gen_range(0.5..2.0));
+        }
+        bounds.push(c.len());
+    }
+    let m: Vec<f64> = c.iter().map(|x| x * 0.15).collect();
+    let inst = ObmInstance::new(tiles, bounds, c, m);
+    let t0 = Instant::now();
+    let mapping = SortSelectSwap::default().map(&inst, 0);
+    let dt = t0.elapsed();
+    let r = evaluate(&inst, &mapping);
+    println!(
+        "16×16 mesh, 8 apps × 32 threads: mapped in {:.2?} | max-APL {:.2} | dev-APL {:.3}",
+        dt, r.max_apl, r.dev_apl
+    );
+    println!("Sub-second even at 256 tiles — fast enough for online remapping.");
+}

@@ -1,0 +1,43 @@
+//! The NP-completeness proof of §III.C, executed: reduce set-partition
+//! instances to the decision version of OBM and solve them through an
+//! exact OBM oracle. The reduction builds a synthetic "chip" whose tile
+//! cache latencies *are* the set elements; a perfectly balanced two-
+//! application mapping exists exactly when the set splits into two
+//! equal-cardinality, equal-sum halves.
+//!
+//! ```text
+//! cargo run --release --example np_reduction
+//! ```
+
+use obm::mapping::reduction::{decide_dobm_exact, set_partition_direct, set_partition_to_dobm};
+
+fn main() {
+    let cases: Vec<(&str, Vec<f64>)> = vec![
+        ("{1,2,3,4}", vec![1.0, 2.0, 3.0, 4.0]),
+        ("{1,2,4,8}", vec![1.0, 2.0, 4.0, 8.0]),
+        ("{2,3,6,1,5,5}", vec![2.0, 3.0, 6.0, 1.0, 5.0, 5.0]),
+        ("{3,3,3,9}", vec![3.0, 3.0, 3.0, 9.0]),
+        ("{7,7,7,7,7,7}", vec![7.0; 6]),
+        ("{1,1,1,1,1,13}", vec![1.0, 1.0, 1.0, 1.0, 1.0, 13.0]),
+    ];
+    println!("set-partition via the DOBM reduction (exact oracle = brute-force OBM):\n");
+    println!(
+        "{:<20} {:>8} {:>14} {:>14}",
+        "set", "γ", "DOBM says", "direct solver"
+    );
+    for (label, s) in cases {
+        let red = set_partition_to_dobm(&s);
+        let via_dobm = decide_dobm_exact(&red, 1e-9);
+        let direct = set_partition_direct(&s);
+        assert_eq!(via_dobm, direct, "reduction disagreed on {label}");
+        println!(
+            "{:<20} {:>8.2} {:>14} {:>14}",
+            label,
+            red.gamma,
+            if via_dobm { "partitionable" } else { "no" },
+            if direct { "partitionable" } else { "no" },
+        );
+    }
+    println!("\nEvery answer agrees with direct subset enumeration — the polynomial");
+    println!("reduction L ≤p DOBM of the paper's Theorem (§III.C) in running code.");
+}

@@ -1,0 +1,25 @@
+//! # obm — Balanced on-chip network latency in multi-application mapping
+//!
+//! Facade crate re-exporting the whole workspace, a reproduction of
+//! *"Balancing On-Chip Network Latency in Multi-Application Mapping for
+//! Chip-Multiprocessors"* (Zhu, Chen, Yue, Pinkston, Pedram — IPDPS 2014).
+//!
+//! * [`model`] — mesh NoC geometry, routing and the `TC`/`TM` latency model;
+//! * [`sim`] — cycle-level wormhole NoC simulator (Garnet substitute);
+//! * [`workload`] — synthetic PARSEC-like traces and the C1–C8 configurations;
+//! * [`cache`] — CMP cache-hierarchy model deriving request rates from
+//!   first principles (L1 + MOESI-lite directory + shared L2 banks);
+//! * [`lap`] — Hungarian assignment solver;
+//! * [`mapping`] — the OBM problem, the sort-select-swap heuristic and the
+//!   Global / Monte-Carlo / simulated-annealing baselines;
+//! * [`power`] — DSENT-substitute NoC power model.
+//!
+//! See `examples/quickstart.rs` for a end-to-end tour.
+
+pub use assignment as lap;
+pub use cmp_cache as cache;
+pub use noc_model as model;
+pub use noc_power as power;
+pub use noc_sim as sim;
+pub use obm_core as mapping;
+pub use workload;

@@ -1,0 +1,174 @@
+//! Integration tests for the extension features: weighted OBM, torus
+//! topology, oversubscription, the first-principles cache pipeline, and
+//! the exact solver — all exercised through the public facade.
+
+use obm::cache::address::AddressPattern;
+use obm::cache::system::{CacheAppSpec, CmpSystem, SystemConfig, ThreadSpec};
+use obm::mapping::algorithms::{BranchAndBound, Global, Mapper, SortSelectSwap};
+use obm::mapping::oversub::map_with_capacity;
+use obm::mapping::{evaluate, ObmInstance};
+use obm::model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+use obm::workload::{PaperConfig, WorkloadBuilder};
+
+fn c1_instance() -> ObmInstance {
+    let (w, _) = WorkloadBuilder::paper(PaperConfig::C1).build();
+    let tiles = TileLatencies::paper_default(&Mesh::square(8));
+    let (c, m) = w.rate_vectors();
+    ObmInstance::new(tiles, w.boundaries(), c, m)
+}
+
+/// Weighted OBM: promoting an application must strictly lower its APL and
+/// the weighted objective must equal max(w·d).
+#[test]
+fn weighted_priority_lowers_latency() {
+    let plain = c1_instance();
+    let weighted = c1_instance().with_app_weights(vec![2.0, 1.0, 1.0, 1.0]);
+    let rp = evaluate(&plain, &SortSelectSwap::default().map(&plain, 0));
+    let rw = evaluate(&weighted, &SortSelectSwap::default().map(&weighted, 0));
+    assert!(
+        rw.per_app[0] < rp.per_app[0] - 0.5,
+        "prioritized app not faster: {} vs {}",
+        rw.per_app[0],
+        rp.per_app[0]
+    );
+    let expect = (0..4)
+        .map(|i| weighted.app_weight(i) * rw.per_app[i])
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!((rw.max_apl - expect).abs() < 1e-9);
+}
+
+/// Torus: the cache-latency array is uniform, so even Global cannot
+/// create much imbalance.
+#[test]
+fn torus_suppresses_imbalance() {
+    let (w, _) = WorkloadBuilder::paper(PaperConfig::C1).build();
+    let mesh = Mesh::square(8);
+    let mcs = MemoryControllers::corners(&mesh);
+    let params = LatencyParams::paper_table2();
+    let (c, m) = w.rate_vectors();
+    let mesh_inst = ObmInstance::new(
+        TileLatencies::compute(&mesh, &mcs, params),
+        w.boundaries(),
+        c.clone(),
+        m.clone(),
+    );
+    let torus_inst = ObmInstance::new(
+        TileLatencies::compute_torus(&mesh, &mcs, params),
+        w.boundaries(),
+        c,
+        m,
+    );
+    let on_mesh = evaluate(&mesh_inst, &Global.map(&mesh_inst, 0)).dev_apl;
+    let on_torus = evaluate(&torus_inst, &Global.map(&torus_inst, 0)).dev_apl;
+    assert!(
+        on_torus < 0.6 * on_mesh,
+        "torus dev-APL {on_torus} not well below mesh {on_mesh}"
+    );
+}
+
+/// Oversubscription: a capacity-2 chip hosts twice the threads with
+/// bounded occupancy and balanced APLs.
+#[test]
+fn oversubscribed_chip_stays_balanced() {
+    let mesh = Mesh::square(8);
+    let mcs = MemoryControllers::corners(&mesh);
+    let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+    // Two C-style workloads side by side: 128 threads.
+    let (w1, _) = WorkloadBuilder::paper(PaperConfig::C1).build();
+    let (w2, _) = WorkloadBuilder::paper(PaperConfig::C2).seed(5).build();
+    let mut c = Vec::new();
+    let mut m = Vec::new();
+    let mut bounds = vec![0];
+    for w in [&w1, &w2] {
+        let (cw, mw) = w.rate_vectors();
+        for app in 0..4 {
+            let range = w.boundaries()[app]..w.boundaries()[app + 1];
+            c.extend_from_slice(&cw[range.clone()]);
+            m.extend_from_slice(&mw[range]);
+            bounds.push(c.len());
+        }
+    }
+    let (mapping, report) =
+        map_with_capacity(&tiles, bounds, c, m, 2, &SortSelectSwap::default(), 0);
+    assert!(mapping.occupancy(64).iter().all(|&o| o <= 2));
+    assert_eq!(report.per_app.len(), 8);
+    let spread = report.max_apl - report.min_apl;
+    assert!(
+        spread < 0.5,
+        "APL spread {spread} too wide: {:?}",
+        report.per_app
+    );
+}
+
+/// First-principles pipeline: cache-derived rates feed the mapper and the
+/// headline ordering holds.
+#[test]
+fn cache_derived_rates_reproduce_headline() {
+    let mesh = Mesh::square(8);
+    let cfg = SystemConfig {
+        epochs: 60,
+        ..SystemConfig::paper_defaults(mesh)
+    };
+    let mk = |name: &str, base: u64, rate: f64, ws: u64| CacheAppSpec {
+        name: name.into(),
+        threads: (0..16)
+            .map(|i| ThreadSpec {
+                accesses_per_kilocycle: rate,
+                write_fraction: 0.2,
+                line_reuse: 8,
+                private: AddressPattern::working_set(base + i * (0x0100_0000 + 131 * 64), ws, 0.9),
+                shared_fraction: 0.05,
+            })
+            .collect(),
+        shared: AddressPattern::working_set(base + 0xF000_0000, 128, 0.9),
+    };
+    let traces = CmpSystem::new(
+        cfg,
+        vec![
+            mk("light", 0x0001_0000_0000, 300.0, 400),
+            mk("mid", 0x0002_0000_0000, 900.0, 2_000),
+            mk("heavy", 0x0003_0000_0000, 1_800.0, 4_000),
+            mk("heaviest", 0x0004_0000_0000, 2_600.0, 8_000),
+        ],
+    )
+    .run();
+    let w = traces.to_workload();
+    let tiles = TileLatencies::paper_default(&mesh);
+    let (c, m) = w.rate_vectors();
+    let inst = ObmInstance::new(tiles, w.boundaries(), c, m);
+    let sss = evaluate(&inst, &SortSelectSwap::default().map(&inst, 0));
+    let glob = evaluate(&inst, &Global.map(&inst, 0));
+    assert!(sss.max_apl < glob.max_apl);
+    // With only 60 epochs the derived rates are noisy; the balance claim
+    // is directional rather than the full two-orders-of-magnitude one.
+    assert!(
+        sss.dev_apl < glob.dev_apl,
+        "SSS dev {} vs Global {}",
+        sss.dev_apl,
+        glob.dev_apl
+    );
+    let spread = sss.max_apl - sss.min_apl;
+    assert!(spread < 1.0, "per-app spread {spread}: {:?}", sss.per_app);
+}
+
+/// Exact solver through the facade: proves a small optimum that SSS
+/// cannot beat.
+#[test]
+fn bnb_proof_bounds_sss_through_facade() {
+    let mesh = Mesh::square(3);
+    let mcs = MemoryControllers::corners(&mesh);
+    let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+    let c = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+    let m: Vec<f64> = c.iter().map(|x| x * 0.15).collect();
+    let inst = ObmInstance::new(tiles, vec![0, 3, 6, 9], c, m);
+    let r = BranchAndBound::default().solve(&inst);
+    assert!(r.proven_optimal);
+    let sss = evaluate(&inst, &SortSelectSwap::default().map(&inst, 0)).max_apl;
+    assert!(sss >= r.objective - 1e-9);
+    assert!(
+        sss <= r.objective * 1.10,
+        "SSS {} vs optimum {}",
+        sss,
+        r.objective
+    );
+}

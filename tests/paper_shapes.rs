@@ -1,0 +1,141 @@
+//! Integration tests pinning the paper's headline result *shapes* (not
+//! absolute numbers): who wins, by roughly what factor, and in which
+//! direction — across the full trace → workload → instance → mapping
+//! pipeline.
+
+use obm::mapping::algorithms::{Global, Mapper, MonteCarlo, SortSelectSwap};
+use obm::mapping::{evaluate, ObmInstance};
+use obm::model::{Mesh, TileLatencies};
+use obm::workload::{PaperConfig, WorkloadBuilder};
+
+fn instance_for(cfg: PaperConfig) -> ObmInstance {
+    let (w, _) = WorkloadBuilder::paper(cfg).build();
+    let mesh = Mesh::square(8);
+    let tiles = TileLatencies::paper_default(&mesh);
+    let (c, m) = w.rate_vectors();
+    ObmInstance::new(tiles, w.boundaries(), c, m)
+}
+
+/// Table 1's story: Global lowers g-APL but raises max-APL and dev-APL
+/// relative to the random-mapping average.
+#[test]
+fn global_trades_balance_for_overall_latency() {
+    for cfg in [PaperConfig::C1, PaperConfig::C3] {
+        let inst = instance_for(cfg);
+        let rand = obm::mapping::algorithms::random::random_averages(&inst, 1_000, 5);
+        let glob = evaluate(&inst, &Global.map(&inst, 0));
+        assert!(
+            glob.g_apl < rand.mean_g_apl,
+            "{}: Global must win on g-APL",
+            cfg.name()
+        );
+        assert!(
+            glob.max_apl > rand.mean_max_apl,
+            "{}: Global must lose on max-APL",
+            cfg.name()
+        );
+        assert!(
+            glob.dev_apl > 2.0 * rand.mean_dev_apl,
+            "{}: Global dev-APL should be multiples of random ({} vs {})",
+            cfg.name(),
+            glob.dev_apl,
+            rand.mean_dev_apl
+        );
+    }
+}
+
+/// Figure 9's story: SSS reduces max-APL vs Global by roughly ten percent
+/// (paper: 10.42% average).
+#[test]
+fn sss_reduces_max_apl_by_around_ten_percent() {
+    let mut total_gain = 0.0;
+    let configs = PaperConfig::ALL;
+    for cfg in configs {
+        let inst = instance_for(cfg);
+        let sss = evaluate(&inst, &SortSelectSwap::default().map(&inst, 0));
+        let glob = evaluate(&inst, &Global.map(&inst, 0));
+        assert!(
+            sss.max_apl < glob.max_apl,
+            "{}: SSS must beat Global on max-APL",
+            cfg.name()
+        );
+        total_gain += 1.0 - sss.max_apl / glob.max_apl;
+    }
+    let avg_gain = total_gain / configs.len() as f64;
+    assert!(
+        (0.05..0.25).contains(&avg_gain),
+        "average max-APL gain {avg_gain:.3} not in the paper's ballpark (~0.10)"
+    );
+}
+
+/// Table 4's story: SSS collapses dev-APL by ~two orders of magnitude vs
+/// Global (paper: −99.65%) and clearly beats MC.
+#[test]
+fn sss_collapses_dev_apl() {
+    let mut g_sum = 0.0;
+    let mut mc_sum = 0.0;
+    let mut sss_sum = 0.0;
+    for cfg in [PaperConfig::C1, PaperConfig::C5, PaperConfig::C7] {
+        let inst = instance_for(cfg);
+        g_sum += evaluate(&inst, &Global.map(&inst, 0)).dev_apl;
+        mc_sum += evaluate(&inst, &MonteCarlo::with_samples(2_000).map(&inst, 1)).dev_apl;
+        sss_sum += evaluate(&inst, &SortSelectSwap::default().map(&inst, 0)).dev_apl;
+    }
+    assert!(
+        sss_sum < 0.05 * g_sum,
+        "SSS dev-APL {sss_sum} not ≪ Global {g_sum}"
+    );
+    assert!(
+        sss_sum < mc_sum,
+        "SSS dev-APL {sss_sum} not better than MC {mc_sum}"
+    );
+}
+
+/// Figure 10's story: SSS's g-APL overhead vs Global stays within a few
+/// percent (paper: < 3.82%).
+#[test]
+fn sss_g_apl_overhead_is_small() {
+    for cfg in PaperConfig::ALL {
+        let inst = instance_for(cfg);
+        let sss = evaluate(&inst, &SortSelectSwap::default().map(&inst, 0));
+        let glob = evaluate(&inst, &Global.map(&inst, 0));
+        let overhead = sss.g_apl / glob.g_apl - 1.0;
+        assert!(
+            overhead < 0.06,
+            "{}: g-APL overhead {overhead:.3} exceeds 6%",
+            cfg.name()
+        );
+        assert!(
+            overhead > -1e-9,
+            "Global is the g-APL optimum by construction"
+        );
+    }
+}
+
+/// The applications end up with *near-equal* APLs under SSS — the paper's
+/// Figure 8(b).
+#[test]
+fn sss_apls_nearly_equal() {
+    let inst = instance_for(PaperConfig::C1);
+    let r = evaluate(&inst, &SortSelectSwap::default().map(&inst, 0));
+    let spread = r.max_apl - r.min_apl;
+    assert!(
+        spread < 0.15,
+        "per-app APL spread {spread:.3} cycles too wide: {:?}",
+        r.per_app
+    );
+}
+
+/// MC with the paper's 10⁴ draws lands between Global and SSS on max-APL.
+#[test]
+fn mc_is_between_global_and_sss() {
+    let inst = instance_for(PaperConfig::C2);
+    let glob = evaluate(&inst, &Global.map(&inst, 0)).max_apl;
+    let mc = evaluate(&inst, &MonteCarlo::with_samples(10_000).map(&inst, 3)).max_apl;
+    let sss = evaluate(&inst, &SortSelectSwap::default().map(&inst, 0)).max_apl;
+    assert!(mc < glob, "MC {mc} must beat Global {glob}");
+    assert!(
+        sss <= mc + 0.15,
+        "SSS {sss} should not lose clearly to MC {mc}"
+    );
+}

@@ -1,0 +1,135 @@
+//! Property-based integration tests: every mapping algorithm must produce
+//! valid, deterministic-or-seeded mappings on arbitrary instances, and the
+//! evaluation obeys its mathematical invariants.
+
+use obm::mapping::algorithms::{
+    BruteForce, Global, Mapper, MonteCarlo, RandomMapper, SimulatedAnnealing, SortSelectSwap,
+};
+use obm::mapping::{evaluate, ObmInstance};
+use obm::model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+use proptest::prelude::*;
+
+/// Strategy: a random OBM instance on an n×n mesh (n ∈ 2..=5) with 2–4
+/// applications and positive rates, possibly fewer threads than tiles.
+fn arb_instance() -> impl Strategy<Value = ObmInstance> {
+    (2usize..=5, 2usize..=4, 0usize..=3, any::<u64>())
+        .prop_flat_map(|(n, apps, spare, seed)| {
+            let tiles_total = n * n;
+            let threads = tiles_total.saturating_sub(spare).max(apps);
+            (
+                Just(n),
+                Just(apps),
+                Just(threads),
+                proptest::collection::vec(0.01f64..10.0, threads),
+                proptest::collection::vec(0.0f64..2.0, threads),
+                Just(seed),
+            )
+        })
+        .prop_map(|(n, apps, threads, c, m, _seed)| {
+            let mesh = Mesh::square(n);
+            let mcs = MemoryControllers::corners(&mesh);
+            let tl = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+            // contiguous app boundaries splitting threads as evenly as possible
+            let mut bounds = vec![0];
+            for a in 1..=apps {
+                bounds.push(a * threads / apps);
+            }
+            // ensure strictly increasing (possible duplicates for tiny thread counts)
+            bounds.dedup();
+            if bounds.len() < 2 {
+                bounds.push(threads);
+            }
+            *bounds.last_mut().unwrap() = threads;
+            ObmInstance::new(tl, bounds, c, m)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every algorithm returns a valid injective mapping.
+    #[test]
+    fn all_algorithms_produce_valid_mappings(inst in arb_instance(), seed in any::<u64>()) {
+        let mappers: Vec<Box<dyn Mapper>> = vec![
+            Box::new(RandomMapper),
+            Box::new(Global),
+            Box::new(MonteCarlo::with_samples(50)),
+            Box::new(SimulatedAnnealing::with_iterations(500)),
+            Box::new(SortSelectSwap::default()),
+        ];
+        for mapper in &mappers {
+            let m = mapper.map(&inst, seed);
+            prop_assert!(m.is_valid_for(&inst), "{} produced invalid mapping", mapper.name());
+        }
+    }
+
+    /// max-APL dominates every per-app APL and the volume-weighted mean
+    /// (g-APL); per-app APLs live inside the per-tile cost hull.
+    #[test]
+    fn apl_invariants(inst in arb_instance(), seed in any::<u64>()) {
+        let m = RandomMapper.map(&inst, seed);
+        let r = evaluate(&inst, &m);
+        for &d in &r.per_app {
+            prop_assert!(d <= r.max_apl + 1e-9);
+            prop_assert!(d >= r.min_apl - 1e-9);
+            prop_assert!(d >= 0.0);
+        }
+        prop_assert!(r.g_apl <= r.max_apl + 1e-9);
+        prop_assert!(r.g_apl >= r.min_apl - 1e-9);
+        // hull: an app's APL can't exceed the worst single-tile unit cost
+        let worst_tile = (0..inst.num_tiles())
+            .map(|k| {
+                let t = obm::model::TileId(k);
+                inst.tiles().tc(t).max(inst.tiles().tc(t) + inst.tiles().tm(t))
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(r.max_apl <= worst_tile + 1e-9);
+    }
+
+    /// Global is the optimum of the g-APL objective: no other algorithm
+    /// can undercut it.
+    #[test]
+    fn global_is_g_apl_lower_bound(inst in arb_instance(), seed in any::<u64>()) {
+        let g = evaluate(&inst, &Global.map(&inst, 0)).g_apl;
+        for mapper in [&SortSelectSwap::default() as &dyn Mapper, &RandomMapper] {
+            let r = evaluate(&inst, &mapper.map(&inst, seed));
+            prop_assert!(r.g_apl >= g - 1e-9, "{} beat the Global optimum", mapper.name());
+        }
+    }
+
+    /// SSS and Global are deterministic; seeded algorithms reproduce.
+    #[test]
+    fn determinism(inst in arb_instance(), seed in any::<u64>()) {
+        prop_assert_eq!(
+            SortSelectSwap::default().map(&inst, 0),
+            SortSelectSwap::default().map(&inst, 1)
+        );
+        prop_assert_eq!(Global.map(&inst, 0), Global.map(&inst, 1));
+        let sa = SimulatedAnnealing::with_iterations(200);
+        prop_assert_eq!(sa.map(&inst, seed), sa.map(&inst, seed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On instances small enough for exact search, no heuristic beats the
+    /// brute-force optimum, and SSS stays within 25% of it.
+    #[test]
+    fn heuristics_respect_exact_optimum(
+        c in proptest::collection::vec(0.05f64..5.0, 6),
+        seed in any::<u64>(),
+    ) {
+        let mesh = Mesh::new(2, 3);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tl = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+        let m: Vec<f64> = c.iter().map(|x| x * 0.1).collect();
+        let inst = ObmInstance::new(tl, vec![0, 3, 6], c, m);
+        let best = BruteForce::optimal_value(&inst);
+        let sss = evaluate(&inst, &SortSelectSwap::default().map(&inst, 0)).max_apl;
+        let sa = evaluate(&inst, &SimulatedAnnealing::with_iterations(2_000).map(&inst, seed)).max_apl;
+        prop_assert!(sss >= best - 1e-9);
+        prop_assert!(sa >= best - 1e-9);
+        prop_assert!(sss <= best * 1.25, "SSS {sss} too far from optimum {best}");
+    }
+}
