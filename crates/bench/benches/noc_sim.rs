@@ -1,0 +1,59 @@
+//! Wall-clock throughput of the cycle-level NoC simulator — the
+//! bottleneck of every simulation-backed experiment (`validate`,
+//! `loadcurve`, `tails`, `nocparams`, ...). Fixed seeds, fixed cycle
+//! budgets: numbers are comparable across PRs to track the perf
+//! trajectory of the hot loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_model::Mesh;
+use noc_sim::{Network, Schedule, SimConfig, SourceSpec};
+use obm_bench::harness::paper_instance;
+use obm_bench::sim_bridge::simulate_mapping;
+use obm_core::algorithms::{Mapper, SortSelectSwap};
+use workload::PaperConfig;
+
+fn uniform_sim(mesh_side: usize, cache_per_kcycle: f64, cycles: u64) -> noc_sim::SimReport {
+    let mesh = Mesh::square(mesh_side);
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.warmup_cycles = cycles / 10;
+    cfg.measure_cycles = cycles;
+    cfg.max_drain_cycles = 4 * cycles;
+    cfg.seed = 7;
+    let sources: Vec<SourceSpec> = mesh
+        .tiles()
+        .map(|t| SourceSpec {
+            tile: t,
+            group: 0,
+            cache: Schedule::per_kilocycle(cache_per_kcycle),
+            mem: Schedule::per_kilocycle(cache_per_kcycle * 0.15),
+        })
+        .collect();
+    Network::new(cfg, sources, 1).run()
+}
+
+/// The headline number: C1 (8×8, paper Table 3 rates) through the real
+/// mapping pipeline, 10k measured cycles.
+fn sim_c1_paper_load(c: &mut Criterion) {
+    let pi = paper_instance(PaperConfig::C1);
+    let mapping = SortSelectSwap::default().map(&pi.instance, 0);
+    let mut group = c.benchmark_group("noc_sim");
+    group.sample_size(10);
+    group.bench_function("c1_8x8_10k_cycles", |b| {
+        b.iter(|| simulate_mapping(&pi, &mapping, 10_000, 7))
+    });
+    group.finish();
+}
+
+/// Load sensitivity of the hot loop: near-idle (paper operating point),
+/// mid-load, and heavy (near saturation).
+fn sim_load_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_sim_uniform_8x8_10k");
+    group.sample_size(10);
+    group.bench_function("load_2", |b| b.iter(|| uniform_sim(8, 2.0, 10_000)));
+    group.bench_function("load_8", |b| b.iter(|| uniform_sim(8, 8.0, 10_000)));
+    group.bench_function("load_48", |b| b.iter(|| uniform_sim(8, 48.0, 10_000)));
+    group.finish();
+}
+
+criterion_group!(benches, sim_c1_paper_load, sim_load_points);
+criterion_main!(benches);

@@ -45,8 +45,29 @@ pub fn run(fast: bool) -> String {
         "link util",
         "peak buffered flits",
     ]);
-    for &r in rates {
-        let rep = run_point(r, RoutingKind::Xy, cycles);
+    // Each sweep point is an independent seeded simulation: fan the points
+    // out to one worker each and join in spawn order, which keeps the row
+    // order identical to the serial version. The XY/YX ablation runs ride
+    // along in the same scope.
+    let (reports, xy, yx) = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = rates
+            .iter()
+            .map(|&r| scope.spawn(move |_| run_point(r, RoutingKind::Xy, cycles)))
+            .collect();
+        let h_xy = scope.spawn(move |_| run_point(8.0, RoutingKind::Xy, cycles));
+        let h_yx = scope.spawn(move |_| run_point(8.0, RoutingKind::Yx, cycles));
+        let reports: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("loadcurve worker panicked"))
+            .collect();
+        (
+            reports,
+            h_xy.join().expect("loadcurve worker panicked"),
+            h_yx.join().expect("loadcurve worker panicked"),
+        )
+    })
+    .expect("crossbeam scope");
+    for (&r, rep) in rates.iter().zip(&reports) {
         t.row(vec![
             format!("{r}"),
             f(rep.g_apl()),
@@ -57,8 +78,6 @@ pub fn run(fast: bool) -> String {
     }
     // Routing ablation at a paper-scale load: XY vs YX must agree on a
     // symmetric uniform workload.
-    let xy = run_point(8.0, RoutingKind::Xy, cycles);
-    let yx = run_point(8.0, RoutingKind::Yx, cycles);
     format!(
         "## Load curve (extension) — 8×8 mesh, uniform traffic\n\n{}\n\
          Routing ablation at 8 req/kcycle: XY g-APL {} vs YX g-APL {} \

@@ -50,8 +50,20 @@ pub fn run(fast: bool) -> String {
             (4, 8),
         ]
     };
-    for &(vcs, depth) in points {
-        let r = run_point(vcs, depth, cycles);
+    // Independent seeded sims: one worker per point, joined in spawn order
+    // so the table rows match the serial version.
+    let reports = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = points
+            .iter()
+            .map(|&(vcs, depth)| scope.spawn(move |_| run_point(vcs, depth, cycles)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("nocparams worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope");
+    for (&(vcs, depth), r) in points.iter().zip(&reports) {
         t.row(vec![
             format!("{vcs}"),
             format!("{depth}"),

@@ -14,9 +14,28 @@ pub fn run(fast: bool) -> String {
     let pi = paper_instance(PaperConfig::C1);
     let mut t = MarkdownTable::new(vec!["algo", "app", "mean APL", "p95", "p99"]);
     let mut spreads = Vec::new();
-    for mapper in [&Global as &dyn Mapper, &SortSelectSwap::default()] {
-        let mapping = mapper.map(&pi.instance, 0);
-        let report = simulate_mapping(&pi, &mapping, cycles, 3);
+    let sss = SortSelectSwap::default();
+    let mappers: [&(dyn Mapper + Sync); 2] = [&Global, &sss];
+    // Simulate the two mappings on separate workers; join in spawn order so
+    // the table keeps its serial row order.
+    let reports = crossbeam::thread::scope(|scope| {
+        let pi = &pi;
+        let handles: Vec<_> = mappers
+            .iter()
+            .map(|mapper| {
+                scope.spawn(move |_| {
+                    let mapping = mapper.map(&pi.instance, 0);
+                    simulate_mapping(pi, &mapping, cycles, 3)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tails worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope");
+    for (mapper, report) in mappers.iter().zip(&reports) {
         let mut p95s = Vec::new();
         for (i, acc) in report.groups.iter().enumerate() {
             t.row(vec![

@@ -19,6 +19,45 @@
 //!    so the analytic model the mapping algorithms optimize against is
 //!    faithful ([`SimReport::mean_td_q`]).
 //!
+//! # Performance model
+//!
+//! The simulator is the inner loop of every sweep in `obm-bench`, so the
+//! hot path is engineered to be allocation-free and activity-proportional
+//! in steady state. Cost per simulated cycle is
+//! `O(active routers × occupied VC slots + active NIs)`, **not**
+//! `O(mesh size × ports × VCs)`:
+//!
+//! - **Activity worklists.** [`network::Network`] keeps bitsets of routers
+//!   with at least one buffered flit and NIs with pending traffic; idle
+//!   tiles cost nothing. Invariant: a router's bit is set *iff*
+//!   `buffered > 0`, maintained at every flit push/pop (see
+//!   `buffer_flit_at` and the pop sites in `step_router`).
+//! - **Occupancy masks.** Each router carries a `u64` bitmask with one bit
+//!   per `(input port, VC)` arbitration slot, set *iff* that input VC has
+//!   a buffered flit. Switch allocation iterates set bits in round-robin
+//!   order instead of scanning all `ports × VCs` slots — the single
+//!   biggest win (~6× on the paper workload). Requires
+//!   `ports × total VCs ≤ 64` (asserted in `Network::new`).
+//! - **Zero steady-state allocation.** The per-cycle delivery/credit
+//!   staging vectors are scratch buffers owned by the `Network` and reused
+//!   every cycle; packet metadata lives in a slab whose slots are recycled
+//!   through a free list when the tail flit ejects.
+//! - **Incremental telemetry.** `total_buffered` (and its peak) is a
+//!   counter maintained at push/pop, replacing a per-cycle `O(routers)`
+//!   scan. It is sampled at the same point in the cycle as the old scan,
+//!   so `peak_buffered_flits` is unchanged.
+//!
+//! None of this changes simulated semantics: routers are still stepped in
+//! ascending index order (bitset iteration is ordered, which keeps `f64`
+//! latency accumulation bit-exact) and the traffic generator consumes RNG
+//! draws in the exact same tile order, so a fixed seed produces
+//! bit-identical [`SimReport`]s before and after the optimization
+//! (regression-tested in `tests/sim_determinism.rs` at the workspace
+//! root). Wall-clock throughput is reported per run via
+//! [`stats::NetworkStats::cycles_per_sec`] and
+//! [`stats::NetworkStats::flit_hops_per_sec`]; benchmark with
+//! `cargo bench -p obm-bench`.
+//!
 //! ```no_run
 //! use noc_model::Mesh;
 //! use noc_sim::{Network, Schedule, SimConfig, SourceSpec};

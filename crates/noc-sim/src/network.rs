@@ -25,6 +25,7 @@ use noc_model::{route_xy, route_yx, Mesh, PacketClass, RouteDir, TileId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 const P_NORTH: usize = 0;
 const P_SOUTH: usize = 1;
@@ -106,6 +107,12 @@ struct Router {
     rr: [usize; NUM_PORTS],
     /// Total buffered flits (fast-path skip for idle routers).
     buffered: usize,
+    /// Occupancy bitmask over arbitration slots (`in_port * total_vcs +
+    /// vc`): bit set iff that input VC has a buffered flit. Lets switch
+    /// allocation iterate only occupied slots instead of scanning all
+    /// `NUM_PORTS × total_vcs` of them; requires that product ≤ 64
+    /// (asserted in `Network::new`).
+    occ: u64,
 }
 
 impl Router {
@@ -126,6 +133,7 @@ impl Router {
                 .collect(),
             rr: [0; NUM_PORTS],
             buffered: 0,
+            occ: 0,
         }
     }
 }
@@ -166,12 +174,74 @@ fn class_index(class: PacketClass) -> usize {
     }
 }
 
+/// Dense index set over tiles, iterated in ascending order.
+///
+/// Activity-tracking invariant: a router's bit is set iff `buffered > 0`
+/// (an NI's bit iff `pending()`), so the per-cycle loops visit only tiles
+/// with work. Ascending iteration order is load-bearing: the report's f64
+/// accumulators are summed in delivery order, so visiting routers in any
+/// other order would change low bits of the totals and break bit-exact
+/// reproducibility against the pre-optimization simulator.
+#[derive(Debug, Clone)]
+struct ActiveSet {
+    words: Vec<u64>,
+}
+
+impl ActiveSet {
+    fn new(n: usize) -> Self {
+        ActiveSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+}
+
+/// A flit crossing a link this cycle, to be buffered at the downstream
+/// router once the per-router pass completes.
+struct Delivery {
+    router: usize,
+    port: usize,
+    vc: usize,
+    flit: Flit,
+    ready: u64,
+}
+
+/// A credit returned upstream once the per-router pass completes.
+enum Credit {
+    Router {
+        router: usize,
+        port: usize,
+        vc: usize,
+    },
+    Ni {
+        tile: usize,
+        vc: usize,
+    },
+}
+
 /// The simulator.
 pub struct Network {
     cfg: SimConfig,
     routers: Vec<Router>,
     nis: Vec<Ni>,
+    /// Packet metadata slab: slots are recycled through `free_packet_ids`
+    /// when a packet's tail flit ejects, so memory stays proportional to
+    /// the number of *in-flight* packets rather than total injections.
     packets: Vec<PacketInfo>,
+    /// Recycled slab slots available for the next spawned packet.
+    free_packet_ids: Vec<PacketId>,
+    /// Current / peak number of live slab entries (memory telemetry).
+    live_packets: usize,
+    peak_live_packets: usize,
     sources: Vec<SourceSpec>,
     /// Nearest memory controller per tile, precomputed.
     nearest_mc: Vec<TileId>,
@@ -183,10 +253,22 @@ pub struct Network {
     inflight_total: u64,
     /// Flits forwarded over inter-router links (all phases).
     link_flit_traversals: u64,
-    /// Peak total buffered flits across the network.
+    /// Total flits buffered anywhere in the network right now
+    /// (incrementally maintained; replaces the per-cycle O(routers) scan).
+    total_buffered: usize,
+    /// Peak total buffered flits across the network, sampled at the end of
+    /// every cycle (same sampling point as the original scan).
     peak_buffered: usize,
     /// Cycles actually simulated.
     cycles_run: u64,
+    /// Routers with at least one buffered flit.
+    active_routers: ActiveSet,
+    /// NIs with a queued or mid-injection packet.
+    active_nis: ActiveSet,
+    /// Reusable per-cycle scratch (cleared, never dropped, so the steady
+    /// state allocates nothing).
+    scratch_deliveries: Vec<Delivery>,
+    scratch_credits: Vec<Credit>,
 }
 
 impl Network {
@@ -206,6 +288,10 @@ impl Network {
             assert!(s.group < num_groups, "group id out of range");
         }
         let vcs = cfg.total_vcs();
+        assert!(
+            NUM_PORTS * vcs <= 64,
+            "arbitration occupancy mask is a u64: NUM_PORTS * total_vcs must be <= 64"
+        );
         let depth = cfg.buffer_depth;
         let nearest_mc = cfg
             .mesh
@@ -216,6 +302,9 @@ impl Network {
             routers: (0..n).map(|_| Router::new(vcs, depth)).collect(),
             nis: (0..n).map(|_| Ni::new(vcs, depth)).collect(),
             packets: Vec::new(),
+            free_packet_ids: Vec::new(),
+            live_packets: 0,
+            peak_live_packets: 0,
             sources,
             nearest_mc,
             rng: SmallRng::seed_from_u64(cfg.seed),
@@ -227,8 +316,13 @@ impl Network {
             inflight_measured: 0,
             inflight_total: 0,
             link_flit_traversals: 0,
+            total_buffered: 0,
             peak_buffered: 0,
             cycles_run: 0,
+            active_routers: ActiveSet::new(n),
+            active_nis: ActiveSet::new(n),
+            scratch_deliveries: Vec::new(),
+            scratch_credits: Vec::new(),
             cfg,
         }
     }
@@ -236,6 +330,7 @@ impl Network {
     /// Run the configured warm-up + measurement + drain, returning the
     /// report.
     pub fn run(mut self) -> SimReport {
+        let wall_start = Instant::now();
         let inject_end = self.cfg.warmup_cycles + self.cfg.measure_cycles;
         let drain_end = inject_end + self.cfg.max_drain_cycles;
         let mut cycle = 0u64;
@@ -245,8 +340,10 @@ impl Network {
             }
             self.inject(cycle);
             self.step_routers(cycle);
-            let buffered: usize = self.routers.iter().map(|r| r.buffered).sum();
-            self.peak_buffered = self.peak_buffered.max(buffered);
+            // `total_buffered` is maintained incrementally; sampling it here
+            // (after deliveries are applied) matches the original
+            // end-of-cycle scan point exactly.
+            self.peak_buffered = self.peak_buffered.max(self.total_buffered);
             cycle += 1;
         }
         self.cycles_run = cycle;
@@ -259,6 +356,9 @@ impl Network {
             num_links: 2
                 * (self.cfg.mesh.rows() * (self.cfg.mesh.cols() - 1)
                     + self.cfg.mesh.cols() * (self.cfg.mesh.rows() - 1)),
+            peak_live_packets: self.peak_live_packets,
+            packet_slab_slots: self.packets.len(),
+            wall_nanos: wall_start.elapsed().as_nanos() as u64,
         };
         self.report
     }
@@ -320,9 +420,24 @@ impl Network {
             hops,
             measured,
         };
-        let id = self.packets.len() as PacketId;
-        self.packets.push(info);
+        // Slab allocation: reuse a slot freed by a delivered packet if one
+        // exists. Packet ids carry no ordering semantics anywhere in the
+        // router pipeline, so recycling them cannot change behaviour.
+        let id = match self.free_packet_ids.pop() {
+            Some(id) => {
+                self.packets[id as usize] = info;
+                id
+            }
+            None => {
+                let id = self.packets.len() as PacketId;
+                self.packets.push(info);
+                id
+            }
+        };
+        self.live_packets += 1;
+        self.peak_live_packets = self.peak_live_packets.max(self.live_packets);
         self.nis[src.index()].queues[class_index(class)].push_back(id);
+        self.active_nis.insert(src.index());
         self.inflight_total += 1;
         if measured {
             self.inflight_measured += 1;
@@ -334,60 +449,87 @@ impl Network {
     fn inject(&mut self, cycle: u64) {
         let stages = self.cfg.router_stages;
         let vpc = self.cfg.vcs_per_class;
-        for t in 0..self.nis.len() {
-            if !self.nis[t].pending() {
-                continue;
-            }
-            // Select a packet if none is mid-injection.
-            if self.nis[t].current.is_none() {
-                let rr = self.nis[t].rr_class;
-                let mut selected = None;
-                for off in 0..2 {
-                    let class = (rr + off) % 2;
-                    if self.nis[t].queues[class].is_empty() {
-                        continue;
-                    }
-                    // Pick the class VC with the most credits.
-                    let range = class * vpc..(class + 1) * vpc;
-                    if let Some(vc) = range
-                        .clone()
-                        .filter(|&v| self.nis[t].credits[v] > 0)
-                        .max_by_key(|&v| self.nis[t].credits[v])
-                    {
-                        let pid = self.nis[t].queues[class].pop_front().expect("non-empty");
-                        selected = Some((pid, 0u16, vc));
-                        self.nis[t].rr_class = (class + 1) % 2;
-                        break;
-                    }
+        // Visit only NIs with queued or mid-injection packets, in ascending
+        // tile order (same order as the original full scan). The word is
+        // snapshotted because the only in-pass mutation is clearing the
+        // current tile's own bit.
+        for w in 0..self.active_nis.words.len() {
+            let mut bits = self.active_nis.words[w];
+            while bits != 0 {
+                let t = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.inject_tile(t, cycle, stages, vpc);
+                if !self.nis[t].pending() {
+                    self.active_nis.remove(t);
                 }
-                self.nis[t].current = selected;
-            }
-            // Push one flit of the current packet if credit allows.
-            if let Some((pid, idx, vc)) = self.nis[t].current {
-                if self.nis[t].credits[vc] == 0 {
-                    continue;
-                }
-                let len = self.packets[pid as usize].len;
-                let flit = Flit {
-                    packet: pid,
-                    is_head: idx == 0,
-                    is_tail: idx + 1 == len,
-                };
-                self.nis[t].credits[vc] -= 1;
-                self.routers[t].inputs[P_LOCAL][vc]
-                    .buf
-                    .push_back(TimedFlit {
-                        flit,
-                        ready: cycle + stages,
-                    });
-                self.routers[t].buffered += 1;
-                self.nis[t].current = if idx + 1 == len {
-                    None
-                } else {
-                    Some((pid, idx + 1, vc))
-                };
             }
         }
+    }
+
+    /// One NI's injection step: select a packet if idle, then push one flit
+    /// into the router's local input port, credit-gated.
+    fn inject_tile(&mut self, t: usize, cycle: u64, stages: u64, vpc: usize) {
+        // Select a packet if none is mid-injection.
+        if self.nis[t].current.is_none() {
+            let rr = self.nis[t].rr_class;
+            let mut selected = None;
+            for off in 0..2 {
+                let class = (rr + off) % 2;
+                if self.nis[t].queues[class].is_empty() {
+                    continue;
+                }
+                // Pick the class VC with the most credits.
+                let range = class * vpc..(class + 1) * vpc;
+                if let Some(vc) = range
+                    .clone()
+                    .filter(|&v| self.nis[t].credits[v] > 0)
+                    .max_by_key(|&v| self.nis[t].credits[v])
+                {
+                    let pid = self.nis[t].queues[class].pop_front().expect("non-empty");
+                    selected = Some((pid, 0u16, vc));
+                    self.nis[t].rr_class = (class + 1) % 2;
+                    break;
+                }
+            }
+            self.nis[t].current = selected;
+        }
+        // Push one flit of the current packet if credit allows.
+        if let Some((pid, idx, vc)) = self.nis[t].current {
+            if self.nis[t].credits[vc] == 0 {
+                return;
+            }
+            let len = self.packets[pid as usize].len;
+            let flit = Flit {
+                packet: pid,
+                is_head: idx == 0,
+                is_tail: idx + 1 == len,
+            };
+            self.nis[t].credits[vc] -= 1;
+            self.routers[t].inputs[P_LOCAL][vc]
+                .buf
+                .push_back(TimedFlit {
+                    flit,
+                    ready: cycle + stages,
+                });
+            self.buffer_flit_at(t, P_LOCAL, vc);
+            self.nis[t].current = if idx + 1 == len {
+                None
+            } else {
+                Some((pid, idx + 1, vc))
+            };
+        }
+    }
+
+    /// Bookkeeping for a flit entering router `r`'s input VC `(port, vc)`:
+    /// per-router and global counters, the occupancy mask, and the activity
+    /// worklist.
+    #[inline]
+    fn buffer_flit_at(&mut self, r: usize, port: usize, vc: usize) {
+        let router = &mut self.routers[r];
+        router.buffered += 1;
+        router.occ |= 1 << (port * self.cfg.total_vcs() + vc);
+        self.total_buffered += 1;
+        self.active_routers.insert(r);
     }
 
     /// One cycle of router operation: routing, VC allocation, switch
@@ -395,27 +537,13 @@ impl Network {
     fn step_routers(&mut self, cycle: u64) {
         // External effects collected during the per-router pass and applied
         // afterwards: deliveries to neighbour buffers and credits returned
-        // to upstream routers / NIs.
-        struct Delivery {
-            router: usize,
-            port: usize,
-            vc: usize,
-            flit: Flit,
-            ready: u64,
-        }
-        enum Credit {
-            Router {
-                router: usize,
-                port: usize,
-                vc: usize,
-            },
-            Ni {
-                tile: usize,
-                vc: usize,
-            },
-        }
-        let mut deliveries: Vec<Delivery> = Vec::new();
-        let mut credits: Vec<Credit> = Vec::new();
+        // to upstream routers / NIs. The buffers are owned by `Network` and
+        // reused every cycle so the steady state allocates nothing; they are
+        // taken out here to keep the borrow checker happy while the pass
+        // also borrows `self`.
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
+        let mut credits = std::mem::take(&mut self.scratch_credits);
+        debug_assert!(deliveries.is_empty() && credits.is_empty());
         let mesh = self.cfg.mesh;
         let stages = self.cfg.router_stages;
         let link = self.cfg.link_cycles;
@@ -423,10 +551,77 @@ impl Network {
         let vpc = self.cfg.vcs_per_class;
         let total_vcs = self.cfg.total_vcs();
 
-        for r in 0..self.routers.len() {
-            if self.routers[r].buffered == 0 {
-                continue;
+        // Visit only routers on the activity worklist, in ascending index
+        // order (a requirement for bit-identical reports: f64 latency sums
+        // are accumulated in visit order). The per-word snapshot is safe
+        // because the pass only *clears* bits; deliveries re-insert below.
+        for w in 0..self.active_routers.words.len() {
+            let mut bits = self.active_routers.words[w];
+            while bits != 0 {
+                let r = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.routers[r].buffered == 0 {
+                    self.active_routers.remove(r);
+                    continue;
+                }
+                self.step_router(
+                    r,
+                    cycle,
+                    mesh,
+                    stages,
+                    link,
+                    per_hop,
+                    vpc,
+                    total_vcs,
+                    &mut deliveries,
+                    &mut credits,
+                );
+                if self.routers[r].buffered == 0 {
+                    self.active_routers.remove(r);
+                }
             }
+        }
+
+        for d in deliveries.drain(..) {
+            self.routers[d.router].inputs[d.port][d.vc]
+                .buf
+                .push_back(TimedFlit {
+                    flit: d.flit,
+                    ready: d.ready,
+                });
+            self.buffer_flit_at(d.router, d.port, d.vc);
+        }
+        for c in credits.drain(..) {
+            match c {
+                Credit::Router { router, port, vc } => {
+                    self.routers[router].outputs[port][vc].credits += 1;
+                }
+                Credit::Ni { tile, vc } => {
+                    self.nis[tile].credits[vc] += 1;
+                }
+            }
+        }
+        self.scratch_deliveries = deliveries;
+        self.scratch_credits = credits;
+    }
+
+    /// One cycle of a single router `r`: routing, VC allocation, switch
+    /// allocation, traversal, credit return.
+    #[allow(clippy::too_many_arguments)]
+    fn step_router(
+        &mut self,
+        r: usize,
+        cycle: u64,
+        mesh: Mesh,
+        stages: u64,
+        link: u64,
+        per_hop: u64,
+        vpc: usize,
+        total_vcs: usize,
+        deliveries: &mut Vec<Delivery>,
+        credits: &mut Vec<Credit>,
+    ) {
+        {
             let here = TileId(r);
             // One crossbar input per port and cycle (switch allocation's
             // physical constraint), unless disabled for ablation.
@@ -437,53 +632,64 @@ impl Network {
                 let mut winner: Option<(usize, usize)> = None; // (in_port, vc)
                 let rr_start = self.routers[r].rr[out_port];
                 let slots = NUM_PORTS * total_vcs;
-                for s in 0..slots {
-                    let slot = (rr_start + s) % slots;
-                    let (in_port, vc) = (slot / total_vcs, slot % total_vcs);
-                    if self.cfg.crossbar_input_limit && input_used[in_port] {
-                        continue;
-                    }
-                    // Routing + VC allocation for the front flit.
-                    let front = match self.routers[r].inputs[in_port][vc].buf.front() {
-                        Some(tf) if tf.ready <= cycle => tf.flit,
-                        _ => continue,
-                    };
-                    let info = &self.packets[front.packet as usize];
-                    if self.routers[r].inputs[in_port][vc].route.is_none() {
-                        debug_assert!(front.is_head, "routing state lost mid-packet");
-                        let dir = match self.cfg.routing {
-                            RoutingKind::Xy => route_xy(&mesh, here, info.dst),
-                            RoutingKind::Yx => route_yx(&mesh, here, info.dst),
+                // Visit only occupied slots (the original loop scanned all
+                // `slots` and skipped empty buffers via `front() == None`),
+                // in identical round-robin order: ascending from `rr_start`,
+                // then the wrap-around below it.
+                let occ = self.routers[r].occ;
+                let parts = [occ & (u64::MAX << rr_start), occ & !(u64::MAX << rr_start)];
+                'scan: for mut part in parts {
+                    while part != 0 {
+                        let slot = part.trailing_zeros() as usize;
+                        part &= part - 1;
+                        let (in_port, vc) = (slot / total_vcs, slot % total_vcs);
+                        if self.cfg.crossbar_input_limit && input_used[in_port] {
+                            continue;
+                        }
+                        // Routing + VC allocation for the front flit.
+                        let front = match self.routers[r].inputs[in_port][vc].buf.front() {
+                            Some(tf) if tf.ready <= cycle => tf.flit,
+                            _ => continue,
                         };
-                        self.routers[r].inputs[in_port][vc].route = Some(port_of(dir));
-                    }
-                    if self.routers[r].inputs[in_port][vc].route != Some(out_port) {
-                        continue;
-                    }
-                    if out_port != P_LOCAL && self.routers[r].inputs[in_port][vc].out_vc.is_none() {
-                        let class = class_index(info.class);
-                        let range = class * vpc..(class + 1) * vpc;
-                        let free = range
-                            .clone()
-                            .find(|&v| !self.routers[r].outputs[out_port][v].busy);
-                        if let Some(v) = free {
-                            self.routers[r].outputs[out_port][v].busy = true;
-                            self.routers[r].inputs[in_port][vc].out_vc = Some(v);
-                        } else {
-                            continue; // no VC available this cycle
+                        let info = &self.packets[front.packet as usize];
+                        if self.routers[r].inputs[in_port][vc].route.is_none() {
+                            debug_assert!(front.is_head, "routing state lost mid-packet");
+                            let dir = match self.cfg.routing {
+                                RoutingKind::Xy => route_xy(&mesh, here, info.dst),
+                                RoutingKind::Yx => route_yx(&mesh, here, info.dst),
+                            };
+                            self.routers[r].inputs[in_port][vc].route = Some(port_of(dir));
                         }
-                    }
-                    if out_port != P_LOCAL {
-                        let ovc = self.routers[r].inputs[in_port][vc]
-                            .out_vc
-                            .expect("allocated");
-                        if self.routers[r].outputs[out_port][ovc].credits == 0 {
-                            continue; // downstream buffer full
+                        if self.routers[r].inputs[in_port][vc].route != Some(out_port) {
+                            continue;
                         }
+                        if out_port != P_LOCAL
+                            && self.routers[r].inputs[in_port][vc].out_vc.is_none()
+                        {
+                            let class = class_index(info.class);
+                            let range = class * vpc..(class + 1) * vpc;
+                            let free = range
+                                .clone()
+                                .find(|&v| !self.routers[r].outputs[out_port][v].busy);
+                            if let Some(v) = free {
+                                self.routers[r].outputs[out_port][v].busy = true;
+                                self.routers[r].inputs[in_port][vc].out_vc = Some(v);
+                            } else {
+                                continue; // no VC available this cycle
+                            }
+                        }
+                        if out_port != P_LOCAL {
+                            let ovc = self.routers[r].inputs[in_port][vc]
+                                .out_vc
+                                .expect("allocated");
+                            if self.routers[r].outputs[out_port][ovc].credits == 0 {
+                                continue; // downstream buffer full
+                            }
+                        }
+                        winner = Some((in_port, vc));
+                        self.routers[r].rr[out_port] = (slot + 1) % slots;
+                        break 'scan;
                     }
-                    winner = Some((in_port, vc));
-                    self.routers[r].rr[out_port] = (slot + 1) % slots;
-                    break;
                 }
                 let Some((in_port, vc)) = winner else {
                     continue;
@@ -494,7 +700,11 @@ impl Network {
                     .buf
                     .pop_front()
                     .expect("winner has a flit");
+                if self.routers[r].inputs[in_port][vc].buf.is_empty() {
+                    self.routers[r].occ &= !(1 << (in_port * total_vcs + vc));
+                }
                 self.routers[r].buffered -= 1;
+                self.total_buffered -= 1;
                 let flit = tf.flit;
                 let info = &self.packets[flit.packet as usize];
                 // Credit back to whoever feeds this input VC.
@@ -525,6 +735,10 @@ impl Network {
                             self.inflight_measured -= 1;
                         }
                         self.inflight_total -= 1;
+                        // The tail leaving the network means no live flit
+                        // references this id any more: recycle the slab slot.
+                        self.free_packet_ids.push(flit.packet);
+                        self.live_packets -= 1;
                     }
                 } else {
                     let ovc = self.routers[r].inputs[in_port][vc]
@@ -550,26 +764,6 @@ impl Network {
                 if flit.is_tail {
                     self.routers[r].inputs[in_port][vc].route = None;
                     self.routers[r].inputs[in_port][vc].out_vc = None;
-                }
-            }
-        }
-
-        for d in deliveries {
-            self.routers[d.router].inputs[d.port][d.vc]
-                .buf
-                .push_back(TimedFlit {
-                    flit: d.flit,
-                    ready: d.ready,
-                });
-            self.routers[d.router].buffered += 1;
-        }
-        for c in credits {
-            match c {
-                Credit::Router { router, port, vc } => {
-                    self.routers[router].outputs[port][vc].credits += 1;
-                }
-                Credit::Ni { tile, vc } => {
-                    self.nis[tile].credits[vc] += 1;
                 }
             }
         }
@@ -710,12 +904,16 @@ mod tests {
         let mesh = Mesh::square(4);
         let mut cfg = quiet_config(mesh);
         cfg.warmup_cycles = 0;
-        cfg.measure_cycles = 60_000;
+        // ~3000 packets: the sample std of mean hops is ≈0.03, so the 0.15
+        // tolerance is ~5σ and the test is robust to the RNG stream (the
+        // original 60k-cycle/0.01-rate version sampled only ~580 packets
+        // and sat within 3σ of failure).
+        cfg.measure_cycles = 150_000;
         cfg.seed = 3;
         let src = SourceSpec {
             tile: TileId(0),
             group: 0,
-            cache: Schedule::Constant(0.01),
+            cache: Schedule::Constant(0.02),
             mem: Schedule::Constant(0.0),
         };
         let report = Network::new(cfg, vec![src], 1).run();

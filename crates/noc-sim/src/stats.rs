@@ -16,7 +16,12 @@ const NUM_BUCKETS: usize = 64;
 const BUCKET_WIDTH: u64 = 2;
 
 /// Latency accumulator for one bucket (group or class).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every counter bit-for-bit (including the f64
+/// sums), which is exactly what the determinism regression tests need:
+/// two runs with the same seed must produce accumulators that compare
+/// equal under `==`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyAccum {
     pub packets: u64,
     pub total_latency: f64,
@@ -124,7 +129,7 @@ impl LatencyAccum {
 
 /// Aggregate network-level counters (all simulation phases, not just the
 /// measurement window).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetworkStats {
     /// Flits forwarded over inter-router links.
     pub link_flit_traversals: u64,
@@ -134,6 +139,17 @@ pub struct NetworkStats {
     pub cycles_run: u64,
     /// Unidirectional inter-router links in the mesh.
     pub num_links: usize,
+    /// Peak number of packets simultaneously alive (queued at an NI or with
+    /// flits in the network). Bounds the packet-table footprint.
+    pub peak_live_packets: usize,
+    /// Final size of the packet slab: with slot recycling this tracks
+    /// `peak_live_packets`, not the total packet count.
+    pub packet_slab_slots: usize,
+    /// Wall-clock time of the whole `run()` call, in nanoseconds. The only
+    /// nondeterministic field of a report; excluded from [`semantic_eq`].
+    ///
+    /// [`semantic_eq`]: NetworkStats::semantic_eq
+    pub wall_nanos: u64,
 }
 
 impl NetworkStats {
@@ -144,6 +160,35 @@ impl NetworkStats {
         } else {
             self.link_flit_traversals as f64 / (self.cycles_run as f64 * self.num_links as f64)
         }
+    }
+
+    /// Simulator throughput: simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.cycles_run as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// Work throughput: link flit-traversals per wall-clock second.
+    pub fn flit_hops_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.link_flit_traversals as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// Equality of everything the simulation semantics determine — i.e.
+    /// all counters except the wall-clock measurement.
+    pub fn semantic_eq(&self, other: &NetworkStats) -> bool {
+        self.link_flit_traversals == other.link_flit_traversals
+            && self.peak_buffered_flits == other.peak_buffered_flits
+            && self.cycles_run == other.cycles_run
+            && self.num_links == other.num_links
+            && self.peak_live_packets == other.peak_live_packets
+            && self.packet_slab_slots == other.packet_slab_slots
     }
 }
 
@@ -242,6 +287,22 @@ impl SimReport {
     /// Total flits injected by measured packets.
     pub fn total_flits(&self) -> u64 {
         self.cache.total_flits + self.memory.total_flits
+    }
+
+    /// Equality of everything a fixed seed determines: every accumulator
+    /// (bit-for-bit, including f64 sums) and every network counter except
+    /// the wall-clock time. Two runs of the same seeded scenario must
+    /// satisfy `a.semantic_eq(&b)` — the regression tests rely on it.
+    pub fn semantic_eq(&self, other: &SimReport) -> bool {
+        self.groups == other.groups
+            && self.per_source == other.per_source
+            && self.cache == other.cache
+            && self.memory == other.memory
+            && self.measured_cycles == other.measured_cycles
+            && self.injected == other.injected
+            && self.delivered == other.delivered
+            && self.fully_drained == other.fully_drained
+            && self.network.semantic_eq(&other.network)
     }
 
     /// One-line human summary.

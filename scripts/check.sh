@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate. Run from anywhere; exits non-zero on the first
+# failure. This is what CI (and reviewers) should run before merging:
+#
+#   1. rustfmt          — formatting must be canonical (`--check`, no writes)
+#   2. clippy           — whole workspace incl. tests/benches, warnings fatal
+#   3. tier-1 gate      — release build + full test suite
+#
+# The tier-1 commands match ROADMAP.md; `--workspace` matters because the
+# root package is a facade crate and a bare `cargo build` would silently
+# skip obm-bench and the vendored crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --workspace
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --workspace
+
+echo "All checks passed."

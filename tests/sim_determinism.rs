@@ -1,0 +1,175 @@
+//! Simulator determinism and conservation tests.
+//!
+//! The cycle-level simulator is only useful as an experimental instrument
+//! if a fixed seed reproduces a run exactly — across repeated runs in one
+//! process and across the performance work done on the hot loop (activity
+//! worklists, scratch buffers, packet-slab recycling must all be invisible
+//! to the simulated semantics). These tests pin that contract:
+//!
+//! 1. two runs of the same seeded scenario compare equal under
+//!    [`SimReport::semantic_eq`] (bit-for-bit, wall-clock excluded);
+//! 2. a small seeded scenario reproduces golden values captured from the
+//!    pre-optimization simulator — any drift means simulated semantics
+//!    changed, which is a bug even if the new numbers look plausible;
+//! 3. packet and flit conservation hold under randomized loads, buffer
+//!    depths and VC counts (property-based).
+//!
+//! [`SimReport::semantic_eq`]: obm::sim::SimReport::semantic_eq
+
+use obm::model::{MemoryControllers, Mesh, TileId};
+use obm::sim::{Network, Schedule, SimConfig, SimReport, SourceSpec};
+use proptest::prelude::*;
+
+/// The pinned scenario: 4×4 mesh, one far memory controller, mixed
+/// classes, moderate contention, seed 42. Identical to `scenario_small`
+/// in `crates/noc-sim/examples/report_dump.rs`, which regenerates the
+/// golden values below.
+fn small_scenario() -> SimReport {
+    let mesh = Mesh::square(4);
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+    cfg.warmup_cycles = 500;
+    cfg.measure_cycles = 3_000;
+    cfg.max_drain_cycles = 20_000;
+    cfg.seed = 42;
+    let sources: Vec<SourceSpec> = mesh
+        .tiles()
+        .map(|t| SourceSpec {
+            tile: t,
+            group: t.index() % 2,
+            cache: Schedule::per_kilocycle(20.0),
+            mem: Schedule::per_kilocycle(4.0),
+        })
+        .collect();
+    Network::new(cfg, sources, 2).run()
+}
+
+#[test]
+fn identical_seeded_runs_produce_identical_reports() {
+    let a = small_scenario();
+    let b = small_scenario();
+    assert!(a.semantic_eq(&b), "seeded runs diverged");
+    // Spot-check that semantic_eq actually saw identical accumulators
+    // (PartialEq on LatencyAccum is bit-for-bit, f64 sums included).
+    assert_eq!(a.cache, b.cache);
+    assert_eq!(a.memory, b.memory);
+    assert_eq!(a.groups, b.groups);
+    assert_eq!(a.per_source, b.per_source);
+    // wall_nanos is the one legitimately nondeterministic field; both runs
+    // must still have measured it.
+    assert!(a.network.wall_nanos > 0 && b.network.wall_nanos > 0);
+}
+
+/// Golden regression: values captured from the simulator *before* the
+/// hot-loop optimization work (activity worklists, occupancy-mask switch
+/// allocation, scratch buffers, packet-slab recycling). The optimized
+/// simulator must reproduce them bit-for-bit.
+#[test]
+fn pinned_golden_small_scenario() {
+    let r = small_scenario();
+    assert_eq!(r.injected, 1092);
+    assert_eq!(r.delivered, 1092);
+    assert!(r.fully_drained);
+    assert_eq!(r.measured_cycles, 3_000);
+    assert_eq!(r.network.link_flit_traversals, 9_592);
+    assert_eq!(r.network.peak_buffered_flits, 39);
+    assert_eq!(r.network.cycles_run, 3_520);
+    assert_eq!(r.network.num_links, 48);
+    assert_eq!(r.cache.packets, 896);
+    assert_eq!(r.cache.total_hops, 2_198);
+    assert_eq!(r.cache.total_flits, 2_676);
+    assert_eq!(r.cache.flit_hops, 6_362);
+    // Latencies are integer cycle counts summed into an f64, so the sum is
+    // exact and == is meaningful.
+    assert_eq!(r.cache.total_latency, 11_716.0);
+    assert_eq!(r.memory.packets, 196);
+    assert_eq!(r.memory.total_latency, 3_048.0);
+    assert!((r.g_apl() - 13.520146520146521).abs() < 1e-9);
+    assert!((r.max_apl() - 14.340823970037453).abs() < 1e-9);
+    assert!((r.mean_td_q() - 0.321970443349754).abs() < 1e-9);
+}
+
+/// Satellite for the peak-occupancy telemetry: `peak_buffered_flits` is now
+/// a counter maintained incrementally at flit push/pop instead of an
+/// O(routers) end-of-cycle scan; on the seeded contention scenario it must
+/// still report the value the scan measured.
+#[test]
+fn peak_buffered_flits_matches_pre_optimization_scan() {
+    let mesh = Mesh::square(4);
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    // All memory traffic from two heavy sources funnels into one corner
+    // controller — a deterministic hot-spot that exercises deep queues.
+    cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+    cfg.warmup_cycles = 0;
+    cfg.measure_cycles = 2_000;
+    cfg.max_drain_cycles = 50_000;
+    cfg.seed = 9;
+    let sources: Vec<SourceSpec> = (0..2)
+        .map(|t| SourceSpec {
+            tile: TileId(t),
+            group: 0,
+            cache: Schedule::Constant(0.3),
+            mem: Schedule::Constant(0.3),
+        })
+        .collect();
+    let a = Network::new(cfg.clone(), sources.clone(), 1).run();
+    let b = Network::new(cfg, sources, 1).run();
+    assert_eq!(a.network.peak_buffered_flits, b.network.peak_buffered_flits);
+    // Pinned regression value; the counter≡scan equivalence itself is proven
+    // by `pinned_golden_small_scenario` (39 there was measured by the old
+    // per-cycle scan).
+    assert_eq!(a.network.peak_buffered_flits, 79);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: with a drain budget generous enough to finish, every
+    /// injected (measured) packet is delivered exactly once, and the flit
+    /// totals agree across all three accounting axes (class, group,
+    /// source) — under random loads, buffer depths and VC counts.
+    #[test]
+    fn packets_and_flits_are_conserved(
+        n in 3usize..=4,
+        vcs in 1usize..=3,
+        depth in 2usize..=6,
+        cache_rate in 0.001f64..0.05,
+        mem_rate in 0.0f64..0.01,
+        seed in any::<u64>(),
+    ) {
+        let mesh = Mesh::square(n);
+        let mut cfg = SimConfig::paper_defaults(mesh);
+        cfg.vcs_per_class = vcs;
+        cfg.buffer_depth = depth;
+        cfg.warmup_cycles = 100;
+        cfg.measure_cycles = 1_500;
+        cfg.max_drain_cycles = 200_000;
+        cfg.seed = seed;
+        let sources: Vec<SourceSpec> = mesh
+            .tiles()
+            .map(|t| SourceSpec {
+                tile: t,
+                group: t.index() % 2,
+                cache: Schedule::Constant(cache_rate),
+                mem: Schedule::Constant(mem_rate),
+            })
+            .collect();
+        let r = Network::new(cfg, sources, 2).run();
+        prop_assert!(r.fully_drained, "drain budget exhausted");
+        prop_assert_eq!(r.injected, r.delivered);
+        // Class, group and source accounting must agree packet-by-packet.
+        let by_class = r.cache.packets + r.memory.packets;
+        let by_group: u64 = r.groups.iter().map(|g| g.packets).sum();
+        let by_source: u64 = r.per_source.iter().map(|s| s.packets).sum();
+        prop_assert_eq!(by_class, r.delivered);
+        prop_assert_eq!(by_group, r.delivered);
+        prop_assert_eq!(by_source, r.delivered);
+        let flits_by_class = r.cache.total_flits + r.memory.total_flits;
+        let flits_by_group: u64 = r.groups.iter().map(|g| g.total_flits).sum();
+        prop_assert_eq!(flits_by_class, flits_by_group);
+        let hops_by_class = r.cache.flit_hops + r.memory.flit_hops;
+        let hops_by_group: u64 = r.groups.iter().map(|g| g.flit_hops).sum();
+        prop_assert_eq!(hops_by_class, hops_by_group);
+        prop_assert_eq!(r.total_flit_hops(), hops_by_class);
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for `crossbeam` (API subset).
+//!
+//! The workspace uses `crossbeam::thread::scope` for fork–join parallelism
+//! (scoped threads borrowing stack data) and `crossbeam::channel` for
+//! worker→aggregator result passing. Since Rust 1.63, std has scoped
+//! threads, so this vendored crate is a thin adapter exposing crossbeam's
+//! signatures (`scope(|s| ...)` returning `thread::Result`, spawn closures
+//! receiving `&Scope`) over `std::thread::scope` and `std::sync::mpsc`.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning `Err` if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Spawn surface passed to the `scope` closure and to every spawned
+    /// thread's closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives the
+        /// scope again so it can spawn nested work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. Unlike crossbeam (which catches panics from
+    /// unjoined threads), std scoped threads propagate child panics on
+    /// scope exit, so the `Ok` wrapper here is unconditional — matching
+    /// callers that `.expect("crossbeam scope")` the result.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! Multi-producer channels over `std::sync::mpsc`.
+
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Sending half (cloneable).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), mpsc::SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half (cloneable, receivers share the queue).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.lock().expect("channel receiver poisoned").recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.lock().expect("channel receiver poisoned").try_recv()
+        }
+
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over received values; ends when all senders drop.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_in_order() {
+        let data = [3u64, 1, 4, 1, 5];
+        let doubled = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope");
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 42).join().expect("inner"))
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = crate::channel::unbounded();
+        crate::thread::scope(|s| {
+            for i in 0..4u32 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(i).expect("send"));
+            }
+            drop(tx);
+            let mut got: Vec<u32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        })
+        .expect("scope");
+    }
+}

@@ -1,0 +1,291 @@
+//! Offline stand-in for `proptest` (API subset, no shrinking).
+//!
+//! The build container cannot reach crates.io, so the workspace patches
+//! `proptest` to this vendored implementation. It covers the surface the
+//! workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(...)]`);
+//! - [`strategy::Strategy`] with `prop_map` / `prop_flat_map`;
+//! - range strategies (`0usize..16`, `2usize..=5`, `0.01f64..10.0`, ...),
+//!   tuple strategies up to 8 elements, [`strategy::Just`],
+//!   [`collection::vec`], [`bool::ANY`], and [`any`];
+//! - `prop_assert!` / `prop_assert_eq!` (plain assertions — on failure the
+//!   panic message carries the case; there is no shrinking phase).
+//!
+//! The runner is deterministic: each test's RNG is seeded from a hash of
+//! the test name, so failures reproduce run-to-run and across machines.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Runner configuration and the deterministic test RNG.
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Subset of proptest's config: only the case count is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// RNG handed to strategies; seeded per test from the test's name.
+    pub struct TestRng(pub(crate) SmallRng);
+
+    impl TestRng {
+        /// Deterministic per-test seed: FNV-1a over the test name.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(SmallRng::seed_from_u64(h))
+        }
+    }
+}
+
+pub mod collection {
+    //! `Vec` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length specification: a fixed size or a (half-open) range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.0.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Uniform `bool` strategy (proptest's `proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.0.gen_bool(0.5)
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! arb_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                use rand::RngCore;
+                rng.0.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_uniform_int!(u64, u32, u16, u8, usize, i64, i32, i16, i8, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        use rand::Rng;
+        rng.0.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        use rand::Rng;
+        // Finite, sign-symmetric, spanning a broad magnitude range.
+        let mag = rng.0.gen_range(-300.0..300.0);
+        let sign = if rng.0.gen_bool(0.5) { 1.0 } else { -1.0 };
+        sign * 10f64.powf(mag / 10.0)
+    }
+}
+
+/// Strategy producing any value of `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy(core::marker::PhantomData)
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property test. No shrinking: the assertion message (and
+/// any formatted context) is the whole diagnostic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written explicitly by the caller,
+/// as with real proptest) running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cases = ($cfg).cases;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items!{ config = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, f64)> {
+        (1usize..=4, any::<u64>())
+            .prop_flat_map(|(n, _seed)| (Just(n), 0.5f64..1.5))
+            .prop_map(|(n, x)| (n, x * n as f64))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..16, y in 2usize..=5, f in 0.25f64..4.0) {
+            prop_assert!(x < 16);
+            prop_assert!((2..=5).contains(&y));
+            prop_assert!((0.25..4.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u64..10, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn combinators_compose(p in arb_pair(), b in crate::bool::ANY) {
+            let (n, x) = p;
+            prop_assert!(x >= 0.5 * n as f64 && x < 1.5 * n as f64);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 5);
+        let mut r1 = crate::test_runner::TestRng::deterministic("t");
+        let mut r2 = crate::test_runner::TestRng::deterministic("t");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `rand` crate (API subset).
+//!
+//! The build container has no route to crates.io, so the workspace patches
+//! `rand` to this vendored implementation. It provides exactly the surface
+//! the workspace uses:
+//!
+//! - [`rngs::SmallRng`] — xoshiro256++ (the same algorithm the real
+//!   `rand 0.8` uses for `SmallRng` on 64-bit targets), seeded through
+//!   SplitMix64 like the real `SeedableRng::seed_from_u64`;
+//! - [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`];
+//! - [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`];
+//! - [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! Determinism contract: every method consumes a fixed number of draws from
+//! the underlying stream (`gen_bool` and `gen::<f64>` one draw; integer
+//! `gen_range` one draw; float `gen_range` one draw), so seeded simulations
+//! are bit-reproducible across platforms. The exact streams differ from the
+//! real `rand` crate (which uses rejection sampling in `gen_range`), which
+//! is fine: nothing in this workspace depends on upstream `rand`'s streams,
+//! only on self-consistent seeded reproducibility and statistical quality.
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level uniform word source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that `Rng::gen` can produce uniformly.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly from a range.
+///
+/// The trait layout mirrors the real crate (`T: SampleUniform` bound on
+/// `gen_range` plus blanket range impls below) because the bound is what
+/// drives inference: in `let n: usize = rng.gen_range(1..=7)` or
+/// `n + rng.gen_range(0..=2)`, the output type must flow back into the
+/// range literals, which only happens when the candidate set for `T` is
+/// pruned to `SampleUniform` implementors.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)` (`inclusive == false`) or `[lo, hi]`
+    /// (`inclusive == true`). Always consumes exactly one `next_u64`.
+    fn sample_single<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_single<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                // 128-bit multiply-shift (Lemire, no rejection): uniform
+                // enough for simulation purposes and always one draw.
+                if inclusive {
+                    assert!(lo <= hi, "empty gen_range");
+                    let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let x = ((rng.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+                    lo.wrapping_add(x as $t)
+                } else {
+                    assert!(lo < hi, "empty gen_range");
+                    let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                    let x = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    lo.wrapping_add(x as $t)
+                }
+            }
+        }
+    )*};
+}
+int_sample_uniform!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_single<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                assert!(lo < hi, "empty gen_range");
+                let u: f64 = Standard::sample(rng);
+                lo + (u as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+float_sample_uniform!(f64, f32);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_single(lo, hi, true, rng)
+    }
+}
+
+/// The user-facing random-value API (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw; always consumes exactly one `next_u64`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        let u: f64 = Standard::sample(self);
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64 (same construction as
+    /// the real crate's default implementation).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn gen_range_bounds_and_mean() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut sum = 0.0;
+        for _ in 0..100_000 {
+            let x = rng.gen_range(0..10usize);
+            assert!(x < 10);
+            sum += x as f64;
+        }
+        assert!((sum / 100_000.0 - 4.5).abs() < 0.05);
+        for _ in 0..1000 {
+            let f = rng.gen_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&f));
+            let i = rng.gen_range(1..=7);
+            assert!((1..=7).contains(&i));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use crate::seq::SliceRandom;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+}

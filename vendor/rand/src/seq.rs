@@ -1,0 +1,34 @@
+//! Sequence helpers (subset of `rand::seq`).
+
+use crate::RngCore;
+
+/// Extension trait for slices (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    type Item;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, `None` on an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = ((rng.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = ((rng.next_u64() as u128 * self.len() as u128) >> 64) as usize;
+            Some(&self[i])
+        }
+    }
+}

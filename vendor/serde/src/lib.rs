@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types but never
+//! feeds them to a serializer (no `serde_json` etc. in the dependency
+//! tree), so the derives only need to exist, not generate code. The
+//! container cannot reach crates.io; the workspace patches `serde` here.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

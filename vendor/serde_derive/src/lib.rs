@@ -1,0 +1,16 @@
+//! No-op derive macros for the vendored offline `serde` stand-in: the
+//! workspace only needs `#[derive(Serialize, Deserialize)]` to parse, not
+//! to generate impls, because nothing serializes (no serializer crate is
+//! in the offline dependency tree).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
