@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use noc_model::{Mesh, TileLatencies};
 use obm_bench::experiments::fig5;
 use obm_bench::harness::paper_instance;
-use obm_bench::sim_bridge::{simulate_mapping, sources_from_mapping};
+use obm_bench::sim_bridge::{simulate_mapping, traffic_from_mapping};
 use obm_core::algorithms::{random::random_averages, Global, Mapper, SortSelectSwap};
 use obm_core::evaluate;
 use workload::{PaperConfig, WorkloadBuilder};
@@ -118,7 +118,7 @@ fn validation(c: &mut Criterion) {
     let pi = paper_instance(PaperConfig::C2);
     let mapping = SortSelectSwap::default().map(&pi.instance, 0);
     c.bench_function("validate_source_construction", |b| {
-        b.iter(|| sources_from_mapping(&pi, &mapping))
+        b.iter(|| traffic_from_mapping(&pi, &mapping))
     });
     let mut group = c.benchmark_group("validate_simulation");
     group.sample_size(10);

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use noc_model::Mesh;
-use noc_sim::{Network, Schedule, SimConfig, SourceSpec};
+use noc_sim::{Network, Schedule, SimConfig, TrafficSpec};
 use obm_bench::harness::paper_instance;
 use obm_bench::sim_bridge::simulate_mapping;
 use obm_core::algorithms::{Mapper, SortSelectSwap};
@@ -19,16 +19,12 @@ fn uniform_sim(mesh_side: usize, cache_per_kcycle: f64, cycles: u64) -> noc_sim:
     cfg.measure_cycles = cycles;
     cfg.max_drain_cycles = 4 * cycles;
     cfg.seed = 7;
-    let sources: Vec<SourceSpec> = mesh
-        .tiles()
-        .map(|t| SourceSpec {
-            tile: t,
-            group: 0,
-            cache: Schedule::per_kilocycle(cache_per_kcycle),
-            mem: Schedule::per_kilocycle(cache_per_kcycle * 0.15),
-        })
-        .collect();
-    Network::new(cfg, sources, 1).run()
+    let traffic = TrafficSpec::uniform(
+        &mesh,
+        Schedule::per_kilocycle(cache_per_kcycle),
+        Schedule::per_kilocycle(cache_per_kcycle * 0.15),
+    );
+    Network::new(cfg, traffic).expect("valid scenario").run()
 }
 
 /// The headline number: C1 (8×8, paper Table 3 rates) through the real

@@ -5,7 +5,7 @@
 //! prediction. Closes the loop between Eq. (3) and the flit-level network.
 
 use noc_model::{Coord, Mesh, TileLatencies};
-use noc_sim::{Network, Schedule, SimConfig, SourceSpec};
+use noc_sim::{Network, Schedule, SimConfig, TrafficSpec};
 
 pub fn run(fast: bool) -> String {
     let mesh = Mesh::square(8);
@@ -16,16 +16,12 @@ pub fn run(fast: bool) -> String {
     cfg.seed = 23;
     let cache_rate = 7.0; // C1-scale
     let mem_rate = 0.9;
-    let sources: Vec<SourceSpec> = mesh
-        .tiles()
-        .map(|t| SourceSpec {
-            tile: t,
-            group: 0,
-            cache: Schedule::per_kilocycle(cache_rate),
-            mem: Schedule::per_kilocycle(mem_rate),
-        })
-        .collect();
-    let report = Network::new(cfg, sources, 1).run();
+    let traffic = TrafficSpec::uniform(
+        &mesh,
+        Schedule::per_kilocycle(cache_rate),
+        Schedule::per_kilocycle(mem_rate),
+    );
+    let report = Network::new(cfg, traffic).expect("valid scenario").run();
 
     // Analytic prediction of a tile's mixed APL.
     let tl = TileLatencies::paper_default(&mesh);

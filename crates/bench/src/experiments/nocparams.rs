@@ -5,27 +5,25 @@
 
 use crate::table::{f, MarkdownTable};
 use noc_model::Mesh;
-use noc_sim::{Network, Schedule, SimConfig, SourceSpec};
+use noc_sim::{Network, Schedule, SimConfig, TrafficSpec};
 
 fn run_point(vcs: usize, depth: usize, cycles: u64) -> noc_sim::SimReport {
     let mesh = Mesh::square(8);
-    let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.vcs_per_class = vcs;
-    cfg.buffer_depth = depth;
-    cfg.warmup_cycles = cycles / 10;
-    cfg.measure_cycles = cycles;
-    cfg.max_drain_cycles = 10 * cycles;
-    cfg.seed = 31;
-    let sources: Vec<SourceSpec> = mesh
-        .tiles()
-        .map(|t| SourceSpec {
-            tile: t,
-            group: 0,
-            cache: Schedule::per_kilocycle(7.0), // C1 scale
-            mem: Schedule::per_kilocycle(0.9),
-        })
-        .collect();
-    Network::new(cfg, sources, 1).run()
+    let cfg = SimConfig::builder(mesh)
+        .vcs_per_class(vcs)
+        .buffer_depth(depth)
+        .warmup_cycles(cycles / 10)
+        .measure_cycles(cycles)
+        .max_drain_cycles(10 * cycles)
+        .seed(31)
+        .build()
+        .expect("swept router parameters are valid");
+    let traffic = TrafficSpec::uniform(
+        &mesh,
+        Schedule::per_kilocycle(7.0), // C1 scale
+        Schedule::per_kilocycle(0.9),
+    );
+    Network::new(cfg, traffic).expect("valid scenario").run()
 }
 
 pub fn run(fast: bool) -> String {

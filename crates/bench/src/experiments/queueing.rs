@@ -6,7 +6,7 @@
 
 use crate::table::{f, MarkdownTable};
 use noc_model::{LinkLoads, MemoryControllers, Mesh, SourceLoad};
-use noc_sim::{Network, Schedule, SimConfig, SourceSpec};
+use noc_sim::{Network, Schedule, SimConfig, TrafficSpec};
 
 fn run_point(rate_per_kcycle: f64, cycles: u64) -> (f64, f64, f64) {
     let mesh = Mesh::square(8);
@@ -27,16 +27,14 @@ fn run_point(rate_per_kcycle: f64, cycles: u64) -> (f64, f64, f64) {
     cfg.measure_cycles = cycles;
     cfg.max_drain_cycles = 6 * cycles;
     cfg.seed = 11;
-    let sim_sources: Vec<SourceSpec> = mesh
-        .tiles()
-        .map(|t| SourceSpec {
-            tile: t,
-            group: 0,
-            cache: Schedule::per_kilocycle(rate_per_kcycle),
-            mem: Schedule::per_kilocycle(rate_per_kcycle * 0.15),
-        })
-        .collect();
-    let report = Network::new(cfg, sim_sources, 1).run();
+    let sim_traffic = TrafficSpec::uniform(
+        &mesh,
+        Schedule::per_kilocycle(rate_per_kcycle),
+        Schedule::per_kilocycle(rate_per_kcycle * 0.15),
+    );
+    let report = Network::new(cfg, sim_traffic)
+        .expect("valid scenario")
+        .run();
     (loads.mean_td_q(), report.mean_td_q(), loads.max_load())
 }
 

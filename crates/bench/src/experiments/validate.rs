@@ -5,8 +5,9 @@
 //! cycle band.
 
 use crate::harness::{all_paper_instances, paper_instance};
-use crate::sim_bridge::simulate_mapping;
+use crate::sim_bridge::simulate_mapping_probed;
 use crate::table::{f, MarkdownTable};
+use noc_sim::telemetry::{Phase, RingSink};
 use obm_core::algorithms::{Mapper, SortSelectSwap};
 use obm_core::evaluate;
 use workload::PaperConfig;
@@ -30,6 +31,8 @@ pub fn run(fast: bool) -> String {
         "td_q (cycles)",
         "drained",
         "Msim-cycles/s",
+        "peak win inj (flits/cyc)",
+        "peak win buffered",
     ]);
     // One worker per configuration (mapping + analytic model + seeded
     // simulation are all per-instance); joining in spawn order keeps the
@@ -41,8 +44,14 @@ pub fn run(fast: bool) -> String {
                 scope.spawn(move |_| {
                     let mapping = SortSelectSwap::default().map(&pi.instance, 0);
                     let analytic = evaluate(&pi.instance, &mapping);
-                    let sim = simulate_mapping(pi, &mapping, cycles, 7);
-                    (analytic, sim)
+                    // Probed run: windowed telemetry rides along with the
+                    // validation sweep at no semantic cost (bit-identical).
+                    let mut sink = RingSink::new(4096);
+                    let sim = simulate_mapping_probed(pi, &mapping, cycles, 7, &mut sink);
+                    let measure = || sink.windows().filter(|w| w.phase == Phase::Measure);
+                    let peak_inj = measure().map(|w| w.injection_rate()).fold(0.0f64, f64::max);
+                    let peak_buf = measure().map(|w| w.buffered_flits).max().unwrap_or(0);
+                    (analytic, sim, peak_inj, peak_buf)
                 })
             })
             .collect();
@@ -57,7 +66,7 @@ pub fn run(fast: bool) -> String {
     let mut total_cycles = 0u64;
     let mut total_flit_hops = 0u64;
     let mut total_wall_nanos = 0u64;
-    for (pi, (analytic, sim)) in instances.iter().zip(&results) {
+    for (pi, (analytic, sim, peak_inj, peak_buf)) in instances.iter().zip(&results) {
         let err = (sim.g_apl() - analytic.g_apl).abs() / analytic.g_apl;
         max_err = max_err.max(err);
         max_tdq = max_tdq.max(sim.mean_td_q());
@@ -73,6 +82,8 @@ pub fn run(fast: bool) -> String {
             f(sim.mean_td_q()),
             if sim.fully_drained { "yes" } else { "NO" }.to_string(),
             format!("{:.2}", sim.network.cycles_per_sec() / 1e6),
+            format!("{peak_inj:.3}"),
+            format!("{peak_buf}"),
         ]);
     }
     // Per-worker wall times, so the aggregate is per-thread simulator

@@ -1,31 +1,28 @@
 //! Bridge between the mapping layer and the cycle-level simulator:
-//! turn (instance, mapping, traces) into per-tile traffic sources and run
-//! the network.
+//! turn (instance, mapping, traces) into a [`TrafficSpec`] and run the
+//! network.
+//!
+//! The mean-rate glue lives in [`obm_core::traffic_spec`]; this module
+//! adds the trace-replay variant (epoch traces are a bench-harness
+//! concept) and the seeded run helpers the experiments share.
 
 use crate::harness::PaperInstance;
 use noc_model::Mesh;
-use noc_sim::{Network, Schedule, SimConfig, SimReport, SourceSpec};
+use noc_sim::telemetry::Probe;
+use noc_sim::{Network, Schedule, SimConfig, SimReport, SourceSpec, TrafficSpec};
 use obm_core::Mapping;
 
-/// Build the per-tile sources that a mapping induces: thread `j` of
-/// application `i` injects from tile `π(j)` at its average rates.
-pub fn sources_from_mapping(pi: &PaperInstance, mapping: &Mapping) -> Vec<SourceSpec> {
-    let inst = &pi.instance;
-    (0..inst.num_threads())
-        .map(|j| SourceSpec {
-            tile: mapping.tile_of(j),
-            group: inst.app_of_thread(j),
-            cache: Schedule::per_kilocycle(inst.cache_rate(j)),
-            mem: Schedule::per_kilocycle(inst.mem_rate(j)),
-        })
-        .collect()
+/// The traffic a mapping induces at mean rates: thread `j` of application
+/// `i` injects from tile `π(j)` at its average rates.
+pub fn traffic_from_mapping(pi: &PaperInstance, mapping: &Mapping) -> TrafficSpec {
+    obm_core::traffic_spec(&pi.instance, mapping)
 }
 
 /// Trace-replay variant: each thread's epoch trace drives a piecewise
 /// injection schedule instead of its mean rate.
-pub fn trace_sources_from_mapping(pi: &PaperInstance, mapping: &Mapping) -> Vec<SourceSpec> {
+pub fn trace_traffic_from_mapping(pi: &PaperInstance, mapping: &Mapping) -> TrafficSpec {
     let inst = &pi.instance;
-    (0..inst.num_threads())
+    let sources: Vec<SourceSpec> = (0..inst.num_threads())
         .map(|j| {
             let tr = &pi.traces.traces[j];
             SourceSpec {
@@ -35,7 +32,19 @@ pub fn trace_sources_from_mapping(pi: &PaperInstance, mapping: &Mapping) -> Vec<
                 mem: Schedule::trace_per_kilocycle(pi.traces.epoch_cycles, &tr.mem),
             }
         })
-        .collect()
+        .collect();
+    TrafficSpec::new(sources, inst.num_apps()).expect("valid mapping induces valid traffic")
+}
+
+/// The paper's Table 2 simulation config for a mapped instance, measuring
+/// `measure_cycles` cycles after a proportional warm-up.
+fn paper_sim_config(measure_cycles: u64, seed: u64) -> SimConfig {
+    let mesh = Mesh::square(8);
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.warmup_cycles = (measure_cycles / 10).max(1_000);
+    cfg.measure_cycles = measure_cycles;
+    cfg.seed = seed;
+    cfg
 }
 
 /// Run the cycle-level simulation of a mapping with the paper's Table 2
@@ -46,19 +55,32 @@ pub fn simulate_mapping(
     measure_cycles: u64,
     seed: u64,
 ) -> SimReport {
-    let mesh = Mesh::square(8);
-    let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.warmup_cycles = (measure_cycles / 10).max(1_000);
-    cfg.measure_cycles = measure_cycles;
-    cfg.seed = seed;
-    let sources = sources_from_mapping(pi, mapping);
-    Network::new(cfg, sources, pi.instance.num_apps()).run()
+    let cfg = paper_sim_config(measure_cycles, seed);
+    Network::new(cfg, traffic_from_mapping(pi, mapping))
+        .expect("paper scenario is valid")
+        .run()
+}
+
+/// [`simulate_mapping`], additionally streaming windowed telemetry to
+/// `probe`. Bit-identical to the unprobed run for any probe.
+pub fn simulate_mapping_probed(
+    pi: &PaperInstance,
+    mapping: &Mapping,
+    measure_cycles: u64,
+    seed: u64,
+    probe: &mut dyn Probe,
+) -> SimReport {
+    let cfg = paper_sim_config(measure_cycles, seed);
+    Network::new(cfg, traffic_from_mapping(pi, mapping))
+        .expect("paper scenario is valid")
+        .run_probed(probe)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::harness::paper_instance;
+    use noc_sim::telemetry::RingSink;
     use obm_core::algorithms::{Mapper, SortSelectSwap};
     use workload::PaperConfig;
 
@@ -66,9 +88,10 @@ mod tests {
     fn sources_cover_all_threads_once() {
         let pi = paper_instance(PaperConfig::C2);
         let mapping = SortSelectSwap::default().map(&pi.instance, 0);
-        let sources = sources_from_mapping(&pi, &mapping);
-        assert_eq!(sources.len(), 64);
-        let mut tiles: Vec<usize> = sources.iter().map(|s| s.tile.index()).collect();
+        let traffic = traffic_from_mapping(&pi, &mapping);
+        assert_eq!(traffic.sources().len(), 64);
+        assert_eq!(traffic.num_groups(), 4);
+        let mut tiles: Vec<usize> = traffic.sources().iter().map(|s| s.tile.index()).collect();
         tiles.sort_unstable();
         tiles.dedup();
         assert_eq!(tiles.len(), 64);
@@ -88,5 +111,16 @@ mod tests {
             (measured - analytic).abs() / analytic < 0.25,
             "analytic {analytic} vs simulated {measured}"
         );
+    }
+
+    #[test]
+    fn probed_simulation_is_bit_identical() {
+        let pi = paper_instance(PaperConfig::C1);
+        let mapping = SortSelectSwap::default().map(&pi.instance, 0);
+        let plain = simulate_mapping(&pi, &mapping, 5_000, 3);
+        let mut sink = RingSink::new(1024);
+        let probed = simulate_mapping_probed(&pi, &mapping, 5_000, 3, &mut sink);
+        assert!(plain.semantic_eq(&probed), "probe perturbed the run");
+        assert!(sink.windows().count() > 0);
     }
 }

@@ -3,7 +3,9 @@
 
 use crate::spec::{spec_from_workload, InstanceSpec};
 use noc_model::{LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
-use noc_sim::{Network, Schedule, SimConfig, SourceSpec};
+use noc_sim::telemetry::json::Value;
+use noc_sim::telemetry::JsonLinesSink;
+use noc_sim::{Network, SimConfig};
 use obm_core::algorithms::{
     BalancedGreedy, BranchAndBound, Global, Mapper, MonteCarlo, RandomMapper, SimulatedAnnealing,
     SortSelectSwap,
@@ -155,15 +157,10 @@ pub fn simulate_command(
     cfg.warmup_cycles = (cycles / 10).max(100);
     cfg.measure_cycles = cycles;
     cfg.seed = seed ^ 0xC0FFEE;
-    let sources: Vec<SourceSpec> = (0..inst.num_threads())
-        .map(|j| SourceSpec {
-            tile: mapping.tile_of(j),
-            group: inst.app_of_thread(j),
-            cache: Schedule::per_kilocycle(inst.cache_rate(j)),
-            mem: Schedule::per_kilocycle(inst.mem_rate(j)),
-        })
-        .collect();
-    let report = Network::new(cfg, sources, inst.num_apps()).run();
+    let traffic = obm_core::traffic_spec(&inst, &mapping);
+    let report = Network::new(cfg, traffic)
+        .map_err(|e| format!("invalid simulation config: {e}"))?
+        .run();
     let analytic = evaluate(&inst, &mapping);
     let mut out = String::new();
     out.push_str(&format!(
@@ -193,6 +190,65 @@ pub fn simulate_command(
         }
     ));
     Ok(out)
+}
+
+/// `obm experiments trace` — map and simulate a spec, emitting the full
+/// telemetry stream as JSON lines (machine-readable): one `meta` header,
+/// `solver` events from the mapping search, `window` records from the
+/// simulation, and a final `summary` line.
+pub fn trace_command(
+    spec_text: &str,
+    algo: &str,
+    seed: u64,
+    cycles: u64,
+    window: u64,
+) -> Result<String, String> {
+    let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let inst = spec.to_instance();
+    let mapper = mapper_by_name(algo)?;
+    let mesh = spec.mesh();
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.controllers = spec.memory_controllers();
+    cfg.warmup_cycles = (cycles / 10).max(100);
+    cfg.measure_cycles = cycles;
+    cfg.telemetry_window = window;
+    cfg.seed = seed ^ 0xC0FFEE;
+    cfg.validate()
+        .map_err(|e| format!("invalid simulation config: {e}"))?;
+
+    let mut sink = JsonLinesSink::new(Vec::new());
+    sink.write_value(&Value::obj([
+        ("type", Value::from("meta")),
+        ("algo", Value::from(mapper.name())),
+        ("seed", Value::from(seed)),
+        ("mesh_rows", Value::from(mesh.rows())),
+        ("mesh_cols", Value::from(mesh.cols())),
+        ("warmup_cycles", Value::from(cfg.warmup_cycles)),
+        ("measure_cycles", Value::from(cfg.measure_cycles)),
+        ("telemetry_window", Value::from(cfg.telemetry_window)),
+        ("threads", Value::from(inst.num_threads())),
+        ("apps", Value::from(inst.num_apps())),
+    ]));
+    let mapping = mapper.map_probed(&inst, seed, &mut sink);
+    let traffic = obm_core::traffic_spec(&inst, &mapping);
+    let report = Network::new(cfg, traffic)
+        .map_err(|e| format!("invalid simulation config: {e}"))?
+        .run_probed(&mut sink);
+    sink.write_value(&Value::obj([
+        ("type", Value::from("summary")),
+        ("cycles_run", Value::from(report.network.cycles_run)),
+        ("injected", Value::from(report.injected)),
+        ("delivered", Value::from(report.delivered)),
+        ("fully_drained", Value::Bool(report.fully_drained)),
+        ("g_apl", Value::from(report.g_apl())),
+        ("max_apl", Value::from(report.max_apl())),
+        ("mean_td_q", Value::from(report.mean_td_q())),
+    ]));
+    if let Some(e) = sink.error() {
+        return Err(format!("telemetry write failed: {e}"));
+    }
+    let bytes = sink.finish().map_err(|e| format!("flush failed: {e}"))?;
+    String::from_utf8(bytes).map_err(|e| format!("non-UTF-8 telemetry: {e}"))
 }
 
 /// `obm exact` — prove the optimal max-APL with branch-and-bound (small
@@ -359,6 +415,90 @@ thread 8.5 1.3
         let out = simulate_command(SPEC, "sss", 1, 5_000).unwrap();
         assert!(out.contains("simulated"), "{out}");
         assert!(!out.contains("undrained"), "{out}");
+    }
+
+    #[test]
+    fn trace_emits_parseable_windowed_series() {
+        use noc_sim::telemetry::json;
+
+        let cycles = 4_000u64;
+        let window = 500u64;
+        let out = trace_command(SPEC, "sss", 1, cycles, window).unwrap();
+        let values: Vec<json::Value> = out
+            .lines()
+            .map(|l| json::parse(l).expect("every line is valid JSON"))
+            .collect();
+        assert!(values.len() >= 3);
+
+        // Header carries the run geometry.
+        let meta = &values[0];
+        assert_eq!(meta.get("type").and_then(|v| v.as_str()), Some("meta"));
+        let measure_cycles = meta.get("measure_cycles").and_then(|v| v.as_u64()).unwrap();
+        assert_eq!(measure_cycles, cycles);
+
+        // Summary closes the stream.
+        let summary = values.last().unwrap();
+        assert_eq!(
+            summary.get("type").and_then(|v| v.as_str()),
+            Some("summary")
+        );
+        let cycles_run = summary.get("cycles_run").and_then(|v| v.as_u64()).unwrap();
+        let injected = summary.get("injected").and_then(|v| v.as_u64()).unwrap();
+        assert!(injected > 0);
+
+        // The SSS search must have contributed solver events.
+        assert!(
+            values
+                .iter()
+                .any(|v| v.get("type").and_then(|x| x.as_str()) == Some("solver")),
+            "no solver events in trace"
+        );
+
+        // Windowed series: every window line exposes the four series
+        // (injection rate, buffered flits, per-class mean latency, live
+        // packets); widths tile the run and rates stay in sane bounds.
+        let windows: Vec<&json::Value> = values
+            .iter()
+            .filter(|v| v.get("type").and_then(|x| x.as_str()) == Some("window"))
+            .collect();
+        assert!(!windows.is_empty(), "no window records in trace");
+        let mut covered = 0u64;
+        let mut measure_width = 0u64;
+        for w in &windows {
+            let start = w.get("start_cycle").and_then(|v| v.as_u64()).unwrap();
+            let end = w.get("end_cycle").and_then(|v| v.as_u64()).unwrap();
+            assert!(end > start, "empty window");
+            assert_eq!(start, covered, "windows must tile the run");
+            covered = end;
+            let inj_rate = w.get("injection_rate").and_then(|v| v.as_f64()).unwrap();
+            assert!((0.0..=100.0).contains(&inj_rate), "inj rate {inj_rate}");
+            let ej_rate = w.get("ejection_rate").and_then(|v| v.as_f64()).unwrap();
+            assert!((0.0..=100.0).contains(&ej_rate), "ej rate {ej_rate}");
+            assert!(w.get("buffered_flits").and_then(|v| v.as_u64()).is_some());
+            assert!(w.get("live_packets").and_then(|v| v.as_u64()).is_some());
+            let cache_mean = w
+                .get("cache")
+                .and_then(|c| c.get("mean_latency"))
+                .and_then(|v| v.as_f64())
+                .unwrap();
+            assert!(cache_mean >= 0.0);
+            if w.get("phase").and_then(|v| v.as_str()) == Some("measure") {
+                measure_width += end - start;
+            }
+        }
+        assert_eq!(covered, cycles_run, "windows must cover the whole run");
+        assert_eq!(
+            measure_width, cycles,
+            "measure-phase window widths must sum to the measured cycles"
+        );
+
+        // Windowed injection totals must reconcile with the summary (the
+        // windows count warmup+drain too, so they bound it from above).
+        let win_injected: u64 = windows
+            .iter()
+            .map(|w| w.get("injected_packets").and_then(|v| v.as_u64()).unwrap())
+            .sum();
+        assert!(win_injected >= injected);
     }
 
     #[test]

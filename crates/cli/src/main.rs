@@ -5,6 +5,8 @@
 //! obm map <spec> [--algo sss] [--seed S] [--grid]
 //! obm eval <spec> <mapping>                     mapping: one tile number per line
 //! obm simulate <spec> [--algo sss] [--cycles N] [--seed S]
+//! obm experiments trace <spec> [--algo sss] [--cycles N] [--seed S]
+//!                      [--window W] [--out FILE]        JSON-lines telemetry
 //! obm exact <spec> [--budget NODES]              prove the optimum (small chips)
 //! obm latency [--mesh N] [--controllers corners|edges]
 //! ```
@@ -22,6 +24,7 @@ USAGE:
   obm map <spec-file> [--algo sss|global|mc|sa|greedy|random] [--seed S] [--grid]
   obm eval <spec-file> <mapping-file>
   obm simulate <spec-file> [--algo NAME] [--cycles N] [--seed S]
+  obm experiments trace <spec-file> [--algo NAME] [--cycles N] [--seed S] [--window W] [--out FILE]
   obm exact <spec-file> [--budget NODES]
   obm latency [--mesh N] [--controllers corners|edges]
 
@@ -118,6 +121,39 @@ fn run() -> Result<String, String> {
             let seed = args.parse_flag::<u64>("seed", 0)?;
             let cycles = args.parse_flag::<u64>("cycles", 50_000)?;
             commands::simulate_command(&spec, algo, seed, cycles)
+        }
+        "experiments" => {
+            let sub = args
+                .positional
+                .first()
+                .ok_or("experiments needs a subcommand (trace)")?;
+            if sub != "trace" {
+                return Err(format!(
+                    "unknown experiments subcommand '{sub}' (try trace)"
+                ));
+            }
+            let spec = read(
+                args.positional
+                    .get(1)
+                    .ok_or("experiments trace needs a spec file")?,
+            )?;
+            let algo = args.value_flag("algo")?.unwrap_or("sss");
+            let seed = args.parse_flag::<u64>("seed", 0)?;
+            let cycles = args.parse_flag::<u64>("cycles", 20_000)?;
+            let window = args.parse_flag::<u64>("window", 1_000)?;
+            let out = commands::trace_command(&spec, algo, seed, cycles, window)?;
+            match args.value_flag("out")? {
+                Some(path) => {
+                    std::fs::write(path, &out).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    Ok(format!(
+                        "wrote {} JSON lines to {path}",
+                        out.lines().count()
+                    ))
+                }
+                // The JSON-lines stream already ends in a newline; trim it
+                // so main's println! doesn't add a blank trailing line.
+                None => Ok(out.trim_end().to_string()),
+            }
         }
         "exact" => {
             let spec = read(args.positional.first().ok_or("exact needs a spec file")?)?;

@@ -8,7 +8,7 @@
 //! ```
 
 use noc_model::{MemoryControllers, Mesh, TileId};
-use noc_sim::{LatencyAccum, Network, Schedule, SimConfig, SimReport, SourceSpec};
+use noc_sim::{LatencyAccum, Network, Schedule, SimConfig, SimReport, SourceSpec, TrafficSpec};
 
 fn dump_accum(label: &str, a: &LatencyAccum) {
     println!(
@@ -81,7 +81,8 @@ fn scenario_small() -> SimReport {
             mem: Schedule::per_kilocycle(4.0),
         })
         .collect();
-    Network::new(cfg, sources, 2).run()
+    let traffic = TrafficSpec::new(sources, 2).expect("valid traffic");
+    Network::new(cfg, traffic).expect("valid config").run()
 }
 
 /// Pinned scenario B: 8×8 mesh at the paper's C1-scale load, seed 7.
@@ -101,7 +102,8 @@ fn scenario_paper() -> SimReport {
             mem: Schedule::per_kilocycle(1.2),
         })
         .collect();
-    Network::new(cfg, sources, 4).run()
+    let traffic = TrafficSpec::new(sources, 4).expect("valid traffic");
+    Network::new(cfg, traffic).expect("valid config").run()
 }
 
 fn main() {

@@ -1,6 +1,23 @@
-//! Simulator configuration (paper Table 2 defaults).
+//! Simulator configuration (paper Table 2 defaults): the [`SimConfig`]
+//! struct, the [`SimConfigBuilder`], and the [`ConfigError`] type every
+//! constructor-path validation reports through.
+//!
+//! Configurations are plain data with public fields (tests and sweeps
+//! mutate them freely); validity is checked *at the boundary* — by
+//! [`SimConfig::validate`], called from [`SimConfigBuilder::build`] and
+//! [`Network::new`](crate::network::Network::new) — and reported as typed
+//! [`ConfigError`]s instead of panics, so callers (CLI, sweeps, property
+//! tests) can surface bad parameters without crashing.
 
 use noc_model::{MemoryControllers, Mesh};
+use std::fmt;
+
+/// Maximum arbitration slots (`ports × total VCs`) supported by the
+/// router's u64 occupancy bitmask.
+pub(crate) const MAX_ARBITRATION_SLOTS: usize = 64;
+
+/// Ports per router (4 mesh neighbours + local).
+pub(crate) const NUM_PORTS: usize = 5;
 
 /// Dimension-order routing variant used by the routers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -11,7 +28,83 @@ pub enum RoutingKind {
     Yx,
 }
 
+/// A rejected simulator configuration or traffic description.
+///
+/// Returned by [`SimConfig::validate`], [`SimConfigBuilder::build`],
+/// [`TrafficSpec::new`](crate::traffic::TrafficSpec::new) and
+/// [`Network::new`](crate::network::Network::new); these paths never
+/// panic on bad input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `ports × total VCs` exceeds the 64-slot arbitration bitmask.
+    VcOverflow { ports: usize, total_vcs: usize },
+    /// `vcs_per_class` is zero (each class needs at least one VC).
+    ZeroVcs,
+    /// `buffer_depth` is zero (credit-based flow control needs a buffer).
+    ZeroBufferDepth,
+    /// `long_flits` is zero (a packet has at least a head flit).
+    ZeroLongFlits,
+    /// `long_fraction` is not a probability in `[0, 1]`.
+    BadLongFraction(f64),
+    /// `telemetry_window` is zero.
+    BadWindow,
+    /// `measure_cycles` is zero (nothing would be measured).
+    ZeroMeasureCycles,
+    /// A traffic source references a tile outside the mesh.
+    SourceTileOutOfRange { tile: usize, num_tiles: usize },
+    /// Two traffic sources share a tile.
+    DuplicateSourceTile(usize),
+    /// A traffic source's group id is not below the group count.
+    GroupOutOfRange { group: usize, num_groups: usize },
+    /// The traffic declares zero groups.
+    NoGroups,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::VcOverflow { ports, total_vcs } => write!(
+                f,
+                "{ports} ports x {total_vcs} total VCs exceeds the \
+                 {MAX_ARBITRATION_SLOTS}-slot arbitration mask \
+                 (reduce vcs_per_class)"
+            ),
+            ConfigError::ZeroVcs => write!(f, "vcs_per_class must be at least 1"),
+            ConfigError::ZeroBufferDepth => write!(f, "buffer_depth must be at least 1 flit"),
+            ConfigError::ZeroLongFlits => write!(f, "long_flits must be at least 1"),
+            ConfigError::BadLongFraction(p) => {
+                write!(f, "long_fraction {p} is not a probability in [0, 1]")
+            }
+            ConfigError::BadWindow => write!(f, "telemetry_window must be at least 1 cycle"),
+            ConfigError::ZeroMeasureCycles => write!(f, "measure_cycles must be at least 1"),
+            ConfigError::SourceTileOutOfRange { tile, num_tiles } => {
+                write!(
+                    f,
+                    "source tile {tile} out of range (mesh has {num_tiles} tiles)"
+                )
+            }
+            ConfigError::DuplicateSourceTile(tile) => {
+                write!(f, "two traffic sources share tile {tile}")
+            }
+            ConfigError::GroupOutOfRange { group, num_groups } => {
+                write!(
+                    f,
+                    "source group {group} out of range ({num_groups} groups declared)"
+                )
+            }
+            ConfigError::NoGroups => write!(f, "traffic must declare at least one group"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration of the cycle-level simulation.
+///
+/// Fields are public — sweeps and tests mutate them directly — but the
+/// simulator validates on construction
+/// ([`Network::new`](crate::network::Network::new)); prefer
+/// [`SimConfig::builder`] for the fluent, validate-on-build path.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// The mesh to simulate.
@@ -46,6 +139,9 @@ pub struct SimConfig {
     /// switch allocation (true = canonical router; false models an
     /// idealized input-speedup-∞ switch for ablation).
     pub crossbar_input_limit: bool,
+    /// Telemetry window width in cycles (only read when a run is probed;
+    /// see `Network::run_probed`).
+    pub telemetry_window: u64,
 }
 
 impl SimConfig {
@@ -67,6 +163,14 @@ impl SimConfig {
             seed: 1,
             routing: RoutingKind::Xy,
             crossbar_input_limit: true,
+            telemetry_window: 1_000,
+        }
+    }
+
+    /// A builder starting from [`paper_defaults`](Self::paper_defaults).
+    pub fn builder(mesh: Mesh) -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig::paper_defaults(mesh),
         }
     }
 
@@ -78,6 +182,134 @@ impl SimConfig {
     /// Uncontended per-hop latency (router pipeline + link).
     pub fn per_hop_cycles(&self) -> u64 {
         self.router_stages + self.link_cycles
+    }
+
+    /// Check every structural invariant the simulator relies on.
+    ///
+    /// Called by [`SimConfigBuilder::build`] and
+    /// [`Network::new`](crate::network::Network::new); the error names the
+    /// first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.vcs_per_class == 0 {
+            return Err(ConfigError::ZeroVcs);
+        }
+        if NUM_PORTS * self.total_vcs() > MAX_ARBITRATION_SLOTS {
+            return Err(ConfigError::VcOverflow {
+                ports: NUM_PORTS,
+                total_vcs: self.total_vcs(),
+            });
+        }
+        if self.buffer_depth == 0 {
+            return Err(ConfigError::ZeroBufferDepth);
+        }
+        if self.long_flits == 0 {
+            return Err(ConfigError::ZeroLongFlits);
+        }
+        if !(0.0..=1.0).contains(&self.long_fraction) || self.long_fraction.is_nan() {
+            return Err(ConfigError::BadLongFraction(self.long_fraction));
+        }
+        if self.measure_cycles == 0 {
+            return Err(ConfigError::ZeroMeasureCycles);
+        }
+        if self.telemetry_window == 0 {
+            return Err(ConfigError::BadWindow);
+        }
+        Ok(())
+    }
+}
+
+/// Fluent construction of a [`SimConfig`], validated at
+/// [`build`](SimConfigBuilder::build).
+///
+/// ```
+/// use noc_model::Mesh;
+/// use noc_sim::SimConfig;
+///
+/// let cfg = SimConfig::builder(Mesh::square(8))
+///     .warmup_cycles(1_000)
+///     .measure_cycles(10_000)
+///     .seed(7)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.seed, 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, $name: $ty) -> Self {
+            self.cfg.$name = $name;
+            self
+        }
+    };
+}
+
+impl SimConfigBuilder {
+    setter!(
+        /// Memory-controller placement (default: one per corner).
+        controllers: MemoryControllers
+    );
+    setter!(
+        /// Router pipeline depth in cycles.
+        router_stages: u64
+    );
+    setter!(
+        /// Link traversal latency in cycles.
+        link_cycles: u64
+    );
+    setter!(
+        /// Virtual channels per traffic class.
+        vcs_per_class: usize
+    );
+    setter!(
+        /// Input buffer depth per VC in flits.
+        buffer_depth: usize
+    );
+    setter!(
+        /// Flits in a long (data) packet.
+        long_flits: u16
+    );
+    setter!(
+        /// Fraction of generated packets that are long.
+        long_fraction: f64
+    );
+    setter!(
+        /// Warm-up cycles excluded from measurement.
+        warmup_cycles: u64
+    );
+    setter!(
+        /// Measured cycles after warm-up.
+        measure_cycles: u64
+    );
+    setter!(
+        /// Maximum extra drain cycles after measurement.
+        max_drain_cycles: u64
+    );
+    setter!(
+        /// RNG seed for traffic generation.
+        seed: u64
+    );
+    setter!(
+        /// Dimension-order routing variant.
+        routing: RoutingKind
+    );
+    setter!(
+        /// Enforce the crossbar's one-flit-per-input-port limit.
+        crossbar_input_limit: bool
+    );
+    setter!(
+        /// Telemetry window width in cycles.
+        telemetry_window: u64
+    );
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -98,5 +330,101 @@ mod tests {
         assert_eq!(cfg.controllers.tiles().len(), 4);
         assert_eq!(cfg.routing, RoutingKind::Xy);
         assert!(cfg.crossbar_input_limit);
+        assert_eq!(cfg.telemetry_window, 1_000);
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let mesh = Mesh::square(4);
+        let cfg = SimConfig::builder(mesh)
+            .controllers(MemoryControllers::corners(&mesh))
+            .router_stages(2)
+            .link_cycles(2)
+            .vcs_per_class(2)
+            .buffer_depth(3)
+            .long_flits(4)
+            .long_fraction(0.25)
+            .warmup_cycles(100)
+            .measure_cycles(1_000)
+            .max_drain_cycles(10_000)
+            .seed(99)
+            .routing(RoutingKind::Yx)
+            .crossbar_input_limit(false)
+            .telemetry_window(250)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.router_stages, 2);
+        assert_eq!(cfg.link_cycles, 2);
+        assert_eq!(cfg.vcs_per_class, 2);
+        assert_eq!(cfg.buffer_depth, 3);
+        assert_eq!(cfg.long_flits, 4);
+        assert!((cfg.long_fraction - 0.25).abs() < 1e-12);
+        assert_eq!(cfg.warmup_cycles, 100);
+        assert_eq!(cfg.measure_cycles, 1_000);
+        assert_eq!(cfg.max_drain_cycles, 10_000);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.routing, RoutingKind::Yx);
+        assert!(!cfg.crossbar_input_limit);
+        assert_eq!(cfg.telemetry_window, 250);
+    }
+
+    #[test]
+    fn vc_overflow_is_a_typed_error() {
+        // 5 ports × 2·7 VCs = 70 slots > 64.
+        let err = SimConfig::builder(Mesh::square(4))
+            .vcs_per_class(7)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::VcOverflow {
+                ports: 5,
+                total_vcs: 14
+            }
+        );
+        assert!(err.to_string().contains("arbitration mask"));
+    }
+
+    #[test]
+    fn zero_parameters_are_rejected() {
+        let mesh = Mesh::square(4);
+        let b = || SimConfig::builder(mesh);
+        assert_eq!(
+            b().vcs_per_class(0).build().unwrap_err(),
+            ConfigError::ZeroVcs
+        );
+        assert_eq!(
+            b().buffer_depth(0).build().unwrap_err(),
+            ConfigError::ZeroBufferDepth
+        );
+        assert_eq!(
+            b().long_flits(0).build().unwrap_err(),
+            ConfigError::ZeroLongFlits
+        );
+        assert_eq!(
+            b().measure_cycles(0).build().unwrap_err(),
+            ConfigError::ZeroMeasureCycles
+        );
+        assert_eq!(
+            b().telemetry_window(0).build().unwrap_err(),
+            ConfigError::BadWindow
+        );
+    }
+
+    #[test]
+    fn bad_long_fraction_is_rejected() {
+        let mesh = Mesh::square(4);
+        assert_eq!(
+            SimConfig::builder(mesh)
+                .long_fraction(1.5)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadLongFraction(1.5)
+        );
+        assert!(SimConfig::builder(mesh)
+            .long_fraction(f64::NAN)
+            .build()
+            .is_err());
     }
 }

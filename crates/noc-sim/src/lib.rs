@@ -37,7 +37,8 @@
 //!   a buffered flit. Switch allocation iterates set bits in round-robin
 //!   order instead of scanning all `ports × VCs` slots — the single
 //!   biggest win (~6× on the paper workload). Requires
-//!   `ports × total VCs ≤ 64` (asserted in `Network::new`).
+//!   `ports × total VCs ≤ 64` (validated by `Network::new`, which
+//!   returns [`ConfigError::VcOverflow`] otherwise).
 //! - **Zero steady-state allocation.** The per-cycle delivery/credit
 //!   staging vectors are scratch buffers owned by the `Network` and reused
 //!   every cycle; packet metadata lives in a slab whose slots are recycled
@@ -58,24 +59,31 @@
 //! [`stats::NetworkStats::flit_hops_per_sec`]; benchmark with
 //! `cargo bench -p obm-bench`.
 //!
+//! # Construction and telemetry
+//!
+//! Configuration is validated at the boundary: [`SimConfig::builder`]
+//! (or a hand-mutated [`SimConfig`]) plus a [`TrafficSpec`] go into
+//! [`Network::new`], which returns a typed [`ConfigError`] instead of
+//! panicking on bad parameters. [`Network::run_probed`] streams windowed
+//! telemetry (`noc-telemetry` [`WindowRecord`]s) to any probe without
+//! perturbing the simulation; [`Network::run`] is the telemetry-off path.
+//!
 //! ```no_run
 //! use noc_model::Mesh;
-//! use noc_sim::{Network, Schedule, SimConfig, SourceSpec};
+//! use noc_sim::{Network, Schedule, SimConfig, TrafficSpec};
 //!
 //! let mesh = Mesh::square(8);
 //! let cfg = SimConfig::paper_defaults(mesh);
-//! let sources: Vec<SourceSpec> = mesh
-//!     .tiles()
-//!     .map(|t| SourceSpec {
-//!         tile: t,
-//!         group: 0,
-//!         cache: Schedule::per_kilocycle(7.0),
-//!         mem: Schedule::per_kilocycle(0.9),
-//!     })
-//!     .collect();
-//! let report = Network::new(cfg, sources, 1).run();
+//! let traffic = TrafficSpec::uniform(
+//!     &mesh,
+//!     Schedule::per_kilocycle(7.0),
+//!     Schedule::per_kilocycle(0.9),
+//! );
+//! let report = Network::new(cfg, traffic).expect("valid scenario").run();
 //! println!("{}", report.summary());
 //! ```
+//!
+//! [`WindowRecord`]: noc_telemetry::WindowRecord
 
 pub mod config;
 pub mod network;
@@ -83,7 +91,11 @@ pub mod packet;
 pub mod stats;
 pub mod traffic;
 
-pub use config::SimConfig;
+/// The telemetry crate, re-exported so simulator users reach probes and
+/// sinks without naming a second dependency.
+pub use noc_telemetry as telemetry;
+
+pub use config::{ConfigError, RoutingKind, SimConfig, SimConfigBuilder};
 pub use network::Network;
 pub use stats::{LatencyAccum, SimReport};
-pub use traffic::{Schedule, SourceSpec};
+pub use traffic::{Schedule, SourceSpec, TrafficSpec};

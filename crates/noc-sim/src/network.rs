@@ -17,11 +17,12 @@
 //! the front, which preserves wormhole contiguity because upstream senders
 //! never interleave flits of different packets on one VC).
 
-use crate::config::{RoutingKind, SimConfig};
+use crate::config::{ConfigError, RoutingKind, SimConfig, NUM_PORTS};
 use crate::packet::{Flit, PacketId, PacketInfo};
 use crate::stats::SimReport;
-use crate::traffic::SourceSpec;
+use crate::traffic::{SourceSpec, TrafficSpec};
 use noc_model::{route_xy, route_yx, Mesh, PacketClass, RouteDir, TileId};
+use noc_telemetry::{NoopSink, Probe, Windower};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -32,7 +33,6 @@ const P_SOUTH: usize = 1;
 const P_WEST: usize = 2;
 const P_EAST: usize = 3;
 const P_LOCAL: usize = 4;
-const NUM_PORTS: usize = 5;
 
 fn port_of(dir: RouteDir) -> usize {
     match dir {
@@ -111,7 +111,7 @@ struct Router {
     /// vc`): bit set iff that input VC has a buffered flit. Lets switch
     /// allocation iterate only occupied slots instead of scanning all
     /// `NUM_PORTS × total_vcs` of them; requires that product ≤ 64
-    /// (asserted in `Network::new`).
+    /// (validated in `Network::new` as `ConfigError::VcOverflow`).
     occ: u64,
 }
 
@@ -269,36 +269,33 @@ pub struct Network {
     /// state allocates nothing).
     scratch_deliveries: Vec<Delivery>,
     scratch_credits: Vec<Credit>,
+    /// Windowed telemetry accumulator. `None` unless the run was started
+    /// through [`run_probed`](Network::run_probed) with an enabled probe,
+    /// so the plain [`run`](Network::run) path pays one never-taken branch
+    /// per hook and stays bit-identical to the uninstrumented simulator.
+    windower: Option<Windower>,
 }
 
 impl Network {
-    /// Build a simulator for `cfg` with one traffic source per entry of
-    /// `sources` (tiles not listed stay silent).
+    /// Build a simulator for `cfg` driven by the validated traffic spec
+    /// (tiles without a source stay silent).
     ///
-    /// # Panics
-    /// Panics if a source references an out-of-range tile or two sources
-    /// share a tile.
-    pub fn new(cfg: SimConfig, sources: Vec<SourceSpec>, num_groups: usize) -> Self {
+    /// [`TrafficSpec::new`] already rejected duplicate tiles and bad
+    /// group ids; this re-checks the config invariants and the source
+    /// tiles against `cfg.mesh`, so the constructor path is panic-free.
+    pub fn new(cfg: SimConfig, traffic: TrafficSpec) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let n = cfg.mesh.num_tiles();
-        let mut seen = vec![false; n];
-        for s in &sources {
-            assert!(s.tile.index() < n, "source tile out of range");
-            assert!(!seen[s.tile.index()], "duplicate source tile");
-            seen[s.tile.index()] = true;
-            assert!(s.group < num_groups, "group id out of range");
-        }
+        traffic.check_tiles(n)?;
+        let (sources, num_groups) = traffic.into_parts();
         let vcs = cfg.total_vcs();
-        assert!(
-            NUM_PORTS * vcs <= 64,
-            "arbitration occupancy mask is a u64: NUM_PORTS * total_vcs must be <= 64"
-        );
         let depth = cfg.buffer_depth;
         let nearest_mc = cfg
             .mesh
             .tiles()
             .map(|t| cfg.controllers.nearest(&cfg.mesh, t))
             .collect();
-        Network {
+        Ok(Network {
             routers: (0..n).map(|_| Router::new(vcs, depth)).collect(),
             nis: (0..n).map(|_| Ni::new(vcs, depth)).collect(),
             packets: Vec::new(),
@@ -323,14 +320,37 @@ impl Network {
             active_nis: ActiveSet::new(n),
             scratch_deliveries: Vec::new(),
             scratch_credits: Vec::new(),
+            windower: None,
             cfg,
-        }
+        })
     }
 
     /// Run the configured warm-up + measurement + drain, returning the
-    /// report.
-    pub fn run(mut self) -> SimReport {
+    /// report. Telemetry stays off (the [`NoopSink`] path).
+    pub fn run(self) -> SimReport {
+        self.run_probed(&mut NoopSink)
+    }
+
+    /// Run with windowed telemetry delivered to `probe`.
+    ///
+    /// When `probe.is_enabled()`, a [`WindowRecord`] is flushed to
+    /// [`Probe::on_window`] for every `cfg.telemetry_window`-cycle window
+    /// (truncated at phase boundaries and at the end of the run — see
+    /// `noc-telemetry`). The probe observes the simulation but never
+    /// influences it: a fixed seed produces a bit-identical [`SimReport`]
+    /// whatever the probe (pinned by `tests/sim_determinism.rs`).
+    ///
+    /// [`WindowRecord`]: noc_telemetry::WindowRecord
+    pub fn run_probed(mut self, probe: &mut dyn Probe) -> SimReport {
         let wall_start = Instant::now();
+        if probe.is_enabled() {
+            self.windower = Some(Windower::new(
+                self.cfg.telemetry_window,
+                self.report.groups.len(),
+                self.cfg.warmup_cycles,
+                self.cfg.measure_cycles,
+            ));
+        }
         let inject_end = self.cfg.warmup_cycles + self.cfg.measure_cycles;
         let drain_end = inject_end + self.cfg.max_drain_cycles;
         let mut cycle = 0u64;
@@ -344,7 +364,13 @@ impl Network {
             // (after deliveries are applied) matches the original
             // end-of-cycle scan point exactly.
             self.peak_buffered = self.peak_buffered.max(self.total_buffered);
+            if let Some(w) = self.windower.as_mut() {
+                w.end_cycle(cycle, self.total_buffered, self.live_packets, probe);
+            }
             cycle += 1;
+        }
+        if let Some(w) = self.windower.take() {
+            w.finish(cycle, self.total_buffered, self.live_packets, probe);
         }
         self.cycles_run = cycle;
         self.report.measured_cycles = self.cfg.measure_cycles;
@@ -402,11 +428,17 @@ impl Network {
         if measured {
             self.report.injected += 1;
         }
+        if let Some(w) = self.windower.as_mut() {
+            w.on_inject(len as u64);
+        }
         if src == dst {
             // Local bank / local controller: no network traversal, zero
             // latency (the Eq. (2) exception).
             if measured {
                 self.report.record(group, src.index(), class, 0, 0, len, 0);
+            }
+            if let Some(w) = self.windower.as_mut() {
+                w.on_eject(class == PacketClass::Cache, group, 0, 0, len, 0);
             }
             return;
         }
@@ -734,6 +766,16 @@ impl Network {
                             );
                             self.inflight_measured -= 1;
                         }
+                        if let Some(w) = self.windower.as_mut() {
+                            w.on_eject(
+                                info.class == PacketClass::Cache,
+                                info.group,
+                                latency,
+                                info.hops,
+                                info.len,
+                                ideal,
+                            );
+                        }
                         self.inflight_total -= 1;
                         // The tail leaving the network means no live flit
                         // references this id any more: recycle the slab slot.
@@ -784,6 +826,11 @@ mod tests {
         cfg
     }
 
+    /// Test shorthand for the validated construction path.
+    fn net(cfg: SimConfig, sources: Vec<SourceSpec>, groups: usize) -> Network {
+        Network::new(cfg, TrafficSpec::new(sources, groups).expect("traffic")).expect("config")
+    }
+
     /// One source, one deterministic destination (memory traffic to a
     /// single controller) — uncontended latency must match Eq. (2) exactly.
     #[test]
@@ -800,7 +847,7 @@ mod tests {
             cache: Schedule::Constant(0.0),
             mem: Schedule::Constant(0.01), // sparse: no self-contention
         };
-        let report = Network::new(cfg, vec![src], 1).run();
+        let report = net(cfg, vec![src], 1).run();
         assert!(report.fully_drained);
         assert!(report.memory.packets > 0, "no packets generated");
         // H=6, per-hop 4, 1 flit → latency 25, td_q = 0.
@@ -825,7 +872,7 @@ mod tests {
             cache: Schedule::Constant(0.0),
             mem: Schedule::Constant(0.01),
         };
-        let report = Network::new(cfg, vec![src], 1).run();
+        let report = net(cfg, vec![src], 1).run();
         // H=6: 6·4 + 5 = 29 cycles. Back-to-back 5-flit injections can
         // occasionally overlap at the NI, so allow a sub-cycle of queueing.
         assert!(
@@ -851,7 +898,7 @@ mod tests {
                 mem: Schedule::Constant(0.002),
             })
             .collect();
-        let report = Network::new(cfg, sources, 2).run();
+        let report = net(cfg, sources, 2).run();
         assert!(report.fully_drained, "drain failed");
         assert_eq!(report.injected, report.delivered);
         assert!(report.injected > 0);
@@ -873,7 +920,7 @@ mod tests {
                 mem: Schedule::per_kilocycle(1.2),
             })
             .collect();
-        let report = Network::new(cfg, sources, 1).run();
+        let report = net(cfg, sources, 1).run();
         assert!(report.fully_drained);
         let tdq = report.mean_td_q();
         assert!((0.0..1.0).contains(&tdq), "td_q {tdq} out of paper range");
@@ -891,7 +938,7 @@ mod tests {
             cache: Schedule::Constant(0.0),
             mem: Schedule::Constant(0.05),
         };
-        let report = Network::new(cfg, vec![src], 1).run();
+        let report = net(cfg, vec![src], 1).run();
         assert!(report.memory.packets > 0);
         assert_eq!(report.memory.apl(), 0.0);
         assert_eq!(report.injected, report.delivered);
@@ -916,7 +963,7 @@ mod tests {
             cache: Schedule::Constant(0.02),
             mem: Schedule::Constant(0.0),
         };
-        let report = Network::new(cfg, vec![src], 1).run();
+        let report = net(cfg, vec![src], 1).run();
         // analytic mean hops from corner of 4×4 = 3.0 (over all dst incl self)
         let measured = report.cache.total_hops as f64 / report.cache.packets as f64;
         assert!((measured - 3.0).abs() < 0.15, "mean hops {measured} vs 3.0");
@@ -938,7 +985,7 @@ mod tests {
             cache: Schedule::Constant(0.0),
             mem: Schedule::Constant(0.15), // 0.75 flits/cycle each: contended
         };
-        let report = Network::new(cfg, vec![mk(0), mk(1)], 1).run();
+        let report = net(cfg, vec![mk(0), mk(1)], 1).run();
         assert!(report.fully_drained, "{}", report.summary());
         assert!(
             report.mean_td_q() > 0.1,
@@ -966,7 +1013,7 @@ mod tests {
                 mem: Schedule::Constant(0.01),
             })
             .collect();
-        let report = Network::new(cfg, sources, 1).run();
+        let report = net(cfg, sources, 1).run();
         assert!(report.fully_drained, "{}", report.summary());
         assert_eq!(report.injected, report.delivered);
     }
@@ -989,7 +1036,7 @@ mod tests {
                 mem: Schedule::Constant(0.2), // memory class saturated
             })
             .collect();
-        let report = Network::new(cfg, sources, 1).run();
+        let report = net(cfg, sources, 1).run();
         assert!(report.cache.packets > 0);
         // Cache latency inflates a little (shared switches/links) but must
         // stay far below the collapsed memory-class latency.
@@ -1016,7 +1063,7 @@ mod tests {
                 mem: Schedule::Constant(0.01),
             })
             .collect();
-        let report = Network::new(cfg, sources, 1).run();
+        let report = net(cfg, sources, 1).run();
         assert!(!report.fully_drained);
         assert!(report.delivered < report.injected);
     }
@@ -1035,7 +1082,7 @@ mod tests {
                 mem: Schedule::Constant(0.004),
             })
             .collect();
-        let report = Network::new(cfg, sources, 1).run();
+        let report = net(cfg, sources, 1).run();
         assert!(report.fully_drained);
         assert_eq!(report.injected, report.delivered);
     }
@@ -1053,7 +1100,7 @@ mod tests {
                 mem: Schedule::Constant(0.004),
             })
             .collect();
-        let report = Network::new(cfg, sources, 1).run();
+        let report = net(cfg, sources, 1).run();
         let util = report.network.mean_link_utilization();
         assert!(util > 0.0 && util < 1.0, "utilization {util}");
         assert!(report.network.peak_buffered_flits > 0);
@@ -1076,7 +1123,7 @@ mod tests {
                     mem: Schedule::Constant(0.01),
                 })
                 .collect();
-            Network::new(cfg, sources, 1).run()
+            net(cfg, sources, 1).run()
         };
         let physical = run(true);
         let ideal = run(false);
@@ -1092,11 +1139,85 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn duplicate_sources_rejected() {
+        let s = SourceSpec::idle(TileId(0));
+        assert_eq!(
+            TrafficSpec::new(vec![s.clone(), s], 1).unwrap_err(),
+            ConfigError::DuplicateSourceTile(0)
+        );
+    }
+
+    #[test]
+    fn out_of_range_tile_rejected_by_network() {
         let mesh = Mesh::square(2);
         let cfg = quiet_config(mesh);
-        let s = SourceSpec::idle(TileId(0));
-        let _ = Network::new(cfg, vec![s.clone(), s], 1);
+        let spec = TrafficSpec::new(vec![SourceSpec::idle(TileId(9))], 1).expect("shape ok");
+        assert_eq!(
+            Network::new(cfg, spec).err(),
+            Some(ConfigError::SourceTileOutOfRange {
+                tile: 9,
+                num_tiles: 4
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected_by_network() {
+        let mesh = Mesh::square(2);
+        let mut cfg = quiet_config(mesh);
+        cfg.vcs_per_class = 8; // 5 ports × 16 VCs = 80 slots > 64
+        let spec = TrafficSpec::new(vec![SourceSpec::idle(TileId(0))], 1).expect("shape ok");
+        assert_eq!(
+            Network::new(cfg, spec).err(),
+            Some(ConfigError::VcOverflow {
+                ports: 5,
+                total_vcs: 16
+            })
+        );
+    }
+
+    /// The probe observes but must not perturb: a probed run's report is
+    /// bit-identical to the unprobed run, and its measure-phase windows
+    /// tile the measurement exactly.
+    #[test]
+    fn probed_run_is_bit_identical_and_windows_tile() {
+        use noc_telemetry::{Phase, RingSink};
+        let mesh = Mesh::square(4);
+        let mut cfg = quiet_config(mesh);
+        cfg.warmup_cycles = 300;
+        cfg.telemetry_window = 250;
+        let spec = TrafficSpec::uniform(&mesh, Schedule::Constant(0.02), Schedule::Constant(0.004));
+        let plain = Network::new(cfg.clone(), spec.clone())
+            .expect("config")
+            .run();
+        let mut ring = RingSink::new(4096);
+        let probed = Network::new(cfg.clone(), spec)
+            .expect("config")
+            .run_probed(&mut ring);
+        assert!(plain.semantic_eq(&probed), "probe perturbed the simulation");
+        assert!(ring.dropped() == 0);
+        let windows: Vec<_> = ring.windows().collect();
+        assert!(!windows.is_empty());
+        let measured: u64 = windows
+            .iter()
+            .filter(|w| w.phase == Phase::Measure)
+            .map(|w| w.width())
+            .sum();
+        assert_eq!(measured, cfg.measure_cycles);
+        let injected: u64 = windows.iter().map(|w| w.injected_packets).sum();
+        let ejected: u64 = windows.iter().map(|w| w.ejected_packets).sum();
+        // Windows count *all* packets (warm-up included), so they can only
+        // exceed the measured-only report counters; after a full drain
+        // every injected packet ejected.
+        assert!(injected >= probed.injected);
+        assert_eq!(injected, ejected);
+        // Consecutive windows tile the run without gaps.
+        for pair in windows.windows(2) {
+            assert_eq!(pair[0].end_cycle, pair[1].start_cycle);
+        }
+        assert_eq!(
+            windows.last().expect("nonempty").end_cycle,
+            probed.network.cycles_run
+        );
     }
 }

@@ -3,127 +3,16 @@
 use noc_model::PacketClass;
 use serde_like_display::display_f64;
 
+// The latency accumulator moved to `noc-telemetry` (windowed telemetry
+// records and end-of-run reports share one histogram implementation);
+// re-exported here so existing `noc_sim::stats::LatencyAccum` /
+// `noc_sim::LatencyAccum` imports keep working.
+pub use noc_telemetry::LatencyAccum;
+
 /// Tiny helper module so the report prints nicely without serde_json.
 mod serde_like_display {
     pub fn display_f64(x: f64) -> String {
         format!("{x:.3}")
-    }
-}
-
-/// Histogram geometry: `NUM_BUCKETS` buckets of `BUCKET_WIDTH` cycles,
-/// with the last bucket collecting the overflow tail.
-const NUM_BUCKETS: usize = 64;
-const BUCKET_WIDTH: u64 = 2;
-
-/// Latency accumulator for one bucket (group or class).
-///
-/// `PartialEq` compares every counter bit-for-bit (including the f64
-/// sums), which is exactly what the determinism regression tests need:
-/// two runs with the same seed must produce accumulators that compare
-/// equal under `==`.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LatencyAccum {
-    pub packets: u64,
-    pub total_latency: f64,
-    pub total_hops: u64,
-    pub total_flits: u64,
-    /// Flit-hops (flits × hops), the dynamic-energy proxy.
-    pub flit_hops: u64,
-    /// Sum over packets of (latency − ideal)/hops, for the td_q estimate.
-    queue_excess_per_hop: f64,
-    routed_packets: u64,
-    /// Latency histogram (2-cycle buckets, overflow in the last).
-    histogram: Vec<u64>,
-}
-
-impl Default for LatencyAccum {
-    fn default() -> Self {
-        LatencyAccum {
-            packets: 0,
-            total_latency: 0.0,
-            total_hops: 0,
-            total_flits: 0,
-            flit_hops: 0,
-            queue_excess_per_hop: 0.0,
-            routed_packets: 0,
-            histogram: vec![0; NUM_BUCKETS],
-        }
-    }
-}
-
-impl LatencyAccum {
-    /// Record a delivered packet.
-    pub fn record(&mut self, latency: u64, hops: u32, flits: u16, ideal: u64) {
-        let bucket = ((latency / BUCKET_WIDTH) as usize).min(NUM_BUCKETS - 1);
-        self.histogram[bucket] += 1;
-        self.packets += 1;
-        self.total_latency += latency as f64;
-        self.total_hops += hops as u64;
-        self.total_flits += flits as u64;
-        self.flit_hops += flits as u64 * hops as u64;
-        if hops > 0 {
-            self.queue_excess_per_hop += (latency.saturating_sub(ideal)) as f64 / hops as f64;
-            self.routed_packets += 1;
-        }
-    }
-
-    /// Average packet latency in cycles.
-    pub fn apl(&self) -> f64 {
-        if self.packets == 0 {
-            0.0
-        } else {
-            self.total_latency / self.packets as f64
-        }
-    }
-
-    /// Mean per-hop queueing latency (the measured `td_q`).
-    pub fn mean_td_q(&self) -> f64 {
-        if self.routed_packets == 0 {
-            0.0
-        } else {
-            self.queue_excess_per_hop / self.routed_packets as f64
-        }
-    }
-
-    /// Mean hops per packet.
-    pub fn mean_hops(&self) -> f64 {
-        if self.packets == 0 {
-            0.0
-        } else {
-            self.total_hops as f64 / self.packets as f64
-        }
-    }
-
-    /// Latency percentile (0 < q ≤ 1) from the histogram, as the upper
-    /// edge of the bucket containing the q-quantile (2-cycle resolution;
-    /// the overflow bucket reports its lower edge).
-    pub fn percentile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q));
-        if self.packets == 0 {
-            return 0.0;
-        }
-        let target = (q * self.packets as f64).ceil() as u64;
-        let mut acc = 0u64;
-        for (i, &count) in self.histogram.iter().enumerate() {
-            acc += count;
-            if acc >= target {
-                return ((i as u64 + 1) * BUCKET_WIDTH) as f64;
-            }
-        }
-        (NUM_BUCKETS as u64 * BUCKET_WIDTH) as f64
-    }
-
-    fn merge(&mut self, other: &LatencyAccum) {
-        for (a, b) in self.histogram.iter_mut().zip(&other.histogram) {
-            *a += b;
-        }
-        self.packets += other.packets;
-        self.total_latency += other.total_latency;
-        self.total_hops += other.total_hops;
-        self.total_flits += other.total_flits;
-        self.flit_hops += other.flit_hops;
-        self.queue_excess_per_hop += other.queue_excess_per_hop;
-        self.routed_packets += other.routed_packets;
     }
 }
 
@@ -326,43 +215,6 @@ impl SimReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn accumulator_math() {
-        let mut a = LatencyAccum::default();
-        a.record(10, 2, 5, 9); // 1 excess over 2 hops = 0.5/hop
-        a.record(20, 4, 1, 20); // 0 excess
-        assert_eq!(a.packets, 2);
-        assert!((a.apl() - 15.0).abs() < 1e-12);
-        assert!((a.mean_td_q() - 0.25).abs() < 1e-12);
-        assert!((a.mean_hops() - 3.0).abs() < 1e-12);
-        assert_eq!(a.flit_hops, 10 + 4);
-    }
-
-    #[test]
-    fn zero_hop_packets_do_not_pollute_tdq() {
-        let mut a = LatencyAccum::default();
-        a.record(0, 0, 1, 0);
-        assert_eq!(a.mean_td_q(), 0.0);
-        assert_eq!(a.apl(), 0.0);
-    }
-
-    #[test]
-    fn percentiles_from_histogram() {
-        let mut a = LatencyAccum::default();
-        for lat in [4u64, 4, 4, 4, 4, 4, 4, 4, 4, 40] {
-            a.record(lat, 1, 1, lat);
-        }
-        // p50 sits in the 4-cycle bucket ([4,6) → upper edge 6); p99 in the
-        // 40-cycle bucket ([40,42) → 42).
-        assert_eq!(a.percentile(0.5), 6.0);
-        assert_eq!(a.percentile(0.99), 42.0);
-        assert_eq!(a.percentile(1.0), 42.0);
-        // overflow latencies land in the last bucket
-        let mut b = LatencyAccum::default();
-        b.record(10_000, 1, 1, 10_000);
-        assert_eq!(b.percentile(0.5), 128.0);
-    }
 
     #[test]
     fn report_aggregates_classes() {

@@ -1,6 +1,8 @@
-//! Traffic sources: per-tile injection processes.
+//! Traffic sources: per-tile injection processes and the validated
+//! [`TrafficSpec`] bundle the simulator consumes.
 
-use noc_model::TileId;
+use crate::config::ConfigError;
+use noc_model::{Mesh, TileId};
 
 /// A time-varying packet injection rate (packets per cycle).
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +79,94 @@ impl SourceSpec {
     }
 }
 
+/// A validated traffic description: the sources and the number of
+/// traffic groups (applications) they are partitioned into.
+///
+/// This is the unit `Network::new` consumes (it used to take the raw
+/// `(sources, num_groups)` pair, leaving every caller to re-implement
+/// the duplicate/group checks). Construction validates that groups are
+/// declared, every source's group is in range, and no two sources share
+/// a tile; tile-vs-mesh range is checked against the config's mesh when
+/// the spec reaches the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    sources: Vec<SourceSpec>,
+    num_groups: usize,
+}
+
+impl TrafficSpec {
+    /// Validate and bundle a traffic description.
+    pub fn new(sources: Vec<SourceSpec>, num_groups: usize) -> Result<Self, ConfigError> {
+        if num_groups == 0 {
+            return Err(ConfigError::NoGroups);
+        }
+        let mut tiles: Vec<usize> = sources.iter().map(|s| s.tile.index()).collect();
+        tiles.sort_unstable();
+        if let Some(w) = tiles.windows(2).find(|w| w[0] == w[1]) {
+            return Err(ConfigError::DuplicateSourceTile(w[0]));
+        }
+        for s in &sources {
+            if s.group >= num_groups {
+                return Err(ConfigError::GroupOutOfRange {
+                    group: s.group,
+                    num_groups,
+                });
+            }
+        }
+        Ok(TrafficSpec {
+            sources,
+            num_groups,
+        })
+    }
+
+    /// One single-group source per tile of `mesh`, all with the same
+    /// schedules — the uniform-traffic pattern used by validation tests
+    /// and load sweeps.
+    pub fn uniform(mesh: &Mesh, cache: Schedule, mem: Schedule) -> Self {
+        let sources = mesh
+            .tiles()
+            .map(|t| SourceSpec {
+                tile: t,
+                group: 0,
+                cache: cache.clone(),
+                mem: mem.clone(),
+            })
+            .collect();
+        TrafficSpec {
+            sources,
+            num_groups: 1,
+        }
+    }
+
+    /// The validated sources.
+    pub fn sources(&self) -> &[SourceSpec] {
+        &self.sources
+    }
+
+    /// Number of traffic groups (applications).
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Check every source tile against a mesh of `num_tiles` tiles.
+    pub(crate) fn check_tiles(&self, num_tiles: usize) -> Result<(), ConfigError> {
+        for s in &self.sources {
+            if s.tile.index() >= num_tiles {
+                return Err(ConfigError::SourceTileOutOfRange {
+                    tile: s.tile.index(),
+                    num_tiles,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Decompose into the raw parts.
+    pub fn into_parts(self) -> (Vec<SourceSpec>, usize) {
+        (self.sources, self.num_groups)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +194,56 @@ mod tests {
         let s = SourceSpec::idle(TileId(3));
         assert_eq!(s.cache.rate_at(42), 0.0);
         assert_eq!(s.mem.rate_at(42), 0.0);
+    }
+
+    #[test]
+    fn traffic_spec_validates() {
+        let ok = TrafficSpec::new(vec![SourceSpec::idle(TileId(0))], 1).expect("valid");
+        assert_eq!(ok.sources().len(), 1);
+        assert_eq!(ok.num_groups(), 1);
+
+        let s = SourceSpec::idle(TileId(2));
+        assert_eq!(
+            TrafficSpec::new(vec![s.clone(), s.clone()], 1).unwrap_err(),
+            ConfigError::DuplicateSourceTile(2)
+        );
+        assert_eq!(
+            TrafficSpec::new(vec![s.clone()], 0).unwrap_err(),
+            ConfigError::NoGroups
+        );
+        let mut grouped = s;
+        grouped.group = 3;
+        assert_eq!(
+            TrafficSpec::new(vec![grouped], 2).unwrap_err(),
+            ConfigError::GroupOutOfRange {
+                group: 3,
+                num_groups: 2
+            }
+        );
+    }
+
+    #[test]
+    fn uniform_covers_the_mesh() {
+        let mesh = Mesh::square(4);
+        let spec =
+            TrafficSpec::uniform(&mesh, Schedule::per_kilocycle(5.0), Schedule::Constant(0.0));
+        assert_eq!(spec.sources().len(), 16);
+        assert_eq!(spec.num_groups(), 1);
+        assert!(spec.sources().iter().all(|s| s.group == 0));
+        let (sources, groups) = spec.into_parts();
+        assert_eq!((sources.len(), groups), (16, 1));
+    }
+
+    #[test]
+    fn tile_range_checked_against_mesh() {
+        let spec = TrafficSpec::new(vec![SourceSpec::idle(TileId(99))], 1).expect("valid shape");
+        assert_eq!(
+            spec.check_tiles(16).unwrap_err(),
+            ConfigError::SourceTileOutOfRange {
+                tile: 99,
+                num_tiles: 16
+            }
+        );
+        assert_eq!(spec.check_tiles(100), Ok(()));
     }
 }

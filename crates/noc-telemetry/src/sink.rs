@@ -1,0 +1,352 @@
+//! Bundled sinks: bounded in-memory capture and JSON-lines artifacts.
+
+use std::collections::VecDeque;
+use std::io::Write;
+
+use crate::json::Value;
+use crate::latency::LatencyAccum;
+use crate::probe::{Record, Sink};
+use crate::solver::SolverEvent;
+use crate::window::WindowRecord;
+
+/// Bounded in-memory capture that keeps the **newest** records.
+///
+/// When full, recording pushes the oldest record out and counts it as
+/// dropped, so a long run with a small ring ends with the tail of the
+/// trace — the part post-mortem analysis usually wants.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    records: VecDeque<Record>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` records (coerced up to 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            capacity,
+            records: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// Retained window records, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &WindowRecord> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Window(w) => Some(w),
+            Record::Solver(_) => None,
+        })
+    }
+
+    /// Retained solver events, oldest first.
+    pub fn solver_events(&self) -> impl Iterator<Item = &SolverEvent> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Solver(e) => Some(e),
+            Record::Window(_) => None,
+        })
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consume the sink, yielding retained records oldest first.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records.into()
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, record: &Record) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record.clone());
+    }
+}
+
+/// Streams records as JSON lines (one object per record per line) to any
+/// [`Write`] — the artifact format behind `obm experiments trace`.
+///
+/// The schema is documented in DESIGN.md; every line carries a `"type"`
+/// discriminator (`"window"` or `"solver"`). I/O errors are sticky: the
+/// first failure is remembered and later records are discarded, so a full
+/// disk cannot panic the simulator mid-run. Check
+/// [`error`](JsonLinesSink::error) / [`finish`](JsonLinesSink::finish).
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    writer: W,
+    written: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink {
+            writer,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Write one arbitrary JSON line (used for leading meta records).
+    pub fn write_value(&mut self, value: &Value) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.writer, "{value}") {
+            self.error = Some(e);
+        } else {
+            self.written += 1;
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.written
+    }
+
+    /// The first I/O error hit, if any.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flush and return the writer, or the first I/O error (sticky write
+    /// errors take precedence over flush errors).
+    pub fn finish(mut self) -> std::io::Result<W> {
+        match self.error {
+            Some(e) => Err(e),
+            None => {
+                self.writer.flush()?;
+                Ok(self.writer)
+            }
+        }
+    }
+}
+
+impl<W: Write> Sink for JsonLinesSink<W> {
+    fn record(&mut self, record: &Record) {
+        let value = record.to_json();
+        self.write_value(&value);
+    }
+}
+
+fn accum_to_json(a: &LatencyAccum) -> Value {
+    Value::obj([
+        ("packets", Value::from(a.packets)),
+        ("mean_latency", Value::from(a.apl())),
+        ("mean_hops", Value::from(a.mean_hops())),
+        ("mean_td_q", Value::from(a.mean_td_q())),
+        ("p50", Value::from(a.percentile(0.5))),
+        ("p95", Value::from(a.percentile(0.95))),
+        ("total_flits", Value::from(a.total_flits)),
+    ])
+}
+
+impl WindowRecord {
+    /// The JSON-lines representation of this window (schema in DESIGN.md).
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("type", Value::from("window")),
+            ("index", Value::from(self.index)),
+            ("start_cycle", Value::from(self.start_cycle)),
+            ("end_cycle", Value::from(self.end_cycle)),
+            ("phase", Value::from(self.phase.name())),
+            ("injected_packets", Value::from(self.injected_packets)),
+            ("injected_flits", Value::from(self.injected_flits)),
+            ("ejected_packets", Value::from(self.ejected_packets)),
+            ("ejected_flits", Value::from(self.ejected_flits)),
+            ("buffered_flits", Value::from(self.buffered_flits)),
+            ("live_packets", Value::from(self.live_packets)),
+            ("injection_rate", Value::from(self.injection_rate())),
+            ("ejection_rate", Value::from(self.ejection_rate())),
+            ("mean_latency", Value::from(self.mean_latency())),
+            ("cache", accum_to_json(&self.cache)),
+            ("memory", accum_to_json(&self.memory)),
+            (
+                "groups",
+                Value::Arr(self.groups.iter().map(accum_to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl SolverEvent {
+    /// The JSON-lines representation of this event (schema in DESIGN.md).
+    pub fn to_json(&self) -> Value {
+        let mut pairs = vec![
+            ("type", Value::from("solver")),
+            ("kind", Value::from(self.kind())),
+            ("objective", Value::from(self.objective())),
+        ];
+        match *self {
+            SolverEvent::SwapAccepted {
+                window_start,
+                step,
+                delta,
+                ..
+            } => {
+                pairs.push(("window_start", Value::from(window_start)));
+                pairs.push(("step", Value::from(step)));
+                pairs.push(("delta", Value::from(delta)));
+            }
+            SolverEvent::TemperatureStep {
+                iteration,
+                temperature,
+                accepted_since_last,
+                ..
+            } => {
+                pairs.push(("iteration", Value::from(iteration)));
+                pairs.push(("temperature", Value::from(temperature)));
+                pairs.push(("accepted_since_last", Value::from(accepted_since_last)));
+            }
+            SolverEvent::EvalDelta { edits, delta, .. } => {
+                pairs.push(("edits", Value::from(edits)));
+                pairs.push(("delta", Value::from(delta)));
+            }
+        }
+        Value::obj(pairs)
+    }
+}
+
+impl Record {
+    /// The JSON-lines representation of this record.
+    pub fn to_json(&self) -> Value {
+        match self {
+            Record::Window(w) => w.to_json(),
+            Record::Solver(e) => e.to_json(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::window::Phase;
+
+    fn window(i: u64) -> Record {
+        Record::Window(WindowRecord::empty(
+            i,
+            i * 10,
+            (i + 1) * 10,
+            Phase::Measure,
+            2,
+        ))
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut ring = RingSink::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.record(&window(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let kept: Vec<u64> = ring.windows().map(|w| w.index).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(ring.into_records().len(), 3);
+    }
+
+    #[test]
+    fn ring_separates_windows_and_events() {
+        let mut ring = RingSink::new(8);
+        ring.record(&window(0));
+        ring.record(&Record::Solver(SolverEvent::EvalDelta {
+            edits: 1,
+            objective: 5.0,
+            delta: -0.5,
+        }));
+        assert_eq!(ring.windows().count(), 1);
+        assert_eq!(ring.solver_events().count(), 1);
+        assert_eq!(ring.records().count(), 2);
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        let mut w = WindowRecord::empty(0, 500, 1000, Phase::Measure, 1);
+        w.injected_packets = 25;
+        w.injected_flits = 50;
+        w.cache.record(12, 3, 2, 11);
+        sink.record(&Record::Window(w));
+        sink.record(&Record::Solver(SolverEvent::TemperatureStep {
+            iteration: 1000,
+            temperature: 0.75,
+            objective: 13.5,
+            accepted_since_last: 12,
+        }));
+        assert_eq!(sink.lines_written(), 2);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+
+        let v = json::parse(lines[0]).unwrap();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("window"));
+        assert_eq!(v.get("phase").and_then(Value::as_str), Some("measure"));
+        assert_eq!(v.get("injected_packets").and_then(Value::as_u64), Some(25));
+        assert_eq!(
+            v.get("injection_rate").and_then(Value::as_f64),
+            Some(25.0 / 500.0)
+        );
+        let cache = v.get("cache").unwrap();
+        assert_eq!(cache.get("packets").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            cache.get("mean_latency").and_then(Value::as_f64),
+            Some(12.0)
+        );
+        assert_eq!(
+            v.get("groups").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(1)
+        );
+
+        let v = json::parse(lines[1]).unwrap();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("solver"));
+        assert_eq!(
+            v.get("kind").and_then(Value::as_str),
+            Some("temperature_step")
+        );
+        assert_eq!(v.get("iteration").and_then(Value::as_u64), Some(1000));
+        assert_eq!(v.get("temperature").and_then(Value::as_f64), Some(0.75));
+    }
+
+    #[test]
+    fn write_errors_are_sticky_not_panics() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonLinesSink::new(Broken);
+        sink.record(&window(0));
+        sink.record(&window(1));
+        assert_eq!(sink.lines_written(), 0);
+        assert!(sink.error().is_some());
+        assert!(sink.finish().is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Solver-side telemetry events.
+//!
+//! Emitted through [`Probe::on_solver_event`](crate::probe::Probe) by the
+//! mapping algorithms in `obm-core`:
+//!
+//! * `SortSelectSwap` emits [`SolverEvent::SwapAccepted`] whenever a
+//!   window permutation better than the identity is applied;
+//! * `SimulatedAnnealing` emits decimated
+//!   [`SolverEvent::TemperatureStep`] checkpoints along the cooling
+//!   schedule (every step would flood the sink at 200k iterations);
+//! * the incremental evaluator emits [`SolverEvent::EvalDelta`] snapshots
+//!   tying its running edit count to the exact objective value.
+
+/// One solver event. All variants carry the current objective (the
+/// quantity the solver minimises, i.e. the maximum per-application APL)
+/// so a sink can reconstruct the descent trajectory without knowing
+/// which algorithm produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverEvent {
+    /// Sort-Select-Swap accepted a non-identity permutation of a sliding
+    /// window of tiles.
+    SwapAccepted {
+        /// Index (into the sorted tile sequence) of the first tile of the
+        /// accepted window.
+        window_start: usize,
+        /// Sequential acceptance number within this solver run.
+        step: u64,
+        /// Objective value after applying the permutation.
+        objective: f64,
+        /// Change in objective produced by the permutation (negative =
+        /// improvement).
+        delta: f64,
+    },
+    /// A simulated-annealing cooling checkpoint.
+    TemperatureStep {
+        /// Iteration index the checkpoint was taken at.
+        iteration: u64,
+        /// Current temperature.
+        temperature: f64,
+        /// Objective value of the current (not best) solution.
+        objective: f64,
+        /// Moves accepted since the previous checkpoint.
+        accepted_since_last: u64,
+    },
+    /// A snapshot from the incremental evaluator: `edits` mutations so
+    /// far, and the objective they produced.
+    EvalDelta {
+        /// Total mutating operations (thread moves, tile swaps, window
+        /// permutations) applied to the evaluator so far.
+        edits: u64,
+        /// Current objective value (max per-application APL).
+        objective: f64,
+        /// Objective change contributed by the most recent edit batch
+        /// (negative = improvement).
+        delta: f64,
+    },
+}
+
+impl SolverEvent {
+    /// Stable snake-case tag used in the JSON-lines artifact schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SolverEvent::SwapAccepted { .. } => "swap_accepted",
+            SolverEvent::TemperatureStep { .. } => "temperature_step",
+            SolverEvent::EvalDelta { .. } => "eval_delta",
+        }
+    }
+
+    /// The objective value carried by the event.
+    pub fn objective(&self) -> f64 {
+        match *self {
+            SolverEvent::SwapAccepted { objective, .. }
+            | SolverEvent::TemperatureStep { objective, .. }
+            | SolverEvent::EvalDelta { objective, .. } => objective,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_objectives() {
+        let e = SolverEvent::SwapAccepted {
+            window_start: 3,
+            step: 1,
+            objective: 12.5,
+            delta: -0.5,
+        };
+        assert_eq!(e.kind(), "swap_accepted");
+        assert!((e.objective() - 12.5).abs() < 1e-12);
+        let e = SolverEvent::TemperatureStep {
+            iteration: 100,
+            temperature: 0.8,
+            objective: 11.0,
+            accepted_since_last: 42,
+        };
+        assert_eq!(e.kind(), "temperature_step");
+        let e = SolverEvent::EvalDelta {
+            edits: 7,
+            objective: 10.0,
+            delta: -1.0,
+        };
+        assert_eq!(e.kind(), "eval_delta");
+    }
+}

@@ -24,6 +24,7 @@ pub use sa::SimulatedAnnealing;
 pub use sss::SortSelectSwap;
 
 use crate::problem::{Mapping, ObmInstance};
+use noc_telemetry::Probe;
 
 /// A mapping algorithm.
 ///
@@ -36,6 +37,20 @@ pub trait Mapper {
 
     /// Compute a thread-to-tile mapping.
     fn map(&self, inst: &ObmInstance, seed: u64) -> Mapping;
+
+    /// Like [`map`](Mapper::map), additionally streaming solver telemetry
+    /// ([`SolverEvent`](noc_telemetry::SolverEvent)s) to `probe`.
+    ///
+    /// The probe must never influence the result: for any probe,
+    /// `map_probed(inst, seed, probe) == map(inst, seed)`. The default
+    /// implementation emits nothing, so existing mappers are unaffected;
+    /// instrumented mappers ([`SortSelectSwap`], [`SimulatedAnnealing`])
+    /// override it and route `map` through a
+    /// [`NoopSink`](noc_telemetry::NoopSink).
+    fn map_probed(&self, inst: &ObmInstance, seed: u64, probe: &mut dyn Probe) -> Mapping {
+        let _ = probe;
+        self.map(inst, seed)
+    }
 }
 
 /// All 24 permutations of 4 window slots, used by the SSS sliding-window
@@ -70,7 +85,22 @@ pub(crate) const PERMS4: [[usize; 4]; 24] = [
 
 #[cfg(test)]
 mod tests {
-    use super::PERMS4;
+    use super::{Global, Mapper, PERMS4};
+
+    #[test]
+    fn default_map_probed_delegates_to_map() {
+        use noc_model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+        use noc_telemetry::RingSink;
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let c: Vec<f64> = (0..4).flat_map(|_| [0.1, 0.2, 0.3, 0.4]).collect();
+        let inst = crate::problem::ObmInstance::new(tiles, vec![0, 4, 8, 12, 16], c, vec![0.0; 16]);
+        // Global does not override map_probed: same result, no events.
+        let mut sink = RingSink::new(8);
+        assert_eq!(Global.map_probed(&inst, 0, &mut sink), Global.map(&inst, 0));
+        assert_eq!(sink.len(), 0);
+    }
 
     #[test]
     fn perms4_are_all_distinct_permutations() {

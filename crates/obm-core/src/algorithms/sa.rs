@@ -10,8 +10,15 @@ use crate::algorithms::{random::RandomMapper, Mapper};
 use crate::eval::IncrementalEvaluator;
 use crate::problem::{Mapping, ObmInstance};
 use noc_model::TileId;
+use noc_telemetry::{NoopSink, Probe, SolverEvent};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Number of [`SolverEvent::TemperatureStep`] checkpoints emitted over a
+/// probed run: one every `iterations / SA_CHECKPOINTS` iterations (at
+/// least one iteration apart), keeping the telemetry volume independent
+/// of the iteration budget.
+const SA_CHECKPOINTS: usize = 64;
 
 /// Simulated annealing over thread-swap moves, minimizing max-APL.
 #[derive(Debug, Clone, Copy)]
@@ -56,8 +63,17 @@ impl Mapper for SimulatedAnnealing {
     }
 
     fn map(&self, inst: &ObmInstance, seed: u64) -> Mapping {
+        self.map_probed(inst, seed, &mut NoopSink)
+    }
+
+    fn map_probed(&self, inst: &ObmInstance, seed: u64, probe: &mut dyn Probe) -> Mapping {
         assert!(self.iterations > 0 && self.restarts > 0);
         if self.restarts > 1 {
+            // Restarts run on crossbeam scope threads, and `&mut dyn Probe`
+            // cannot be shared across them (no Sync bound, and interleaved
+            // events from concurrent restarts would be meaningless anyway),
+            // so the parallel path emits no solver events. Probe a
+            // single-restart configuration to trace the annealing schedule.
             // Parallel independent restarts with disjoint seed streams.
             let results = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = (0..self.restarts)
@@ -100,8 +116,11 @@ impl Mapper for SimulatedAnnealing {
         let alpha = (t_end / t0).powf(1.0 / self.iterations as f64);
         let mut temp = t0;
         let num_tiles = inst.num_tiles();
+        let enabled = probe.is_enabled();
+        let checkpoint = (self.iterations / SA_CHECKPOINTS).max(1);
+        let mut accepted_since_last: u64 = 0;
 
-        for _ in 0..self.iterations {
+        for it in 0..self.iterations {
             // Pick two distinct tiles; swapping their contents covers both
             // thread↔thread swaps and thread→hole relocations.
             let a = TileId(rng.gen_range(0..num_tiles));
@@ -115,6 +134,7 @@ impl Mapper for SimulatedAnnealing {
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
             if accept {
                 cur = cand;
+                accepted_since_last += 1;
                 if cur < best {
                     best = cur;
                     best_mapping = ev.mapping().clone();
@@ -123,6 +143,15 @@ impl Mapper for SimulatedAnnealing {
                 ev.swap_tiles(a, b); // revert
             }
             temp *= alpha;
+            if enabled && (it + 1).is_multiple_of(checkpoint) {
+                probe.on_solver_event(&SolverEvent::TemperatureStep {
+                    iteration: (it + 1) as u64,
+                    temperature: temp,
+                    objective: cur,
+                    accepted_since_last,
+                });
+                accepted_since_last = 0;
+            }
         }
         debug_assert!(best_mapping.is_valid_for(inst));
         let _ = best;
@@ -217,6 +246,54 @@ mod tests {
                 / 4.0
         };
         assert!(avg(&multi) <= avg(&single) + 0.05);
+    }
+
+    #[test]
+    fn probed_sa_matches_map_and_checkpoints_schedule() {
+        use noc_telemetry::{RingSink, SolverEvent};
+        let inst = inst();
+        let sa = SimulatedAnnealing::with_iterations(1_000);
+        let mut sink = RingSink::new(4096);
+        let probed = sa.map_probed(&inst, 4, &mut sink);
+        assert_eq!(probed, sa.map(&inst, 4), "probe perturbed the anneal");
+        let steps: Vec<_> = sink
+            .solver_events()
+            .filter_map(|e| match e {
+                SolverEvent::TemperatureStep {
+                    iteration,
+                    temperature,
+                    accepted_since_last,
+                    ..
+                } => Some((*iteration, *temperature, *accepted_since_last)),
+                _ => None,
+            })
+            .collect();
+        // 1000 iterations / 64 checkpoints → one event every 15 iterations.
+        assert!(
+            (60..=70).contains(&steps.len()),
+            "unexpected checkpoint count {}",
+            steps.len()
+        );
+        for w in steps.windows(2) {
+            assert!(w[0].0 < w[1].0, "iterations must increase");
+            assert!(w[0].1 > w[1].1, "geometric cooling must decrease temp");
+        }
+        let accepted: u64 = steps.iter().map(|s| s.2).sum();
+        assert!(accepted <= 1_000);
+    }
+
+    #[test]
+    fn multi_restart_probed_emits_nothing_but_matches() {
+        use noc_telemetry::RingSink;
+        let inst = inst();
+        let sa = SimulatedAnnealing {
+            restarts: 3,
+            ..SimulatedAnnealing::with_iterations(500)
+        };
+        let mut sink = RingSink::new(64);
+        let probed = sa.map_probed(&inst, 1, &mut sink);
+        assert_eq!(probed, sa.map(&inst, 1));
+        assert_eq!(sink.len(), 0, "parallel restarts must not emit events");
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::eval::IncrementalEvaluator;
 use crate::problem::{Mapping, ObmInstance};
 use crate::sam::solve_sam;
 use noc_model::TileId;
+use noc_telemetry::{NoopSink, Probe, SolverEvent};
 
 /// Which tile each section contributes during the select step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +68,11 @@ impl Mapper for SortSelectSwap {
         "SSS"
     }
 
-    fn map(&self, inst: &ObmInstance, _seed: u64) -> Mapping {
+    fn map(&self, inst: &ObmInstance, seed: u64) -> Mapping {
+        self.map_probed(inst, seed, &mut NoopSink)
+    }
+
+    fn map_probed(&self, inst: &ObmInstance, _seed: u64, probe: &mut dyn Probe) -> Mapping {
         assert!(
             (1..=6).contains(&self.window),
             "window size {} out of supported range 1..=6",
@@ -99,6 +104,7 @@ impl Mapper for SortSelectSwap {
         // ---- Step 3: greedy sliding-window swap.
         let mut ev = IncrementalEvaluator::new(inst, mapping);
         if self.window >= 2 {
+            let enabled = probe.is_enabled();
             let n = sorted.len();
             let perms = permutations(self.window);
             let max_step = self.max_step.unwrap_or(n / self.window).max(1);
@@ -108,11 +114,25 @@ impl Mapper for SortSelectSwap {
                 if span >= n {
                     break;
                 }
+                let pass_start_obj = ev.max_apl();
                 for start in 0..(n - span) {
                     for (t, wt) in window_tiles.iter_mut().enumerate() {
                         *wt = sorted[start + t * s];
                     }
-                    best_window_permutation(&mut ev, &window_tiles, &perms);
+                    let accepted = best_window_permutation(&mut ev, &window_tiles, &perms);
+                    if enabled {
+                        if let Some((objective, delta)) = accepted {
+                            probe.on_solver_event(&SolverEvent::SwapAccepted {
+                                window_start: start,
+                                step: s as u64,
+                                objective,
+                                delta,
+                            });
+                        }
+                    }
+                }
+                if enabled {
+                    ev.emit_delta(probe, ev.max_apl() - pass_start_obj);
                 }
             }
         }
@@ -177,13 +197,16 @@ fn remove_indices(v: &mut Vec<TileId>, indices: &[usize]) {
 }
 
 /// Try every permutation of the window occupants; keep the best (the
-/// identity wins ties, so the search never churns).
+/// identity wins ties, so the search never churns). Returns
+/// `Some((new objective, objective delta))` when a non-identity
+/// permutation was kept, `None` otherwise.
 fn best_window_permutation(
     ev: &mut IncrementalEvaluator<'_>,
     tiles: &[TileId],
     perms: &[Vec<usize>],
-) {
-    let mut best_val = ev.max_apl();
+) -> Option<(f64, f64)> {
+    let start_val = ev.max_apl();
+    let mut best_val = start_val;
     let mut best_perm: Option<&[usize]> = None;
     for perm in perms.iter().skip(1) {
         // skip the identity (index 0)
@@ -196,9 +219,9 @@ fn best_window_permutation(
         // revert
         ev.apply_window_permutation(tiles, &invert(perm));
     }
-    if let Some(perm) = best_perm {
-        ev.apply_window_permutation(tiles, perm);
-    }
+    let perm = best_perm?;
+    ev.apply_window_permutation(tiles, perm);
+    Some((best_val, best_val - start_val))
 }
 
 /// Inverse permutation `q` with `p[q[s]] = s`.
@@ -414,6 +437,35 @@ mod tests {
         for s in 0..4 {
             assert_eq!(p[q[s]], s);
         }
+    }
+
+    #[test]
+    fn probed_map_matches_map_and_emits_events() {
+        use noc_telemetry::{RingSink, SolverEvent};
+        let inst = random_8x8_instance(3);
+        let sss = SortSelectSwap::default();
+        let plain = sss.map(&inst, 0);
+        let mut sink = RingSink::new(1 << 16);
+        let probed = sss.map_probed(&inst, 0, &mut sink);
+        assert_eq!(plain, probed, "probe perturbed the search");
+        assert_eq!(sink.dropped(), 0);
+        let mut swaps = 0usize;
+        let mut deltas = 0usize;
+        for e in sink.solver_events() {
+            match e {
+                SolverEvent::SwapAccepted { delta, .. } => {
+                    swaps += 1;
+                    assert!(*delta < 0.0, "accepted swap must improve: {delta}");
+                }
+                SolverEvent::EvalDelta { edits, .. } => {
+                    deltas += 1;
+                    assert!(*edits > 0);
+                }
+                SolverEvent::TemperatureStep { .. } => panic!("SSS has no temperature"),
+            }
+        }
+        assert!(swaps > 0, "expected accepted swaps on a random instance");
+        assert!(deltas > 0, "expected one eval-delta per step-size pass");
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Bridge from the mapping layer to the cycle-level simulator: the traffic
+//! a mapped instance induces, as a [`TrafficSpec`] ready for
+//! [`Network::new`](noc_sim::Network::new).
+//!
+//! Thread `j` of application `i` injects from tile `π(j)` at its mean
+//! cache/memory rates; simulator traffic groups are the applications, so
+//! the resulting [`SimReport`](noc_sim::SimReport) exposes per-application
+//! measured latencies that line up with the analytic
+//! [`AplReport`](crate::AplReport).
+
+use crate::problem::{Mapping, ObmInstance};
+use noc_sim::{Schedule, SourceSpec, TrafficSpec};
+
+/// Build the [`TrafficSpec`] induced by `mapping`: one source per thread,
+/// placed on its mapped tile, grouped by application, injecting at the
+/// instance's mean per-kilocycle rates.
+///
+/// # Panics
+/// Panics if the mapping is not valid for the instance (a valid mapping is
+/// injective, so it can never produce duplicate-tile traffic).
+pub fn traffic_spec(inst: &ObmInstance, mapping: &Mapping) -> TrafficSpec {
+    debug_assert!(mapping.is_valid_for(inst), "invalid mapping");
+    let sources: Vec<SourceSpec> = (0..inst.num_threads())
+        .map(|j| SourceSpec {
+            tile: mapping.tile_of(j),
+            group: inst.app_of_thread(j),
+            cache: Schedule::per_kilocycle(inst.cache_rate(j)),
+            mem: Schedule::per_kilocycle(inst.mem_rate(j)),
+        })
+        .collect();
+    TrafficSpec::new(sources, inst.num_apps()).expect("valid mapping induces valid traffic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Mapper, SortSelectSwap};
+    use noc_model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+
+    fn fig5_instance() -> ObmInstance {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let c: Vec<f64> = (0..4).flat_map(|_| [0.1, 0.2, 0.3, 0.4]).collect();
+        ObmInstance::new(tiles, vec![0, 4, 8, 12, 16], c, vec![0.05; 16])
+    }
+
+    #[test]
+    fn traffic_spec_covers_every_thread_once() {
+        let inst = fig5_instance();
+        let mapping = SortSelectSwap::default().map(&inst, 0);
+        let spec = traffic_spec(&inst, &mapping);
+        assert_eq!(spec.sources().len(), inst.num_threads());
+        assert_eq!(spec.num_groups(), inst.num_apps());
+        let mut tiles: Vec<usize> = spec.sources().iter().map(|s| s.tile.index()).collect();
+        tiles.sort_unstable();
+        tiles.dedup();
+        assert_eq!(tiles.len(), inst.num_threads(), "duplicate tiles");
+        for s in spec.sources() {
+            assert!(s.group < inst.num_apps());
+        }
+    }
+
+    #[test]
+    fn traffic_spec_feeds_the_simulator() {
+        let inst = fig5_instance();
+        let mapping = SortSelectSwap::default().map(&inst, 0);
+        let mesh = Mesh::square(4);
+        let cfg = noc_sim::SimConfig::builder(mesh)
+            .warmup_cycles(200)
+            .measure_cycles(1_000)
+            .seed(9)
+            .build()
+            .expect("valid config");
+        let report = noc_sim::Network::new(cfg, traffic_spec(&inst, &mapping))
+            .expect("valid scenario")
+            .run();
+        assert!(report.delivered > 0);
+        assert_eq!(report.groups.len(), inst.num_apps());
+    }
+}

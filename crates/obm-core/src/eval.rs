@@ -9,6 +9,7 @@
 
 use crate::problem::{Mapping, ObmInstance};
 use noc_model::TileId;
+use noc_telemetry::{Probe, SolverEvent};
 use serde::{Deserialize, Serialize};
 
 /// Full latency report for a mapping.
@@ -84,6 +85,9 @@ pub struct IncrementalEvaluator<'a> {
     inverse: Vec<Option<usize>>,
     /// Per-application latency numerators.
     app_num: Vec<f64>,
+    /// Count of effective edits (moves, swaps, window permutations) since
+    /// construction — exposed for solver telemetry.
+    edits: u64,
 }
 
 impl<'a> IncrementalEvaluator<'a> {
@@ -103,7 +107,28 @@ impl<'a> IncrementalEvaluator<'a> {
             mapping,
             inverse,
             app_num,
+            edits: 0,
         }
+    }
+
+    /// Number of effective edits applied since construction. A
+    /// [`move_thread`](Self::move_thread) to the current tile, a
+    /// [`swap_tiles`](Self::swap_tiles) of two empty (or identical) tiles,
+    /// and other no-ops do not count.
+    pub fn edits(&self) -> u64 {
+        self.edits
+    }
+
+    /// Emit a [`SolverEvent::EvalDelta`] describing the evaluator's current
+    /// state: cumulative edit count, the current objective, and the
+    /// caller-supplied `delta` (objective change attributed to the most
+    /// recent batch of edits).
+    pub fn emit_delta(&self, probe: &mut dyn Probe, delta: f64) {
+        probe.on_solver_event(&SolverEvent::EvalDelta {
+            edits: self.edits,
+            objective: self.max_apl(),
+            delta,
+        });
     }
 
     /// Current mapping (borrowed).
@@ -164,6 +189,7 @@ impl<'a> IncrementalEvaluator<'a> {
         self.inverse[old.index()] = None;
         self.inverse[tile.index()] = Some(j);
         self.mapping.set_tile(j, tile);
+        self.edits += 1;
     }
 
     /// Exchange the contents of two tiles (threads, or a thread and a
@@ -185,6 +211,7 @@ impl<'a> IncrementalEvaluator<'a> {
                 self.mapping.set_tile(jb, a);
                 self.inverse[a.index()] = Some(jb);
                 self.inverse[b.index()] = Some(ja);
+                self.edits += 1;
             }
             (Some(ja), None) => self.move_thread(ja, b),
             (None, Some(jb)) => self.move_thread(jb, a),
@@ -218,6 +245,7 @@ impl<'a> IncrementalEvaluator<'a> {
                 self.mapping.set_tile(j, t);
             }
         }
+        self.edits += 1;
     }
 }
 
@@ -474,5 +502,61 @@ mod tests {
         assert_eq!(ev.mapping().tile_of(0), TileId(3));
         let scratch = evaluate(&inst, ev.mapping());
         assert!((scratch.max_apl - ev.max_apl()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edits_counter_counts_effective_edits_only() {
+        let inst = fig5_instance();
+        let mut ev = IncrementalEvaluator::new(&inst, Mapping::identity(16));
+        assert_eq!(ev.edits(), 0);
+        ev.swap_tiles(TileId(3), TileId(3)); // same tile: no-op
+        ev.move_thread(0, TileId(0)); // already there: no-op
+        assert_eq!(ev.edits(), 0);
+        ev.swap_tiles(TileId(0), TileId(5));
+        assert_eq!(ev.edits(), 1);
+        ev.apply_window_permutation(
+            &[TileId(0), TileId(4), TileId(8), TileId(12)],
+            &[1, 2, 3, 0],
+        );
+        assert_eq!(ev.edits(), 2);
+    }
+
+    #[test]
+    fn swap_into_hole_counts_one_edit() {
+        // 2 threads on 4 tiles: a swap delegating through move_thread must
+        // count exactly once; swapping two holes not at all.
+        let mesh = Mesh::square(2);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::fig5_example());
+        let inst = ObmInstance::new(tiles, vec![0, 2], vec![1.0, 2.0], vec![0.1, 0.2]);
+        let mut ev = IncrementalEvaluator::new(&inst, Mapping::identity(2));
+        ev.swap_tiles(TileId(0), TileId(3)); // thread ↔ hole: one edit
+        assert_eq!(ev.edits(), 1);
+        ev.swap_tiles(TileId(0), TileId(2)); // hole ↔ hole: no edit
+        assert_eq!(ev.edits(), 1);
+    }
+
+    #[test]
+    fn emit_delta_reports_edits_and_objective() {
+        use noc_telemetry::RingSink;
+        let inst = fig5_instance();
+        let mut ev = IncrementalEvaluator::new(&inst, Mapping::identity(16));
+        ev.swap_tiles(TileId(1), TileId(14));
+        let mut sink = RingSink::new(8);
+        ev.emit_delta(&mut sink, -0.25);
+        let events: Vec<_> = sink.solver_events().collect();
+        assert_eq!(events.len(), 1);
+        match events[0] {
+            SolverEvent::EvalDelta {
+                edits,
+                objective,
+                delta,
+            } => {
+                assert_eq!(*edits, 1);
+                assert!((objective - ev.max_apl()).abs() < 1e-12);
+                assert_eq!(*delta, -0.25);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 }

@@ -18,7 +18,15 @@
 //! * [`refine`] — pairwise-swap local search usable to polish any mapping
 //!   (extension);
 //! * [`oversub`] — multiple threads per tile via virtual-tile expansion
-//!   (the generalization the paper's §III.B footnote defers).
+//!   (the generalization the paper's §III.B footnote defers);
+//! * [`bridge`] — [`traffic_spec`]: the `noc-sim` traffic a mapped
+//!   instance induces, for cycle-level validation of analytic results.
+//!
+//! Every [`Mapper`] also has a [`Mapper::map_probed`] entry point that
+//! streams solver telemetry (`noc-telemetry`
+//! [`SolverEvent`](noc_telemetry::SolverEvent)s — accepted SSS window
+//! swaps, SA temperature checkpoints, incremental-evaluation deltas) to a
+//! caller-supplied probe without perturbing the search.
 //!
 //! # Quick example
 //!
@@ -40,6 +48,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod bridge;
 pub mod dynamic;
 pub mod eval;
 pub mod metrics;
@@ -50,6 +59,7 @@ pub mod refine;
 pub mod sam;
 
 pub use algorithms::Mapper;
+pub use bridge::traffic_spec;
 pub use eval::{evaluate, AplReport, IncrementalEvaluator};
 pub use metrics::BalanceMetric;
 pub use problem::{Mapping, ObmInstance};

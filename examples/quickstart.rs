@@ -5,10 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use obm::mapping::algorithms::{Global, Mapper, SortSelectSwap};
-use obm::mapping::{evaluate, ObmInstance};
-use obm::model::{Mesh, TileLatencies};
-use obm::workload::{PaperConfig, WorkloadBuilder};
+use obm::prelude::*;
 
 fn main() {
     // 1. A multi-application workload: the paper's C1 configuration —

@@ -10,27 +10,29 @@
 //! cargo run --release --example simulate_mapping
 //! ```
 
-use obm::mapping::algorithms::{Global, Mapper, SortSelectSwap};
-use obm::mapping::{evaluate, ObmInstance};
-use obm::model::{Mesh, TileLatencies};
-use obm::sim::{Network, Schedule, SimConfig, SourceSpec};
-use obm::workload::{PaperConfig, WorkloadBuilder};
+use obm::prelude::*;
 
-fn simulate(inst: &ObmInstance, mapping: &obm::mapping::Mapping, seed: u64) -> obm::sim::SimReport {
+/// Replay a mapping through the simulator with windowed telemetry; returns
+/// the report and the peak measure-window buffered-flit occupancy.
+fn simulate(inst: &ObmInstance, mapping: &Mapping, seed: u64) -> (SimReport, usize) {
     let mesh = Mesh::square(8);
-    let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.warmup_cycles = 5_000;
-    cfg.measure_cycles = 60_000;
-    cfg.seed = seed;
-    let sources: Vec<SourceSpec> = (0..inst.num_threads())
-        .map(|j| SourceSpec {
-            tile: mapping.tile_of(j),
-            group: inst.app_of_thread(j),
-            cache: Schedule::per_kilocycle(inst.cache_rate(j)),
-            mem: Schedule::per_kilocycle(inst.mem_rate(j)),
-        })
-        .collect();
-    Network::new(cfg, sources, inst.num_apps()).run()
+    let cfg = SimConfig::builder(mesh)
+        .warmup_cycles(5_000)
+        .measure_cycles(60_000)
+        .seed(seed)
+        .build()
+        .expect("paper defaults with a longer run are valid");
+    let mut sink = RingSink::new(4096);
+    let report = Network::new(cfg, traffic_spec(inst, mapping))
+        .expect("valid scenario")
+        .run_probed(&mut sink);
+    let peak_buffered = sink
+        .windows()
+        .filter(|w| w.phase == Phase::Measure)
+        .map(|w| w.buffered_flits)
+        .max()
+        .unwrap_or(0);
+    (report, peak_buffered)
 }
 
 fn main() {
@@ -46,7 +48,7 @@ fn main() {
     ] {
         let analytic = evaluate(&inst, &mapping);
         println!("== {name}: simulating 60k cycles of C3 traffic…");
-        let sim = simulate(&inst, &mapping, 99);
+        let (sim, peak_buffered) = simulate(&inst, &mapping, 99);
         println!("   analytic per-app APL: {:?}", round2(&analytic.per_app));
         println!("   simulated per-app APL: {:?}", round2(&sim.group_apls()));
         println!(
@@ -57,6 +59,7 @@ fn main() {
             sim.delivered,
             if sim.fully_drained { "" } else { " (undrained!)" }
         );
+        println!("   peak measure-window buffered flits: {peak_buffered}");
     }
     println!("\nThe simulated latencies track Eq. (5), and td_q stays below a cycle —");
     println!("the analytic arrays the mapping algorithms optimize are faithful.");

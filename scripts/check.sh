@@ -5,6 +5,10 @@
 #   1. rustfmt          — formatting must be canonical (`--check`, no writes)
 #   2. clippy           — whole workspace incl. tests/benches, warnings fatal
 #   3. tier-1 gate      — release build + full test suite
+#   4. examples         — every example must build *and* run to completion
+#   5. panic gate       — no new unwrap()/assert!/panic! in the non-test
+#                         portions of noc-sim's config/network constructor
+#                         paths (they return typed ConfigError results now)
 #
 # The tier-1 commands match ROADMAP.md; `--workspace` matters because the
 # root package is a facade crate and a bare `cargo build` would silently
@@ -23,5 +27,32 @@ cargo build --release --workspace
 
 echo "==> tier-1: cargo test -q"
 cargo test -q --workspace
+
+echo "==> examples: build and run every example"
+cargo build --release --workspace --examples
+for ex in quickstart simulate_mapping app_consolidation custom_chip \
+    np_reduction qos_priorities; do
+    echo "--> example: $ex"
+    cargo run --quiet --release --example "$ex" >/dev/null
+done
+echo "--> example: report_dump (noc-sim)"
+cargo run --quiet --release -p noc-sim --example report_dump >/dev/null
+
+echo "==> panic gate: noc-sim config/network constructor paths"
+# SimConfig::validate(), TrafficSpec::new() and Network::new() report bad
+# input through typed ConfigError values. Reintroducing unwrap()/assert!/
+# panic! in the non-test portions of these files would silently bring the
+# old panicking constructor behaviour back, so fail on any occurrence
+# outside the #[cfg(test)] module and doc comments (debug_assert! is fine).
+for f in crates/noc-sim/src/config.rs crates/noc-sim/src/network.rs; do
+    cut=$(grep -n '#\[cfg(test)\]' "$f" | head -1 | cut -d: -f1)
+    if hits=$(head -n $((cut - 1)) "$f" \
+        | grep -vE '^[[:space:]]*//[/!]' \
+        | grep -E '\.unwrap\(\)|(^|[^_.[:alnum:]])(assert!|assert_eq!|assert_ne!|panic!)'); then
+        echo "panicking call in non-test portion of $f:"
+        echo "$hits"
+        exit 1
+    fi
+done
 
 echo "All checks passed."

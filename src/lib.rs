@@ -6,6 +6,8 @@
 //!
 //! * [`model`] — mesh NoC geometry, routing and the `TC`/`TM` latency model;
 //! * [`sim`] — cycle-level wormhole NoC simulator (Garnet substitute);
+//! * [`telemetry`] — probes, sinks and windowed time-series shared by the
+//!   simulator and the mapping algorithms;
 //! * [`workload`] — synthetic PARSEC-like traces and the C1–C8 configurations;
 //! * [`cache`] — CMP cache-hierarchy model deriving request rates from
 //!   first principles (L1 + MOESI-lite directory + shared L2 banks);
@@ -14,12 +16,50 @@
 //!   Global / Monte-Carlo / simulated-annealing baselines;
 //! * [`power`] — DSENT-substitute NoC power model.
 //!
-//! See `examples/quickstart.rs` for a end-to-end tour.
+//! Most programs only need the [`prelude`]:
+//!
+//! ```
+//! use obm::prelude::*;
+//!
+//! let mesh = Mesh::square(4);
+//! let tiles = TileLatencies::paper_default(&mesh);
+//! let cache_rates: Vec<f64> = (0..4).flat_map(|_| [0.1, 0.2, 0.3, 0.4]).collect();
+//! let inst = ObmInstance::new(tiles, vec![0, 4, 8, 12, 16], cache_rates, vec![0.0; 16]);
+//! let mapping = SortSelectSwap::default().map(&inst, 0);
+//! assert!(evaluate(&inst, &mapping).max_apl > 0.0);
+//! ```
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour and
+//! `examples/simulate_mapping.rs` for the simulator + telemetry side.
 
 pub use assignment as lap;
 pub use cmp_cache as cache;
 pub use noc_model as model;
 pub use noc_power as power;
 pub use noc_sim as sim;
+pub use noc_telemetry as telemetry;
 pub use obm_core as mapping;
 pub use workload;
+
+/// The types most programs touch: chip geometry, the OBM problem and
+/// mappers, the simulator configuration/traffic/network, and the telemetry
+/// probes and sinks. `use obm::prelude::*;` is enough for the examples.
+pub mod prelude {
+    pub use crate::mapping::algorithms::{
+        BalancedGreedy, Global, Mapper, MonteCarlo, RandomMapper, SimulatedAnnealing,
+        SortSelectSwap,
+    };
+    pub use crate::mapping::{
+        evaluate, traffic_spec, AplReport, IncrementalEvaluator, Mapping, ObmInstance,
+    };
+    pub use crate::model::{Coord, LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
+    pub use crate::sim::{
+        ConfigError, Network, Schedule, SimConfig, SimConfigBuilder, SimReport, SourceSpec,
+        TrafficSpec,
+    };
+    pub use crate::telemetry::{
+        JsonLinesSink, LatencyAccum, NoopSink, Phase, Probe, Record, RingSink, Sink, SolverEvent,
+        WindowRecord,
+    };
+    pub use crate::workload::{PaperConfig, WorkloadBuilder};
+}

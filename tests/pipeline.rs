@@ -3,9 +3,9 @@
 //! model-fidelity checks spanning every crate.
 
 use obm::mapping::algorithms::{Mapper, SortSelectSwap};
-use obm::mapping::{evaluate, ObmInstance};
+use obm::mapping::{evaluate, traffic_spec, ObmInstance};
 use obm::model::{Mesh, TileLatencies};
-use obm::sim::{Network, Schedule, SimConfig, SourceSpec};
+use obm::sim::{Network, Schedule, SimConfig, SourceSpec, TrafficSpec};
 use obm::workload::{PaperConfig, WorkloadBuilder};
 
 fn build_pipeline(cfg: PaperConfig) -> (ObmInstance, obm::mapping::Mapping) {
@@ -24,19 +24,15 @@ fn simulate(
     cycles: u64,
 ) -> obm::sim::SimReport {
     let mesh = Mesh::square(8);
-    let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.warmup_cycles = 2_000;
-    cfg.measure_cycles = cycles;
-    cfg.seed = 11;
-    let sources: Vec<SourceSpec> = (0..inst.num_threads())
-        .map(|j| SourceSpec {
-            tile: mapping.tile_of(j),
-            group: inst.app_of_thread(j),
-            cache: Schedule::per_kilocycle(inst.cache_rate(j)),
-            mem: Schedule::per_kilocycle(inst.mem_rate(j)),
-        })
-        .collect();
-    Network::new(cfg, sources, inst.num_apps()).run()
+    let cfg = SimConfig::builder(mesh)
+        .warmup_cycles(2_000)
+        .measure_cycles(cycles)
+        .seed(11)
+        .build()
+        .expect("valid config");
+    Network::new(cfg, traffic_spec(inst, mapping))
+        .expect("valid scenario")
+        .run()
 }
 
 /// Every measured packet injected is eventually delivered (flit
@@ -111,7 +107,8 @@ fn trace_replay_conserves_packets() {
             mem: Schedule::trace_per_kilocycle(traces.epoch_cycles, &traces.traces[j].mem),
         })
         .collect();
-    let report = Network::new(cfg, sources, inst.num_apps()).run();
+    let traffic = TrafficSpec::new(sources, inst.num_apps()).expect("valid traffic");
+    let report = Network::new(cfg, traffic).expect("valid config").run();
     assert!(report.fully_drained, "{}", report.summary());
     assert_eq!(report.injected, report.delivered);
 }

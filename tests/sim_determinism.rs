@@ -17,14 +17,15 @@
 //! [`SimReport::semantic_eq`]: obm::sim::SimReport::semantic_eq
 
 use obm::model::{MemoryControllers, Mesh, TileId};
-use obm::sim::{Network, Schedule, SimConfig, SimReport, SourceSpec};
+use obm::sim::{Network, Schedule, SimConfig, SimReport, SourceSpec, TrafficSpec};
+use obm::telemetry::{NoopSink, Phase, RingSink};
 use proptest::prelude::*;
 
-/// The pinned scenario: 4×4 mesh, one far memory controller, mixed
-/// classes, moderate contention, seed 42. Identical to `scenario_small`
-/// in `crates/noc-sim/examples/report_dump.rs`, which regenerates the
-/// golden values below.
-fn small_scenario() -> SimReport {
+/// The pinned scenario's network: 4×4 mesh, one far memory controller,
+/// mixed classes, moderate contention, seed 42. Identical to
+/// `scenario_small` in `crates/noc-sim/examples/report_dump.rs`, which
+/// regenerates the golden values below.
+fn small_scenario_network() -> Network {
     let mesh = Mesh::square(4);
     let mut cfg = SimConfig::paper_defaults(mesh);
     cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
@@ -41,7 +42,12 @@ fn small_scenario() -> SimReport {
             mem: Schedule::per_kilocycle(4.0),
         })
         .collect();
-    Network::new(cfg, sources, 2).run()
+    let traffic = TrafficSpec::new(sources, 2).expect("valid traffic");
+    Network::new(cfg, traffic).expect("valid config")
+}
+
+fn small_scenario() -> SimReport {
+    small_scenario_network().run()
 }
 
 #[test]
@@ -89,6 +95,68 @@ fn pinned_golden_small_scenario() {
     assert!((r.mean_td_q() - 0.321970443349754).abs() < 1e-9);
 }
 
+/// Telemetry must be a pure observer. A probed run through an explicit
+/// `NoopSink` (the disabled probe) takes the telemetry-aware code path
+/// yet must reproduce the golden report bit-for-bit, and an *enabled*
+/// `RingSink` probe must not change simulated semantics either.
+#[test]
+fn probed_runs_reproduce_the_golden_report() {
+    let golden = small_scenario();
+    let noop = small_scenario_network().run_probed(&mut NoopSink);
+    assert!(
+        golden.semantic_eq(&noop),
+        "NoopSink run diverged from the golden report"
+    );
+    assert_eq!(noop.injected, 1092);
+    assert_eq!(noop.network.link_flit_traversals, 9_592);
+
+    let mut sink = RingSink::new(1024);
+    let probed = small_scenario_network().run_probed(&mut sink);
+    assert!(
+        golden.semantic_eq(&probed),
+        "RingSink run diverged from the golden report"
+    );
+    assert!(sink.windows().count() > 0);
+}
+
+/// Window arithmetic on the pinned scenario: with the paper-default
+/// 1000-cycle window, warmup 500 / measure 3000 / cycles_run 3520, the
+/// global window grid is truncated at the warmup→measure boundary, at the
+/// measure→drain boundary, and at the end of the run.
+#[test]
+fn ring_sink_windows_truncate_at_phase_boundaries() {
+    let mut sink = RingSink::new(1024);
+    let report = small_scenario_network().run_probed(&mut sink);
+    assert_eq!(report.network.cycles_run, 3_520);
+    assert_eq!(sink.dropped(), 0);
+    let spans: Vec<(u64, u64, Phase)> = sink
+        .windows()
+        .map(|w| (w.start_cycle, w.end_cycle, w.phase))
+        .collect();
+    assert_eq!(
+        spans,
+        vec![
+            (0, 500, Phase::Warmup),
+            (500, 1_000, Phase::Measure),
+            (1_000, 2_000, Phase::Measure),
+            (2_000, 3_000, Phase::Measure),
+            (3_000, 3_500, Phase::Measure),
+            (3_500, 3_520, Phase::Drain),
+        ]
+    );
+    let measure_width: u64 = sink
+        .windows()
+        .filter(|w| w.phase == Phase::Measure)
+        .map(|w| w.width())
+        .sum();
+    assert_eq!(measure_width, 3_000, "measure windows must tile the phase");
+    // Conservation across the whole run: windows see every packet.
+    let injected: u64 = sink.windows().map(|w| w.injected_packets).sum();
+    let ejected: u64 = sink.windows().map(|w| w.ejected_packets).sum();
+    assert_eq!(injected, ejected, "run fully drained");
+    assert!(injected >= report.injected, "windows cover warmup too");
+}
+
 /// Satellite for the peak-occupancy telemetry: `peak_buffered_flits` is now
 /// a counter maintained incrementally at flit push/pop instead of an
 /// O(routers) end-of-cycle scan; on the seeded contention scenario it must
@@ -112,8 +180,12 @@ fn peak_buffered_flits_matches_pre_optimization_scan() {
             mem: Schedule::Constant(0.3),
         })
         .collect();
-    let a = Network::new(cfg.clone(), sources.clone(), 1).run();
-    let b = Network::new(cfg, sources, 1).run();
+    let run = |cfg: SimConfig, sources: Vec<SourceSpec>| {
+        let traffic = TrafficSpec::new(sources, 1).expect("valid traffic");
+        Network::new(cfg, traffic).expect("valid config").run()
+    };
+    let a = run(cfg.clone(), sources.clone());
+    let b = run(cfg, sources);
     assert_eq!(a.network.peak_buffered_flits, b.network.peak_buffered_flits);
     // Pinned regression value; the counter≡scan equivalence itself is proven
     // by `pinned_golden_small_scenario` (39 there was measured by the old
@@ -154,7 +226,8 @@ proptest! {
                 mem: Schedule::Constant(mem_rate),
             })
             .collect();
-        let r = Network::new(cfg, sources, 2).run();
+        let traffic = TrafficSpec::new(sources, 2).expect("valid traffic");
+        let r = Network::new(cfg, traffic).expect("valid config").run();
         prop_assert!(r.fully_drained, "drain budget exhausted");
         prop_assert_eq!(r.injected, r.delivered);
         // Class, group and source accounting must agree packet-by-packet.
