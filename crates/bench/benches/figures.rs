@@ -7,7 +7,7 @@ use noc_model::{Mesh, TileLatencies};
 use obm_bench::experiments::fig5;
 use obm_bench::harness::paper_instance;
 use obm_bench::sim_bridge::{simulate_mapping, traffic_from_mapping};
-use obm_core::algorithms::{random::random_averages, Global, Mapper, SortSelectSwap};
+use obm_core::algorithms::{Global, Mapper, RandomMapper, SortSelectSwap};
 use obm_core::evaluate;
 use workload::{PaperConfig, WorkloadBuilder};
 
@@ -15,7 +15,7 @@ use workload::{PaperConfig, WorkloadBuilder};
 fn table1(c: &mut Criterion) {
     let pi = paper_instance(PaperConfig::C1);
     c.bench_function("table1_random_population_500", |b| {
-        b.iter(|| random_averages(&pi.instance, 500, 0xA5))
+        b.iter(|| RandomMapper::averages(&pi.instance, 500, 0xA5))
     });
     c.bench_function("table1_global_mapping", |b| {
         b.iter(|| Global.map(&pi.instance, 0))

@@ -1,0 +1,59 @@
+//! Portfolio engine scaling: a 4-worker race over multi-seed simulated
+//! annealing vs the equivalent sequential best-of loop on the 8x8 C1
+//! instance (the PR's ≥2x wall-clock acceptance criterion), plus the
+//! 1-worker overhead check (the engine should cost no more than the loop
+//! it replaces).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obm_bench::harness::paper_instance;
+use obm_core::algorithms::{Mapper, SimulatedAnnealing};
+use obm_core::evaluate;
+use obm_portfolio::{Algorithm, SolveRequest};
+use workload::PaperConfig;
+
+const SEEDS: [u64; 4] = [1, 2, 3, 4];
+const SA: SimulatedAnnealing = SimulatedAnnealing {
+    iterations: 50_000,
+    restarts: 1,
+    initial_temp_fraction: 0.05,
+    final_temp_fraction: 1e-4,
+};
+
+fn portfolio_vs_sequential(c: &mut Criterion) {
+    let pi = paper_instance(PaperConfig::C1);
+    let inst = &pi.instance;
+    let mut group = c.benchmark_group("portfolio_sa_8x8");
+    group.sample_size(10);
+
+    group.bench_function("sequential_best_of_4_seeds", |b| {
+        b.iter(|| {
+            let mut best: Option<(f64, obm_core::Mapping)> = None;
+            for seed in SEEDS {
+                let m = SA.map(inst, seed);
+                let v = evaluate(inst, &m).max_apl;
+                if best.as_ref().is_none_or(|(bv, _)| v < *bv) {
+                    best = Some((v, m));
+                }
+            }
+            best
+        })
+    });
+
+    for workers in [1usize, 4] {
+        group.bench_function(&format!("portfolio_{workers}_workers"), |b| {
+            b.iter(|| {
+                SolveRequest::builder(inst)
+                    .algorithm(Algorithm::SimulatedAnnealing(SA))
+                    .seeds(SEEDS)
+                    .workers(workers)
+                    .build()
+                    .expect("valid request")
+                    .solve()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, portfolio_vs_sequential);
+criterion_main!(benches);

@@ -100,7 +100,9 @@ fn exact_solver(c: &mut Criterion) {
     let m16: Vec<f64> = c16.iter().map(|x| x * 0.15).collect();
     let inst = obm_core::ObmInstance::new(tl, vec![0, 4, 8, 12, 16], c16, m16);
     c.bench_function("bnb_prove_optimality_4x4", |b| {
-        b.iter(|| BranchAndBound::default().solve(&inst))
+        b.iter(|| {
+            BranchAndBound::default().solve_budgeted(&inst, &obm_core::CancelToken::never(), None)
+        })
     });
     let _ = pi;
     let mut group = c.benchmark_group("bnb_vs_sss");

@@ -48,7 +48,7 @@ pub fn run(fast: bool) -> String {
     let mut instances = Vec::new();
     for seed in 0..trials {
         let inst = random_instance(seed as u64, 4);
-        let r = solver.solve(&inst);
+        let r = solver.solve_budgeted(&inst, &obm_core::CancelToken::never(), None);
         if r.proven_optimal {
             proven += 1;
             optima.push(r.objective);

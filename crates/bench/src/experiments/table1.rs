@@ -4,7 +4,7 @@
 
 use crate::harness::paper_instance;
 use crate::table::{f, MarkdownTable};
-use obm_core::algorithms::{random::random_averages, Global, Mapper};
+use obm_core::algorithms::{Global, Mapper, RandomMapper};
 use obm_core::evaluate;
 use workload::PaperConfig;
 
@@ -28,7 +28,7 @@ pub fn run(fast: bool) -> String {
     let mut sums = [0.0f64; 6];
     for cfg in configs {
         let pi = paper_instance(cfg);
-        let rand = random_averages(&pi.instance, samples, 0xA5);
+        let rand = RandomMapper::averages(&pi.instance, samples, 0xA5);
         let glob = evaluate(&pi.instance, &Global.map(&pi.instance, 0));
         let row = [
             rand.mean_g_apl,

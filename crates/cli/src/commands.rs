@@ -7,10 +7,11 @@ use noc_sim::telemetry::json::Value;
 use noc_sim::telemetry::JsonLinesSink;
 use noc_sim::{Network, SimConfig};
 use obm_core::algorithms::{
-    BalancedGreedy, BranchAndBound, Global, Mapper, MonteCarlo, RandomMapper, SimulatedAnnealing,
-    SortSelectSwap,
+    BalancedGreedy, BranchAndBound, Global, HybridSssSa, Mapper, MonteCarlo, RandomMapper,
+    SimulatedAnnealing, SortSelectSwap,
 };
 use obm_core::{evaluate, Mapping, ObmInstance};
+use obm_portfolio::{Algorithm, Checkpoint, SolveRequest};
 use workload::{PaperConfig, WorkloadBuilder};
 
 /// Resolve an algorithm name to a mapper.
@@ -265,7 +266,7 @@ pub fn exact_command(spec_text: &str, node_budget: u64) -> Result<String, String
     let solver = BranchAndBound {
         node_budget: node_budget.max(1),
     };
-    let r = solver.solve(&inst);
+    let r = solver.solve_budgeted(&inst, &obm_core::CancelToken::never(), None);
     let sss = obm_core::evaluate(&inst, &SortSelectSwap::default().map(&inst, 0)).max_apl;
     let mut out = String::new();
     out.push_str(&format!(
@@ -302,6 +303,135 @@ pub fn exact_command(spec_text: &str, node_budget: u64) -> Result<String, String
         ));
     }
     Ok(out)
+}
+
+/// Flags for `obm solve` (bundled so the command keeps a readable
+/// signature).
+pub struct SolveArgs<'a> {
+    /// Comma-separated line-up (`sss,sa,hybrid,greedy,mc,exact`) or
+    /// `portfolio` for the default five-algorithm race.
+    pub algos: &'a str,
+    /// Comma-separated seed list.
+    pub seeds: &'a str,
+    pub deadline_ms: Option<u64>,
+    pub max_evals: Option<u64>,
+    pub workers: Option<usize>,
+    pub aggressive: bool,
+    /// Contents of a `--resume` checkpoint file, if given.
+    pub resume_json: Option<&'a str>,
+}
+
+fn portfolio_algorithms(names: &str) -> Result<Vec<Algorithm>, String> {
+    if names == "portfolio" {
+        return Ok(Algorithm::default_portfolio());
+    }
+    names
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|name| {
+            Ok(match name {
+                "sss" => Algorithm::SortSelectSwap(SortSelectSwap::default()),
+                "sa" => Algorithm::SimulatedAnnealing(SimulatedAnnealing::default()),
+                "hybrid" => Algorithm::HybridSssSa(HybridSssSa::default()),
+                "greedy" => Algorithm::BalancedGreedy,
+                // Single-worker MC: the portfolio owns the parallelism.
+                "mc" => Algorithm::MonteCarlo(MonteCarlo {
+                    samples: 10_000,
+                    workers: 1,
+                }),
+                "exact" => Algorithm::Exact(BranchAndBound::default()),
+                other => {
+                    return Err(format!(
+                        "unknown portfolio algorithm '{other}' \
+                         (try sss, sa, hybrid, greedy, mc, exact, or portfolio)"
+                    ))
+                }
+            })
+        })
+        .collect()
+}
+
+fn parse_seed_list(text: &str) -> Result<Vec<u64>, String> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<u64>().map_err(|e| format!("bad seed '{s}': {e}")))
+        .collect()
+}
+
+/// `obm solve` — race a solver portfolio under a budget. Returns the
+/// human-readable report and the run's checkpoint JSON (written to disk
+/// by `main` when `--checkpoint` is given).
+pub fn solve_command(spec_text: &str, args: &SolveArgs) -> Result<(String, String), String> {
+    let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let inst = spec.to_instance();
+    let algorithms = portfolio_algorithms(args.algos)?;
+    let seeds = parse_seed_list(args.seeds)?;
+
+    let mut builder = SolveRequest::builder(&inst)
+        .algorithms(algorithms)
+        .seeds(seeds)
+        .aggressive_pruning(args.aggressive);
+    if let Some(ms) = args.deadline_ms {
+        builder = builder.deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(evals) = args.max_evals {
+        builder = builder.max_evaluations(evals);
+    }
+    if let Some(w) = args.workers {
+        builder = builder.workers(w);
+    }
+    if let Some(text) = args.resume_json {
+        let cp = Checkpoint::from_json(text).map_err(|e| e.to_string())?;
+        builder = builder.resume(cp);
+    }
+    let request = builder.build().map_err(|e| e.to_string())?;
+    let workers = request.workers();
+    let outcome = request.solve();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "portfolio: {} task(s) across {} worker(s) | termination: {}\n",
+        outcome.stats.len(),
+        workers,
+        outcome.termination
+    ));
+    if outcome.resume_rejected {
+        out.push_str("note: --resume checkpoint did not match this request; all tasks re-ran\n");
+    }
+    out.push_str(&format!(
+        "winner: {} (seed {}) max-APL {:.6}{}\n",
+        outcome.winner,
+        outcome.winner_seed,
+        outcome.objective,
+        if outcome.fallback {
+            " [fallback: no task finished]"
+        } else {
+            ""
+        }
+    ));
+    out.push_str("  task  algo     seed        evals   objective\n");
+    for s in &outcome.stats {
+        out.push_str(&format!(
+            "  {:>4}  {:<7} {:>5} {:>12}   {}\n",
+            s.task,
+            s.algo,
+            s.seed,
+            s.evaluations,
+            match s.objective {
+                Some(v) if s.resumed => format!("{v:.6} (resumed)"),
+                Some(v) => format!("{v:.6}"),
+                None => "-".to_string(),
+            }
+        ));
+    }
+    out.push_str("# thread -> tile (paper numbering)\n");
+    for j in 0..inst.num_threads() {
+        out.push_str(&format!("{}\n", outcome.mapping.tile_of(j).to_paper()));
+    }
+    out.push_str(&report_block(&spec, &inst, &outcome.mapping));
+    Ok((out, outcome.checkpoint.to_json()))
 }
 
 /// `obm latency` — print the TC/TM arrays for a chip.
@@ -521,6 +651,63 @@ thread 5.0 0.7
     fn exact_rejects_large_instances() {
         let out = generate("C1", Some(1)).unwrap();
         assert!(exact_command(&out, 1000).is_err());
+    }
+
+    fn quick_solve_args<'a>(algos: &'a str, resume: Option<&'a str>) -> SolveArgs<'a> {
+        SolveArgs {
+            algos,
+            seeds: "1,2",
+            deadline_ms: None,
+            // Keep the default SA/MC line-ups cheap in tests.
+            max_evals: Some(30_000),
+            workers: Some(2),
+            aggressive: false,
+            resume_json: resume,
+        }
+    }
+
+    #[test]
+    fn solve_races_portfolio_and_reports_stats() {
+        let (out, checkpoint) =
+            solve_command(SPEC, &quick_solve_args("sss,greedy,mc", None)).expect("solve succeeds");
+        assert!(out.contains("winner:"), "{out}");
+        assert!(out.contains("max-APL"), "{out}");
+        // sss and greedy dedup to one task each; mc gets both seeds.
+        assert!(out.contains("portfolio: 4 task(s)"), "{out}");
+        // The checkpoint round-trips through the portfolio parser.
+        let cp = obm_portfolio::Checkpoint::from_json(&checkpoint).expect("valid checkpoint");
+        assert!(!cp.completed.is_empty());
+    }
+
+    #[test]
+    fn solve_resumes_from_its_own_checkpoint() {
+        let (first, checkpoint) =
+            solve_command(SPEC, &quick_solve_args("sss,mc", None)).expect("first solve");
+        let (second, _) = solve_command(SPEC, &quick_solve_args("sss,mc", Some(&checkpoint)))
+            .expect("resumed solve");
+        assert!(second.contains("(resumed)"), "{second}");
+        let metric = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("winner:"))
+                .map(str::to_string)
+        };
+        assert_eq!(metric(&first), metric(&second));
+    }
+
+    #[test]
+    fn solve_rejects_bad_configuration_with_readable_errors() {
+        let e = solve_command(SPEC, &quick_solve_args("quantum", None)).unwrap_err();
+        assert!(e.contains("quantum"), "{e}");
+        let mut args = quick_solve_args("sss", None);
+        args.seeds = "1,x";
+        let e = solve_command(SPEC, &args).unwrap_err();
+        assert!(e.contains("bad seed"), "{e}");
+        let mut args = quick_solve_args("sss", None);
+        args.workers = Some(0);
+        let e = solve_command(SPEC, &args).unwrap_err();
+        assert!(e.contains("worker count"), "{e}");
+        let e = solve_command(SPEC, &quick_solve_args("sss", Some("not json"))).unwrap_err();
+        assert!(e.contains("JSON"), "{e}");
     }
 
     #[test]

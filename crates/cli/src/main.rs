@@ -8,6 +8,9 @@
 //! obm experiments trace <spec> [--algo sss] [--cycles N] [--seed S]
 //!                      [--window W] [--out FILE]        JSON-lines telemetry
 //! obm exact <spec> [--budget NODES]              prove the optimum (small chips)
+//! obm solve <spec> [--portfolio | --algos sss,sa,...] [--seeds 0,1,2,3]
+//!                  [--deadline-ms N] [--max-evals N] [--workers N]
+//!                  [--aggressive] [--checkpoint FILE] [--resume FILE]
 //! obm latency [--mesh N] [--controllers corners|edges]
 //! ```
 
@@ -26,6 +29,9 @@ USAGE:
   obm simulate <spec-file> [--algo NAME] [--cycles N] [--seed S]
   obm experiments trace <spec-file> [--algo NAME] [--cycles N] [--seed S] [--window W] [--out FILE]
   obm exact <spec-file> [--budget NODES]
+  obm solve <spec-file> [--portfolio | --algos sss,sa,hybrid,greedy,mc,exact] [--seeds 0,1,2,3]
+            [--deadline-ms N] [--max-evals N] [--workers N] [--aggressive]
+            [--checkpoint FILE] [--resume FILE]
   obm latency [--mesh N] [--controllers corners|edges]
 
 The spec format is documented in the repository README and crates/cli/src/spec.rs."
@@ -76,6 +82,18 @@ impl Args {
         match self.value_flag(name)? {
             None => Ok(default),
             Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+
+    /// Like [`Args::parse_flag`] but with no default: absent flags stay
+    /// `None`.
+    fn opt_parse_flag<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.value_flag(name)? {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|e| format!("--{name}: {e}")),
         }
     }
 }
@@ -159,6 +177,35 @@ fn run() -> Result<String, String> {
             let spec = read(args.positional.first().ok_or("exact needs a spec file")?)?;
             let budget = args.parse_flag::<u64>("budget", 20_000_000)?;
             commands::exact_command(&spec, budget)
+        }
+        "solve" => {
+            let spec = read(args.positional.first().ok_or("solve needs a spec file")?)?;
+            // `--portfolio` is an explicit spelling of the default line-up.
+            let algos = if args.flag("portfolio").is_some() {
+                "portfolio"
+            } else {
+                args.value_flag("algos")?.unwrap_or("portfolio")
+            };
+            let seeds = args.value_flag("seeds")?.unwrap_or("0,1,2,3");
+            let resume_text = match args.value_flag("resume")? {
+                Some(path) => Some(read(path)?),
+                None => None,
+            };
+            let solve_args = commands::SolveArgs {
+                algos,
+                seeds,
+                deadline_ms: args.opt_parse_flag::<u64>("deadline-ms")?,
+                max_evals: args.opt_parse_flag::<u64>("max-evals")?,
+                workers: args.opt_parse_flag::<usize>("workers")?,
+                aggressive: args.flag("aggressive").is_some(),
+                resume_json: resume_text.as_deref(),
+            };
+            let (report, checkpoint) = commands::solve_command(&spec, &solve_args)?;
+            if let Some(path) = args.value_flag("checkpoint")? {
+                std::fs::write(path, format!("{checkpoint}\n"))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            Ok(report)
         }
         "latency" => {
             let n = args.parse_flag::<usize>("mesh", 8)?;

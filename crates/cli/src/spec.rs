@@ -45,23 +45,57 @@ pub struct AppEntry {
     pub threads: Vec<(f64, f64)>,
 }
 
-/// A parse error with its 1-based line number.
+/// A rejected instance specification (the `ConfigError` convention from
+/// `noc-sim`: typed variants with readable messages, no panics — the CLI
+/// surfaces these with a non-zero exit).
 #[derive(Debug, Clone, PartialEq)]
-pub struct ParseError {
-    pub line: usize,
-    pub message: String,
+pub enum SpecError {
+    /// A malformed line, with its 1-based line number.
+    Syntax { line: usize, message: String },
+    /// No `mesh rows cols` line.
+    MissingMesh,
+    /// No `app` blocks.
+    NoApps,
+    /// The last `app` block declared more threads than it provided.
+    DanglingThreads { app: String, missing: usize },
+    /// Thread counts total more than the chip has tiles.
+    CapacityExceeded { threads: usize, tiles: usize },
+    /// The `weights` line length does not match the app count.
+    WeightCountMismatch { weights: usize, apps: usize },
+    /// A `controllers tiles` id is outside the mesh (1-based paper
+    /// numbering).
+    ControllerTileOutOfRange { tile: usize, tiles: usize },
 }
 
-impl std::fmt::Display for ParseError {
+impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        match self {
+            SpecError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            SpecError::MissingMesh => write!(f, "missing 'mesh rows cols' line"),
+            SpecError::NoApps => write!(f, "no applications declared"),
+            SpecError::DanglingThreads { app, missing } => {
+                write!(f, "app '{app}' still expects {missing} thread line(s)")
+            }
+            SpecError::CapacityExceeded { threads, tiles } => {
+                write!(f, "{threads} threads exceed {tiles} tiles")
+            }
+            SpecError::WeightCountMismatch { weights, apps } => {
+                write!(f, "{weights} weights for {apps} apps")
+            }
+            SpecError::ControllerTileOutOfRange { tile, tiles } => {
+                write!(
+                    f,
+                    "controller tile {tile} out of range 1..={tiles} (paper numbering)"
+                )
+            }
+        }
     }
 }
 
-impl std::error::Error for ParseError {}
+impl std::error::Error for SpecError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError {
+fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError::Syntax {
         line,
         message: message.into(),
     }
@@ -69,7 +103,7 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 
 impl InstanceSpec {
     /// Parse the text format.
-    pub fn parse(text: &str) -> Result<InstanceSpec, ParseError> {
+    pub fn parse(text: &str) -> Result<InstanceSpec, SpecError> {
         let mut mesh: Option<(usize, usize)> = None;
         let mut controllers = ControllerSpec::Corners;
         let mut apps: Vec<AppEntry> = Vec::new();
@@ -83,7 +117,9 @@ impl InstanceSpec {
                 continue;
             }
             let mut tok = line.split_whitespace();
-            let keyword = tok.next().expect("non-empty line");
+            let Some(keyword) = tok.next() else {
+                continue; // unreachable: the line is non-empty after trim
+            };
             let rest: Vec<&str> = tok.collect();
             match keyword {
                 "mesh" => {
@@ -161,10 +197,12 @@ impl InstanceSpec {
                     if c < 0.0 || m < 0.0 || !c.is_finite() || !m.is_finite() {
                         return Err(err(lineno, "rates must be finite and non-negative"));
                     }
-                    apps.last_mut()
-                        .expect("inside app block")
-                        .threads
-                        .push((c, m));
+                    match apps.last_mut() {
+                        Some(app) => app.threads.push((c, m)),
+                        // Unreachable: pending_threads > 0 implies an app
+                        // block is open, but degrade to a typed error.
+                        None => return Err(err(lineno, "thread line outside an app block")),
+                    }
                     pending_threads -= 1;
                 }
                 "weights" => {
@@ -179,28 +217,39 @@ impl InstanceSpec {
             }
         }
         if pending_threads > 0 {
-            return Err(err(
-                text.lines().count(),
-                format!("last app still expects {pending_threads} thread line(s)"),
-            ));
+            return Err(SpecError::DanglingThreads {
+                app: apps.last().map(|a| a.name.clone()).unwrap_or_default(),
+                missing: pending_threads,
+            });
         }
-        let (rows, cols) = mesh.ok_or_else(|| err(1, "missing 'mesh rows cols' line"))?;
+        let (rows, cols) = mesh.ok_or(SpecError::MissingMesh)?;
         if apps.is_empty() {
-            return Err(err(1, "no applications declared"));
+            return Err(SpecError::NoApps);
         }
         let total: usize = apps.iter().map(|a| a.threads.len()).sum();
         if total > rows * cols {
-            return Err(err(
-                1,
-                format!("{total} threads exceed {} tiles", rows * cols),
-            ));
+            return Err(SpecError::CapacityExceeded {
+                threads: total,
+                tiles: rows * cols,
+            });
         }
         if let Some(ws) = &weights {
             if ws.len() != apps.len() {
-                return Err(err(
-                    1,
-                    format!("{} weights for {} apps", ws.len(), apps.len()),
-                ));
+                return Err(SpecError::WeightCountMismatch {
+                    weights: ws.len(),
+                    apps: apps.len(),
+                });
+            }
+        }
+        // Controller ids can only be range-checked once the mesh is known
+        // (the `controllers` line may precede `mesh`); checking here keeps
+        // `memory_controllers()` panic-free.
+        if let ControllerSpec::Tiles(ids) = &controllers {
+            if let Some(&bad) = ids.iter().find(|&&k| k > rows * cols) {
+                return Err(SpecError::ControllerTileOutOfRange {
+                    tile: bad,
+                    tiles: rows * cols,
+                });
             }
         }
         Ok(InstanceSpec {
@@ -360,20 +409,35 @@ weights 2 1
 
     #[test]
     fn errors_have_line_numbers() {
-        let e = InstanceSpec::parse("mesh 4\n").unwrap_err();
-        assert_eq!(e.line, 1);
-        let e = InstanceSpec::parse("mesh 2 2\napp a 1\nbogus 1 2\n").unwrap_err();
-        assert_eq!(e.line, 3);
-        assert!(e.message.contains("bogus") || e.message.contains("expects"));
+        match InstanceSpec::parse("mesh 4\n").unwrap_err() {
+            SpecError::Syntax { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected Syntax error, got {other:?}"),
+        }
+        match InstanceSpec::parse("mesh 2 2\napp a 1\nbogus 1 2\n").unwrap_err() {
+            SpecError::Syntax { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("bogus") || message.contains("expects"));
+            }
+            other => panic!("expected Syntax error, got {other:?}"),
+        }
     }
 
     #[test]
     fn thread_count_enforced() {
         let e = InstanceSpec::parse("mesh 2 2\napp a 2\nthread 1 0.1\napp b 1\nthread 1 0.1\n")
             .unwrap_err();
-        assert!(e.message.contains("expects"), "{e}");
+        assert!(e.to_string().contains("expects"), "{e}");
         let e = InstanceSpec::parse("mesh 2 2\napp a 1\nthread 1 0.1\nthread 1 0.1\n").unwrap_err();
-        assert!(e.message.contains("outside"), "{e}");
+        assert!(e.to_string().contains("outside"), "{e}");
+        // A truncated trailing app block is a typed error naming the app.
+        let e = InstanceSpec::parse("mesh 2 2\napp tail 3\nthread 1 0.1\n").unwrap_err();
+        assert_eq!(
+            e,
+            SpecError::DanglingThreads {
+                app: "tail".to_string(),
+                missing: 2
+            }
+        );
     }
 
     #[test]
@@ -383,7 +447,29 @@ weights 2 1
             text.push_str("thread 1 0.1\n");
         }
         let e = InstanceSpec::parse(&text).unwrap_err();
-        assert!(e.message.contains("exceed"), "{e}");
+        assert_eq!(
+            e,
+            SpecError::CapacityExceeded {
+                threads: 5,
+                tiles: 4
+            }
+        );
+        assert!(e.to_string().contains("exceed"), "{e}");
+    }
+
+    #[test]
+    fn controller_tiles_out_of_range_rejected_even_before_mesh_line() {
+        // `controllers` precedes `mesh`: the range check still fires.
+        let e = InstanceSpec::parse("controllers tiles 99\nmesh 2 2\napp a 1\nthread 1 0.1\n")
+            .unwrap_err();
+        assert_eq!(
+            e,
+            SpecError::ControllerTileOutOfRange { tile: 99, tiles: 4 }
+        );
+        // In range parses and builds without panicking.
+        let spec = InstanceSpec::parse("controllers tiles 4\nmesh 2 2\napp a 1\nthread 1 0.1\n")
+            .expect("valid spec");
+        assert_eq!(spec.memory_controllers().tiles().len(), 1);
     }
 
     #[test]
@@ -397,9 +483,24 @@ weights 2 1
     #[test]
     fn weight_count_mismatch_rejected() {
         let e = InstanceSpec::parse("mesh 2 2\napp a 1\nthread 1 0.1\nweights 1 2\n").unwrap_err();
-        assert!(
-            e.message.contains("weights") || e.message.contains("apps"),
-            "{e}"
+        assert_eq!(
+            e,
+            SpecError::WeightCountMismatch {
+                weights: 2,
+                apps: 1
+            }
+        );
+    }
+
+    #[test]
+    fn structural_errors_are_typed() {
+        assert_eq!(
+            InstanceSpec::parse("app a 1\nthread 1 0.1\n").unwrap_err(),
+            SpecError::MissingMesh
+        );
+        assert_eq!(
+            InstanceSpec::parse("mesh 2 2\n").unwrap_err(),
+            SpecError::NoApps
         );
     }
 

@@ -223,6 +223,25 @@ impl SolverEvent {
                 pairs.push(("edits", Value::from(edits)));
                 pairs.push(("delta", Value::from(delta)));
             }
+            SolverEvent::WorkerStarted {
+                task,
+                ref algo,
+                seed,
+                ..
+            } => {
+                pairs.push(("task", Value::from(task)));
+                pairs.push(("algo", Value::from(algo.as_str())));
+                pairs.push(("seed", Value::from(seed)));
+            }
+            SolverEvent::IncumbentImproved { task, .. } => {
+                pairs.push(("task", Value::from(task)));
+            }
+            SolverEvent::WorkerPruned {
+                task, incumbent, ..
+            } => {
+                pairs.push(("task", Value::from(task)));
+                pairs.push(("incumbent", Value::from(incumbent)));
+            }
         }
         Value::obj(pairs)
     }
@@ -280,6 +299,46 @@ mod tests {
         assert_eq!(ring.windows().count(), 1);
         assert_eq!(ring.solver_events().count(), 1);
         assert_eq!(ring.records().count(), 2);
+    }
+
+    #[test]
+    fn portfolio_events_serialize_with_task_and_null_infinite_incumbent() {
+        let v = SolverEvent::WorkerStarted {
+            task: 3,
+            algo: "SSS".to_string(),
+            seed: 9,
+            incumbent: f64::INFINITY,
+        }
+        .to_json();
+        assert_eq!(
+            v.get("kind").and_then(Value::as_str),
+            Some("worker_started")
+        );
+        assert_eq!(v.get("task").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("algo").and_then(Value::as_str), Some("SSS"));
+        assert_eq!(v.get("seed").and_then(Value::as_u64), Some(9));
+        // +inf incumbent (no finished task yet) serializes as null.
+        assert!(v.to_string().contains("\"objective\":null"));
+
+        let v = SolverEvent::IncumbentImproved {
+            task: 1,
+            objective: 9.25,
+        }
+        .to_json();
+        assert_eq!(
+            v.get("kind").and_then(Value::as_str),
+            Some("incumbent_improved")
+        );
+        assert_eq!(v.get("objective").and_then(Value::as_f64), Some(9.25));
+
+        let v = SolverEvent::WorkerPruned {
+            task: 2,
+            objective: 10.5,
+            incumbent: 9.25,
+        }
+        .to_json();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("worker_pruned"));
+        assert_eq!(v.get("incumbent").and_then(Value::as_f64), Some(9.25));
     }
 
     #[test]

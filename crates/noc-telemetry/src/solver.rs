@@ -54,6 +54,35 @@ pub enum SolverEvent {
         /// (negative = improvement).
         delta: f64,
     },
+    /// A portfolio worker started one (algorithm × seed) task.
+    WorkerStarted {
+        /// Deterministic task rank within the portfolio run.
+        task: u64,
+        /// Display name of the algorithm ("SSS", "SA", …).
+        algo: String,
+        /// Seed the task runs with.
+        seed: u64,
+        /// Shared incumbent objective at start time (`f64::INFINITY` —
+        /// serialized as JSON null — when no task has finished yet).
+        incumbent: f64,
+    },
+    /// A finished portfolio task improved the shared incumbent.
+    IncumbentImproved {
+        /// Deterministic task rank within the portfolio run.
+        task: u64,
+        /// The new (improved) incumbent objective.
+        objective: f64,
+    },
+    /// A finished portfolio task lost to the incumbent (its result was
+    /// discarded by the merge).
+    WorkerPruned {
+        /// Deterministic task rank within the portfolio run.
+        task: u64,
+        /// The losing task's objective.
+        objective: f64,
+        /// The incumbent it lost to.
+        incumbent: f64,
+    },
 }
 
 impl SolverEvent {
@@ -63,15 +92,23 @@ impl SolverEvent {
             SolverEvent::SwapAccepted { .. } => "swap_accepted",
             SolverEvent::TemperatureStep { .. } => "temperature_step",
             SolverEvent::EvalDelta { .. } => "eval_delta",
+            SolverEvent::WorkerStarted { .. } => "worker_started",
+            SolverEvent::IncumbentImproved { .. } => "incumbent_improved",
+            SolverEvent::WorkerPruned { .. } => "worker_pruned",
         }
     }
 
-    /// The objective value carried by the event.
+    /// The objective value carried by the event ([`WorkerStarted`]
+    /// (SolverEvent::WorkerStarted) carries the incumbent at start time,
+    /// which is `f64::INFINITY` before any task finishes).
     pub fn objective(&self) -> f64 {
         match *self {
             SolverEvent::SwapAccepted { objective, .. }
             | SolverEvent::TemperatureStep { objective, .. }
-            | SolverEvent::EvalDelta { objective, .. } => objective,
+            | SolverEvent::EvalDelta { objective, .. }
+            | SolverEvent::IncumbentImproved { objective, .. }
+            | SolverEvent::WorkerPruned { objective, .. } => objective,
+            SolverEvent::WorkerStarted { incumbent, .. } => incumbent,
         }
     }
 }
@@ -103,5 +140,30 @@ mod tests {
             delta: -1.0,
         };
         assert_eq!(e.kind(), "eval_delta");
+    }
+
+    #[test]
+    fn portfolio_kinds_and_objectives() {
+        let e = SolverEvent::WorkerStarted {
+            task: 0,
+            algo: "SA".to_string(),
+            seed: 7,
+            incumbent: f64::INFINITY,
+        };
+        assert_eq!(e.kind(), "worker_started");
+        assert!(e.objective().is_infinite());
+        let e = SolverEvent::IncumbentImproved {
+            task: 1,
+            objective: 9.5,
+        };
+        assert_eq!(e.kind(), "incumbent_improved");
+        assert!((e.objective() - 9.5).abs() < 1e-12);
+        let e = SolverEvent::WorkerPruned {
+            task: 2,
+            objective: 10.0,
+            incumbent: 9.5,
+        };
+        assert_eq!(e.kind(), "worker_pruned");
+        assert!((e.objective() - 10.0).abs() < 1e-12);
     }
 }

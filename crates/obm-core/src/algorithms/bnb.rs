@@ -17,11 +17,18 @@
 //!   making the search mostly a proof.
 
 use crate::algorithms::{Mapper, SortSelectSwap};
+use crate::cancel::CancelToken;
 use crate::eval::evaluate;
 use crate::problem::{Mapping, ObmInstance};
 use crate::sam::solve_sam;
 use assignment::CostMatrix;
 use noc_model::TileId;
+use noc_telemetry::Probe;
+
+/// Nodes between [`CancelToken`] polls (power of two: mask test). Node
+/// expansion includes an `O(N)`–`O(u³)` bound computation, so 4096 nodes
+/// is already tens of microseconds of work.
+const CANCEL_POLL_MASK: u64 = 4096 - 1;
 
 /// Result of a branch-and-bound run.
 #[derive(Debug, Clone)]
@@ -34,6 +41,9 @@ pub struct BnbResult {
     pub proven_optimal: bool,
     /// Search nodes expanded.
     pub nodes: u64,
+    /// Whether the run was stopped by its [`CancelToken`] (as opposed to
+    /// finishing or exhausting the node budget).
+    pub cancelled: bool,
 }
 
 /// Branch-and-bound solver with a node budget.
@@ -65,6 +75,8 @@ struct Search<'a> {
     nodes: u64,
     budget: u64,
     exhausted: bool,
+    token: &'a CancelToken,
+    cancelled: bool,
     /// Depth up to which the (expensive, tight) Hungarian relaxation is
     /// added on top of the separable bounds.
     hungarian_depth: usize,
@@ -147,6 +159,10 @@ impl Search<'_> {
             self.exhausted = true;
             return;
         }
+        if self.nodes & CANCEL_POLL_MASK == 0 && self.token.is_cancelled() {
+            self.cancelled = true;
+            return;
+        }
         self.nodes += 1;
         if depth == self.order.len() {
             let obj = (0..self.inst.num_apps())
@@ -199,7 +215,7 @@ impl Search<'_> {
             self.fixed_num[app] -= cost;
             self.free_tiles[k] = true;
             self.assigned[j] = usize::MAX;
-            if self.exhausted {
+            if self.exhausted || self.cancelled {
                 return;
             }
         }
@@ -207,12 +223,28 @@ impl Search<'_> {
 }
 
 impl BranchAndBound {
-    /// Solve the instance exactly (or best-effort within the node budget).
-    pub fn solve(&self, inst: &ObmInstance) -> BnbResult {
+    /// Solve the instance exactly (or best-effort within the node budget),
+    /// under cooperative cancellation and an optional external upper bound.
+    ///
+    /// `upper_bound` seeds the pruning incumbent when it beats the internal
+    /// SSS incumbent — the portfolio engine passes its shared best-so-far
+    /// max-APL here so the proof prunes against work other workers already
+    /// did. A cancelled run keeps whatever incumbent it had (`cancelled` is
+    /// set, `proven_optimal` is false).
+    pub fn solve_budgeted(
+        &self,
+        inst: &ObmInstance,
+        token: &CancelToken,
+        upper_bound: Option<f64>,
+    ) -> BnbResult {
         // Incumbent: SSS, then a per-app SAM re-optimization is already
         // inside SSS; its value is usually the optimum.
         let incumbent = SortSelectSwap::default().map(inst, 0);
         let incumbent_val = evaluate(inst, &incumbent).max_apl;
+        let prune_at = match upper_bound {
+            Some(ub) if ub < incumbent_val => ub,
+            _ => incumbent_val,
+        };
 
         let mut order: Vec<usize> = (0..inst.num_threads()).collect();
         order.sort_by(|&a, &b| {
@@ -226,11 +258,13 @@ impl BranchAndBound {
             assigned: vec![usize::MAX; inst.num_threads()],
             free_tiles: vec![true; inst.num_tiles()],
             fixed_num: vec![0.0; inst.num_apps()],
-            best: incumbent_val + 1e-12,
+            best: prune_at + 1e-12,
             best_mapping: None,
             nodes: 0,
             budget: self.node_budget,
             exhausted: false,
+            token,
+            cancelled: false,
             hungarian_depth: 4,
         };
         search.recurse(0);
@@ -245,14 +279,28 @@ impl BranchAndBound {
         BnbResult {
             mapping,
             objective,
-            proven_optimal: !search.exhausted,
+            proven_optimal: !search.exhausted && !search.cancelled,
             nodes: search.nodes,
+            cancelled: search.cancelled,
         }
     }
 
+    /// Solve the instance exactly (or best-effort within the node budget).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use solve_budgeted(inst, &CancelToken::never(), None); see DESIGN.md §10.4"
+    )]
+    pub fn solve(&self, inst: &ObmInstance) -> BnbResult {
+        self.solve_budgeted(inst, &CancelToken::never(), None)
+    }
+
     /// Exact optimum value if provable within budget.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use solve_budgeted and check proven_optimal; see DESIGN.md §10.4"
+    )]
     pub fn optimal_value(&self, inst: &ObmInstance) -> Option<f64> {
-        let r = self.solve(inst);
+        let r = self.solve_budgeted(inst, &CancelToken::never(), None);
         r.proven_optimal.then_some(r.objective)
     }
 }
@@ -263,7 +311,23 @@ impl Mapper for BranchAndBound {
     }
 
     fn map(&self, inst: &ObmInstance, _seed: u64) -> Mapping {
-        self.solve(inst).mapping
+        self.solve_budgeted(inst, &CancelToken::never(), None)
+            .mapping
+    }
+
+    fn map_cancellable(
+        &self,
+        inst: &ObmInstance,
+        _seed: u64,
+        token: &CancelToken,
+        _probe: &mut dyn Probe,
+    ) -> Option<Mapping> {
+        let r = self.solve_budgeted(inst, token, None);
+        if r.cancelled {
+            None
+        } else {
+            Some(r.mapping)
+        }
     }
 }
 
@@ -304,12 +368,20 @@ mod tests {
         ObmInstance::new(tl, bounds, c, m)
     }
 
+    fn brute_optimum(inst: &ObmInstance) -> f64 {
+        evaluate(inst, &BruteForce.map(inst, 0)).max_apl
+    }
+
+    fn solve(bnb: &BranchAndBound, inst: &ObmInstance) -> BnbResult {
+        bnb.solve_budgeted(inst, &CancelToken::never(), None)
+    }
+
     #[test]
     fn matches_brute_force_on_tiny_instances() {
         for seed in 0..8 {
             let inst = small_instance(seed, 2, 3, 2);
-            let bf = BruteForce::optimal_value(&inst);
-            let bnb = BranchAndBound::default().solve(&inst);
+            let bf = brute_optimum(&inst);
+            let bnb = solve(&BranchAndBound::default(), &inst);
             assert!(bnb.proven_optimal, "seed {seed} exhausted budget");
             assert!(
                 (bnb.objective - bf).abs() < 1e-9,
@@ -324,7 +396,7 @@ mod tests {
     fn proves_optimality_on_4x4() {
         // 16 threads, 4 apps — far beyond brute force (16! states).
         let inst = small_instance(3, 4, 4, 4);
-        let bnb = BranchAndBound::default().solve(&inst);
+        let bnb = solve(&BranchAndBound::default(), &inst);
         assert!(bnb.proven_optimal, "expanded {} nodes", bnb.nodes);
         // SSS must not beat a proven optimum.
         let sss = evaluate(&inst, &SortSelectSwap::default().map(&inst, 0)).max_apl;
@@ -335,12 +407,15 @@ mod tests {
     fn budget_exhaustion_reports_incumbent() {
         let inst = small_instance(1, 4, 4, 4);
         let tiny = BranchAndBound { node_budget: 10 };
-        let r = tiny.solve(&inst);
+        let r = solve(&tiny, &inst);
         assert!(!r.proven_optimal);
         // The incumbent is the SSS mapping — still valid and evaluated.
         assert!(r.mapping.is_valid_for(&inst));
         assert!(r.objective.is_finite());
-        assert!(tiny.optimal_value(&inst).is_none());
+        assert!(!r.cancelled);
+        #[allow(deprecated)]
+        let shim = tiny.optimal_value(&inst);
+        assert!(shim.is_none());
     }
 
     #[test]
@@ -349,7 +424,7 @@ mod tests {
         // optimum.
         for seed in 0..5 {
             let inst = small_instance(seed, 2, 3, 2);
-            let bf = BruteForce::optimal_value(&inst);
+            let bf = brute_optimum(&inst);
             let mut search = Search {
                 inst: &inst,
                 order: (0..inst.num_threads()).collect(),
@@ -361,6 +436,8 @@ mod tests {
                 nodes: 0,
                 budget: 1,
                 exhausted: false,
+                token: &CancelToken::never(),
+                cancelled: false,
                 hungarian_depth: 4,
             };
             let lb = search.lower_bound(0);
@@ -376,7 +453,7 @@ mod tests {
         use crate::algorithms::SimulatedAnnealing;
         for seed in [0u64, 5, 8] {
             let inst = small_instance(seed, 4, 4, 4);
-            let bnb = BranchAndBound::default().solve(&inst);
+            let bnb = solve(&BranchAndBound::default(), &inst);
             if !bnb.proven_optimal {
                 continue;
             }
@@ -396,9 +473,9 @@ mod tests {
     #[test]
     fn weighted_instances_supported() {
         let inst = small_instance(2, 2, 3, 2).with_app_weights(vec![2.0, 1.0]);
-        let bnb = BranchAndBound::default().solve(&inst);
+        let bnb = solve(&BranchAndBound::default(), &inst);
         assert!(bnb.proven_optimal);
-        let bf = BruteForce::optimal_value(&inst);
+        let bf = brute_optimum(&inst);
         assert!((bnb.objective - bf).abs() < 1e-9);
     }
 }

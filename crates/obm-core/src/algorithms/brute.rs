@@ -20,6 +20,10 @@ impl BruteForce {
     pub const MAX_THREADS: usize = 10;
 
     /// Exact optimal max-APL value (without materializing the argmin).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use evaluate(inst, &BruteForce.map(inst, 0)).max_apl; see DESIGN.md §10.4"
+    )]
     pub fn optimal_value(inst: &ObmInstance) -> f64 {
         Self::search(inst).1
     }
@@ -115,9 +119,12 @@ mod tests {
         let inst = small_instance(vec![1.0, 5.0, 2.0, 4.0], vec![0, 2, 4]);
         let m = BruteForce.map(&inst, 0);
         assert!(m.is_valid_for(&inst));
-        // Check against a full re-evaluation
+        // Check against a full re-evaluation (and that the deprecated
+        // value-only shim still agrees).
         let val = evaluate(&inst, &m).max_apl;
-        assert!((val - BruteForce::optimal_value(&inst)).abs() < 1e-12);
+        #[allow(deprecated)]
+        let shim = BruteForce::optimal_value(&inst);
+        assert!((val - shim).abs() < 1e-12);
     }
 
     #[test]

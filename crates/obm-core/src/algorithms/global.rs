@@ -76,7 +76,7 @@ mod tests {
         // dev-APL should exceed the random-average dev-APL.
         let inst = paper_style_instance(2);
         let g = evaluate(&inst, &Global.map(&inst, 0));
-        let avg = crate::algorithms::random::random_averages(&inst, 500, 7);
+        let avg = crate::algorithms::RandomMapper::averages(&inst, 500, 7);
         assert!(
             g.dev_apl > avg.mean_dev_apl,
             "Global dev-APL {} not worse than random {}",

@@ -9,11 +9,17 @@
 //! in practice.
 
 use crate::algorithms::{Mapper, SortSelectSwap};
+use crate::cancel::CancelToken;
 use crate::eval::{evaluate, IncrementalEvaluator};
 use crate::problem::{Mapping, ObmInstance};
 use noc_model::TileId;
+use noc_telemetry::{NoopSink, Probe};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Annealing moves between [`CancelToken`] polls (power of two: mask
+/// test); same cadence as `SimulatedAnnealing`.
+const CANCEL_POLL_MASK: usize = 1024 - 1;
 
 /// SSS followed by a cold annealing refinement.
 #[derive(Debug, Clone, Copy)]
@@ -43,7 +49,25 @@ impl Mapper for HybridSssSa {
     }
 
     fn map(&self, inst: &ObmInstance, seed: u64) -> Mapping {
-        let init = self.sss.map(inst, seed);
+        self.map_cancellable(inst, seed, &CancelToken::never(), &mut NoopSink)
+            .expect("a never-firing token cannot cancel the hybrid")
+    }
+
+    fn map_probed(&self, inst: &ObmInstance, seed: u64, probe: &mut dyn Probe) -> Mapping {
+        self.map_cancellable(inst, seed, &CancelToken::never(), probe)
+            .expect("a never-firing token cannot cancel the hybrid")
+    }
+
+    fn map_cancellable(
+        &self,
+        inst: &ObmInstance,
+        seed: u64,
+        token: &CancelToken,
+        probe: &mut dyn Probe,
+    ) -> Option<Mapping> {
+        // The SSS seed pass polls between its own passes; the refinement
+        // loop below polls every CANCEL_POLL_MASK+1 moves.
+        let init = self.sss.map_cancellable(inst, seed, token, probe)?;
         let init_val = evaluate(inst, &init).max_apl;
         let mut ev = IncrementalEvaluator::new(inst, init.clone());
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x5555_aaaa);
@@ -54,7 +78,10 @@ impl Mapper for HybridSssSa {
         let alpha = (1e-3f64).powf(1.0 / self.sa_iterations.max(1) as f64);
         let mut temp = t0;
         let n = inst.num_tiles();
-        for _ in 0..self.sa_iterations {
+        for it in 0..self.sa_iterations {
+            if it & CANCEL_POLL_MASK == 0 && token.is_cancelled() {
+                return None;
+            }
             let a = TileId(rng.gen_range(0..n));
             let mut b = TileId(rng.gen_range(0..n));
             while b == a {
@@ -74,7 +101,7 @@ impl Mapper for HybridSssSa {
             }
             temp *= alpha;
         }
-        best_mapping
+        Some(best_mapping)
     }
 }
 
@@ -118,6 +145,23 @@ mod tests {
         let inst = instance(5);
         let h = HybridSssSa::default();
         assert_eq!(h.map(&inst, 3), h.map(&inst, 3));
+    }
+
+    #[test]
+    fn cancelled_token_yields_none_quiet_token_matches_map() {
+        use noc_telemetry::NoopSink;
+        let inst = instance(2);
+        let h = HybridSssSa {
+            sa_iterations: 2_000,
+            ..Default::default()
+        };
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert!(h.map_cancellable(&inst, 3, &fired, &mut NoopSink).is_none());
+        assert_eq!(
+            h.map_cancellable(&inst, 3, &CancelToken::never(), &mut NoopSink),
+            Some(h.map(&inst, 3))
+        );
     }
 
     #[test]

@@ -7,14 +7,21 @@
 //! min — following the data-parallel idiom of the workspace's HPC guides
 //! (no shared mutable state, deterministic given the seed).
 
-use crate::algorithms::{random::RandomMapper, Mapper};
+use crate::algorithms::{random::RandomMapper, BudgetError, Mapper};
+use crate::cancel::CancelToken;
 use crate::eval::evaluate;
 use crate::problem::{Mapping, ObmInstance};
+use noc_telemetry::{NoopSink, Probe};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+/// Samples between [`CancelToken`] polls (power of two: mask test). A draw
+/// plus evaluation is much heavier than one SA move, so MC polls more
+/// often than SA without measurable cost.
+const CANCEL_POLL_MASK: usize = 64 - 1;
+
 /// Monte-Carlo search over random mappings.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MonteCarlo {
     /// Number of random mappings to draw (paper: 10⁴).
     pub samples: usize,
@@ -33,25 +40,58 @@ impl Default for MonteCarlo {
 
 impl MonteCarlo {
     /// Sequential constructor with an explicit sample budget.
+    ///
+    /// # Panics
+    /// Panics on a zero budget; [`try_with_samples`]
+    /// (MonteCarlo::try_with_samples) is the fallible twin.
     pub fn with_samples(samples: usize) -> Self {
-        assert!(samples > 0);
-        MonteCarlo {
-            samples,
-            workers: 1,
+        match Self::try_with_samples(samples) {
+            Ok(mc) => mc,
+            Err(e) => panic!("MonteCarlo::with_samples: {e}"),
         }
     }
 
-    fn best_of(inst: &ObmInstance, samples: usize, seed: u64) -> (f64, Mapping) {
+    /// Fallible constructor with an explicit sample budget (the
+    /// builder-validation convention: zero budgets are rejected with a
+    /// typed [`BudgetError`] instead of a panic deep inside `map`).
+    pub fn try_with_samples(samples: usize) -> Result<Self, BudgetError> {
+        if samples == 0 {
+            return Err(BudgetError::ZeroSamples);
+        }
+        Ok(MonteCarlo {
+            samples,
+            workers: 1,
+        })
+    }
+
+    /// Check the configured budget (`samples` must be at least 1, or `map`
+    /// would have nothing to return).
+    pub fn validate(&self) -> Result<(), BudgetError> {
+        if self.samples == 0 {
+            return Err(BudgetError::ZeroSamples);
+        }
+        Ok(())
+    }
+
+    fn best_of(
+        inst: &ObmInstance,
+        samples: usize,
+        seed: u64,
+        token: &CancelToken,
+    ) -> Option<(f64, Mapping)> {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut best: Option<(f64, Mapping)> = None;
-        for _ in 0..samples {
+        for i in 0..samples {
+            if i & CANCEL_POLL_MASK == 0 && token.is_cancelled() {
+                return None;
+            }
             let m = RandomMapper::draw(inst, &mut rng);
             let v = evaluate(inst, &m).max_apl;
             if best.as_ref().is_none_or(|(b, _)| v < *b) {
                 best = Some((v, m));
             }
         }
-        best.expect("samples > 0")
+        Some(best.expect("samples > 0"))
     }
 }
 
@@ -61,13 +101,30 @@ impl Mapper for MonteCarlo {
     }
 
     fn map(&self, inst: &ObmInstance, seed: u64) -> Mapping {
-        assert!(self.samples > 0);
+        self.map_cancellable(inst, seed, &CancelToken::never(), &mut NoopSink)
+            .expect("a never-firing token cannot cancel the search")
+    }
+
+    fn map_cancellable(
+        &self,
+        inst: &ObmInstance,
+        seed: u64,
+        token: &CancelToken,
+        probe: &mut dyn Probe,
+    ) -> Option<Mapping> {
+        let _ = probe; // MC emits no solver events.
+        if let Err(e) = self.validate() {
+            panic!("MonteCarlo::map: {e}");
+        }
         let workers = self.workers.max(1).min(self.samples);
         if workers == 1 {
-            return MonteCarlo::best_of(inst, self.samples, seed).1;
+            return MonteCarlo::best_of(inst, self.samples, seed, token).map(|(_, m)| m);
         }
         let per = self.samples / workers;
         let extra = self.samples % workers;
+        // The token is shared across workers; a fired token poisons the
+        // whole draw (all-or-nothing keeps the result independent of which
+        // worker was interrupted).
         let results = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
@@ -75,7 +132,7 @@ impl Mapper for MonteCarlo {
                     // Distinct, deterministic RNG stream per worker.
                     let wseed =
                         seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
-                    scope.spawn(move |_| MonteCarlo::best_of(inst, quota, wseed))
+                    scope.spawn(move |_| MonteCarlo::best_of(inst, quota, wseed, token))
                 })
                 .collect();
             handles
@@ -84,11 +141,14 @@ impl Mapper for MonteCarlo {
                 .collect::<Vec<_>>()
         })
         .expect("crossbeam scope");
-        results
-            .into_iter()
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite max-APL"))
-            .expect("at least one worker")
-            .1
+        let mut best: Option<(f64, Mapping)> = None;
+        for r in results {
+            let (v, m) = r?;
+            if best.as_ref().is_none_or(|(b, _)| v < *b) {
+                best = Some((v, m));
+            }
+        }
+        best.map(|(_, m)| m)
     }
 }
 
@@ -118,8 +178,45 @@ mod tests {
     fn beats_single_random_draw_on_average() {
         let inst = inst();
         let mc = evaluate(&inst, &MonteCarlo::with_samples(500).map(&inst, 1)).max_apl;
-        let avg = crate::algorithms::random::random_averages(&inst, 200, 3).mean_max_apl;
+        let avg = RandomMapper::averages(&inst, 200, 3).mean_max_apl;
         assert!(mc < avg);
+    }
+
+    #[test]
+    fn try_with_samples_rejects_zero() {
+        assert_eq!(
+            MonteCarlo::try_with_samples(0),
+            Err(BudgetError::ZeroSamples)
+        );
+        assert!(MonteCarlo::try_with_samples(1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample budget must be at least 1")]
+    fn with_samples_zero_panics_with_message() {
+        let _ = MonteCarlo::with_samples(0);
+    }
+
+    #[test]
+    fn cancelled_token_yields_none_sequential_and_parallel() {
+        let inst = inst();
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert!(MonteCarlo::with_samples(100)
+            .map_cancellable(&inst, 2, &fired, &mut NoopSink)
+            .is_none());
+        let par = MonteCarlo {
+            samples: 100,
+            workers: 4,
+        };
+        assert!(par
+            .map_cancellable(&inst, 2, &fired, &mut NoopSink)
+            .is_none());
+        // And a quiet token matches map bit-for-bit.
+        assert_eq!(
+            par.map_cancellable(&inst, 2, &CancelToken::never(), &mut NoopSink),
+            Some(par.map(&inst, 2))
+        );
     }
 
     #[test]

@@ -23,8 +23,37 @@ pub use random::RandomMapper;
 pub use sa::SimulatedAnnealing;
 pub use sss::SortSelectSwap;
 
+use crate::cancel::CancelToken;
 use crate::problem::{Mapping, ObmInstance};
 use noc_telemetry::Probe;
+
+/// A rejected iteration/sample budget (the builder-validation convention:
+/// constructors that used to `assert!` now have `try_*` twins returning
+/// this typed error; the panicking forms remain but state the violated
+/// rule in their message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetError {
+    /// A simulated-annealing iteration budget of 0 was requested.
+    ZeroIterations,
+    /// A Monte-Carlo sample budget of 0 was requested.
+    ZeroSamples,
+    /// A restart count of 0 was requested.
+    ZeroRestarts,
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::ZeroIterations => {
+                write!(f, "iteration budget must be at least 1 (got 0)")
+            }
+            BudgetError::ZeroSamples => write!(f, "sample budget must be at least 1 (got 0)"),
+            BudgetError::ZeroRestarts => write!(f, "restart count must be at least 1 (got 0)"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
 
 /// A mapping algorithm.
 ///
@@ -50,6 +79,32 @@ pub trait Mapper {
     fn map_probed(&self, inst: &ObmInstance, seed: u64, probe: &mut dyn Probe) -> Mapping {
         let _ = probe;
         self.map(inst, seed)
+    }
+
+    /// Like [`map_probed`](Mapper::map_probed), additionally polling a
+    /// [`CancelToken`] so a deadline or an external cancel stops the
+    /// search early. Returns `None` when the token fired before a result
+    /// was produced; partial work is discarded (never a half-optimized
+    /// mapping), which is what keeps portfolio merges deterministic.
+    ///
+    /// The token contract mirrors the probe contract: a token that never
+    /// fires must not perturb the search — `map_cancellable(inst, seed,
+    /// &CancelToken::never(), probe) == Some(map(inst, seed))` bit-for-bit.
+    /// The default implementation checks once up front and then runs to
+    /// completion; long-running mappers ([`SimulatedAnnealing`],
+    /// [`MonteCarlo`], [`HybridSssSa`], [`SortSelectSwap`]) override it to
+    /// poll inside their inner loops.
+    fn map_cancellable(
+        &self,
+        inst: &ObmInstance,
+        seed: u64,
+        token: &CancelToken,
+        probe: &mut dyn Probe,
+    ) -> Option<Mapping> {
+        if token.is_cancelled() {
+            return None;
+        }
+        Some(self.map_probed(inst, seed, probe))
     }
 }
 

@@ -22,6 +22,31 @@ impl RandomMapper {
         tiles.truncate(inst.num_threads());
         Mapping::new(tiles)
     }
+
+    /// Estimate the random-mapping averages (g-APL, max-APL, dev-APL) over
+    /// `samples` draws — the "Random" row of Table 1. The canonical home of
+    /// the former free function [`random_averages`].
+    pub fn averages(inst: &ObmInstance, samples: usize, seed: u64) -> RandomAverages {
+        assert!(samples > 0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sum_g = 0.0;
+        let mut sum_max = 0.0;
+        let mut sum_dev = 0.0;
+        for _ in 0..samples {
+            let m = RandomMapper::draw(inst, &mut rng);
+            let r: AplReport = evaluate(inst, &m);
+            sum_g += r.g_apl;
+            sum_max += r.max_apl;
+            sum_dev += r.dev_apl;
+        }
+        let n = samples as f64;
+        RandomAverages {
+            samples,
+            mean_g_apl: sum_g / n,
+            mean_max_apl: sum_max / n,
+            mean_dev_apl: sum_dev / n,
+        }
+    }
 }
 
 impl Mapper for RandomMapper {
@@ -47,26 +72,12 @@ pub struct RandomAverages {
 
 /// Estimate the random-mapping averages (g-APL, max-APL, dev-APL) over
 /// `samples` draws.
+#[deprecated(
+    since = "0.3.0",
+    note = "use RandomMapper::averages; see DESIGN.md §10.4 for the API mapping"
+)]
 pub fn random_averages(inst: &ObmInstance, samples: usize, seed: u64) -> RandomAverages {
-    assert!(samples > 0);
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut sum_g = 0.0;
-    let mut sum_max = 0.0;
-    let mut sum_dev = 0.0;
-    for _ in 0..samples {
-        let m = RandomMapper::draw(inst, &mut rng);
-        let r: AplReport = evaluate(inst, &m);
-        sum_g += r.g_apl;
-        sum_max += r.max_apl;
-        sum_dev += r.dev_apl;
-    }
-    let n = samples as f64;
-    RandomAverages {
-        samples,
-        mean_g_apl: sum_g / n,
-        mean_max_apl: sum_max / n,
-        mean_dev_apl: sum_dev / n,
-    }
+    RandomMapper::averages(inst, samples, seed)
 }
 
 #[cfg(test)]
@@ -96,10 +107,18 @@ mod tests {
     #[test]
     fn averages_are_finite_and_ordered() {
         let inst = inst();
-        let avg = random_averages(&inst, 200, 3);
+        let avg = RandomMapper::averages(&inst, 200, 3);
         assert!(avg.mean_g_apl > 0.0);
         assert!(avg.mean_max_apl >= avg.mean_g_apl); // max ≥ weighted mean
         assert!(avg.mean_dev_apl >= 0.0);
+    }
+
+    #[test]
+    fn deprecated_free_fn_matches_canonical_home() {
+        let inst = inst();
+        #[allow(deprecated)]
+        let shim = random_averages(&inst, 50, 3);
+        assert_eq!(shim, RandomMapper::averages(&inst, 50, 3));
     }
 
     #[test]

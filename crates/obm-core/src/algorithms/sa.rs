@@ -6,7 +6,8 @@
 //! a thread to a free tile. Cooling is geometric; the iteration budget is
 //! the runtime knob the paper sweeps in Figure 12.
 
-use crate::algorithms::{random::RandomMapper, Mapper};
+use crate::algorithms::{random::RandomMapper, BudgetError, Mapper};
+use crate::cancel::CancelToken;
 use crate::eval::IncrementalEvaluator;
 use crate::problem::{Mapping, ObmInstance};
 use noc_model::TileId;
@@ -20,8 +21,13 @@ use rand::{Rng, SeedableRng};
 /// of the iteration budget.
 const SA_CHECKPOINTS: usize = 64;
 
+/// Iterations between [`CancelToken`] polls (power of two so the check
+/// compiles to a mask test; ~1k keeps cancellation latency in the tens of
+/// microseconds without measurable hot-loop cost).
+const CANCEL_POLL_MASK: usize = 1024 - 1;
+
 /// Simulated annealing over thread-swap moves, minimizing max-APL.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulatedAnnealing {
     /// Total number of proposed moves (per restart).
     pub iterations: usize,
@@ -48,12 +54,40 @@ impl Default for SimulatedAnnealing {
 
 impl SimulatedAnnealing {
     /// Constructor with an explicit iteration budget.
+    ///
+    /// # Panics
+    /// Panics on a zero budget; [`try_with_iterations`]
+    /// (SimulatedAnnealing::try_with_iterations) is the fallible twin.
     pub fn with_iterations(iterations: usize) -> Self {
-        assert!(iterations > 0);
-        SimulatedAnnealing {
+        match Self::try_with_iterations(iterations) {
+            Ok(sa) => sa,
+            Err(e) => panic!("SimulatedAnnealing::with_iterations: {e}"),
+        }
+    }
+
+    /// Fallible constructor with an explicit iteration budget (the
+    /// builder-validation convention: zero budgets are rejected with a
+    /// typed [`BudgetError`] instead of a panic deep inside `map`).
+    pub fn try_with_iterations(iterations: usize) -> Result<Self, BudgetError> {
+        if iterations == 0 {
+            return Err(BudgetError::ZeroIterations);
+        }
+        Ok(SimulatedAnnealing {
             iterations,
             ..SimulatedAnnealing::default()
+        })
+    }
+
+    /// Check the configured budgets (`iterations`, `restarts` — both must
+    /// be at least 1, or `map` would have nothing to return).
+    pub fn validate(&self) -> Result<(), BudgetError> {
+        if self.iterations == 0 {
+            return Err(BudgetError::ZeroIterations);
         }
+        if self.restarts == 0 {
+            return Err(BudgetError::ZeroRestarts);
+        }
+        Ok(())
     }
 }
 
@@ -67,14 +101,30 @@ impl Mapper for SimulatedAnnealing {
     }
 
     fn map_probed(&self, inst: &ObmInstance, seed: u64, probe: &mut dyn Probe) -> Mapping {
-        assert!(self.iterations > 0 && self.restarts > 0);
+        self.map_cancellable(inst, seed, &CancelToken::never(), probe)
+            .expect("a never-firing token cannot cancel the anneal")
+    }
+
+    fn map_cancellable(
+        &self,
+        inst: &ObmInstance,
+        seed: u64,
+        token: &CancelToken,
+        probe: &mut dyn Probe,
+    ) -> Option<Mapping> {
+        if let Err(e) = self.validate() {
+            panic!("SimulatedAnnealing::map: {e}");
+        }
         if self.restarts > 1 {
             // Restarts run on crossbeam scope threads, and `&mut dyn Probe`
             // cannot be shared across them (no Sync bound, and interleaved
             // events from concurrent restarts would be meaningless anyway),
             // so the parallel path emits no solver events. Probe a
             // single-restart configuration to trace the annealing schedule.
-            // Parallel independent restarts with disjoint seed streams.
+            // Parallel independent restarts with disjoint seed streams; the
+            // token is shared, so one deadline stops every restart. A
+            // cancelled restart poisons the whole run (all-or-nothing keeps
+            // the result independent of which restart was interrupted).
             let results = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = (0..self.restarts)
                     .map(|r| {
@@ -85,9 +135,9 @@ impl Mapper for SimulatedAnnealing {
                         let rseed =
                             seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r as u64 + 1));
                         scope.spawn(move |_| {
-                            let m = cfg.map(inst, rseed);
+                            let m = cfg.map_cancellable(inst, rseed, token, &mut NoopSink)?;
                             let v = crate::eval::evaluate(inst, &m).max_apl;
-                            (v, m)
+                            Some((v, m))
                         })
                     })
                     .collect();
@@ -97,11 +147,14 @@ impl Mapper for SimulatedAnnealing {
                     .collect::<Vec<_>>()
             })
             .expect("crossbeam scope");
-            return results
-                .into_iter()
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite objective"))
-                .expect("restarts > 0")
-                .1;
+            let mut best: Option<(f64, Mapping)> = None;
+            for r in results {
+                let (v, m) = r?;
+                if best.as_ref().is_none_or(|(b, _)| v < *b) {
+                    best = Some((v, m));
+                }
+            }
+            return best.map(|(_, m)| m);
         }
         let mut rng = SmallRng::seed_from_u64(seed);
         let init = RandomMapper::draw(inst, &mut rng);
@@ -121,6 +174,9 @@ impl Mapper for SimulatedAnnealing {
         let mut accepted_since_last: u64 = 0;
 
         for it in 0..self.iterations {
+            if it & CANCEL_POLL_MASK == 0 && token.is_cancelled() {
+                return None;
+            }
             // Pick two distinct tiles; swapping their contents covers both
             // thread↔thread swaps and thread→hole relocations.
             let a = TileId(rng.gen_range(0..num_tiles));
@@ -155,7 +211,7 @@ impl Mapper for SimulatedAnnealing {
         }
         debug_assert!(best_mapping.is_valid_for(inst));
         let _ = best;
-        best_mapping
+        Some(best_mapping)
     }
 }
 
@@ -294,6 +350,51 @@ mod tests {
         let probed = sa.map_probed(&inst, 1, &mut sink);
         assert_eq!(probed, sa.map(&inst, 1));
         assert_eq!(sink.len(), 0, "parallel restarts must not emit events");
+    }
+
+    #[test]
+    fn try_with_iterations_rejects_zero() {
+        assert_eq!(
+            SimulatedAnnealing::try_with_iterations(0),
+            Err(BudgetError::ZeroIterations)
+        );
+        assert!(SimulatedAnnealing::try_with_iterations(1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "iteration budget must be at least 1")]
+    fn with_iterations_zero_panics_with_message() {
+        let _ = SimulatedAnnealing::with_iterations(0);
+    }
+
+    #[test]
+    fn cancelled_token_yields_none_and_quiet_token_matches_map() {
+        let inst = inst();
+        let sa = SimulatedAnnealing::with_iterations(1_000);
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert!(sa
+            .map_cancellable(&inst, 4, &fired, &mut NoopSink)
+            .is_none());
+        let quiet = CancelToken::never();
+        assert_eq!(
+            sa.map_cancellable(&inst, 4, &quiet, &mut NoopSink),
+            Some(sa.map(&inst, 4))
+        );
+    }
+
+    #[test]
+    fn cancelled_multi_restart_yields_none() {
+        let inst = inst();
+        let sa = SimulatedAnnealing {
+            restarts: 3,
+            ..SimulatedAnnealing::with_iterations(500)
+        };
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert!(sa
+            .map_cancellable(&inst, 1, &fired, &mut NoopSink)
+            .is_none());
     }
 
     #[test]

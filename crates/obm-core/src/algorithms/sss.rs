@@ -20,11 +20,17 @@
 //! choice; the defaults are exactly the paper's.
 
 use crate::algorithms::Mapper;
+use crate::cancel::CancelToken;
 use crate::eval::IncrementalEvaluator;
 use crate::problem::{Mapping, ObmInstance};
 use crate::sam::solve_sam;
 use noc_model::TileId;
 use noc_telemetry::{NoopSink, Probe, SolverEvent};
+
+/// Window positions between [`CancelToken`] polls inside a step-size pass
+/// (power of two: mask test). Each position tries up to 24 permutations,
+/// so 256 positions is a comfortable poll cadence.
+const CANCEL_POLL_MASK: usize = 256 - 1;
 
 /// Which tile each section contributes during the select step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,19 +78,37 @@ impl Mapper for SortSelectSwap {
         self.map_probed(inst, seed, &mut NoopSink)
     }
 
-    fn map_probed(&self, inst: &ObmInstance, _seed: u64, probe: &mut dyn Probe) -> Mapping {
+    fn map_probed(&self, inst: &ObmInstance, seed: u64, probe: &mut dyn Probe) -> Mapping {
+        self.map_cancellable(inst, seed, &CancelToken::never(), probe)
+            .expect("a never-firing token cannot cancel SSS")
+    }
+
+    fn map_cancellable(
+        &self,
+        inst: &ObmInstance,
+        _seed: u64,
+        token: &CancelToken,
+        probe: &mut dyn Probe,
+    ) -> Option<Mapping> {
         assert!(
             (1..=6).contains(&self.window),
             "window size {} out of supported range 1..=6",
             self.window
         );
         // ---- Step 1: sort tiles by TC.
+        if token.is_cancelled() {
+            return None;
+        }
         let sorted = sorted_tiles(inst);
 
-        // ---- Step 2: select + SAM per application.
+        // ---- Step 2: select + SAM per application (each SAM is O(N³), so
+        // poll between applications).
         let mut assignment: Vec<Option<TileId>> = vec![None; inst.num_threads()];
         let mut remaining = sorted.clone();
         for i in 0..inst.num_apps() {
+            if token.is_cancelled() {
+                return None;
+            }
             let threads: Vec<usize> = inst.app_threads(i).collect();
             let picked = select_sections(&remaining, threads.len(), self.selection);
             let tiles: Vec<TileId> = picked.iter().map(|&idx| remaining[idx]).collect();
@@ -116,6 +140,9 @@ impl Mapper for SortSelectSwap {
                 }
                 let pass_start_obj = ev.max_apl();
                 for start in 0..(n - span) {
+                    if start & CANCEL_POLL_MASK == 0 && token.is_cancelled() {
+                        return None;
+                    }
                     for (t, wt) in window_tiles.iter_mut().enumerate() {
                         *wt = sorted[start + t * s];
                     }
@@ -141,6 +168,9 @@ impl Mapper for SortSelectSwap {
         if self.final_sam {
             let mut mapping = ev.into_mapping();
             for i in 0..inst.num_apps() {
+                if token.is_cancelled() {
+                    return None;
+                }
                 let threads: Vec<usize> = inst.app_threads(i).collect();
                 let tiles: Vec<TileId> = threads.iter().map(|&j| mapping.tile_of(j)).collect();
                 let sam = solve_sam(inst, &threads, &tiles);
@@ -149,9 +179,9 @@ impl Mapper for SortSelectSwap {
                 }
             }
             debug_assert!(mapping.is_valid_for(inst));
-            mapping
+            Some(mapping)
         } else {
-            ev.into_mapping()
+            Some(ev.into_mapping())
         }
     }
 }
@@ -461,11 +491,26 @@ mod tests {
                     deltas += 1;
                     assert!(*edits > 0);
                 }
-                SolverEvent::TemperatureStep { .. } => panic!("SSS has no temperature"),
+                other => panic!("unexpected event from SSS: {other:?}"),
             }
         }
         assert!(swaps > 0, "expected accepted swaps on a random instance");
         assert!(deltas > 0, "expected one eval-delta per step-size pass");
+    }
+
+    #[test]
+    fn cancelled_token_yields_none_quiet_token_matches_map() {
+        let inst = random_8x8_instance(3);
+        let sss = SortSelectSwap::default();
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert!(sss
+            .map_cancellable(&inst, 0, &fired, &mut NoopSink)
+            .is_none());
+        assert_eq!(
+            sss.map_cancellable(&inst, 0, &CancelToken::never(), &mut NoopSink),
+            Some(sss.map(&inst, 0))
+        );
     }
 
     #[test]

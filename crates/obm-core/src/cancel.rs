@@ -1,0 +1,142 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancelToken`] carries a shared cancellation flag and an optional
+//! wall-clock deadline. Solvers receive it through
+//! [`Mapper::map_cancellable`](crate::algorithms::Mapper::map_cancellable)
+//! and poll [`CancelToken::is_cancelled`] at coarse intervals inside their
+//! inner loops (every ~1k iterations — often enough to stop within
+//! microseconds, rare enough that the polling cost and the `Instant::now`
+//! syscall stay invisible in profiles).
+//!
+//! The polling contract mirrors the telemetry probe contract: a token that
+//! never fires must not perturb the search. Polling reads an atomic and
+//! (when a deadline is set) the monotonic clock; it never touches solver
+//! RNG streams, so for a fixed seed a completed cancellable run is
+//! bit-identical to the plain [`Mapper::map`](crate::algorithms::Mapper)
+//! result — pinned by the portfolio determinism suite.
+//!
+//! Tokens are cheap to clone; clones share the flag (an
+//! `Arc<AtomicBool>`), so cancelling any clone cancels them all.
+//! [`CancelToken::with_deadline_in`] derives a child that additionally
+//! observes a deadline while still honouring the parent's flag — the
+//! portfolio engine uses this to combine caller-driven cancellation with
+//! its own wall-clock budget.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared cancellation flag plus an optional wall-clock deadline.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh token: not cancelled, no deadline.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that can never fire (alias of [`CancelToken::new`], for
+    /// call sites that want to say so explicitly).
+    pub fn never() -> Self {
+        CancelToken::default()
+    }
+
+    /// Derive a token sharing this token's flag that additionally expires
+    /// at `deadline`. If this token already has an earlier deadline, the
+    /// earlier one wins.
+    pub fn with_deadline(&self, deadline: Instant) -> Self {
+        let deadline = match self.deadline {
+            Some(existing) if existing < deadline => existing,
+            _ => deadline,
+        };
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Derive a token sharing this token's flag that expires `budget` from
+    /// now.
+    pub fn with_deadline_in(&self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
+    }
+
+    /// Raise the cancellation flag (visible to every clone).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag was raised explicitly via [`CancelToken::cancel`]
+    /// (does not consult the deadline).
+    pub fn cancelled_by_flag(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Whether this token's deadline (if any) has passed.
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether the solve should stop: the flag was raised or the deadline
+    /// passed. Reads one atomic, plus the monotonic clock only when a
+    /// deadline is set.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled_by_flag() || self.deadline_passed()
+    }
+
+    /// The deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_never_fires() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.cancelled_by_flag());
+        assert!(!t.deadline_passed());
+        assert!(t.deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones_and_children() {
+        let t = CancelToken::never();
+        let clone = t.clone();
+        let child = t.with_deadline_in(Duration::from_secs(3600));
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert!(child.is_cancelled());
+        assert!(child.cancelled_by_flag());
+        assert!(!child.deadline_passed());
+    }
+
+    #[test]
+    fn expired_deadline_fires_without_flag() {
+        let t = CancelToken::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert!(t.deadline_passed());
+        assert!(!t.cancelled_by_flag());
+    }
+
+    #[test]
+    fn child_keeps_earlier_parent_deadline() {
+        let soon = Instant::now() + Duration::from_millis(1);
+        let later = Instant::now() + Duration::from_secs(3600);
+        let parent = CancelToken::new().with_deadline(soon);
+        let child = parent.with_deadline(later);
+        assert_eq!(child.deadline(), Some(soon));
+        // And the reverse direction tightens too.
+        let loose = CancelToken::new().with_deadline(later);
+        let tight = loose.with_deadline(soon);
+        assert_eq!(tight.deadline(), Some(soon));
+    }
+}

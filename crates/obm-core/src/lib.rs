@@ -26,7 +26,11 @@
 //! streams solver telemetry (`noc-telemetry`
 //! [`SolverEvent`](noc_telemetry::SolverEvent)s — accepted SSS window
 //! swaps, SA temperature checkpoints, incremental-evaluation deltas) to a
-//! caller-supplied probe without perturbing the search.
+//! caller-supplied probe without perturbing the search, and a
+//! [`Mapper::map_cancellable`] entry point ([`cancel`]) that additionally
+//! polls a [`CancelToken`] so deadlines and external cancellation stop
+//! long searches early — the foundation of the `obm-portfolio` parallel
+//! solver-portfolio engine.
 //!
 //! # Quick example
 //!
@@ -49,6 +53,7 @@
 
 pub mod algorithms;
 pub mod bridge;
+pub mod cancel;
 pub mod dynamic;
 pub mod eval;
 pub mod metrics;
@@ -58,8 +63,9 @@ pub mod reduction;
 pub mod refine;
 pub mod sam;
 
-pub use algorithms::Mapper;
+pub use algorithms::{BudgetError, Mapper};
 pub use bridge::traffic_spec;
+pub use cancel::CancelToken;
 pub use eval::{evaluate, AplReport, IncrementalEvaluator};
 pub use metrics::BalanceMetric;
 pub use problem::{Mapping, ObmInstance};

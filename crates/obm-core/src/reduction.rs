@@ -9,7 +9,7 @@
 //! DOBM oracle (brute force on small instances) this decides set-partition
 //! — which is what the tests verify, making the proof executable.
 
-use crate::algorithms::BruteForce;
+use crate::algorithms::{BruteForce, Mapper};
 use crate::problem::ObmInstance;
 use noc_model::{LatencyParams, TileLatencies};
 
@@ -54,7 +54,8 @@ pub fn set_partition_to_dobm(s: &[f64]) -> ReducedInstance {
 /// Only valid for instances small enough for [`BruteForce`].
 pub fn decide_dobm_exact(red: &ReducedInstance, eps: f64) -> bool {
     // The min-max optimum is ≤ γ iff a feasible mapping exists.
-    BruteForce::optimal_value(&red.instance) <= red.gamma + eps
+    let optimum = crate::eval::evaluate(&red.instance, &BruteForce.map(&red.instance, 0)).max_apl;
+    optimum <= red.gamma + eps
 }
 
 /// Decide set-partition via the reduction (the proof's subroutine-Y call).

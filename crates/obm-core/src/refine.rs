@@ -183,7 +183,7 @@ mod tests {
             vec![1.0, 4.0, 2.0, 3.0, 5.0, 0.5],
             vec![0.1; 6],
         );
-        let best = BruteForce::optimal_value(&inst);
+        let best = evaluate(&inst, &BruteForce.map(&inst, 0)).max_apl;
         let pol = evaluate(&inst, &Polished::new(RandomMapper).map(&inst, 1)).max_apl;
         assert!(pol >= best - 1e-9);
     }

@@ -6,9 +6,14 @@
 #   2. clippy           — whole workspace incl. tests/benches, warnings fatal
 #   3. tier-1 gate      — release build + full test suite
 #   4. examples         — every example must build *and* run to completion
-#   5. panic gate       — no new unwrap()/assert!/panic! in the non-test
+#   5. determinism      — the portfolio engine's worker-count-invariance
+#                         suite in release mode (optimizations change f64
+#                         codegen timing, never the pinned bit patterns)
+#   6. panic gate       — no new unwrap()/assert!/panic! in the non-test
 #                         portions of noc-sim's config/network constructor
-#                         paths (they return typed ConfigError results now)
+#                         paths (typed ConfigError), the portfolio engine
+#                         (typed RequestError/CheckpointError), or the CLI
+#                         spec parser (typed SpecError)
 #
 # The tier-1 commands match ROADMAP.md; `--workspace` matters because the
 # root package is a facade crate and a bare `cargo build` would silently
@@ -31,21 +36,35 @@ cargo test -q --workspace
 echo "==> examples: build and run every example"
 cargo build --release --workspace --examples
 for ex in quickstart simulate_mapping app_consolidation custom_chip \
-    np_reduction qos_priorities; do
+    np_reduction qos_priorities portfolio_solve; do
     echo "--> example: $ex"
     cargo run --quiet --release --example "$ex" >/dev/null
 done
 echo "--> example: report_dump (noc-sim)"
 cargo run --quiet --release -p noc-sim --example report_dump >/dev/null
 
-echo "==> panic gate: noc-sim config/network constructor paths"
+echo "==> portfolio determinism suite (release)"
+# The engine's contract — bit-identical outcome for any worker count — is
+# pinned by unit tests in obm-portfolio and by the facade integration
+# tests (proptest 1-worker == sequential best-of; pinned 1/2/4-worker
+# equality on the 8x8 paper instance). Run them in release too: the f64
+# codegen that optimizations pick must not change the pinned bits.
+cargo test -q --release -p obm-portfolio
+cargo test -q --release --test portfolio
+
+echo "==> panic gate: error-typed constructor and solver paths"
 # SimConfig::validate(), TrafficSpec::new() and Network::new() report bad
-# input through typed ConfigError values. Reintroducing unwrap()/assert!/
-# panic! in the non-test portions of these files would silently bring the
-# old panicking constructor behaviour back, so fail on any occurrence
-# outside the #[cfg(test)] module and doc comments (debug_assert! is fine).
-for f in crates/noc-sim/src/config.rs crates/noc-sim/src/network.rs; do
-    cut=$(grep -n '#\[cfg(test)\]' "$f" | head -1 | cut -d: -f1)
+# input through typed ConfigError values; the portfolio engine reports
+# through RequestError/CheckpointError and degrades to its greedy
+# fallback instead of panicking; the CLI spec parser returns SpecError.
+# Reintroducing unwrap()/assert!/panic! in the non-test portions of these
+# files would silently bring panicking paths back, so fail on any
+# occurrence outside the #[cfg(test)] module and doc comments
+# (debug_assert! is fine). Files without a test module are scanned whole.
+for f in crates/noc-sim/src/config.rs crates/noc-sim/src/network.rs \
+    crates/portfolio/src/*.rs crates/cli/src/spec.rs; do
+    cut=$(grep -n '#\[cfg(test)\]' "$f" | head -1 | cut -d: -f1 || true)
+    cut=${cut:-$(( $(wc -l < "$f") + 1 ))}
     if hits=$(head -n $((cut - 1)) "$f" \
         | grep -vE '^[[:space:]]*//[/!]' \
         | grep -E '\.unwrap\(\)|(^|[^_.[:alnum:]])(assert!|assert_eq!|assert_ne!|panic!)'); then

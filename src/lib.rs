@@ -14,6 +14,8 @@
 //! * [`lap`] — Hungarian assignment solver;
 //! * [`mapping`] — the OBM problem, the sort-select-swap heuristic and the
 //!   Global / Monte-Carlo / simulated-annealing baselines;
+//! * [`portfolio`] — deterministic parallel solver-portfolio engine racing
+//!   the mappers behind the `SolveRequest`/`SolveOutcome` API;
 //! * [`power`] — DSENT-substitute NoC power model.
 //!
 //! Most programs only need the [`prelude`]:
@@ -39,6 +41,7 @@ pub use noc_power as power;
 pub use noc_sim as sim;
 pub use noc_telemetry as telemetry;
 pub use obm_core as mapping;
+pub use obm_portfolio as portfolio;
 pub use workload;
 
 /// The types most programs touch: chip geometry, the OBM problem and
@@ -46,13 +49,18 @@ pub use workload;
 /// probes and sinks. `use obm::prelude::*;` is enough for the examples.
 pub mod prelude {
     pub use crate::mapping::algorithms::{
-        BalancedGreedy, Global, Mapper, MonteCarlo, RandomMapper, SimulatedAnnealing,
-        SortSelectSwap,
+        BalancedGreedy, BranchAndBound, Global, HybridSssSa, Mapper, MonteCarlo, RandomMapper,
+        SimulatedAnnealing, SortSelectSwap,
     };
     pub use crate::mapping::{
-        evaluate, traffic_spec, AplReport, IncrementalEvaluator, Mapping, ObmInstance,
+        evaluate, traffic_spec, AplReport, BudgetError, CancelToken, IncrementalEvaluator, Mapping,
+        ObmInstance,
     };
     pub use crate::model::{Coord, LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
+    pub use crate::portfolio::{
+        Algorithm, Checkpoint, RequestError, SolveBudget, SolveOutcome, SolveRequest, SolveStats,
+        Termination,
+    };
     pub use crate::sim::{
         ConfigError, Network, Schedule, SimConfig, SimConfigBuilder, SimReport, SourceSpec,
         TrafficSpec,

@@ -161,7 +161,8 @@ fn bnb_proof_bounds_sss_through_facade() {
     let c = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
     let m: Vec<f64> = c.iter().map(|x| x * 0.15).collect();
     let inst = ObmInstance::new(tiles, vec![0, 3, 6, 9], c, m);
-    let r = BranchAndBound::default().solve(&inst);
+    let r =
+        BranchAndBound::default().solve_budgeted(&inst, &obm::prelude::CancelToken::never(), None);
     assert!(r.proven_optimal);
     let sss = evaluate(&inst, &SortSelectSwap::default().map(&inst, 0)).max_apl;
     assert!(sss >= r.objective - 1e-9);

@@ -22,7 +22,7 @@ fn instance_for(cfg: PaperConfig) -> ObmInstance {
 fn global_trades_balance_for_overall_latency() {
     for cfg in [PaperConfig::C1, PaperConfig::C3] {
         let inst = instance_for(cfg);
-        let rand = obm::mapping::algorithms::random::random_averages(&inst, 1_000, 5);
+        let rand = obm::mapping::algorithms::RandomMapper::averages(&inst, 1_000, 5);
         let glob = evaluate(&inst, &Global.map(&inst, 0));
         assert!(
             glob.g_apl < rand.mean_g_apl,

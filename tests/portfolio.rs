@@ -1,0 +1,215 @@
+//! Facade-level integration tests for the portfolio engine: the
+//! determinism contract (worker count never changes the answer, and a
+//! 1-worker race is bit-identical to the sequential best-of loop it
+//! replaces), budget/deadline/cancellation semantics, and checkpoint
+//! resume — all through the public `obm::prelude` API.
+
+use std::time::Duration;
+
+use obm::mapping::algorithms::{Mapper, SimulatedAnnealing, SortSelectSwap};
+use obm::mapping::{evaluate, CancelToken, Mapping, ObmInstance};
+use obm::model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+use obm::prelude::{Algorithm, SolveRequest, Termination};
+use obm::workload::{PaperConfig, WorkloadBuilder};
+use proptest::prelude::*;
+
+/// The paper's C1 instance: 8×8 mesh, four 16-thread applications.
+fn c1_instance() -> ObmInstance {
+    let (workload, _) = WorkloadBuilder::paper(PaperConfig::C1).build();
+    let mesh = Mesh::square(8);
+    let tiles = TileLatencies::paper_default(&mesh);
+    let (c, m) = workload.rate_vectors();
+    ObmInstance::new(tiles, workload.boundaries(), c, m)
+}
+
+/// Strategy: a random OBM instance on an n×n mesh (n ∈ 2..=4) with 2–3
+/// contiguous applications and positive rates.
+fn arb_instance() -> impl Strategy<Value = ObmInstance> {
+    (2usize..=4, 2usize..=3)
+        .prop_flat_map(|(n, apps)| {
+            let threads = n * n;
+            (
+                Just(n),
+                Just(apps),
+                proptest::collection::vec(0.01f64..10.0, threads),
+                proptest::collection::vec(0.0f64..2.0, threads),
+            )
+        })
+        .prop_map(|(n, apps, c, m)| {
+            let mesh = Mesh::square(n);
+            let mcs = MemoryControllers::corners(&mesh);
+            let tl = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+            let threads = n * n;
+            let mut bounds = vec![0];
+            for a in 1..=apps {
+                bounds.push(a * threads / apps);
+            }
+            bounds.dedup();
+            if bounds.len() < 2 {
+                bounds.push(threads);
+            }
+            *bounds.last_mut().unwrap() = threads;
+            ObmInstance::new(tl, bounds, c, m)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A 1-worker portfolio over multi-seed SA is bit-identical to the
+    /// sequential best-of loop it replaces: same objective, same mapping,
+    /// same winning seed (ties break toward the earlier seed in both).
+    #[test]
+    fn one_worker_matches_sequential_best_of(inst in arb_instance(), s0 in any::<u64>()) {
+        let sa = SimulatedAnnealing { iterations: 400, ..SimulatedAnnealing::default() };
+        let seeds = [s0, s0.wrapping_add(1), s0.wrapping_add(2)];
+
+        let mut best: Option<(f64, u64, Mapping)> = None;
+        for seed in seeds {
+            let m = sa.map(&inst, seed);
+            let v = evaluate(&inst, &m).max_apl;
+            let better = match &best {
+                Some((bv, _, _)) => v.total_cmp(bv) == std::cmp::Ordering::Less,
+                None => true,
+            };
+            if better {
+                best = Some((v, seed, m));
+            }
+        }
+        let (seq_value, seq_seed, seq_mapping) = best.expect("non-empty seed list");
+
+        let outcome = SolveRequest::builder(&inst)
+            .algorithm(Algorithm::SimulatedAnnealing(sa))
+            .seeds(seeds)
+            .workers(1)
+            .build()
+            .expect("valid request")
+            .solve();
+
+        prop_assert_eq!(outcome.termination, Termination::Completed);
+        prop_assert_eq!(outcome.objective.to_bits(), seq_value.to_bits());
+        prop_assert_eq!(outcome.winner_seed, seq_seed);
+        prop_assert_eq!(outcome.mapping.as_slice(), seq_mapping.as_slice());
+    }
+}
+
+/// Pinned determinism on the 8×8 paper instance: 1, 2 and 4 workers all
+/// return the same winner, objective bits, and stats table.
+#[test]
+fn worker_count_never_changes_the_answer_on_8x8() {
+    let inst = c1_instance();
+    let solve = |workers: usize| {
+        SolveRequest::builder(&inst)
+            .algorithm(Algorithm::SortSelectSwap(SortSelectSwap::default()))
+            .algorithm(Algorithm::SimulatedAnnealing(SimulatedAnnealing {
+                iterations: 3_000,
+                ..SimulatedAnnealing::default()
+            }))
+            .seeds([1, 2])
+            .workers(workers)
+            .build()
+            .expect("valid request")
+            .solve()
+    };
+    let one = solve(1);
+    assert_eq!(one.termination, Termination::Completed);
+    for workers in [2usize, 4] {
+        let multi = solve(workers);
+        assert_eq!(multi.objective.to_bits(), one.objective.to_bits());
+        assert_eq!(multi.winner, one.winner);
+        assert_eq!(multi.winner_seed, one.winner_seed);
+        assert_eq!(multi.mapping.as_slice(), one.mapping.as_slice());
+        assert_eq!(multi.stats.len(), one.stats.len());
+        for (a, b) in multi.stats.iter().zip(&one.stats) {
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.algo, b.algo);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.evaluations, b.evaluations);
+            assert_eq!(a.objective.map(f64::to_bits), b.objective.map(f64::to_bits));
+        }
+    }
+}
+
+/// An already-expired deadline interrupts the long SA tasks mid-run: the
+/// outcome reports `Deadline`, still returns a valid fallback or partial
+/// winner, and every unfinished task shows `objective: None`.
+#[test]
+fn deadline_expiry_interrupts_simulated_annealing() {
+    let inst = c1_instance();
+    let outcome = SolveRequest::builder(&inst)
+        .algorithm(Algorithm::SimulatedAnnealing(SimulatedAnnealing {
+            iterations: 50_000_000,
+            ..SimulatedAnnealing::default()
+        }))
+        .seeds([1, 2])
+        .workers(2)
+        .deadline(Duration::from_millis(1))
+        .build()
+        .expect("valid request")
+        .solve();
+    assert_eq!(outcome.termination, Termination::Deadline);
+    // The mapping is always usable, even when every racer was cut off.
+    assert_eq!(outcome.mapping.as_slice().len(), inst.num_threads());
+    assert!(outcome.objective.is_finite());
+    if outcome.fallback {
+        assert!(outcome.stats.iter().all(|s| s.objective.is_none()));
+    }
+}
+
+/// Cancelling before the race starts: no task runs, the outcome is
+/// `Cancelled`, and the deterministic greedy fallback supplies a valid
+/// mapping so callers never receive garbage.
+#[test]
+fn cancellation_before_start_yields_fallback() {
+    let inst = c1_instance();
+    let token = CancelToken::new();
+    token.cancel();
+    let outcome = SolveRequest::builder(&inst)
+        .algorithm(Algorithm::SimulatedAnnealing(SimulatedAnnealing::default()))
+        .seeds([1, 2, 3])
+        .workers(4)
+        .cancel_token(token)
+        .build()
+        .expect("valid request")
+        .solve();
+    assert_eq!(outcome.termination, Termination::Cancelled);
+    assert!(outcome.fallback);
+    assert_eq!(outcome.winner, "Greedy");
+    assert_eq!(outcome.mapping.as_slice().len(), inst.num_threads());
+    assert!(outcome.stats.iter().all(|s| s.objective.is_none()));
+    assert_eq!(outcome.completed_tasks(), 0);
+}
+
+/// Checkpoint round-trip through the facade: a completed run's checkpoint
+/// resumes into a bit-identical outcome with every task marked resumed.
+#[test]
+fn checkpoint_resume_reproduces_the_outcome() {
+    let inst = c1_instance();
+    let build = || {
+        SolveRequest::builder(&inst)
+            .algorithm(Algorithm::SortSelectSwap(SortSelectSwap::default()))
+            .algorithm(Algorithm::SimulatedAnnealing(SimulatedAnnealing {
+                iterations: 2_000,
+                ..SimulatedAnnealing::default()
+            }))
+            .seeds([5, 6])
+            .workers(2)
+    };
+    let first = build().build().expect("valid request").solve();
+    assert_eq!(first.termination, Termination::Completed);
+
+    let json = first.checkpoint.to_json();
+    let restored = obm::prelude::Checkpoint::from_json(&json).expect("round-trips");
+    let resumed = build()
+        .resume(restored)
+        .build()
+        .expect("valid request")
+        .solve();
+
+    assert!(!resumed.resume_rejected);
+    assert_eq!(resumed.objective.to_bits(), first.objective.to_bits());
+    assert_eq!(resumed.winner, first.winner);
+    assert_eq!(resumed.winner_seed, first.winner_seed);
+    assert_eq!(resumed.mapping.as_slice(), first.mapping.as_slice());
+    assert!(resumed.stats.iter().all(|s| s.resumed));
+}

@@ -125,7 +125,7 @@ proptest! {
         let tl = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
         let m: Vec<f64> = c.iter().map(|x| x * 0.1).collect();
         let inst = ObmInstance::new(tl, vec![0, 3, 6], c, m);
-        let best = BruteForce::optimal_value(&inst);
+        let best = evaluate(&inst, &BruteForce.map(&inst, 0)).max_apl;
         let sss = evaluate(&inst, &SortSelectSwap::default().map(&inst, 0)).max_apl;
         let sa = evaluate(&inst, &SimulatedAnnealing::with_iterations(2_000).map(&inst, seed)).max_apl;
         prop_assert!(sss >= best - 1e-9);
