@@ -6,25 +6,40 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use noc_model::Mesh;
-use noc_sim::{Network, Schedule, SimConfig, TrafficSpec};
+use noc_sim::{InjectionProcess, Network, Schedule, SimConfig, TrafficSpec};
 use obm_bench::harness::paper_instance;
 use obm_bench::sim_bridge::simulate_mapping;
 use obm_core::algorithms::{Mapper, SortSelectSwap};
 use workload::PaperConfig;
 
-fn uniform_sim(mesh_side: usize, cache_per_kcycle: f64, cycles: u64) -> noc_sim::SimReport {
+fn uniform_sim_with(
+    mesh_side: usize,
+    cache_per_kcycle: f64,
+    cycles: u64,
+    injection: InjectionProcess,
+) -> noc_sim::SimReport {
     let mesh = Mesh::square(mesh_side);
     let mut cfg = SimConfig::paper_defaults(mesh);
     cfg.warmup_cycles = cycles / 10;
     cfg.measure_cycles = cycles;
     cfg.max_drain_cycles = 4 * cycles;
     cfg.seed = 7;
+    cfg.injection = injection;
     let traffic = TrafficSpec::uniform(
         &mesh,
         Schedule::per_kilocycle(cache_per_kcycle),
         Schedule::per_kilocycle(cache_per_kcycle * 0.15),
     );
     Network::new(cfg, traffic).expect("valid scenario").run()
+}
+
+fn uniform_sim(mesh_side: usize, cache_per_kcycle: f64, cycles: u64) -> noc_sim::SimReport {
+    uniform_sim_with(
+        mesh_side,
+        cache_per_kcycle,
+        cycles,
+        InjectionProcess::BernoulliPerCycle,
+    )
 }
 
 /// The headline number: C1 (8×8, paper Table 3 rates) through the real
@@ -41,15 +56,42 @@ fn sim_c1_paper_load(c: &mut Criterion) {
 }
 
 /// Load sensitivity of the hot loop: near-idle (paper operating point),
-/// mid-load, and heavy (near saturation).
+/// mid-load, and heavy (near saturation). The historical `load_*` names
+/// keep the default Bernoulli front-end so the series stays comparable
+/// across PRs.
 fn sim_load_points(c: &mut Criterion) {
     let mut group = c.benchmark_group("noc_sim_uniform_8x8_10k");
     group.sample_size(10);
+    group.bench_function("load_0p25", |b| b.iter(|| uniform_sim(8, 0.25, 10_000)));
     group.bench_function("load_2", |b| b.iter(|| uniform_sim(8, 2.0, 10_000)));
     group.bench_function("load_8", |b| b.iter(|| uniform_sim(8, 8.0, 10_000)));
     group.bench_function("load_48", |b| b.iter(|| uniform_sim(8, 48.0, 10_000)));
     group.finish();
 }
 
-criterion_group!(benches, sim_c1_paper_load, sim_load_points);
+/// Injection-process comparison at three load levels: the geometric
+/// front-end's win is largest where cycles outnumber packets (near-idle,
+/// where the fast-forward skips whole quiescent stretches) and shrinks
+/// toward parity at saturation (router work dominates both modes).
+fn sim_injection_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_sim_geometric_8x8_10k");
+    group.sample_size(10);
+    group.bench_function("geom_load_0p25", |b| {
+        b.iter(|| uniform_sim_with(8, 0.25, 10_000, InjectionProcess::Geometric))
+    });
+    group.bench_function("geom_load_2", |b| {
+        b.iter(|| uniform_sim_with(8, 2.0, 10_000, InjectionProcess::Geometric))
+    });
+    group.bench_function("geom_load_48", |b| {
+        b.iter(|| uniform_sim_with(8, 48.0, 10_000, InjectionProcess::Geometric))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    sim_c1_paper_load,
+    sim_load_points,
+    sim_injection_modes
+);
 criterion_main!(benches);

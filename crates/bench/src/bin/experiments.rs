@@ -1,19 +1,25 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments <id>... [--fast] [--out DIR]
-//! experiments all [--fast] [--out DIR]
+//! experiments <id>... [--fast] [--out DIR] [--injection bernoulli|geometric]
+//! experiments all [--fast] [--out DIR] [--injection bernoulli|geometric]
 //! experiments list
 //! ```
 //!
 //! With `--out DIR`, each experiment's block is additionally written to
 //! `DIR/<id>.md` (the directory is created if missing).
 //!
+//! `--injection` selects the traffic-source process for the
+//! simulator-sweep experiments (loadcurve, validate, tails); sweeps
+//! default to the geometric fast path. Seeded-replay experiments ignore
+//! the flag.
+//!
 //! Paper ids: table1, table3, table4, fig3, fig4, fig5, fig8, fig9,
 //! fig10, fig11, fig12, validate. Extension ids: ablation, loadcurve,
 //! scaling, weighted, torus, firstprinciples, optgap, queueing, fig3sim,
 //! oversub, nocparams, tails.
 
+use noc_sim::InjectionProcess;
 use obm_bench::experiments;
 
 fn main() {
@@ -24,6 +30,20 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let injection = match args
+        .iter()
+        .position(|a| a == "--injection")
+        .and_then(|i| args.get(i + 1))
+    {
+        None => InjectionProcess::Geometric,
+        Some(v) => match v.parse() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("--injection: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
     let mut skip_next = false;
     let ids: Vec<&str> = args
         .iter()
@@ -32,7 +52,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--out" {
+            if *a == "--out" || *a == "--injection" {
                 skip_next = true;
                 return false;
             }
@@ -48,7 +68,7 @@ fn main() {
     }
 
     if ids.is_empty() || ids == ["list"] {
-        eprintln!("usage: experiments <id>...|all [--fast]");
+        eprintln!("usage: experiments <id>...|all [--fast] [--injection bernoulli|geometric]");
         eprintln!("available experiments:");
         for id in experiments::ALL {
             eprintln!("  {id}");
@@ -63,7 +83,7 @@ fn main() {
     };
 
     for id in selected {
-        match experiments::run(id, fast) {
+        match experiments::run_with(id, fast, injection) {
             Some(output) => {
                 println!("{output}");
                 if let Some(dir) = &out_dir {

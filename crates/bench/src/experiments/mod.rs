@@ -54,8 +54,17 @@ pub const ALL: &[&str] = &[
 ];
 
 /// Run one experiment by id. `fast` trims sample counts / simulated cycles
-/// so the full suite stays CI-friendly.
+/// so the full suite stays CI-friendly. Sweep-style experiments
+/// (`loadcurve`, `validate`, `tails`) use geometric injection by default;
+/// [`run_with`] overrides the process.
 pub fn run(id: &str, fast: bool) -> Option<String> {
+    run_with(id, fast, noc_sim::InjectionProcess::Geometric)
+}
+
+/// [`run`] with an explicit injection process for the simulator-sweep
+/// experiments. Ids whose output is pinned to the default Bernoulli RNG
+/// stream (seeded replays, golden comparisons) ignore `injection`.
+pub fn run_with(id: &str, fast: bool, injection: noc_sim::InjectionProcess) -> Option<String> {
     Some(match id {
         "table1" => table1::run(fast),
         "table3" => table3::run(),
@@ -68,9 +77,9 @@ pub fn run(id: &str, fast: bool) -> Option<String> {
         "fig10" => lineup_views::run_fig10(),
         "fig11" => lineup_views::run_fig11(),
         "fig12" => fig12::run(fast),
-        "validate" => validate::run(fast),
+        "validate" => validate::run_with(fast, injection),
         "ablation" => ablation::run(),
-        "loadcurve" => loadcurve::run(fast),
+        "loadcurve" => loadcurve::run_with(fast, injection),
         "scaling" => scaling::run(fast),
         "weighted" => weighted::run(),
         "torus" => torus::run(),
@@ -80,7 +89,7 @@ pub fn run(id: &str, fast: bool) -> Option<String> {
         "fig3sim" => fig3sim::run(fast),
         "oversub" => oversub::run(),
         "nocparams" => nocparams::run(fast),
-        "tails" => tails::run(fast),
+        "tails" => tails::run_with(fast, injection),
         _ => return None,
     })
 }

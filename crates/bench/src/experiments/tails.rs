@@ -4,12 +4,19 @@
 //! of C1 and compare per-application percentiles.
 
 use crate::harness::paper_instance;
-use crate::sim_bridge::simulate_mapping;
+use crate::sim_bridge::simulate_mapping_with;
 use crate::table::{f, MarkdownTable};
+use noc_sim::InjectionProcess;
 use obm_core::algorithms::{Global, Mapper, SortSelectSwap};
 use workload::PaperConfig;
 
+/// Sweeps default to geometric injection (percentiles are distribution
+/// statistics, not seeded replays).
 pub fn run(fast: bool) -> String {
+    run_with(fast, InjectionProcess::Geometric)
+}
+
+pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
     let cycles = if fast { 40_000 } else { 150_000 };
     let pi = paper_instance(PaperConfig::C1);
     let mut t = MarkdownTable::new(vec!["algo", "app", "mean APL", "p95", "p99"]);
@@ -25,7 +32,7 @@ pub fn run(fast: bool) -> String {
             .map(|mapper| {
                 scope.spawn(move |_| {
                     let mapping = mapper.map(&pi.instance, 0);
-                    simulate_mapping(pi, &mapping, cycles, 3)
+                    simulate_mapping_with(pi, &mapping, cycles, 3, injection)
                 })
             })
             .collect();

@@ -7,6 +7,8 @@
 //! obm simulate <spec> [--algo sss] [--cycles N] [--seed S]
 //! obm experiments trace <spec> [--algo sss] [--cycles N] [--seed S]
 //!                      [--window W] [--out FILE]        JSON-lines telemetry
+//! obm experiments loadcurve|validate|tails [--fast]
+//!                 [--injection bernoulli|geometric]     simulator sweeps
 //! obm exact <spec> [--budget NODES]              prove the optimum (small chips)
 //! obm solve <spec> [--portfolio | --algos sss,sa,...] [--seeds 0,1,2,3]
 //!                  [--deadline-ms N] [--max-evals N] [--workers N]
@@ -28,6 +30,7 @@ USAGE:
   obm eval <spec-file> <mapping-file>
   obm simulate <spec-file> [--algo NAME] [--cycles N] [--seed S]
   obm experiments trace <spec-file> [--algo NAME] [--cycles N] [--seed S] [--window W] [--out FILE]
+  obm experiments loadcurve|validate|tails [--fast] [--injection bernoulli|geometric]
   obm exact <spec-file> [--budget NODES]
   obm solve <spec-file> [--portfolio | --algos sss,sa,hybrid,greedy,mc,exact] [--seeds 0,1,2,3]
             [--deadline-ms N] [--max-evals N] [--workers N] [--aggressive]
@@ -144,10 +147,24 @@ fn run() -> Result<String, String> {
             let sub = args
                 .positional
                 .first()
-                .ok_or("experiments needs a subcommand (trace)")?;
+                .ok_or("experiments needs a subcommand (trace|loadcurve|validate|tails)")?;
+            // The simulator sweeps from the bench harness: latency
+            // statistics at offered loads, so they default to the
+            // geometric fast path; `--injection bernoulli` restores the
+            // per-cycle process for apples-to-apples comparisons.
+            if matches!(sub.as_str(), "loadcurve" | "validate" | "tails") {
+                let fast = args.flag("fast").is_some();
+                let injection = args.parse_flag::<noc_sim::InjectionProcess>(
+                    "injection",
+                    noc_sim::InjectionProcess::Geometric,
+                )?;
+                return obm_bench::experiments::run_with(sub, fast, injection)
+                    .map(|out| out.trim_end().to_string())
+                    .ok_or_else(|| format!("experiment '{sub}' unavailable"));
+            }
             if sub != "trace" {
                 return Err(format!(
-                    "unknown experiments subcommand '{sub}' (try trace)"
+                    "unknown experiments subcommand '{sub}' (try trace, loadcurve, validate or tails)"
                 ));
             }
             let spec = read(

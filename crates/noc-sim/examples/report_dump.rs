@@ -8,7 +8,10 @@
 //! ```
 
 use noc_model::{MemoryControllers, Mesh, TileId};
-use noc_sim::{LatencyAccum, Network, Schedule, SimConfig, SimReport, SourceSpec, TrafficSpec};
+use noc_sim::{
+    InjectionProcess, LatencyAccum, Network, Schedule, SimConfig, SimReport, SourceSpec,
+    TrafficSpec,
+};
 
 fn dump_accum(label: &str, a: &LatencyAccum) {
     println!(
@@ -41,6 +44,10 @@ fn dump(name: &str, report: &SimReport) {
         report.network.cycles_run,
         report.network.num_links,
         report.network.mean_link_utilization(),
+    );
+    println!(
+        "front-end: arrival_draws={} skipped_cycles={}",
+        report.network.arrival_draws, report.network.skipped_cycles,
     );
     dump_accum("cache", &report.cache);
     dump_accum("memory", &report.memory);
@@ -106,7 +113,33 @@ fn scenario_paper() -> SimReport {
     Network::new(cfg, traffic).expect("valid config").run()
 }
 
+/// Pinned scenario C: scenario A's mesh and seed under geometric
+/// injection at a near-idle load — the event-horizon fast-forward should
+/// skip most cycles, and this dump pins that the statistics stay sane.
+fn scenario_geometric() -> SimReport {
+    let mesh = Mesh::square(4);
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+    cfg.warmup_cycles = 500;
+    cfg.measure_cycles = 3_000;
+    cfg.max_drain_cycles = 20_000;
+    cfg.seed = 42;
+    cfg.injection = InjectionProcess::Geometric;
+    let sources: Vec<SourceSpec> = mesh
+        .tiles()
+        .map(|t| SourceSpec {
+            tile: t,
+            group: t.index() % 2,
+            cache: Schedule::per_kilocycle(1.0),
+            mem: Schedule::per_kilocycle(0.2),
+        })
+        .collect();
+    let traffic = TrafficSpec::new(sources, 2).expect("valid traffic");
+    Network::new(cfg, traffic).expect("valid config").run()
+}
+
 fn main() {
     dump("small_4x4_seed42", &scenario_small());
     dump("paper_8x8_c1_seed7", &scenario_paper());
+    dump("geometric_4x4_seed42_near_idle", &scenario_geometric());
 }

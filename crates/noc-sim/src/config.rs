@@ -28,6 +28,43 @@ pub enum RoutingKind {
     Yx,
 }
 
+/// How traffic sources turn their [`Schedule`](crate::traffic::Schedule)
+/// rates into packet arrival cycles.
+///
+/// Both processes produce the same arrival *distribution* — independent
+/// per-cycle arrivals with probability `rate_at(cycle)` — but consume the
+/// RNG differently, so their streams are not bit-identical (each mode pins
+/// its own goldens in `tests/sim_determinism.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InjectionProcess {
+    /// One Bernoulli trial per source, class and cycle. The historical
+    /// default; kept so existing seeded runs stay bit-identical.
+    #[default]
+    BernoulliPerCycle,
+    /// Geometric inter-arrival sampling: one uniform draw per *packet*
+    /// (inverse CDF of the inter-arrival gap), with a min-heap of pending
+    /// arrivals and an event-horizon fast-forward that jumps the main loop
+    /// over fully quiescent stretches. Exact for constant-rate epochs by
+    /// memorylessness; `Schedule::Piecewise` boundaries resample. Orders of
+    /// magnitude faster at the paper's low loads.
+    Geometric,
+}
+
+impl std::str::FromStr for InjectionProcess {
+    type Err = String;
+
+    /// Parse a CLI spelling: `bernoulli` or `geometric`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bernoulli" => Ok(InjectionProcess::BernoulliPerCycle),
+            "geometric" => Ok(InjectionProcess::Geometric),
+            other => Err(format!(
+                "unknown injection process '{other}' (expected bernoulli or geometric)"
+            )),
+        }
+    }
+}
+
 /// A rejected simulator configuration or traffic description.
 ///
 /// Returned by [`SimConfig::validate`], [`SimConfigBuilder::build`],
@@ -58,6 +95,12 @@ pub enum ConfigError {
     GroupOutOfRange { group: usize, num_groups: usize },
     /// The traffic declares zero groups.
     NoGroups,
+    /// A schedule rate is negative or NaN (not a probability density).
+    BadRate(f64),
+    /// A piecewise schedule with zero-length epochs.
+    ZeroEpochCycles,
+    /// A piecewise schedule with no epochs at all.
+    EmptyTrace,
 }
 
 impl fmt::Display for ConfigError {
@@ -93,6 +136,18 @@ impl fmt::Display for ConfigError {
                 )
             }
             ConfigError::NoGroups => write!(f, "traffic must declare at least one group"),
+            ConfigError::BadRate(r) => {
+                write!(
+                    f,
+                    "schedule rate {r} is not a non-negative finite probability"
+                )
+            }
+            ConfigError::ZeroEpochCycles => {
+                write!(f, "piecewise schedule epochs must be at least 1 cycle")
+            }
+            ConfigError::EmptyTrace => {
+                write!(f, "piecewise schedule needs at least one epoch rate")
+            }
         }
     }
 }
@@ -133,6 +188,11 @@ pub struct SimConfig {
     pub max_drain_cycles: u64,
     /// RNG seed for traffic generation.
     pub seed: u64,
+    /// How sources turn schedule rates into arrival cycles (default:
+    /// [`InjectionProcess::BernoulliPerCycle`], which preserves the
+    /// historical RNG stream bit-for-bit; sweeps use
+    /// [`InjectionProcess::Geometric`] for the event-horizon fast path).
+    pub injection: InjectionProcess,
     /// Dimension-order routing variant (paper: XY).
     pub routing: RoutingKind,
     /// Enforce the physical crossbar's one-flit-per-input-port limit in
@@ -161,6 +221,7 @@ impl SimConfig {
             measure_cycles: 100_000,
             max_drain_cycles: 50_000,
             seed: 1,
+            injection: InjectionProcess::BernoulliPerCycle,
             routing: RoutingKind::Xy,
             crossbar_input_limit: true,
             telemetry_window: 1_000,
@@ -294,6 +355,10 @@ impl SimConfigBuilder {
         seed: u64
     );
     setter!(
+        /// Injection process (Bernoulli per cycle vs geometric sampling).
+        injection: InjectionProcess
+    );
+    setter!(
         /// Dimension-order routing variant.
         routing: RoutingKind
     );
@@ -329,6 +394,8 @@ mod tests {
         assert_eq!(cfg.per_hop_cycles(), 4);
         assert_eq!(cfg.controllers.tiles().len(), 4);
         assert_eq!(cfg.routing, RoutingKind::Xy);
+        assert_eq!(cfg.injection, InjectionProcess::BernoulliPerCycle);
+        assert_eq!(cfg.injection, InjectionProcess::default());
         assert!(cfg.crossbar_input_limit);
         assert_eq!(cfg.telemetry_window, 1_000);
         assert_eq!(cfg.validate(), Ok(()));
@@ -349,6 +416,7 @@ mod tests {
             .measure_cycles(1_000)
             .max_drain_cycles(10_000)
             .seed(99)
+            .injection(InjectionProcess::Geometric)
             .routing(RoutingKind::Yx)
             .crossbar_input_limit(false)
             .telemetry_window(250)
@@ -364,9 +432,23 @@ mod tests {
         assert_eq!(cfg.measure_cycles, 1_000);
         assert_eq!(cfg.max_drain_cycles, 10_000);
         assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.injection, InjectionProcess::Geometric);
         assert_eq!(cfg.routing, RoutingKind::Yx);
         assert!(!cfg.crossbar_input_limit);
         assert_eq!(cfg.telemetry_window, 250);
+    }
+
+    #[test]
+    fn injection_process_parses_cli_spellings() {
+        assert_eq!(
+            "bernoulli".parse::<InjectionProcess>(),
+            Ok(InjectionProcess::BernoulliPerCycle)
+        );
+        assert_eq!(
+            "geometric".parse::<InjectionProcess>(),
+            Ok(InjectionProcess::Geometric)
+        );
+        assert!("poisson".parse::<InjectionProcess>().is_err());
     }
 
     #[test]

@@ -47,6 +47,18 @@
 //!   counter maintained at push/pop, replacing a per-cycle `O(routers)`
 //!   scan. It is sampled at the same point in the cycle as the old scan,
 //!   so `peak_buffered_flits` is unchanged.
+//! - **Geometric injection + event-horizon fast-forward** (opt-in via
+//!   [`InjectionProcess::Geometric`]). Instead of two Bernoulli trials per
+//!   source per cycle, each `(source, class)` pair draws its next arrival
+//!   cycle directly from the geometric inter-arrival distribution (one
+//!   uniform per packet, exact by memorylessness; piecewise epochs
+//!   resample at their boundaries) into a min-heap of pending events.
+//!   When the network is fully quiescent the main loop jumps straight to
+//!   the next event, clamped at telemetry window boundaries so probed
+//!   window spans stay exact. At the paper's low loads this turns the
+//!   traffic front-end from O(cycles × sources) into O(packets) and the
+//!   idle stretches into heap pops — see `SimReport.network`'s
+//!   `arrival_draws` / `skipped_cycles` counters and DESIGN.md §11.
 //!
 //! None of this changes simulated semantics: routers are still stepped in
 //! ascending index order (bitset iteration is ordered, which keeps `f64`
@@ -95,7 +107,7 @@ pub mod traffic;
 /// sinks without naming a second dependency.
 pub use noc_telemetry as telemetry;
 
-pub use config::{ConfigError, RoutingKind, SimConfig, SimConfigBuilder};
+pub use config::{ConfigError, InjectionProcess, RoutingKind, SimConfig, SimConfigBuilder};
 pub use network::Network;
 pub use stats::{LatencyAccum, SimReport};
 pub use traffic::{Schedule, SourceSpec, TrafficSpec};

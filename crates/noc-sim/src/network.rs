@@ -17,7 +17,7 @@
 //! the front, which preserves wormhole contiguity because upstream senders
 //! never interleave flits of different packets on one VC).
 
-use crate::config::{ConfigError, RoutingKind, SimConfig, NUM_PORTS};
+use crate::config::{ConfigError, InjectionProcess, RoutingKind, SimConfig, NUM_PORTS};
 use crate::packet::{Flit, PacketId, PacketInfo};
 use crate::stats::SimReport;
 use crate::traffic::{SourceSpec, TrafficSpec};
@@ -25,7 +25,8 @@ use noc_model::{route_xy, route_yx, Mesh, PacketClass, RouteDir, TileId};
 use noc_telemetry::{NoopSink, Probe, Windower};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::time::Instant;
 
 const P_NORTH: usize = 0;
@@ -274,7 +275,21 @@ pub struct Network {
     /// so the plain [`run`](Network::run) path pays one never-taken branch
     /// per hook and stays bit-identical to the uninstrumented simulator.
     windower: Option<Windower>,
+    /// Pending `(cycle, source, class)` arrival events under
+    /// [`InjectionProcess::Geometric`]; empty under Bernoulli. Ties pop in
+    /// `(source, class)` order — the same order the per-cycle Bernoulli
+    /// scan visits sources, so spawn order (and with it every downstream
+    /// RNG draw) is well defined.
+    arrivals: BinaryHeap<Reverse<(u64, u32, u8)>>,
+    /// Uniform draws spent on geometric inter-arrival sampling.
+    arrival_draws: u64,
+    /// Cycles the event-horizon fast-forward jumped over.
+    skipped_cycles: u64,
 }
+
+/// Class tag stored in arrival events (heap tuples order by it).
+const CLASS_CACHE: u8 = 0;
+const CLASS_MEM: u8 = 1;
 
 impl Network {
     /// Build a simulator for `cfg` driven by the validated traffic spec
@@ -287,6 +302,7 @@ impl Network {
         cfg.validate()?;
         let n = cfg.mesh.num_tiles();
         traffic.check_tiles(n)?;
+        traffic.check_schedules()?;
         let (sources, num_groups) = traffic.into_parts();
         let vcs = cfg.total_vcs();
         let depth = cfg.buffer_depth;
@@ -321,6 +337,9 @@ impl Network {
             scratch_deliveries: Vec::new(),
             scratch_credits: Vec::new(),
             windower: None,
+            arrivals: BinaryHeap::new(),
+            arrival_draws: 0,
+            skipped_cycles: 0,
             cfg,
         })
     }
@@ -353,10 +372,18 @@ impl Network {
         }
         let inject_end = self.cfg.warmup_cycles + self.cfg.measure_cycles;
         let drain_end = inject_end + self.cfg.max_drain_cycles;
+        let geometric = self.cfg.injection == InjectionProcess::Geometric;
+        if geometric {
+            self.seed_arrivals(inject_end);
+        }
         let mut cycle = 0u64;
         while cycle < inject_end || (self.inflight_total > 0 && cycle < drain_end) {
             if cycle < inject_end {
-                self.generate(cycle);
+                if geometric {
+                    self.generate_geometric(cycle, inject_end);
+                } else {
+                    self.generate(cycle);
+                }
             }
             self.inject(cycle);
             self.step_routers(cycle);
@@ -368,6 +395,29 @@ impl Network {
                 w.end_cycle(cycle, self.total_buffered, self.live_packets, probe);
             }
             cycle += 1;
+            // Event-horizon fast-forward: with nothing in flight (no queued
+            // packet, no NI mid-injection, no buffered flit — all implied by
+            // `inflight_total == 0`) every cycle until the next arrival is a
+            // no-op, so jump straight to it. Clamped to the current
+            // telemetry window's final cycle so that cycle executes normally
+            // and the window flushes with an exact span; phase boundaries
+            // need no extra clamp (windows already truncate at them, and the
+            // `measured` flag is evaluated per arrival). Skipping is unsound
+            // only during injection with work in flight or during drain —
+            // the drain loop exits the moment `inflight_total` hits 0.
+            if geometric && self.inflight_total == 0 && cycle < inject_end {
+                let mut target = match self.arrivals.peek() {
+                    Some(&Reverse((c, _, _))) => c,
+                    None => inject_end,
+                };
+                if let Some(w) = self.windower.as_ref() {
+                    target = target.min(w.current_window_end() - 1);
+                }
+                if target > cycle {
+                    self.skipped_cycles += target - cycle;
+                    cycle = target;
+                }
+            }
         }
         if let Some(w) = self.windower.take() {
             w.finish(cycle, self.total_buffered, self.live_packets, probe);
@@ -384,9 +434,74 @@ impl Network {
                     + self.cfg.mesh.cols() * (self.cfg.mesh.rows() - 1)),
             peak_live_packets: self.peak_live_packets,
             packet_slab_slots: self.packets.len(),
+            arrival_draws: self.arrival_draws,
+            skipped_cycles: self.skipped_cycles,
             wall_nanos: wall_start.elapsed().as_nanos() as u64,
         };
         self.report
+    }
+
+    /// Seed the arrival heap for [`InjectionProcess::Geometric`]: one
+    /// pending event per `(source, class)` whose schedule produces an
+    /// arrival before `inject_end`. Sources are sampled in ascending index
+    /// order, cache class before memory — the same order the Bernoulli
+    /// scan consumes the RNG, so same-cycle events pop identically.
+    fn seed_arrivals(&mut self, inject_end: u64) {
+        for si in 0..self.sources.len() {
+            if let Some(c) = self.sources[si].cache.next_arrival(
+                0,
+                inject_end,
+                &mut self.rng,
+                &mut self.arrival_draws,
+            ) {
+                self.arrivals.push(Reverse((c, si as u32, CLASS_CACHE)));
+            }
+            if let Some(c) = self.sources[si].mem.next_arrival(
+                0,
+                inject_end,
+                &mut self.rng,
+                &mut self.arrival_draws,
+            ) {
+                self.arrivals.push(Reverse((c, si as u32, CLASS_MEM)));
+            }
+        }
+    }
+
+    /// Geometric packet generation: pop every arrival event due this
+    /// cycle, spawn its packet, and resample that `(source, class)` pair's
+    /// next arrival. Equivalent in distribution to [`generate`]
+    /// (`Network::generate`) but O(arrivals) instead of O(sources) per
+    /// cycle.
+    fn generate_geometric(&mut self, cycle: u64, inject_end: u64) {
+        let measured = cycle >= self.cfg.warmup_cycles;
+        let n = self.cfg.mesh.num_tiles();
+        while let Some(&Reverse((c, si, class))) = self.arrivals.peek() {
+            if c > cycle {
+                break;
+            }
+            self.arrivals.pop();
+            let si = si as usize;
+            if class == CLASS_CACHE {
+                let dst = TileId(self.rng.gen_range(0..n));
+                self.spawn_packet(si, PacketClass::Cache, dst, cycle, measured);
+            } else {
+                let dst = self.nearest_mc[self.sources[si].tile.index()];
+                self.spawn_packet(si, PacketClass::Memory, dst, cycle, measured);
+            }
+            let sched = if class == CLASS_CACHE {
+                &self.sources[si].cache
+            } else {
+                &self.sources[si].mem
+            };
+            if let Some(next) = sched.next_arrival(
+                cycle + 1,
+                inject_end,
+                &mut self.rng,
+                &mut self.arrival_draws,
+            ) {
+                self.arrivals.push(Reverse((next, si as u32, class)));
+            }
+        }
     }
 
     /// Bernoulli packet generation at every source.
@@ -1174,6 +1289,132 @@ mod tests {
                 total_vcs: 16
             })
         );
+    }
+
+    /// Geometric sampling + fast-forward must preserve the Eq. (2)
+    /// uncontended-latency invariant exactly: every measured packet takes
+    /// `H·(stages+link) + L` cycles, td_q = 0.
+    #[test]
+    fn geometric_uncontended_latency_matches_eq2() {
+        let mesh = Mesh::square(4);
+        let mut cfg = quiet_config(mesh);
+        cfg.injection = crate::config::InjectionProcess::Geometric;
+        cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+        cfg.long_fraction = 0.0; // all single-flit
+        cfg.measure_cycles = 5_000;
+        let src = SourceSpec {
+            tile: TileId(0),
+            group: 0,
+            cache: Schedule::Constant(0.0),
+            mem: Schedule::Constant(0.01), // sparse: no self-contention
+        };
+        let report = net(cfg, vec![src], 1).run();
+        assert!(report.fully_drained);
+        assert!(report.memory.packets > 0, "no packets generated");
+        // H=6, per-hop 4, 1 flit → latency 25, td_q = 0 — and APL equality
+        // (not just proximity) proves *every* packet hit the ideal.
+        assert!(
+            (report.memory.apl() - 25.0).abs() < 1e-9,
+            "APL {}",
+            report.memory.apl()
+        );
+        assert!(report.mean_td_q().abs() < 1e-9);
+        // The fast path actually engaged: one draw per packet (plus any
+        // discarded cross-epoch draws — none for a constant schedule) and
+        // long quiescent stretches skipped.
+        assert!(report.network.arrival_draws > 0);
+        assert!(
+            report.network.skipped_cycles > report.network.cycles_run / 2,
+            "skipped {} of {} cycles",
+            report.network.skipped_cycles,
+            report.network.cycles_run
+        );
+    }
+
+    #[test]
+    fn geometric_conserves_flits_under_load() {
+        let mesh = Mesh::square(4);
+        let mut cfg = quiet_config(mesh);
+        cfg.injection = crate::config::InjectionProcess::Geometric;
+        let sources: Vec<SourceSpec> = mesh
+            .tiles()
+            .map(|t| SourceSpec {
+                tile: t,
+                group: t.index() % 2,
+                cache: Schedule::Constant(0.01),
+                mem: Schedule::Constant(0.002),
+            })
+            .collect();
+        let report = net(cfg, sources, 2).run();
+        assert!(report.fully_drained, "drain failed");
+        assert_eq!(report.injected, report.delivered);
+        assert!(report.injected > 0);
+    }
+
+    /// Same scenario, both injection processes: the arrival *distribution*
+    /// is identical, so mean rates must agree (streams differ — this is a
+    /// statistical check, pinned exactly by `tests/sim_determinism.rs`).
+    #[test]
+    fn geometric_mean_injection_rate_matches_bernoulli() {
+        let mesh = Mesh::square(4);
+        let run = |inj: crate::config::InjectionProcess| {
+            let mut cfg = quiet_config(mesh);
+            cfg.injection = inj;
+            cfg.measure_cycles = 60_000;
+            let spec =
+                TrafficSpec::uniform(&mesh, Schedule::Constant(0.008), Schedule::Constant(0.002));
+            Network::new(cfg, spec).expect("config").run()
+        };
+        let b = run(crate::config::InjectionProcess::BernoulliPerCycle);
+        let g = run(crate::config::InjectionProcess::Geometric);
+        assert_eq!(b.network.arrival_draws, 0);
+        assert!(g.network.arrival_draws > 0);
+        // 16 tiles × 0.01 pkt/cycle × 60k cycles ≈ 9600 expected packets;
+        // σ ≈ √9600 ≈ 98, so 5% is a ~5σ band for the ratio.
+        let ratio = g.injected as f64 / b.injected as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "injection ratio {ratio}");
+    }
+
+    /// The probe observes but must not perturb — under Geometric too, even
+    /// though window-boundary clamping changes which cycles get skipped.
+    #[test]
+    fn geometric_probed_run_is_semantically_identical() {
+        use noc_telemetry::{Phase, RingSink};
+        let mesh = Mesh::square(4);
+        let mut cfg = quiet_config(mesh);
+        cfg.injection = crate::config::InjectionProcess::Geometric;
+        cfg.warmup_cycles = 300;
+        cfg.telemetry_window = 250;
+        let spec =
+            TrafficSpec::uniform(&mesh, Schedule::Constant(0.002), Schedule::Constant(0.0004));
+        let plain = Network::new(cfg.clone(), spec.clone())
+            .expect("config")
+            .run();
+        let mut ring = RingSink::new(4096);
+        let probed = Network::new(cfg.clone(), spec)
+            .expect("config")
+            .run_probed(&mut ring);
+        assert!(plain.semantic_eq(&probed), "probe perturbed the simulation");
+        // Clamping at window boundaries may reduce the probed run's skip
+        // tally, but never below zero or above the plain run's.
+        assert!(probed.network.skipped_cycles <= plain.network.skipped_cycles);
+        assert!(ring.dropped() == 0);
+        let windows: Vec<_> = ring.windows().collect();
+        assert!(!windows.is_empty());
+        // Window spans must tile the run exactly despite skipped regions.
+        for pair in windows.windows(2) {
+            assert_eq!(pair[0].end_cycle, pair[1].start_cycle);
+        }
+        assert_eq!(
+            windows.last().expect("nonempty").end_cycle,
+            probed.network.cycles_run
+        );
+        let measured: u64 = windows
+            .iter()
+            .filter(|w| w.phase == Phase::Measure)
+            .map(|w| w.width())
+            .sum();
+        assert_eq!(measured, cfg.measure_cycles);
     }
 
     /// The probe observes but must not perturb: a probed run's report is

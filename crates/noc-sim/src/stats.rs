@@ -34,8 +34,20 @@ pub struct NetworkStats {
     /// Final size of the packet slab: with slot recycling this tracks
     /// `peak_live_packets`, not the total packet count.
     pub packet_slab_slots: usize,
-    /// Wall-clock time of the whole `run()` call, in nanoseconds. The only
-    /// nondeterministic field of a report; excluded from [`semantic_eq`].
+    /// Uniform draws consumed by geometric inter-arrival sampling — one
+    /// per generated packet plus one per discarded cross-epoch draw.
+    /// Always 0 under `InjectionProcess::BernoulliPerCycle`.
+    pub arrival_draws: u64,
+    /// Cycles the event-horizon fast-forward jumped over while the network
+    /// was fully quiescent (counted inside `cycles_run`). Excluded from
+    /// [`semantic_eq`]: probed runs clamp jumps at telemetry window
+    /// boundaries, so like [`wall_nanos`](Self::wall_nanos) this describes
+    /// how the run executed, not what it computed.
+    ///
+    /// [`semantic_eq`]: NetworkStats::semantic_eq
+    pub skipped_cycles: u64,
+    /// Wall-clock time of the whole `run()` call, in nanoseconds.
+    /// Nondeterministic; excluded from [`semantic_eq`].
     ///
     /// [`semantic_eq`]: NetworkStats::semantic_eq
     pub wall_nanos: u64,
@@ -70,7 +82,8 @@ impl NetworkStats {
     }
 
     /// Equality of everything the simulation semantics determine — i.e.
-    /// all counters except the wall-clock measurement.
+    /// all counters except the wall-clock measurement and the fast-forward
+    /// jump tally (see [`skipped_cycles`](Self::skipped_cycles)).
     pub fn semantic_eq(&self, other: &NetworkStats) -> bool {
         self.link_flit_traversals == other.link_flit_traversals
             && self.peak_buffered_flits == other.peak_buffered_flits
@@ -78,6 +91,7 @@ impl NetworkStats {
             && self.num_links == other.num_links
             && self.peak_live_packets == other.peak_live_packets
             && self.packet_slab_slots == other.packet_slab_slots
+            && self.arrival_draws == other.arrival_draws
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::config::ConfigError;
 use noc_model::{Mesh, TileId};
+use rand::Rng;
 
 /// A time-varying packet injection rate (packets per cycle).
 #[derive(Debug, Clone, PartialEq)]
@@ -23,15 +24,20 @@ impl Schedule {
     }
 
     /// Piecewise schedule from per-kilocycle epoch rates.
+    ///
+    /// Shape problems (`epoch_cycles == 0`, no rates) are not panics here:
+    /// they surface as typed [`ConfigError`]s when the schedule reaches
+    /// [`TrafficSpec::new`] or the simulator (see [`Schedule::validate`]).
     pub fn trace_per_kilocycle(epoch_cycles: u64, rates: &[f64]) -> Self {
-        assert!(epoch_cycles > 0 && !rates.is_empty());
         Schedule::Piecewise {
             epoch_cycles,
             rates: rates.iter().map(|r| r / 1000.0).collect(),
         }
     }
 
-    /// Injection probability for the given cycle.
+    /// Injection probability for the given cycle. Total: degenerate
+    /// piecewise shapes (rejected by [`Schedule::validate`]) read as silent
+    /// rather than panicking.
     pub fn rate_at(&self, cycle: u64) -> f64 {
         match self {
             Schedule::Constant(r) => *r,
@@ -39,9 +45,102 @@ impl Schedule {
                 epoch_cycles,
                 rates,
             } => {
+                if *epoch_cycles == 0 || rates.is_empty() {
+                    return 0.0;
+                }
                 let epoch = (cycle / epoch_cycles) as usize % rates.len();
                 rates[epoch]
             }
+        }
+    }
+
+    /// Check the schedule describes a valid per-cycle arrival probability
+    /// stream: rates non-negative and finite, piecewise shapes non-empty.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let check = |r: f64| {
+            if r.is_nan() || r.is_infinite() || r < 0.0 {
+                Err(ConfigError::BadRate(r))
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            Schedule::Constant(r) => check(*r),
+            Schedule::Piecewise {
+                epoch_cycles,
+                rates,
+            } => {
+                if *epoch_cycles == 0 {
+                    return Err(ConfigError::ZeroEpochCycles);
+                }
+                if rates.is_empty() {
+                    return Err(ConfigError::EmptyTrace);
+                }
+                rates.iter().try_for_each(|&r| check(r))
+            }
+        }
+    }
+
+    /// First cycle at or after `cycle` where the rate may change: the end
+    /// of the piecewise epoch containing `cycle`. Constant schedules never
+    /// change (`u64::MAX`).
+    fn epoch_end(&self, cycle: u64) -> u64 {
+        match self {
+            Schedule::Constant(_) => u64::MAX,
+            Schedule::Piecewise { epoch_cycles, .. } => {
+                if *epoch_cycles == 0 {
+                    u64::MAX
+                } else {
+                    (cycle / epoch_cycles)
+                        .saturating_add(1)
+                        .saturating_mul(*epoch_cycles)
+                }
+            }
+        }
+    }
+
+    /// Draw the next arrival cycle in `[from, horizon)` by geometric
+    /// inter-arrival sampling, or `None` if no arrival lands before
+    /// `horizon`.
+    ///
+    /// Within a constant-rate epoch the inter-arrival gap of a Bernoulli
+    /// process is geometric, so one inverse-CDF draw
+    /// (`gap = floor(ln(1-u) / ln(1-p))`, `u` uniform in `[0, 1)` so the
+    /// argument of the log stays in `(0, 1]`) replaces per-cycle trials
+    /// exactly: `P(gap = k) = (1-p)^k · p`. A draw that lands beyond the
+    /// current epoch is discarded and the sampler resamples from the next
+    /// epoch's start — valid by memorylessness, and what keeps
+    /// [`Schedule::Piecewise`] boundaries exact. `draws` counts uniform
+    /// draws consumed (the report's `arrival_draws` telemetry).
+    pub(crate) fn next_arrival(
+        &self,
+        mut from: u64,
+        horizon: u64,
+        rng: &mut impl Rng,
+        draws: &mut u64,
+    ) -> Option<u64> {
+        loop {
+            if from >= horizon {
+                return None;
+            }
+            let p = self.rate_at(from).min(1.0);
+            let epoch_end = self.epoch_end(from).min(horizon);
+            if p <= 0.0 {
+                from = epoch_end;
+                continue;
+            }
+            if p >= 1.0 {
+                return Some(from);
+            }
+            *draws += 1;
+            let u: f64 = rng.gen();
+            let gap = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+            // f64→u64 casts saturate, so a tail draw (u → 1) cannot wrap.
+            let next = from.saturating_add(gap as u64);
+            if next < epoch_end {
+                return Some(next);
+            }
+            from = epoch_end;
         }
     }
 
@@ -112,6 +211,8 @@ impl TrafficSpec {
                     num_groups,
                 });
             }
+            s.cache.validate()?;
+            s.mem.validate()?;
         }
         Ok(TrafficSpec {
             sources,
@@ -157,6 +258,17 @@ impl TrafficSpec {
                     num_tiles,
                 });
             }
+        }
+        Ok(())
+    }
+
+    /// Re-check every source schedule. [`TrafficSpec::new`] already did
+    /// this, but [`TrafficSpec::uniform`] constructs directly, so the
+    /// simulator re-validates at `Network::new`.
+    pub(crate) fn check_schedules(&self) -> Result<(), ConfigError> {
+        for s in &self.sources {
+            s.cache.validate()?;
+            s.mem.validate()?;
         }
         Ok(())
     }
@@ -232,6 +344,116 @@ mod tests {
         assert!(spec.sources().iter().all(|s| s.group == 0));
         let (sources, groups) = spec.into_parts();
         assert_eq!((sources.len(), groups), (16, 1));
+    }
+
+    #[test]
+    fn schedule_validation_rejects_bad_shapes() {
+        assert_eq!(
+            Schedule::Constant(-0.1).validate().unwrap_err(),
+            ConfigError::BadRate(-0.1)
+        );
+        assert!(Schedule::Constant(f64::NAN).validate().is_err());
+        assert!(Schedule::Constant(f64::INFINITY).validate().is_err());
+        assert_eq!(
+            Schedule::trace_per_kilocycle(0, &[1.0])
+                .validate()
+                .unwrap_err(),
+            ConfigError::ZeroEpochCycles
+        );
+        assert_eq!(
+            Schedule::trace_per_kilocycle(10, &[])
+                .validate()
+                .unwrap_err(),
+            ConfigError::EmptyTrace
+        );
+        assert!(Schedule::trace_per_kilocycle(10, &[1.0, -2.0])
+            .validate()
+            .is_err());
+        assert_eq!(Schedule::Constant(0.5).validate(), Ok(()));
+        assert_eq!(
+            Schedule::trace_per_kilocycle(10, &[1.0, 2.0]).validate(),
+            Ok(())
+        );
+        // Degenerate shapes read as silent instead of panicking.
+        assert_eq!(Schedule::trace_per_kilocycle(0, &[1.0]).rate_at(5), 0.0);
+        assert_eq!(Schedule::trace_per_kilocycle(10, &[]).rate_at(5), 0.0);
+        // TrafficSpec::new propagates schedule validation.
+        let mut bad = SourceSpec::idle(TileId(0));
+        bad.mem = Schedule::Constant(-1.0);
+        assert_eq!(
+            TrafficSpec::new(vec![bad], 1).unwrap_err(),
+            ConfigError::BadRate(-1.0)
+        );
+    }
+
+    #[test]
+    fn next_arrival_respects_horizon_and_zero_rates() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut draws = 0u64;
+        assert_eq!(
+            Schedule::Constant(0.0).next_arrival(0, 1_000_000, &mut rng, &mut draws),
+            None
+        );
+        assert_eq!(
+            Schedule::Constant(0.5).next_arrival(10, 10, &mut rng, &mut draws),
+            None,
+            "from == horizon"
+        );
+        assert_eq!(draws, 0, "no uniform spent on degenerate cases");
+        // A saturated rate arrives immediately, without a draw.
+        assert_eq!(
+            Schedule::Constant(1.0).next_arrival(7, 100, &mut rng, &mut draws),
+            Some(7)
+        );
+        assert_eq!(draws, 0);
+    }
+
+    #[test]
+    fn next_arrival_matches_geometric_distribution() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut draws = 0u64;
+        let p = 0.25;
+        let s = Schedule::Constant(p);
+        let n = 40_000u64;
+        let (mut sum, mut zero) = (0u64, 0u64);
+        for _ in 0..n {
+            let gap = s
+                .next_arrival(0, u64::MAX, &mut rng, &mut draws)
+                .expect("p > 0");
+            sum += gap;
+            zero += u64::from(gap == 0);
+        }
+        assert_eq!(draws, n, "one uniform per arrival");
+        // E[gap] = (1-p)/p = 3; P(gap = 0) = p. Both within ~5 sigma.
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean gap {mean}");
+        let frac0 = zero as f64 / n as f64;
+        assert!((frac0 - p).abs() < 0.011, "P(gap=0) {frac0}");
+    }
+
+    #[test]
+    fn next_arrival_skips_silent_epochs_exactly() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut draws = 0u64;
+        // Rate 1.0 in odd epochs only: the first arrival from cycle 0 must
+        // be exactly the start of the first saturated epoch.
+        let s = Schedule::Piecewise {
+            epoch_cycles: 50,
+            rates: vec![0.0, 1.0],
+        };
+        assert_eq!(s.next_arrival(0, 1_000, &mut rng, &mut draws), Some(50));
+        assert_eq!(draws, 0);
+        // From inside the silent epoch, same answer.
+        assert_eq!(s.next_arrival(17, 1_000, &mut rng, &mut draws), Some(50));
+        // A horizon inside the silent epoch yields nothing.
+        assert_eq!(s.next_arrival(100, 150, &mut rng, &mut draws), None);
+        assert_eq!(draws, 0);
     }
 
     #[test]

@@ -199,6 +199,16 @@ impl Windower {
         end
     }
 
+    /// One past the last cycle of the window currently being accumulated.
+    ///
+    /// The simulator's event-horizon fast-forward clamps its jumps to
+    /// `current_window_end() - 1` so every window's final cycle executes
+    /// normally and [`end_cycle`](Windower::end_cycle) flushes it — window
+    /// spans stay exact whether or not cycles in between were skipped.
+    pub fn current_window_end(&self) -> u64 {
+        self.cur.end_cycle
+    }
+
     /// A packet of `flits` flits entered the network.
     pub fn on_inject(&mut self, flits: u64) {
         self.cur.injected_packets += 1;

@@ -23,6 +23,11 @@ pub struct ObmInstance {
     m: Vec<f64>,
     /// Per-application request-volume denominators `Σ (c_j + m_j)`.
     app_volume: Vec<f64>,
+    /// Sum of `app_volume` — the g-APL denominator. Cached at construction
+    /// because `evaluate()` divides by it on the solver hot path (one call
+    /// per candidate mapping), where re-summing `app_volume` every time
+    /// costs an O(A) pass per evaluation.
+    total_volume: f64,
     /// Per-application priority weights (all 1 in the paper's formulation).
     /// The min-max objective becomes `max_i w_i·d_i`, so an application
     /// with weight 2 is driven to half the latency of a weight-1 peer —
@@ -78,12 +83,14 @@ impl ObmInstance {
             "every application needs positive total request volume"
         );
         let weights = vec![1.0; app_volume.len()];
+        let total_volume = app_volume.iter().sum();
         ObmInstance {
             tiles,
             boundaries,
             c,
             m,
             app_volume,
+            total_volume,
             weights,
         }
     }
@@ -171,9 +178,11 @@ impl ObmInstance {
         self.app_volume[i]
     }
 
-    /// Total request volume over all applications.
+    /// Total request volume over all applications (cached at
+    /// construction).
+    #[inline]
     pub fn total_volume(&self) -> f64 {
-        self.app_volume.iter().sum()
+        self.total_volume
     }
 
     /// Latency numerator contribution of thread `j` when placed on tile

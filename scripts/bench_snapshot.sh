@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Snapshot the criterion benchmarks into a machine-readable JSON file.
+#
+#   scripts/bench_snapshot.sh [BENCH]... [-o OUT.json]
+#
+# Runs `cargo bench -p obm-bench` for the named bench targets (default:
+# noc_sim, the simulator hot loop) and parses the vendored criterion
+# output — lines of the form
+#
+#   group/name    time:   12345 ns/iter (10 samples)
+#
+# into a flat JSON object mapping benchmark label to median ns/iter:
+#
+#   { "noc_sim/c1_8x8_10k_cycles": 12345, ... }
+#
+# The snapshot is what PR descriptions cite for before/after numbers
+# (e.g. BENCH_PR4.json at the repo root compares the Bernoulli and
+# geometric injection front-ends).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="bench_snapshot.json"
+benches=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -o) out="$2"; shift 2 ;;
+    *) benches+=("$1"); shift ;;
+  esac
+done
+[[ ${#benches[@]} -gt 0 ]] || benches=(noc_sim)
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+for b in "${benches[@]}"; do
+  echo "==> cargo bench -p obm-bench --bench $b" >&2
+  cargo bench -p obm-bench --bench "$b" 2>&1 | tee -a "$raw" >&2
+done
+
+# criterion's stub prints:  <label>  time:  <ns> ns/iter (<n> samples)
+awk '
+  / time: +[0-9]+ ns\/iter / {
+    label = $1
+    for (i = 2; i <= NF; i++) if ($i == "time:") { ns = $(i + 1); break }
+    if (count++) printf ",\n"
+    printf "  \"%s\": %s", label, ns
+  }
+  BEGIN { printf "{\n" }
+  END   { printf "\n}\n" }
+' "$raw" > "$out"
+
+echo "wrote $(grep -c ':' "$out") benchmark medians to $out" >&2

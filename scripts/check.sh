@@ -7,13 +7,16 @@
 #   3. tier-1 gate      — release build + full test suite
 #   4. examples         — every example must build *and* run to completion
 #   5. determinism      — the portfolio engine's worker-count-invariance
-#                         suite in release mode (optimizations change f64
-#                         codegen timing, never the pinned bit patterns)
+#                         suite and the simulator's golden-report suite
+#                         (Bernoulli + geometric injection) in release mode
+#                         (optimizations change f64 codegen timing, never
+#                         the pinned bit patterns)
 #   6. panic gate       — no new unwrap()/assert!/panic! in the non-test
-#                         portions of noc-sim's config/network constructor
-#                         paths (typed ConfigError), the portfolio engine
-#                         (typed RequestError/CheckpointError), or the CLI
-#                         spec parser (typed SpecError)
+#                         portions of noc-sim's config/network/traffic
+#                         constructor paths (typed ConfigError), the
+#                         portfolio engine (typed RequestError/
+#                         CheckpointError), or the CLI spec parser (typed
+#                         SpecError)
 #
 # The tier-1 commands match ROADMAP.md; `--workspace` matters because the
 # root package is a facade crate and a bare `cargo build` would silently
@@ -52,6 +55,13 @@ echo "==> portfolio determinism suite (release)"
 cargo test -q --release -p obm-portfolio
 cargo test -q --release --test portfolio
 
+echo "==> simulator determinism suite (release)"
+# The pinned golden SimReports — the default Bernoulli stream (unchanged
+# since PR 1) and the geometric-injection goldens with their exact
+# window spans across fast-forwarded regions — must hold under release
+# codegen too.
+cargo test -q --release --test sim_determinism
+
 echo "==> panic gate: error-typed constructor and solver paths"
 # SimConfig::validate(), TrafficSpec::new() and Network::new() report bad
 # input through typed ConfigError values; the portfolio engine reports
@@ -62,6 +72,7 @@ echo "==> panic gate: error-typed constructor and solver paths"
 # occurrence outside the #[cfg(test)] module and doc comments
 # (debug_assert! is fine). Files without a test module are scanned whole.
 for f in crates/noc-sim/src/config.rs crates/noc-sim/src/network.rs \
+    crates/noc-sim/src/traffic.rs \
     crates/portfolio/src/*.rs crates/cli/src/spec.rs; do
     cut=$(grep -n '#\[cfg(test)\]' "$f" | head -1 | cut -d: -f1 || true)
     cut=${cut:-$(( $(wc -l < "$f") + 1 ))}
