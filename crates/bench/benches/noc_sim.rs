@@ -6,9 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use noc_model::Mesh;
+use noc_sim::telemetry::RingSink;
 use noc_sim::{InjectionProcess, Network, Schedule, SimConfig, TrafficSpec};
 use obm_bench::harness::paper_instance;
-use obm_bench::sim_bridge::simulate_mapping;
+use obm_bench::sim_bridge::{simulate_mapping, simulate_mapping_probed};
 use obm_core::algorithms::{Mapper, SortSelectSwap};
 use workload::PaperConfig;
 
@@ -51,6 +52,15 @@ fn sim_c1_paper_load(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("c1_8x8_10k_cycles", |b| {
         b.iter(|| simulate_mapping(&pi, &mapping, 10_000, 7))
+    });
+    // Same run with a full observability probe (windows + flow + heatmap,
+    // without per-packet streaming): the delta against the unprobed
+    // number above is the cost of spatial telemetry on the hot loop.
+    group.bench_function("c1_8x8_10k_cycles_probed", |b| {
+        b.iter(|| {
+            let mut sink = RingSink::new(64);
+            simulate_mapping_probed(&pi, &mapping, 10_000, 7, &mut sink)
+        })
     });
     group.finish();
 }

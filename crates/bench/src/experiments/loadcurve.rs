@@ -20,13 +20,14 @@ fn uniform_traffic(mesh: &Mesh, cache_per_kcycle: f64) -> TrafficSpec {
 
 /// One sweep point, probed: the report plus the peak measure-window
 /// buffered-flit occupancy (a transient the end-of-run peak counter
-/// conflates with warmup/drain; the windowed series separates it).
+/// conflates with warmup/drain; the windowed series separates it) and the
+/// exact nearest-rank p99 latency from the end-of-run flow summary.
 fn run_point(
     rate: f64,
     routing: RoutingKind,
     cycles: u64,
     injection: InjectionProcess,
-) -> (noc_sim::SimReport, usize) {
+) -> (noc_sim::SimReport, usize, u64) {
     let mesh = Mesh::square(8);
     let mut cfg = SimConfig::paper_defaults(mesh);
     cfg.warmup_cycles = cycles / 10;
@@ -45,7 +46,12 @@ fn run_point(
         .map(|w| w.buffered_flits)
         .max()
         .unwrap_or(0);
-    (report, peak_window_buffered)
+    let p99 = sink
+        .flow_summaries()
+        .next()
+        .and_then(|flow| flow.merged().histogram.quantile(0.99))
+        .unwrap_or(0);
+    (report, peak_window_buffered, p99)
 }
 
 /// Sweeps default to geometric injection: the points are latency
@@ -67,6 +73,7 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
     let mut t = MarkdownTable::new(vec![
         "cache req/kcycle/tile",
         "g-APL (cycles)",
+        "exact p99",
         "td_q (cycles)",
         "link util",
         "peak buffered flits",
@@ -94,10 +101,11 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
         )
     })
     .expect("crossbeam scope");
-    for (&r, (rep, peak_window)) in rates.iter().zip(&reports) {
+    for (&r, (rep, peak_window, p99)) in rates.iter().zip(&reports) {
         t.row(vec![
             format!("{r}"),
             f(rep.g_apl()),
+            format!("{p99}"),
             f(rep.mean_td_q()),
             format!("{:.3}", rep.network.mean_link_utilization()),
             format!("{}", rep.network.peak_buffered_flits),

@@ -2,9 +2,15 @@
 //! QoS agreements usually bind on tails. Does min-max APL balancing also
 //! balance the p95/p99 packet latencies? Simulate Global and SSS mappings
 //! of C1 and compare per-application percentiles.
+//!
+//! Quantiles here are **exact** nearest-rank statistics from the probed
+//! run's sparse latency histograms (`noc-telemetry::histogram`), not the
+//! bucket-interpolated approximations of `LatencyAccum::percentile`; the
+//! decomposition columns split each application's mean latency into
+//! source-queuing, in-network and serialization cycles (DESIGN.md §12).
 
 use crate::harness::paper_instance;
-use crate::sim_bridge::simulate_mapping_with;
+use crate::sim_bridge::simulate_mapping_observed;
 use crate::table::{f, MarkdownTable};
 use noc_sim::InjectionProcess;
 use obm_core::algorithms::{Global, Mapper, SortSelectSwap};
@@ -19,20 +25,22 @@ pub fn run(fast: bool) -> String {
 pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
     let cycles = if fast { 40_000 } else { 150_000 };
     let pi = paper_instance(PaperConfig::C1);
-    let mut t = MarkdownTable::new(vec!["algo", "app", "mean APL", "p95", "p99"]);
+    let mut t = MarkdownTable::new(vec![
+        "algo", "app", "mean APL", "p50", "p95", "p99", "max", "src-q", "net", "ser",
+    ]);
     let mut spreads = Vec::new();
     let sss = SortSelectSwap::default();
     let mappers: [&(dyn Mapper + Sync); 2] = [&Global, &sss];
     // Simulate the two mappings on separate workers; join in spawn order so
     // the table keeps its serial row order.
-    let reports = crossbeam::thread::scope(|scope| {
+    let runs = crossbeam::thread::scope(|scope| {
         let pi = &pi;
         let handles: Vec<_> = mappers
             .iter()
             .map(|mapper| {
                 scope.spawn(move |_| {
                     let mapping = mapper.map(&pi.instance, 0);
-                    simulate_mapping_with(pi, &mapping, cycles, 3, injection)
+                    simulate_mapping_observed(pi, &mapping, cycles, 3, injection)
                 })
             })
             .collect();
@@ -42,17 +50,23 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
             .collect::<Vec<_>>()
     })
     .expect("crossbeam scope");
-    for (mapper, report) in mappers.iter().zip(&reports) {
+    for (mapper, run) in mappers.iter().zip(&runs) {
         let mut p95s = Vec::new();
-        for (i, acc) in report.groups.iter().enumerate() {
+        for (i, acc) in run.flow.groups.iter().enumerate() {
+            let q = |q: f64| acc.histogram.quantile(q).unwrap_or(0);
             t.row(vec![
                 mapper.name().to_string(),
                 format!("App {}", i + 1),
-                f(acc.apl()),
-                f(acc.percentile(0.95)),
-                f(acc.percentile(0.99)),
+                f(acc.histogram.mean()),
+                q(0.5).to_string(),
+                q(0.95).to_string(),
+                q(0.99).to_string(),
+                acc.histogram.max().unwrap_or(0).to_string(),
+                f(acc.mean_source_queue()),
+                f(acc.mean_in_network()),
+                f(acc.mean_serialization()),
             ]);
-            p95s.push(acc.percentile(0.95));
+            p95s.push(q(0.95) as f64);
         }
         let spread = p95s.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - p95s.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -60,10 +74,11 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
     }
     format!(
         "## Tail latency (extension) — do balanced means imply balanced tails?\n\n{}\n\
-         Per-app p95 spread: {} {} cycles vs {} {} cycles. Balancing the mean APL \
-         largely balances the tails too — expected, because at these loads the \
+         Per-app exact p95 spread: {} {} cycles vs {} {} cycles. Balancing the mean \
+         APL largely balances the tails too — expected, because at these loads the \
          latency distribution is dominated by the (position-dependent) hop count, \
-         not by queueing variance.\n",
+         not by queueing variance; the decomposition columns confirm the in-network \
+         term carries the mean while source-queuing stays near zero.\n",
         t.render(),
         spreads[0].0,
         f(spreads[0].1),
@@ -79,5 +94,6 @@ mod tests {
     fn tails_runs() {
         let out = super::run(true);
         assert!(out.contains("Tail latency"));
+        assert!(out.contains("p99"));
     }
 }

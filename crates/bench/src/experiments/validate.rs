@@ -44,6 +44,8 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
         "skipped cycles",
         "peak win inj (flits/cyc)",
         "peak win buffered",
+        "exact p99",
+        "NI-q cyc/pkt",
     ]);
     let sa_iterations = if fast { 20_000 } else { 100_000 };
     // One worker per configuration (mapping + analytic model + seeded
@@ -82,7 +84,18 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
                     let measure = || sink.windows().filter(|w| w.phase == Phase::Measure);
                     let peak_inj = measure().map(|w| w.injection_rate()).fold(0.0f64, f64::max);
                     let peak_buf = measure().map(|w| w.buffered_flits).max().unwrap_or(0);
-                    (analytic, sim, peak_inj, peak_buf, portfolio)
+                    // The end-of-run flow summary arrives after every
+                    // window, so it survives the bounded ring: exact
+                    // (nearest-rank) p99 and the per-packet NI source-
+                    // queuing cost ride along for free.
+                    let all = sink
+                        .flow_summaries()
+                        .next()
+                        .map(|flow| flow.merged())
+                        .unwrap_or_default();
+                    let p99 = all.histogram.quantile(0.99).unwrap_or(0);
+                    let ni_q = all.mean_source_queue();
+                    (analytic, sim, peak_inj, peak_buf, portfolio, p99, ni_q)
                 })
             })
             .collect();
@@ -98,7 +111,9 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
     let mut total_cycles = 0u64;
     let mut total_flit_hops = 0u64;
     let mut total_wall_nanos = 0u64;
-    for (pi, (analytic, sim, peak_inj, peak_buf, portfolio)) in instances.iter().zip(&results) {
+    for (pi, (analytic, sim, peak_inj, peak_buf, portfolio, p99, ni_q)) in
+        instances.iter().zip(&results)
+    {
         let err = (sim.g_apl() - analytic.g_apl).abs() / analytic.g_apl;
         max_err = max_err.max(err);
         max_tdq = max_tdq.max(sim.mean_td_q());
@@ -121,6 +136,8 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
             format!("{}", sim.network.skipped_cycles),
             format!("{peak_inj:.3}"),
             format!("{peak_buf}"),
+            format!("{p99}"),
+            format!("{ni_q:.3}"),
         ]);
     }
     // Per-worker wall times, so the aggregate is per-thread simulator

@@ -8,7 +8,7 @@
 
 use crate::harness::PaperInstance;
 use noc_model::Mesh;
-use noc_sim::telemetry::Probe;
+use noc_sim::telemetry::{FlowSummary, HeatmapRecord, Probe, RingSink};
 use noc_sim::{InjectionProcess, Network, Schedule, SimConfig, SimReport, SourceSpec, TrafficSpec};
 use obm_core::Mapping;
 
@@ -118,6 +118,49 @@ pub fn simulate_mapping_probed_with(
         .run_probed(probe)
 }
 
+/// A probed run bundled with its end-of-run observability records: the
+/// exact latency histograms with the DESIGN.md §12 decomposition
+/// ([`FlowSummary`]) and the spatial link/VC/stall heatmap
+/// ([`HeatmapRecord`]). Semantically identical to the unprobed
+/// [`SimReport`] for the same seed.
+pub struct ObservedRun {
+    pub report: SimReport,
+    pub flow: FlowSummary,
+    pub heatmap: HeatmapRecord,
+}
+
+/// [`simulate_mapping_with`], additionally capturing the flow summary and
+/// heatmap the probed run emits at end of run.
+pub fn simulate_mapping_observed(
+    pi: &PaperInstance,
+    mapping: &Mapping,
+    measure_cycles: u64,
+    seed: u64,
+    injection: InjectionProcess,
+) -> ObservedRun {
+    let mut sink = RingSink::new(2);
+    let report = simulate_mapping_probed_with(pi, mapping, measure_cycles, seed, injection, {
+        // Windows are streamed but evicted by the tiny ring; the flow and
+        // heatmap records arrive last, so both survive.
+        &mut sink
+    });
+    let flow = sink
+        .flow_summaries()
+        .next()
+        .cloned()
+        .expect("probed run emits a flow summary");
+    let heatmap = sink
+        .heatmaps()
+        .next()
+        .cloned()
+        .expect("probed run emits a heatmap");
+    ObservedRun {
+        report,
+        flow,
+        heatmap,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +232,29 @@ mod tests {
         // arrivals from the heap sampler, geometric draws one per packet.
         assert_eq!(bern.network.arrival_draws, 0);
         assert!(geom.network.arrival_draws >= geom.injected);
+    }
+
+    #[test]
+    fn observed_run_reconciles_with_report() {
+        let pi = paper_instance(PaperConfig::C1);
+        let mapping = SortSelectSwap::default().map(&pi.instance, 0);
+        let obs =
+            simulate_mapping_observed(&pi, &mapping, 5_000, 3, InjectionProcess::BernoulliPerCycle);
+        // Flow summary covers exactly the measured packets...
+        assert_eq!(obs.flow.total_packets(), obs.report.delivered);
+        // ...and the heatmap's link counts conserve all flit traversals.
+        assert_eq!(
+            obs.heatmap.total_link_flits(),
+            obs.report.network.flit_hops()
+        );
+        // Exact quantiles are monotone and bounded by the histogram max.
+        let h = &obs.flow.merged().histogram;
+        let (p50, p99, max) = (
+            h.quantile(0.5).unwrap(),
+            h.quantile(0.99).unwrap(),
+            h.max().unwrap(),
+        );
+        assert!(p50 <= p99 && p99 <= max);
     }
 
     #[test]

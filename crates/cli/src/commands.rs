@@ -3,8 +3,11 @@
 
 use crate::spec::{spec_from_workload, InstanceSpec};
 use noc_model::{LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
+use noc_sim::telemetry::heatmap::{PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST};
 use noc_sim::telemetry::json::Value;
-use noc_sim::telemetry::JsonLinesSink;
+use noc_sim::telemetry::{
+    FlowAccum, JsonLinesSink, PacketRecord, Record, RingSink, Sink, WindowRecord,
+};
 use noc_sim::{Network, SimConfig};
 use obm_core::algorithms::{
     BalancedGreedy, BranchAndBound, Global, HybridSssSa, Mapper, MonteCarlo, RandomMapper,
@@ -250,6 +253,279 @@ pub fn trace_command(
     }
     let bytes = sink.finish().map_err(|e| format!("flush failed: {e}"))?;
     String::from_utf8(bytes).map_err(|e| format!("non-UTF-8 telemetry: {e}"))
+}
+
+/// Port letter for the heatmap's hottest-links table.
+fn port_letter(port: usize) -> char {
+    match port {
+        PORT_NORTH => 'N',
+        PORT_SOUTH => 'S',
+        PORT_WEST => 'W',
+        PORT_EAST => 'E',
+        _ => '?',
+    }
+}
+
+/// One decomposition row of the heatmap report's latency table.
+fn decomposition_row(label: &str, a: &FlowAccum) -> String {
+    let q = |q: f64| {
+        a.histogram
+            .quantile(q)
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".to_string())
+    };
+    format!(
+        "  {label:<8} {:>8} {:>9.3} {:>6} {:>6} {:>6} {:>6} {:>8.3} {:>8.3} {:>8.3}\n",
+        a.packets,
+        a.histogram.mean(),
+        q(0.5),
+        q(0.95),
+        q(0.99),
+        a.histogram
+            .max()
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".to_string()),
+        a.mean_source_queue(),
+        a.mean_in_network(),
+        a.mean_serialization(),
+    )
+}
+
+/// `obm experiments heatmap` — map a spec, simulate it under a probe and
+/// render the end-of-run spatial state: per-link flit traversals as an
+/// ASCII mesh with a hottest-links table and per-router stall totals, or
+/// (with `--json`) one deterministic JSON object carrying the full
+/// [`HeatmapRecord`] and flow decomposition next to the report's
+/// `link_flit_traversals`, so consumers can arithmetic-check the link
+/// conservation law.
+pub fn heatmap_command(
+    spec_text: &str,
+    algo: &str,
+    seed: u64,
+    cycles: u64,
+    json: bool,
+) -> Result<String, String> {
+    let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let inst = spec.to_instance();
+    let mapper = mapper_by_name(algo)?;
+    let mapping = mapper.map(&inst, seed);
+    let mesh = spec.mesh();
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.controllers = spec.memory_controllers();
+    cfg.warmup_cycles = (cycles / 10).max(100);
+    cfg.measure_cycles = cycles;
+    cfg.seed = seed ^ 0xC0FFEE;
+    let traffic = obm_core::traffic_spec(&inst, &mapping);
+    let mut sink = RingSink::new(4096);
+    let report = Network::new(cfg, traffic)
+        .map_err(|e| format!("invalid simulation config: {e}"))?
+        .run_probed(&mut sink);
+    let heat = sink
+        .heatmaps()
+        .next()
+        .cloned()
+        .ok_or("probed run produced no heatmap record")?;
+    let flow = sink
+        .flow_summaries()
+        .next()
+        .cloned()
+        .ok_or("probed run produced no flow summary")?;
+
+    if json {
+        return Ok(Value::obj([
+            ("type", Value::from("heatmap_report")),
+            ("algo", Value::from(mapper.name())),
+            ("seed", Value::from(seed)),
+            ("measure_cycles", Value::from(cycles)),
+            ("cycles_run", Value::from(report.network.cycles_run)),
+            (
+                "link_flit_traversals",
+                Value::from(report.network.link_flit_traversals),
+            ),
+            ("heatmap", heat.to_json()),
+            ("flow", flow.to_json()),
+        ])
+        .to_string());
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "algorithm {} | seed {} | {}x{} mesh | {} measured cycles ({} total)\n\n",
+        mapper.name(),
+        seed,
+        heat.rows,
+        heat.cols,
+        cycles,
+        report.network.cycles_run
+    ));
+    out.push_str("link heatmap (decile digits, 9 = hottest link, . = idle):\n");
+    out.push_str(&heat.ascii_mesh());
+    out.push('\n');
+
+    let mut links: Vec<_> = heat.links().collect();
+    links.sort_by(|a, b| {
+        b.flits
+            .cmp(&a.flits)
+            .then(a.tile.cmp(&b.tile))
+            .then(a.port.cmp(&b.port))
+    });
+    out.push_str("hottest links (flits over all phases):\n");
+    for l in links.iter().take(5).filter(|l| l.flits > 0) {
+        out.push_str(&format!(
+            "  ({},{}) -{}-> ({},{})  {:>10}\n",
+            l.tile / heat.cols,
+            l.tile % heat.cols,
+            port_letter(l.port),
+            l.to / heat.cols,
+            l.to % heat.cols,
+            l.flits
+        ));
+    }
+    let credit: u64 = heat.credit_stalls.iter().sum();
+    let vc: u64 = heat.vc_stalls.iter().sum();
+    let switch: u64 = heat.switch_stalls.iter().sum();
+    out.push_str(&format!(
+        "stall cycles: credit {credit} | vc-alloc {vc} | switch-skip {switch}\n\n"
+    ));
+    out.push_str(
+        "latency decomposition (measured packets, cycles):\n  \
+         class     packets      mean    p50    p95    p99    max    src-q      net      ser\n",
+    );
+    out.push_str(&decomposition_row("cache", &flow.cache));
+    out.push_str(&decomposition_row("memory", &flow.memory));
+    let names = spec.app_names();
+    for (g, a) in flow.groups.iter().enumerate() {
+        out.push_str(&decomposition_row(
+            names.get(g).copied().unwrap_or("app"),
+            a,
+        ));
+    }
+    Ok(out)
+}
+
+/// Captures per-packet lifecycle records and windows for Chrome-trace
+/// export. Opting into packets is what makes the simulator stream one
+/// [`PacketRecord`] per delivery.
+#[derive(Default)]
+struct ChromeCapture {
+    packets: Vec<PacketRecord>,
+    windows: Vec<WindowRecord>,
+}
+
+impl Sink for ChromeCapture {
+    fn record(&mut self, record: &Record) {
+        match record {
+            Record::Packet(p) => self.packets.push(*p),
+            Record::Window(w) => self.windows.push(w.clone()),
+            _ => {}
+        }
+    }
+
+    fn wants_packets(&self) -> bool {
+        true
+    }
+}
+
+/// `obm experiments trace --chrome` — simulate a spec and emit a
+/// Chrome-trace/Perfetto JSON object (`{"traceEvents": [...]}`).
+/// Timestamps and durations are simulated cycles (one "microsecond" per
+/// cycle in the viewer). Each delivered packet becomes one complete
+/// (`"X"`) event on track `pid = application group`, `tid = source tile`,
+/// with the DESIGN.md §12 decomposition in `args`; per-window occupancy
+/// becomes counter (`"C"`) events.
+pub fn chrome_trace_command(
+    spec_text: &str,
+    algo: &str,
+    seed: u64,
+    cycles: u64,
+    window: u64,
+) -> Result<String, String> {
+    let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let inst = spec.to_instance();
+    let mapper = mapper_by_name(algo)?;
+    let mapping = mapper.map(&inst, seed);
+    let mesh = spec.mesh();
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.controllers = spec.memory_controllers();
+    cfg.warmup_cycles = (cycles / 10).max(100);
+    cfg.measure_cycles = cycles;
+    cfg.telemetry_window = window;
+    cfg.seed = seed ^ 0xC0FFEE;
+    let traffic = obm_core::traffic_spec(&inst, &mapping);
+    let mut cap = ChromeCapture::default();
+    let report = Network::new(cfg, traffic)
+        .map_err(|e| format!("invalid simulation config: {e}"))?
+        .run_probed(&mut cap);
+
+    let mut events = Vec::new();
+    for (g, name) in spec.app_names().iter().enumerate() {
+        events.push(Value::obj([
+            ("name", Value::from("process_name")),
+            ("ph", Value::from("M")),
+            ("pid", Value::from(g)),
+            (
+                "args",
+                Value::obj([("name", Value::Str(format!("app {}: {name}", g + 1)))]),
+            ),
+        ]));
+    }
+    for p in &cap.packets {
+        events.push(Value::obj([
+            (
+                "name",
+                Value::from(if p.cache { "cache" } else { "memory" }),
+            ),
+            ("ph", Value::from("X")),
+            ("ts", Value::from(p.enqueue_cycle)),
+            ("dur", Value::from(p.latency())),
+            ("pid", Value::from(p.group)),
+            ("tid", Value::from(p.src)),
+            (
+                "args",
+                Value::obj([
+                    ("dst", Value::from(p.dst)),
+                    ("hops", Value::from(p.hops as u64)),
+                    ("flits", Value::from(p.flits as u64)),
+                    ("source_queue", Value::from(p.source_queue())),
+                    ("in_network", Value::from(p.in_network())),
+                    ("serialization", Value::from(p.serialization())),
+                    ("measured", Value::Bool(p.measured)),
+                ]),
+            ),
+        ]));
+    }
+    for w in &cap.windows {
+        events.push(Value::obj([
+            ("name", Value::from("network occupancy")),
+            ("ph", Value::from("C")),
+            ("ts", Value::from(w.start_cycle)),
+            ("pid", Value::from(0u64)),
+            (
+                "args",
+                Value::obj([
+                    ("buffered_flits", Value::from(w.buffered_flits)),
+                    ("live_packets", Value::from(w.live_packets)),
+                ]),
+            ),
+        ]));
+    }
+    Ok(Value::obj([
+        ("traceEvents", Value::Arr(events)),
+        ("displayTimeUnit", Value::from("ms")),
+        (
+            "metadata",
+            Value::obj([
+                ("algo", Value::from(mapper.name())),
+                ("seed", Value::from(seed)),
+                ("measure_cycles", Value::from(cycles)),
+                ("cycles_run", Value::from(report.network.cycles_run)),
+                ("injected", Value::from(report.injected)),
+                ("delivered", Value::from(report.delivered)),
+                ("fully_drained", Value::Bool(report.fully_drained)),
+            ]),
+        ),
+    ])
+    .to_string())
 }
 
 /// `obm exact` — prove the optimal max-APL with branch-and-bound (small
@@ -629,6 +905,110 @@ thread 8.5 1.3
             .map(|w| w.get("injected_packets").and_then(|v| v.as_u64()).unwrap())
             .sum();
         assert!(win_injected >= injected);
+    }
+
+    #[test]
+    fn heatmap_json_is_deterministic_and_conserves_flits() {
+        use noc_sim::telemetry::json;
+
+        let a = heatmap_command(SPEC, "sss", 1, 3_000, true).unwrap();
+        let b = heatmap_command(SPEC, "sss", 1, 3_000, true).unwrap();
+        assert_eq!(a, b, "same seed must give byte-identical heatmap JSON");
+
+        let v = json::parse(&a).unwrap();
+        let report_flits = v
+            .get("link_flit_traversals")
+            .and_then(Value::as_u64)
+            .unwrap();
+        let heat = v.get("heatmap").unwrap();
+        let heat_total = heat
+            .get("total_link_flits")
+            .and_then(Value::as_u64)
+            .unwrap();
+        assert_eq!(heat_total, report_flits, "link conservation law");
+        let link_sum: u64 = heat
+            .get("links")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|l| l.get("flits").and_then(Value::as_u64).unwrap())
+            .sum();
+        assert_eq!(link_sum, report_flits);
+        assert!(report_flits > 0, "run must move traffic");
+        // 4x4 mesh: 2*(4*3 + 4*3) = 48 directed links.
+        assert_eq!(heat.get("links").and_then(Value::as_arr).unwrap().len(), 48);
+    }
+
+    #[test]
+    fn heatmap_ascii_renders_mesh_and_decomposition() {
+        let out = heatmap_command(SPEC, "sss", 1, 3_000, false).unwrap();
+        assert!(out.contains("link heatmap"), "{out}");
+        assert!(out.contains("o-"), "{out}");
+        assert!(out.contains("hottest links"), "{out}");
+        assert!(out.contains("stall cycles:"), "{out}");
+        assert!(out.contains("latency decomposition"), "{out}");
+        assert!(out.contains("cache"), "{out}");
+        assert!(out.contains("memory"), "{out}");
+        // Both declared apps appear as decomposition rows.
+        assert!(out.contains("light"), "{out}");
+        assert!(out.contains("heavy"), "{out}");
+    }
+
+    #[test]
+    fn chrome_trace_events_satisfy_decomposition_identity() {
+        use noc_sim::telemetry::json;
+
+        let out = chrome_trace_command(SPEC, "sss", 1, 3_000, 500).unwrap();
+        let v = json::parse(&out).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+        assert!(!events.is_empty());
+
+        // One process-name metadata event per application.
+        let metas: Vec<&json::Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2);
+
+        let packets: Vec<&json::Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert!(!packets.is_empty(), "no packet events in chrome trace");
+        for e in &packets {
+            let dur = e.get("dur").and_then(Value::as_u64).unwrap();
+            let args = e.get("args").unwrap();
+            let src_q = args.get("source_queue").and_then(Value::as_u64).unwrap();
+            let net = args.get("in_network").and_then(Value::as_u64).unwrap();
+            let ser = args.get("serialization").and_then(Value::as_u64).unwrap();
+            assert_eq!(
+                src_q + net + ser,
+                dur,
+                "decomposition identity must hold per event"
+            );
+        }
+        // Delivered count in the metadata reconciles with the summary:
+        // measured packet events can't exceed it.
+        let delivered = v
+            .get("metadata")
+            .and_then(|m| m.get("delivered"))
+            .and_then(Value::as_u64)
+            .unwrap();
+        let measured = packets
+            .iter()
+            .filter(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("measured"))
+                    .map(|m| matches!(m, Value::Bool(true)))
+                    .unwrap_or(false)
+            })
+            .count() as u64;
+        assert_eq!(measured, delivered, "one X event per measured delivery");
+
+        // Counter events track window occupancy.
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Value::as_str) == Some("C")));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! obm eval <spec> <mapping>                     mapping: one tile number per line
 //! obm simulate <spec> [--algo sss] [--cycles N] [--seed S]
 //! obm experiments trace <spec> [--algo sss] [--cycles N] [--seed S]
-//!                      [--window W] [--out FILE]        JSON-lines telemetry
+//!                      [--window W] [--chrome] [--out FILE]   JSON-lines telemetry
+//!                                                 (--chrome: Chrome-trace JSON)
+//! obm experiments heatmap <spec> [--algo sss] [--cycles N] [--seed S]
+//!                        [--json] [--out FILE]    spatial link/VC/stall heatmap
 //! obm experiments loadcurve|validate|tails [--fast]
 //!                 [--injection bernoulli|geometric]     simulator sweeps
 //! obm exact <spec> [--budget NODES]              prove the optimum (small chips)
@@ -29,7 +32,9 @@ USAGE:
   obm map <spec-file> [--algo sss|global|mc|sa|greedy|random] [--seed S] [--grid]
   obm eval <spec-file> <mapping-file>
   obm simulate <spec-file> [--algo NAME] [--cycles N] [--seed S]
-  obm experiments trace <spec-file> [--algo NAME] [--cycles N] [--seed S] [--window W] [--out FILE]
+  obm experiments trace <spec-file> [--algo NAME] [--cycles N] [--seed S] [--window W]
+                  [--chrome] [--out FILE]
+  obm experiments heatmap <spec-file> [--algo NAME] [--cycles N] [--seed S] [--json] [--out FILE]
   obm experiments loadcurve|validate|tails [--fast] [--injection bernoulli|geometric]
   obm exact <spec-file> [--budget NODES]
   obm solve <spec-file> [--portfolio | --algos sss,sa,hybrid,greedy,mc,exact] [--seeds 0,1,2,3]
@@ -147,7 +152,7 @@ fn run() -> Result<String, String> {
             let sub = args
                 .positional
                 .first()
-                .ok_or("experiments needs a subcommand (trace|loadcurve|validate|tails)")?;
+                .ok_or("experiments needs a subcommand (trace|heatmap|loadcurve|validate|tails)")?;
             // The simulator sweeps from the bench harness: latency
             // statistics at offered loads, so they default to the
             // geometric fast path; `--injection bernoulli` restores the
@@ -162,21 +167,30 @@ fn run() -> Result<String, String> {
                     .map(|out| out.trim_end().to_string())
                     .ok_or_else(|| format!("experiment '{sub}' unavailable"));
             }
-            if sub != "trace" {
+            if !matches!(sub.as_str(), "trace" | "heatmap") {
                 return Err(format!(
-                    "unknown experiments subcommand '{sub}' (try trace, loadcurve, validate or tails)"
+                    "unknown experiments subcommand '{sub}' \
+                     (try trace, heatmap, loadcurve, validate or tails)"
                 ));
             }
             let spec = read(
                 args.positional
                     .get(1)
-                    .ok_or("experiments trace needs a spec file")?,
+                    .ok_or_else(|| format!("experiments {sub} needs a spec file"))?,
             )?;
             let algo = args.value_flag("algo")?.unwrap_or("sss");
             let seed = args.parse_flag::<u64>("seed", 0)?;
             let cycles = args.parse_flag::<u64>("cycles", 20_000)?;
-            let window = args.parse_flag::<u64>("window", 1_000)?;
-            let out = commands::trace_command(&spec, algo, seed, cycles, window)?;
+            let out = if sub == "heatmap" {
+                commands::heatmap_command(&spec, algo, seed, cycles, args.flag("json").is_some())?
+            } else {
+                let window = args.parse_flag::<u64>("window", 1_000)?;
+                if args.flag("chrome").is_some() {
+                    commands::chrome_trace_command(&spec, algo, seed, cycles, window)?
+                } else {
+                    commands::trace_command(&spec, algo, seed, cycles, window)?
+                }
+            };
             match args.value_flag("out")? {
                 Some(path) => {
                     std::fs::write(path, &out).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -185,7 +199,7 @@ fn run() -> Result<String, String> {
                         out.lines().count()
                     ))
                 }
-                // The JSON-lines stream already ends in a newline; trim it
+                // The JSON(-lines) output may end in a newline; trim it
                 // so main's println! doesn't add a blank trailing line.
                 None => Ok(out.trim_end().to_string()),
             }

@@ -18,11 +18,13 @@
 //! never interleave flits of different packets on one VC).
 
 use crate::config::{ConfigError, InjectionProcess, RoutingKind, SimConfig, NUM_PORTS};
-use crate::packet::{Flit, PacketId, PacketInfo};
+use crate::packet::{Flit, PacketId, PacketInfo, PacketStamps};
 use crate::stats::SimReport;
 use crate::traffic::{SourceSpec, TrafficSpec};
 use noc_model::{route_xy, route_yx, Mesh, PacketClass, RouteDir, TileId};
-use noc_telemetry::{NoopSink, Probe, Windower};
+use noc_telemetry::{
+    FlowSummary, HeatmapRecord, NoopSink, PacketRecord, Probe, ProfileRecord, Windower,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -216,6 +218,36 @@ struct Delivery {
     ready: u64,
 }
 
+/// Flow-level spatial observability state, allocated only when a probe is
+/// attached (the `Option<Windower>` pattern): packet lifecycle stamps,
+/// the per-class/per-group latency decomposition, and the spatial
+/// heatmap. Pure observer — nothing in here is ever read back by the
+/// simulation, so the probed run stays bit-identical to the plain one.
+struct FlowState {
+    /// Lifecycle stamps parallel to the packet slab (slots recycled the
+    /// same way).
+    stamps: Vec<PacketStamps>,
+    /// Measured-packet latency decomposition, delivered as the end-of-run
+    /// flow summary.
+    summary: FlowSummary,
+    /// Per-link / per-VC / per-router spatial counters (all phases).
+    heatmap: HeatmapRecord,
+    /// Whether the probe asked for per-packet records.
+    wants_packets: bool,
+    /// Packets delivered this cycle, flushed to `Probe::on_packet` after
+    /// the router pass (only filled when `wants_packets`).
+    pending: Vec<PacketRecord>,
+}
+
+/// Wall-clock lap helper for the self-profiling hook: nanoseconds since
+/// `mark`, resetting the mark.
+fn lap(mark: &mut Instant) -> u64 {
+    let now = Instant::now();
+    let nanos = now.duration_since(*mark).as_nanos() as u64;
+    *mark = now;
+    nanos
+}
+
 /// A credit returned upstream once the per-router pass completes.
 enum Credit {
     Router {
@@ -275,6 +307,15 @@ pub struct Network {
     /// so the plain [`run`](Network::run) path pays one never-taken branch
     /// per hook and stays bit-identical to the uninstrumented simulator.
     windower: Option<Windower>,
+    /// Spatial/flow observability state. Same contract as
+    /// [`windower`](Self::windower): `None` on the plain path, so every
+    /// hook costs one never-taken branch when telemetry is off.
+    flow: Option<Box<FlowState>>,
+    /// Accumulating wall-clock phase profile for the current telemetry
+    /// window. Populated only when the probe opts in via
+    /// `Probe::wants_profile` — the timings are nondeterministic and are
+    /// never fed back into simulation state.
+    profile: Option<Box<ProfileRecord>>,
     /// Pending `(cycle, source, class)` arrival events under
     /// [`InjectionProcess::Geometric`]; empty under Bernoulli. Ties pop in
     /// `(source, class)` order — the same order the per-cycle Bernoulli
@@ -337,6 +378,8 @@ impl Network {
             scratch_deliveries: Vec::new(),
             scratch_credits: Vec::new(),
             windower: None,
+            flow: None,
+            profile: None,
             arrivals: BinaryHeap::new(),
             arrival_draws: 0,
             skipped_cycles: 0,
@@ -355,9 +398,17 @@ impl Network {
     /// When `probe.is_enabled()`, a [`WindowRecord`] is flushed to
     /// [`Probe::on_window`] for every `cfg.telemetry_window`-cycle window
     /// (truncated at phase boundaries and at the end of the run — see
-    /// `noc-telemetry`). The probe observes the simulation but never
-    /// influences it: a fixed seed produces a bit-identical [`SimReport`]
-    /// whatever the probe (pinned by `tests/sim_determinism.rs`).
+    /// `noc-telemetry`), and the run additionally produces the DESIGN.md
+    /// §12 observability records: a [`FlowSummary`] (per-class/per-group
+    /// latency decomposition over measured packets) and a finalized
+    /// [`HeatmapRecord`] (per-link/per-VC/per-router spatial counters over
+    /// all phases), each delivered once at end of run. Probes that opt in
+    /// via [`Probe::wants_packets`] also receive one [`PacketRecord`] per
+    /// delivered packet, and [`Probe::wants_profile`] adds per-window
+    /// wall-clock phase profiles ([`ProfileRecord`], nondeterministic).
+    /// The probe observes the simulation but never influences it: a fixed
+    /// seed produces a bit-identical [`SimReport`] whatever the probe
+    /// (pinned by `tests/sim_determinism.rs`).
     ///
     /// [`WindowRecord`]: noc_telemetry::WindowRecord
     pub fn run_probed(mut self, probe: &mut dyn Probe) -> SimReport {
@@ -369,6 +420,20 @@ impl Network {
                 self.cfg.warmup_cycles,
                 self.cfg.measure_cycles,
             ));
+            self.flow = Some(Box::new(FlowState {
+                stamps: Vec::new(),
+                summary: FlowSummary::new(self.report.groups.len()),
+                heatmap: HeatmapRecord::new(
+                    self.cfg.mesh.rows(),
+                    self.cfg.mesh.cols(),
+                    self.cfg.total_vcs(),
+                ),
+                wants_packets: probe.wants_packets(),
+                pending: Vec::new(),
+            }));
+            if probe.wants_profile() {
+                self.profile = Some(Box::new(ProfileRecord::default()));
+            }
         }
         let inject_end = self.cfg.warmup_cycles + self.cfg.measure_cycles;
         let drain_end = inject_end + self.cfg.max_drain_cycles;
@@ -376,6 +441,10 @@ impl Network {
         if geometric {
             self.seed_arrivals(inject_end);
         }
+        // Self-profiling lap mark, advanced after every timed section.
+        // `None` unless the probe opted into profiles, so the plain path
+        // takes no timestamps beyond the existing `wall_start`.
+        let mut mark: Option<Instant> = self.profile.as_ref().map(|_| Instant::now());
         let mut cycle = 0u64;
         while cycle < inject_end || (self.inflight_total > 0 && cycle < drain_end) {
             if cycle < inject_end {
@@ -385,14 +454,66 @@ impl Network {
                     self.generate(cycle);
                 }
             }
+            if let Some(m) = mark.as_mut() {
+                let nanos = lap(m);
+                if let Some(p) = self.profile.as_mut() {
+                    p.generate_nanos += nanos;
+                }
+            }
             self.inject(cycle);
+            if let Some(m) = mark.as_mut() {
+                let nanos = lap(m);
+                if let Some(p) = self.profile.as_mut() {
+                    p.inject_nanos += nanos;
+                }
+            }
             self.step_routers(cycle);
+            // Route/traverse spans are timed inside `step_routers`; reset
+            // the mark so the telemetry lap below excludes them.
+            if let Some(m) = mark.as_mut() {
+                *m = Instant::now();
+            }
             // `total_buffered` is maintained incrementally; sampling it here
             // (after deliveries are applied) matches the original
             // end-of-cycle scan point exactly.
             self.peak_buffered = self.peak_buffered.max(self.total_buffered);
+            // Flush this cycle's delivered-packet records (empty unless the
+            // probe asked for per-packet streams) before the window closes,
+            // so packet records always precede the window covering them.
+            if let Some(fl) = self.flow.as_mut() {
+                for rec in fl.pending.drain(..) {
+                    probe.on_packet(&rec);
+                }
+            }
+            let mut flushed_window_end = None;
             if let Some(w) = self.windower.as_mut() {
+                // The current window's (truncation-aware) end, captured
+                // before `end_cycle` may flush it and move on.
+                let wend = w.current_window_end();
                 w.end_cycle(cycle, self.total_buffered, self.live_packets, probe);
+                if cycle + 1 == wend {
+                    flushed_window_end = Some(wend);
+                }
+            }
+            if let Some(m) = mark.as_mut() {
+                let nanos = lap(m);
+                if let Some(p) = self.profile.as_mut() {
+                    p.telemetry_nanos += nanos;
+                }
+            }
+            // A window just flushed: emit its phase profile and start the
+            // next one on the same boundary.
+            if let Some(wend) = flushed_window_end {
+                if let Some(p) = self.profile.as_mut() {
+                    let mut rec = **p;
+                    rec.end_cycle = wend;
+                    **p = ProfileRecord {
+                        window_index: rec.window_index + 1,
+                        start_cycle: wend,
+                        ..ProfileRecord::default()
+                    };
+                    probe.on_profile(&rec);
+                }
             }
             cycle += 1;
             // Event-horizon fast-forward: with nothing in flight (no queued
@@ -421,6 +542,22 @@ impl Network {
         }
         if let Some(w) = self.windower.take() {
             w.finish(cycle, self.total_buffered, self.live_packets, probe);
+        }
+        // Final partial profile window (skipped when the last cycle closed
+        // a window exactly, leaving an empty accumulator behind).
+        if let Some(p) = self.profile.take() {
+            if p.start_cycle < cycle {
+                let mut rec = *p;
+                rec.end_cycle = cycle;
+                probe.on_profile(&rec);
+            }
+        }
+        // End-of-run observability delivery: close the occupancy ledgers,
+        // then flow summary before heatmap (documented order).
+        if let Some(mut fl) = self.flow.take() {
+            fl.heatmap.finalize(cycle);
+            probe.on_flow(&fl.summary);
+            probe.on_heatmap(&fl.heatmap);
         }
         self.cycles_run = cycle;
         self.report.measured_cycles = self.cfg.measure_cycles;
@@ -555,6 +692,29 @@ impl Network {
             if let Some(w) = self.windower.as_mut() {
                 w.on_eject(class == PacketClass::Cache, group, 0, 0, len, 0);
             }
+            if let Some(fl) = self.flow.as_mut() {
+                // All four lifecycle stamps coincide: the decomposition is
+                // all-zero, matching the recorded zero latency.
+                let rec = PacketRecord {
+                    src: src.index(),
+                    dst: dst.index(),
+                    cache: class == PacketClass::Cache,
+                    group,
+                    flits: len,
+                    hops: 0,
+                    enqueue_cycle: cycle,
+                    inject_cycle: cycle,
+                    head_eject_cycle: cycle,
+                    tail_eject_cycle: cycle,
+                    measured,
+                };
+                if measured {
+                    fl.summary.record(&rec);
+                }
+                if fl.wants_packets {
+                    fl.pending.push(rec);
+                }
+            }
             return;
         }
         let info = PacketInfo {
@@ -581,6 +741,14 @@ impl Network {
                 id
             }
         };
+        if let Some(fl) = self.flow.as_mut() {
+            // Keep the stamp slab parallel to the packet slab and reset the
+            // recycled slot.
+            if fl.stamps.len() <= id as usize {
+                fl.stamps.resize(id as usize + 1, PacketStamps::default());
+            }
+            fl.stamps[id as usize] = PacketStamps::default();
+        }
         self.live_packets += 1;
         self.peak_live_packets = self.peak_live_packets.max(self.live_packets);
         self.nis[src.index()].queues[class_index(class)].push_back(id);
@@ -658,7 +826,12 @@ impl Network {
                     flit,
                     ready: cycle + stages,
                 });
-            self.buffer_flit_at(t, P_LOCAL, vc);
+            self.buffer_flit_at(t, P_LOCAL, vc, cycle);
+            if let Some(fl) = self.flow.as_mut() {
+                if idx == 0 {
+                    fl.stamps[pid as usize].head_inject = cycle;
+                }
+            }
             self.nis[t].current = if idx + 1 == len {
                 None
             } else {
@@ -669,14 +842,17 @@ impl Network {
 
     /// Bookkeeping for a flit entering router `r`'s input VC `(port, vc)`:
     /// per-router and global counters, the occupancy mask, and the activity
-    /// worklist.
+    /// worklist. `cycle` feeds the observability occupancy ledger only.
     #[inline]
-    fn buffer_flit_at(&mut self, r: usize, port: usize, vc: usize) {
+    fn buffer_flit_at(&mut self, r: usize, port: usize, vc: usize, cycle: u64) {
         let router = &mut self.routers[r];
         router.buffered += 1;
         router.occ |= 1 << (port * self.cfg.total_vcs() + vc);
         self.total_buffered += 1;
         self.active_routers.insert(r);
+        if let Some(fl) = self.flow.as_mut() {
+            fl.heatmap.on_buffer(r, vc, cycle);
+        }
     }
 
     /// One cycle of router operation: routing, VC allocation, switch
@@ -697,6 +873,9 @@ impl Network {
         let per_hop = self.cfg.per_hop_cycles();
         let vpc = self.cfg.vcs_per_class;
         let total_vcs = self.cfg.total_vcs();
+        // Phase-profile marks: the per-router pass is the route/arbitrate
+        // span, applying deliveries and credits the traverse span.
+        let route_start = self.profile.as_ref().map(|_| Instant::now());
 
         // Visit only routers on the activity worklist, in ascending index
         // order (a requirement for bit-identical reports: f64 latency sums
@@ -729,6 +908,8 @@ impl Network {
             }
         }
 
+        let traverse_start = route_start.map(|_| Instant::now());
+
         for d in deliveries.drain(..) {
             self.routers[d.router].inputs[d.port][d.vc]
                 .buf
@@ -736,7 +917,7 @@ impl Network {
                     flit: d.flit,
                     ready: d.ready,
                 });
-            self.buffer_flit_at(d.router, d.port, d.vc);
+            self.buffer_flit_at(d.router, d.port, d.vc, cycle);
         }
         for c in credits.drain(..) {
             match c {
@@ -750,6 +931,12 @@ impl Network {
         }
         self.scratch_deliveries = deliveries;
         self.scratch_credits = credits;
+        if let (Some(rs), Some(ts)) = (route_start, traverse_start) {
+            if let Some(p) = self.profile.as_mut() {
+                p.route_nanos += ts.duration_since(rs).as_nanos() as u64;
+                p.traverse_nanos += ts.elapsed().as_nanos() as u64;
+            }
+        }
     }
 
     /// One cycle of a single router `r`: routing, VC allocation, switch
@@ -791,6 +978,13 @@ impl Network {
                         part &= part - 1;
                         let (in_port, vc) = (slot / total_vcs, slot % total_vcs);
                         if self.cfg.crossbar_input_limit && input_used[in_port] {
+                            // Arbitration-pressure proxy: the slot may not
+                            // even want this output port (routing is checked
+                            // later) or may not be switch-ready yet, so this
+                            // counter is an upper bound (see HeatmapRecord).
+                            if let Some(fl) = self.flow.as_mut() {
+                                fl.heatmap.on_switch_stall(r);
+                            }
                             continue;
                         }
                         // Routing + VC allocation for the front flit.
@@ -822,6 +1016,9 @@ impl Network {
                                 self.routers[r].outputs[out_port][v].busy = true;
                                 self.routers[r].inputs[in_port][vc].out_vc = Some(v);
                             } else {
+                                if let Some(fl) = self.flow.as_mut() {
+                                    fl.heatmap.on_vc_stall(r);
+                                }
                                 continue; // no VC available this cycle
                             }
                         }
@@ -830,6 +1027,9 @@ impl Network {
                                 .out_vc
                                 .expect("allocated");
                             if self.routers[r].outputs[out_port][ovc].credits == 0 {
+                                if let Some(fl) = self.flow.as_mut() {
+                                    fl.heatmap.on_credit_stall(r);
+                                }
                                 continue; // downstream buffer full
                             }
                         }
@@ -852,6 +1052,9 @@ impl Network {
                 }
                 self.routers[r].buffered -= 1;
                 self.total_buffered -= 1;
+                if let Some(fl) = self.flow.as_mut() {
+                    fl.heatmap.on_pop(r, vc, cycle);
+                }
                 let flit = tf.flit;
                 let info = &self.packets[flit.packet as usize];
                 // Credit back to whoever feeds this input VC.
@@ -866,9 +1069,39 @@ impl Network {
                 }
                 if out_port == P_LOCAL {
                     // Ejection.
+                    if flit.is_head {
+                        if let Some(fl) = self.flow.as_mut() {
+                            fl.stamps[flit.packet as usize].head_eject = cycle;
+                        }
+                    }
                     if flit.is_tail {
                         let latency = cycle - info.inject_cycle + 1;
                         let ideal = info.hops as u64 * per_hop + info.len as u64;
+                        if let Some(fl) = self.flow.as_mut() {
+                            let stamps = fl.stamps[flit.packet as usize];
+                            let rec = PacketRecord {
+                                src: info.src.index(),
+                                dst: info.dst.index(),
+                                cache: info.class == PacketClass::Cache,
+                                group: info.group,
+                                flits: info.len,
+                                hops: info.hops,
+                                enqueue_cycle: info.inject_cycle,
+                                inject_cycle: stamps.head_inject,
+                                head_eject_cycle: stamps.head_eject,
+                                tail_eject_cycle: cycle,
+                                measured: info.measured,
+                            };
+                            // The flow summary reconciles with the report,
+                            // so it covers measured packets only; opted-in
+                            // per-packet streams carry every delivery.
+                            if info.measured {
+                                fl.summary.record(&rec);
+                            }
+                            if fl.wants_packets {
+                                fl.pending.push(rec);
+                            }
+                        }
                         if info.measured {
                             self.report.record(
                                 info.group,
@@ -903,6 +1136,9 @@ impl Network {
                         .expect("allocated");
                     self.routers[r].outputs[out_port][ovc].credits -= 1;
                     self.link_flit_traversals += 1;
+                    if let Some(fl) = self.flow.as_mut() {
+                        fl.heatmap.on_link_traversal(r, out_port);
+                    }
                     let next = neighbor(&mesh, here, out_port).expect("route stays on mesh");
                     // Charge the downstream pipeline unless the flit will
                     // eject there.

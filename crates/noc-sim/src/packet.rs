@@ -33,6 +33,20 @@ pub struct PacketInfo {
     pub measured: bool,
 }
 
+/// Observability-only lifecycle stamps of an in-flight packet, kept in a
+/// side slab parallel to the [`PacketInfo`] slab and only when a probe is
+/// attached. `PacketInfo.inject_cycle` already records creation at the
+/// source NI (the enqueue stamp); these add the two head-flit transitions
+/// needed for the DESIGN.md §12 latency decomposition. Never read by the
+/// simulation itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PacketStamps {
+    /// Cycle the head flit entered the source router's local input port.
+    pub head_inject: u64,
+    /// Cycle the head flit ejected at the destination.
+    pub head_eject: u64,
+}
+
 impl PacketInfo {
     /// Expand into the flit sequence.
     pub fn flits(&self, id: PacketId) -> impl Iterator<Item = Flit> + '_ {

@@ -54,6 +54,14 @@ pub struct NetworkStats {
 }
 
 impl NetworkStats {
+    /// Alias for [`link_flit_traversals`](Self::link_flit_traversals):
+    /// flits forwarded over inter-router links, i.e. total flit-hops over
+    /// all phases. The heatmap conservation law says the per-link counts
+    /// of a probed run's `HeatmapRecord` sum to exactly this.
+    pub fn flit_hops(&self) -> u64 {
+        self.link_flit_traversals
+    }
+
     /// Mean link utilization: flit-traversals per link per cycle.
     pub fn mean_link_utilization(&self) -> f64 {
         if self.cycles_run == 0 || self.num_links == 0 {

@@ -14,6 +14,15 @@
 //!   cycles, truncated at warm-up/measure/drain phase boundaries, each
 //!   carrying injection/ejection counts, occupancy samples and per-class /
 //!   per-group latency accumulators;
+//! * [`LatencyHistogram`] / [`PacketRecord`] / [`FlowSummary`] — exact
+//!   sparse latency histograms with true nearest-rank quantiles, and the
+//!   per-packet lifecycle decomposition (source-queuing vs in-network vs
+//!   serialization) they aggregate (DESIGN.md §12);
+//! * [`HeatmapRecord`] — spatial per-link flit traversals, per-VC
+//!   buffer-occupancy integrals and per-router stall counters on the
+//!   mesh, with an ASCII renderer;
+//! * [`ProfileRecord`] — opt-in wall-clock phase profile of the
+//!   simulator loop, per window (nondeterministic, never fed back);
 //! * [`SolverEvent`] — solver-side events (SSS swap acceptances, SA
 //!   temperature checkpoints, incremental-eval deltas);
 //! * [`Probe`] / [`Sink`] — the trait pair instrumented code talks to.
@@ -39,6 +48,8 @@
 //! Every [`Sink`] automatically implements [`Probe`] through a blanket
 //! impl, so `&mut RingSink` can be passed wherever a probe is expected.
 
+pub mod heatmap;
+pub mod histogram;
 pub mod json;
 pub mod latency;
 pub mod probe;
@@ -46,8 +57,10 @@ pub mod sink;
 pub mod solver;
 pub mod window;
 
+pub use heatmap::{HeatmapRecord, LinkFlits};
+pub use histogram::{FlowAccum, FlowSummary, LatencyHistogram, Log2Bucket, PacketRecord};
 pub use latency::LatencyAccum;
 pub use probe::{NoopSink, Probe, Record, Sink};
 pub use sink::{JsonLinesSink, RingSink};
 pub use solver::SolverEvent;
-pub use window::{Phase, WindowRecord, Windower};
+pub use window::{Phase, ProfileRecord, WindowRecord, Windower};

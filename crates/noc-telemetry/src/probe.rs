@@ -6,14 +6,18 @@
 //! Storage backends implement the simpler [`Sink`] (one `record` method);
 //! a blanket impl turns every `Sink` into a `Probe`.
 
+use crate::heatmap::HeatmapRecord;
+use crate::histogram::{FlowSummary, PacketRecord};
 use crate::solver::SolverEvent;
-use crate::window::WindowRecord;
+use crate::window::{ProfileRecord, WindowRecord};
 
 /// A telemetry record, as delivered to a [`Sink`].
 ///
-/// The window variant dominates the size; boxing it would put an
-/// allocation on every delivered window, which the probe contract
-/// forbids on the instrumented hot path.
+/// The window variant dominates the sizes of the per-window records;
+/// boxing it would put an allocation on every delivered window, which
+/// the probe contract forbids on the instrumented hot path. The
+/// end-of-run flow/heatmap records are delivered once per run, so their
+/// size is irrelevant.
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Record {
@@ -21,6 +25,16 @@ pub enum Record {
     Window(WindowRecord),
     /// A solver-side event.
     Solver(SolverEvent),
+    /// One delivered packet's lifecycle (opt-in via
+    /// [`Probe::wants_packets`]).
+    Packet(PacketRecord),
+    /// End-of-run latency decomposition per class/group.
+    Flow(FlowSummary),
+    /// End-of-run spatial heatmap.
+    Heatmap(HeatmapRecord),
+    /// Wall-clock phase profile for one finished window (opt-in via
+    /// [`Probe::wants_profile`]; nondeterministic by nature).
+    Profile(ProfileRecord),
 }
 
 /// Instrumentation interface invoked by the simulator and the solvers.
@@ -46,6 +60,36 @@ pub trait Probe {
 
     /// A solver emitted an event.
     fn on_solver_event(&mut self, _event: &SolverEvent) {}
+
+    /// Whether the probe wants one [`PacketRecord`] per delivered packet.
+    /// Per-packet streams are large; flow/heatmap aggregates are always
+    /// delivered to enabled probes, so this defaults to `false`.
+    fn wants_packets(&self) -> bool {
+        false
+    }
+
+    /// A packet was delivered (only when [`wants_packets`]
+    /// [`Probe::wants_packets`] returns `true`). Records arrive in
+    /// delivery order, batched at the end of each cycle.
+    fn on_packet(&mut self, _record: &PacketRecord) {}
+
+    /// The end-of-run latency decomposition (delivered once, before
+    /// [`on_heatmap`](Probe::on_heatmap)).
+    fn on_flow(&mut self, _summary: &FlowSummary) {}
+
+    /// The end-of-run spatial heatmap (delivered once, finalized).
+    fn on_heatmap(&mut self, _heatmap: &HeatmapRecord) {}
+
+    /// Whether the probe wants wall-clock phase profiles. Profiles carry
+    /// nondeterministic nanosecond timings, so they are opt-in and never
+    /// recorded unless this returns `true`.
+    fn wants_profile(&self) -> bool {
+        false
+    }
+
+    /// A window's wall-clock phase profile finished (only when
+    /// [`wants_profile`](Probe::wants_profile) returns `true`).
+    fn on_profile(&mut self, _record: &ProfileRecord) {}
 }
 
 /// A consumer of finished telemetry records (storage backends).
@@ -61,6 +105,16 @@ pub trait Sink {
     fn is_enabled(&self) -> bool {
         true
     }
+
+    /// See [`Probe::wants_packets`].
+    fn wants_packets(&self) -> bool {
+        false
+    }
+
+    /// See [`Probe::wants_profile`].
+    fn wants_profile(&self) -> bool {
+        false
+    }
 }
 
 impl<S: Sink> Probe for S {
@@ -74,6 +128,30 @@ impl<S: Sink> Probe for S {
 
     fn on_solver_event(&mut self, event: &SolverEvent) {
         self.record(&Record::Solver(event.clone()));
+    }
+
+    fn wants_packets(&self) -> bool {
+        Sink::wants_packets(self)
+    }
+
+    fn on_packet(&mut self, record: &PacketRecord) {
+        self.record(&Record::Packet(*record));
+    }
+
+    fn on_flow(&mut self, summary: &FlowSummary) {
+        self.record(&Record::Flow(summary.clone()));
+    }
+
+    fn on_heatmap(&mut self, heatmap: &HeatmapRecord) {
+        self.record(&Record::Heatmap(heatmap.clone()));
+    }
+
+    fn wants_profile(&self) -> bool {
+        Sink::wants_profile(self)
+    }
+
+    fn on_profile(&mut self, record: &ProfileRecord) {
+        self.record(&Record::Profile(*record));
     }
 }
 
@@ -101,6 +179,7 @@ mod tests {
     struct Counter {
         windows: usize,
         events: usize,
+        other: usize,
     }
 
     impl Sink for Counter {
@@ -108,6 +187,7 @@ mod tests {
             match record {
                 Record::Window(_) => self.windows += 1,
                 Record::Solver(_) => self.events += 1,
+                _ => self.other += 1,
             }
         }
     }
@@ -130,6 +210,7 @@ mod tests {
         let mut c = Counter {
             windows: 0,
             events: 0,
+            other: 0,
         };
         {
             let probe: &mut dyn Probe = &mut c;
@@ -146,6 +227,24 @@ mod tests {
                 delta: -0.5,
             });
         }
-        assert_eq!((c.windows, c.events), (1, 2));
+        assert_eq!((c.windows, c.events, c.other), (1, 2, 0));
+    }
+
+    #[test]
+    fn flow_and_heatmap_forward_through_blanket_impl() {
+        let mut c = Counter {
+            windows: 0,
+            events: 0,
+            other: 0,
+        };
+        {
+            let probe: &mut dyn Probe = &mut c;
+            // Opt-in hooks default off even for enabled sinks.
+            assert!(!probe.wants_packets());
+            assert!(!probe.wants_profile());
+            probe.on_flow(&crate::histogram::FlowSummary::new(1));
+            probe.on_heatmap(&crate::heatmap::HeatmapRecord::new(2, 2, 2));
+        }
+        assert_eq!((c.windows, c.events, c.other), (0, 0, 2));
     }
 }

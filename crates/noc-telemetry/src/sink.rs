@@ -3,22 +3,30 @@
 use std::collections::VecDeque;
 use std::io::Write;
 
+use crate::heatmap::HeatmapRecord;
+use crate::histogram::{FlowAccum, FlowSummary, PacketRecord};
 use crate::json::Value;
 use crate::latency::LatencyAccum;
 use crate::probe::{Record, Sink};
 use crate::solver::SolverEvent;
-use crate::window::WindowRecord;
+use crate::window::{ProfileRecord, WindowRecord};
 
 /// Bounded in-memory capture that keeps the **newest** records.
 ///
 /// When full, recording pushes the oldest record out and counts it as
 /// dropped, so a long run with a small ring ends with the tail of the
-/// trace — the part post-mortem analysis usually wants.
+/// trace — the part post-mortem analysis usually wants. Per-packet
+/// records and wall-clock profiles are opt-in
+/// ([`with_packets`](RingSink::with_packets) /
+/// [`with_profile`](RingSink::with_profile)); end-of-run flow and
+/// heatmap records always arrive.
 #[derive(Debug, Clone)]
 pub struct RingSink {
     capacity: usize,
     records: VecDeque<Record>,
     dropped: u64,
+    want_packets: bool,
+    want_profile: bool,
 }
 
 impl RingSink {
@@ -29,7 +37,21 @@ impl RingSink {
             capacity,
             records: VecDeque::with_capacity(capacity),
             dropped: 0,
+            want_packets: false,
+            want_profile: false,
         }
+    }
+
+    /// Opt into one [`PacketRecord`] per delivered packet.
+    pub fn with_packets(mut self) -> Self {
+        self.want_packets = true;
+        self
+    }
+
+    /// Opt into wall-clock [`ProfileRecord`]s (nondeterministic).
+    pub fn with_profile(mut self) -> Self {
+        self.want_profile = true;
+        self
     }
 
     /// Retained records, oldest first.
@@ -41,7 +63,7 @@ impl RingSink {
     pub fn windows(&self) -> impl Iterator<Item = &WindowRecord> {
         self.records.iter().filter_map(|r| match r {
             Record::Window(w) => Some(w),
-            Record::Solver(_) => None,
+            _ => None,
         })
     }
 
@@ -49,7 +71,39 @@ impl RingSink {
     pub fn solver_events(&self) -> impl Iterator<Item = &SolverEvent> {
         self.records.iter().filter_map(|r| match r {
             Record::Solver(e) => Some(e),
-            Record::Window(_) => None,
+            _ => None,
+        })
+    }
+
+    /// Retained per-packet records, oldest first.
+    pub fn packets(&self) -> impl Iterator<Item = &PacketRecord> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Packet(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// Retained end-of-run flow summaries, oldest first.
+    pub fn flow_summaries(&self) -> impl Iterator<Item = &FlowSummary> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Flow(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Retained end-of-run heatmaps, oldest first.
+    pub fn heatmaps(&self) -> impl Iterator<Item = &HeatmapRecord> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Heatmap(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Retained per-window phase profiles, oldest first.
+    pub fn profiles(&self) -> impl Iterator<Item = &ProfileRecord> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Profile(p) => Some(p),
+            _ => None,
         })
     }
 
@@ -82,13 +136,22 @@ impl Sink for RingSink {
         }
         self.records.push_back(record.clone());
     }
+
+    fn wants_packets(&self) -> bool {
+        self.want_packets
+    }
+
+    fn wants_profile(&self) -> bool {
+        self.want_profile
+    }
 }
 
 /// Streams records as JSON lines (one object per record per line) to any
 /// [`Write`] — the artifact format behind `obm experiments trace`.
 ///
 /// The schema is documented in DESIGN.md; every line carries a `"type"`
-/// discriminator (`"window"` or `"solver"`). I/O errors are sticky: the
+/// discriminator (`"window"`, `"solver"`, `"packet"`, `"flow"`,
+/// `"heatmap"` or `"profile"`). I/O errors are sticky: the
 /// first failure is remembered and later records are discarded, so a full
 /// disk cannot panic the simulator mid-run. Check
 /// [`error`](JsonLinesSink::error) / [`finish`](JsonLinesSink::finish).
@@ -97,6 +160,8 @@ pub struct JsonLinesSink<W: Write> {
     writer: W,
     written: u64,
     error: Option<std::io::Error>,
+    want_packets: bool,
+    want_profile: bool,
 }
 
 impl<W: Write> JsonLinesSink<W> {
@@ -105,7 +170,21 @@ impl<W: Write> JsonLinesSink<W> {
             writer,
             written: 0,
             error: None,
+            want_packets: false,
+            want_profile: false,
         }
+    }
+
+    /// Opt into one `"packet"` line per delivered packet.
+    pub fn with_packets(mut self) -> Self {
+        self.want_packets = true;
+        self
+    }
+
+    /// Opt into `"profile"` lines (nondeterministic wall-clock timings).
+    pub fn with_profile(mut self) -> Self {
+        self.want_profile = true;
+        self
     }
 
     /// Write one arbitrary JSON line (used for leading meta records).
@@ -147,6 +226,14 @@ impl<W: Write> Sink for JsonLinesSink<W> {
     fn record(&mut self, record: &Record) {
         let value = record.to_json();
         self.write_value(&value);
+    }
+
+    fn wants_packets(&self) -> bool {
+        self.want_packets
+    }
+
+    fn wants_profile(&self) -> bool {
+        self.want_profile
     }
 }
 
@@ -247,12 +334,167 @@ impl SolverEvent {
     }
 }
 
+fn quantile_json(accum: &FlowAccum, q: f64) -> Value {
+    accum
+        .histogram
+        .quantile(q)
+        .map(Value::from)
+        .unwrap_or(Value::Null)
+}
+
+fn flow_accum_to_json(a: &FlowAccum) -> Value {
+    Value::obj([
+        ("packets", Value::from(a.packets)),
+        ("mean_latency", Value::from(a.histogram.mean())),
+        ("p50", quantile_json(a, 0.5)),
+        ("p95", quantile_json(a, 0.95)),
+        ("p99", quantile_json(a, 0.99)),
+        (
+            "max",
+            a.histogram.max().map(Value::from).unwrap_or(Value::Null),
+        ),
+        ("mean_source_queue", Value::from(a.mean_source_queue())),
+        ("mean_in_network", Value::from(a.mean_in_network())),
+        ("mean_serialization", Value::from(a.mean_serialization())),
+        (
+            "log2_buckets",
+            Value::Arr(
+                a.histogram
+                    .log2_buckets()
+                    .iter()
+                    .map(|b| {
+                        Value::Arr(vec![
+                            Value::from(b.lo),
+                            Value::from(b.hi),
+                            Value::from(b.count),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+impl PacketRecord {
+    /// The JSON-lines representation of this packet (schema in DESIGN.md).
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("type", Value::from("packet")),
+            ("src", Value::from(self.src)),
+            ("dst", Value::from(self.dst)),
+            (
+                "class",
+                Value::from(if self.cache { "cache" } else { "memory" }),
+            ),
+            ("group", Value::from(self.group)),
+            ("flits", Value::from(self.flits as u64)),
+            ("hops", Value::from(self.hops as u64)),
+            ("enqueue_cycle", Value::from(self.enqueue_cycle)),
+            ("inject_cycle", Value::from(self.inject_cycle)),
+            ("head_eject_cycle", Value::from(self.head_eject_cycle)),
+            ("tail_eject_cycle", Value::from(self.tail_eject_cycle)),
+            ("source_queue", Value::from(self.source_queue())),
+            ("in_network", Value::from(self.in_network())),
+            ("serialization", Value::from(self.serialization())),
+            ("latency", Value::from(self.latency())),
+            ("measured", Value::Bool(self.measured)),
+        ])
+    }
+}
+
+impl FlowSummary {
+    /// The JSON-lines representation of this summary (schema in
+    /// DESIGN.md).
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("type", Value::from("flow")),
+            ("cache", flow_accum_to_json(&self.cache)),
+            ("memory", flow_accum_to_json(&self.memory)),
+            (
+                "groups",
+                Value::Arr(self.groups.iter().map(flow_accum_to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl HeatmapRecord {
+    /// The JSON-lines representation of this heatmap (schema in
+    /// DESIGN.md). `total_link_flits` is carried explicitly so consumers
+    /// can arithmetic-check conservation against the report's
+    /// `link_flit_traversals` without summing `links`.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("type", Value::from("heatmap")),
+            ("rows", Value::from(self.rows)),
+            ("cols", Value::from(self.cols)),
+            ("total_vcs", Value::from(self.total_vcs)),
+            ("cycles", Value::from(self.cycles)),
+            ("total_link_flits", Value::from(self.total_link_flits())),
+            (
+                "links",
+                Value::Arr(
+                    self.links()
+                        .map(|l| {
+                            Value::obj([
+                                ("tile", Value::from(l.tile)),
+                                ("port", Value::from(l.port)),
+                                ("to", Value::from(l.to)),
+                                ("flits", Value::from(l.flits)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "vc_occupancy",
+                Value::Arr(self.vc_occupancy.iter().map(|&v| Value::from(v)).collect()),
+            ),
+            (
+                "credit_stalls",
+                Value::Arr(self.credit_stalls.iter().map(|&v| Value::from(v)).collect()),
+            ),
+            (
+                "vc_stalls",
+                Value::Arr(self.vc_stalls.iter().map(|&v| Value::from(v)).collect()),
+            ),
+            (
+                "switch_stalls",
+                Value::Arr(self.switch_stalls.iter().map(|&v| Value::from(v)).collect()),
+            ),
+        ])
+    }
+}
+
+impl ProfileRecord {
+    /// The JSON-lines representation of this profile (schema in
+    /// DESIGN.md). Wall-clock values: nondeterministic across runs.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("type", Value::from("profile")),
+            ("window_index", Value::from(self.window_index)),
+            ("start_cycle", Value::from(self.start_cycle)),
+            ("end_cycle", Value::from(self.end_cycle)),
+            ("generate_nanos", Value::from(self.generate_nanos)),
+            ("inject_nanos", Value::from(self.inject_nanos)),
+            ("route_nanos", Value::from(self.route_nanos)),
+            ("traverse_nanos", Value::from(self.traverse_nanos)),
+            ("telemetry_nanos", Value::from(self.telemetry_nanos)),
+            ("total_nanos", Value::from(self.total_nanos())),
+        ])
+    }
+}
+
 impl Record {
     /// The JSON-lines representation of this record.
     pub fn to_json(&self) -> Value {
         match self {
             Record::Window(w) => w.to_json(),
             Record::Solver(e) => e.to_json(),
+            Record::Packet(p) => p.to_json(),
+            Record::Flow(f) => f.to_json(),
+            Record::Heatmap(h) => h.to_json(),
+            Record::Profile(p) => p.to_json(),
         }
     }
 }
@@ -388,6 +630,122 @@ mod tests {
         );
         assert_eq!(v.get("iteration").and_then(Value::as_u64), Some(1000));
         assert_eq!(v.get("temperature").and_then(Value::as_f64), Some(0.75));
+    }
+
+    #[test]
+    fn ring_opt_ins_and_new_record_accessors() {
+        let ring = RingSink::new(4);
+        assert!(!Sink::wants_packets(&ring));
+        assert!(!Sink::wants_profile(&ring));
+        let mut ring = RingSink::new(8).with_packets().with_profile();
+        assert!(Sink::wants_packets(&ring));
+        assert!(Sink::wants_profile(&ring));
+
+        let pkt = PacketRecord {
+            src: 0,
+            dst: 3,
+            cache: true,
+            group: 0,
+            flits: 2,
+            hops: 2,
+            enqueue_cycle: 10,
+            inject_cycle: 12,
+            head_eject_cycle: 24,
+            tail_eject_cycle: 25,
+            measured: true,
+        };
+        let mut flow = FlowSummary::new(1);
+        flow.record(&pkt);
+        let mut heat = HeatmapRecord::new(2, 2, 2);
+        heat.on_link_traversal(0, crate::heatmap::PORT_EAST);
+        heat.finalize(100);
+        ring.record(&Record::Packet(pkt));
+        ring.record(&Record::Flow(flow));
+        ring.record(&Record::Heatmap(heat));
+        ring.record(&Record::Profile(ProfileRecord {
+            window_index: 0,
+            start_cycle: 0,
+            end_cycle: 100,
+            generate_nanos: 1,
+            inject_nanos: 2,
+            route_nanos: 3,
+            traverse_nanos: 4,
+            telemetry_nanos: 5,
+        }));
+        assert_eq!(ring.packets().count(), 1);
+        assert_eq!(ring.flow_summaries().count(), 1);
+        assert_eq!(ring.heatmaps().count(), 1);
+        assert_eq!(ring.profiles().count(), 1);
+        assert_eq!(ring.windows().count(), 0);
+        assert_eq!(ring.solver_events().count(), 0);
+    }
+
+    #[test]
+    fn new_record_json_lines_round_trip() {
+        let pkt = PacketRecord {
+            src: 1,
+            dst: 6,
+            cache: false,
+            group: 1,
+            flits: 5,
+            hops: 3,
+            enqueue_cycle: 100,
+            inject_cycle: 104,
+            head_eject_cycle: 120,
+            tail_eject_cycle: 124,
+            measured: true,
+        };
+        let v = pkt.to_json();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("packet"));
+        assert_eq!(v.get("class").and_then(Value::as_str), Some("memory"));
+        assert_eq!(v.get("source_queue").and_then(Value::as_u64), Some(4));
+        assert_eq!(v.get("in_network").and_then(Value::as_u64), Some(16));
+        assert_eq!(v.get("serialization").and_then(Value::as_u64), Some(5));
+        assert_eq!(v.get("latency").and_then(Value::as_u64), Some(25));
+        // Round-trips through the parser.
+        let parsed = json::parse(&v.to_string()).unwrap();
+        assert_eq!(parsed.get("latency").and_then(Value::as_u64), Some(25));
+
+        let mut flow = FlowSummary::new(2);
+        flow.record(&pkt);
+        let v = flow.to_json();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("flow"));
+        let mem = v.get("memory").unwrap();
+        assert_eq!(mem.get("packets").and_then(Value::as_u64), Some(1));
+        assert_eq!(mem.get("p99").and_then(Value::as_u64), Some(25));
+        assert_eq!(mem.get("max").and_then(Value::as_u64), Some(25));
+        // Empty accumulator serializes null quantiles, not a panic.
+        let cache = v.get("cache").unwrap();
+        assert!(matches!(cache.get("p99"), Some(Value::Null)));
+
+        let mut heat = HeatmapRecord::new(2, 2, 2);
+        heat.on_link_traversal(0, crate::heatmap::PORT_EAST);
+        heat.on_link_traversal(0, crate::heatmap::PORT_EAST);
+        heat.finalize(50);
+        let v = heat.to_json();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("heatmap"));
+        assert_eq!(v.get("total_link_flits").and_then(Value::as_u64), Some(2));
+        let links = v.get("links").and_then(Value::as_arr).unwrap();
+        assert_eq!(links.len(), 8);
+        let total: u64 = links
+            .iter()
+            .map(|l| l.get("flits").and_then(Value::as_u64).unwrap())
+            .sum();
+        assert_eq!(total, 2);
+
+        let v = ProfileRecord {
+            window_index: 3,
+            start_cycle: 3000,
+            end_cycle: 4000,
+            generate_nanos: 10,
+            inject_nanos: 20,
+            route_nanos: 30,
+            traverse_nanos: 40,
+            telemetry_nanos: 50,
+        }
+        .to_json();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("profile"));
+        assert_eq!(v.get("total_nanos").and_then(Value::as_u64), Some(150));
     }
 
     #[test]

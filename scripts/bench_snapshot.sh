@@ -2,6 +2,7 @@
 # Snapshot the criterion benchmarks into a machine-readable JSON file.
 #
 #   scripts/bench_snapshot.sh [BENCH]... [-o OUT.json]
+#   BENCH_PR=6 scripts/bench_snapshot.sh        # writes BENCH_PR6.json
 #
 # Runs `cargo bench -p obm-bench` for the named bench targets (default:
 # noc_sim, the simulator hot loop) and parses the vendored criterion
@@ -13,13 +14,16 @@
 #
 #   { "noc_sim/c1_8x8_10k_cycles": 12345, ... }
 #
-# The snapshot is what PR descriptions cite for before/after numbers
-# (e.g. BENCH_PR4.json at the repo root compares the Bernoulli and
-# geometric injection front-ends).
+# The output path defaults to BENCH_PR${BENCH_PR}.json (the per-PR
+# snapshot the PR description cites for before/after numbers); override
+# with -o or the BENCH_PR env var. When the run contains both
+# c1_8x8_10k_cycles and its _probed twin, a derived
+# "probed_delta_pct/c1_8x8_10k_cycles" key records the observability
+# overhead as a percentage of the unprobed median.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="bench_snapshot.json"
+out="BENCH_PR${BENCH_PR:-5}.json"
 benches=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -41,11 +45,19 @@ awk '
   / time: +[0-9]+ ns\/iter / {
     label = $1
     for (i = 2; i <= NF; i++) if ($i == "time:") { ns = $(i + 1); break }
+    medians[label] = ns
     if (count++) printf ",\n"
     printf "  \"%s\": %s", label, ns
   }
   BEGIN { printf "{\n" }
-  END   { printf "\n}\n" }
+  END {
+    base = medians["noc_sim/c1_8x8_10k_cycles"]
+    probed = medians["noc_sim/c1_8x8_10k_cycles_probed"]
+    if (base > 0 && probed > 0)
+      printf ",\n  \"probed_delta_pct/c1_8x8_10k_cycles\": %.2f",
+        100.0 * (probed - base) / base
+    printf "\n}\n"
+  }
 ' "$raw" > "$out"
 
 echo "wrote $(grep -c ':' "$out") benchmark medians to $out" >&2

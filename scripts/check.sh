@@ -11,12 +11,21 @@
 #                         (Bernoulli + geometric injection) in release mode
 #                         (optimizations change f64 codegen timing, never
 #                         the pinned bit patterns)
-#   6. panic gate       — no new unwrap()/assert!/panic! in the non-test
+#   6. CLI smoke        — the observability subcommands (`experiments
+#                         heatmap --json`, `experiments trace --chrome`)
+#                         run on a generated C1 instance; the emitted
+#                         JSON is arithmetic-checked (heatmap link
+#                         conservation, chrome measured-event count =
+#                         delivered) and the heatmap output must be
+#                         byte-identical across two same-seed runs
+#   7. panic gate       — no new unwrap()/assert!/panic! in the non-test
 #                         portions of noc-sim's config/network/traffic
 #                         constructor paths (typed ConfigError), the
 #                         portfolio engine (typed RequestError/
-#                         CheckpointError), or the CLI spec parser (typed
-#                         SpecError)
+#                         CheckpointError), the CLI spec parser (typed
+#                         SpecError), or noc-telemetry's histogram/
+#                         heatmap observers (probes must never abort a
+#                         simulation)
 #
 # The tier-1 commands match ROADMAP.md; `--workspace` matters because the
 # root package is a facade crate and a bare `cargo build` would silently
@@ -39,7 +48,7 @@ cargo test -q --workspace
 echo "==> examples: build and run every example"
 cargo build --release --workspace --examples
 for ex in quickstart simulate_mapping app_consolidation custom_chip \
-    np_reduction qos_priorities portfolio_solve; do
+    np_reduction qos_priorities portfolio_solve noc_observability; do
     echo "--> example: $ex"
     cargo run --quiet --release --example "$ex" >/dev/null
 done
@@ -62,6 +71,41 @@ echo "==> simulator determinism suite (release)"
 # codegen too.
 cargo test -q --release --test sim_determinism
 
+echo "==> CLI observability smoke: heatmap + chrome-trace JSON"
+# Run the spatial-observability subcommands end to end on a generated C1
+# instance and re-derive the invariants the test suite pins — in shell,
+# against the actual shipped JSON, so a serialization regression that
+# unit tests cannot see (key renames, float formatting) still fails CI.
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+obm=target/release/obm
+cargo build --release -q -p obm-cli
+"$obm" gen C1 --seed 1 > "$smokedir/c1.spec"
+"$obm" experiments heatmap "$smokedir/c1.spec" --cycles 2000 --json \
+    --out "$smokedir/heat.json"
+"$obm" experiments heatmap "$smokedir/c1.spec" --cycles 2000 --json \
+    --out "$smokedir/heat2.json"
+cmp -s "$smokedir/heat.json" "$smokedir/heat2.json" \
+    || { echo "heatmap JSON differs across two same-seed runs"; exit 1; }
+# Link conservation: the heatmap's per-link sum must equal the report's
+# global traversal counter, both present at fixed keys in the JSON.
+total=$(grep -o '"link_flit_traversals":[0-9]*' "$smokedir/heat.json" | cut -d: -f2)
+heat=$(grep -o '"total_link_flits":[0-9]*' "$smokedir/heat.json" | cut -d: -f2)
+[[ -n "$total" && "$total" == "$heat" ]] \
+    || { echo "heatmap link conservation broken: report=$total heatmap=$heat"; exit 1; }
+echo "--> heatmap: deterministic, $total flit traversals conserved"
+"$obm" experiments trace "$smokedir/c1.spec" --chrome --cycles 2000 \
+    --window 500 --out "$smokedir/c1.trace.json"
+grep -q '"traceEvents"' "$smokedir/c1.trace.json" \
+    || { echo "chrome trace missing traceEvents"; exit 1; }
+# Every delivered (measured) packet is exactly one chrome "X" event with
+# "measured":true — the counter in the metadata block must agree.
+delivered=$(grep -o '"delivered":[0-9]*' "$smokedir/c1.trace.json" | cut -d: -f2)
+measured=$(grep -o '"measured":true' "$smokedir/c1.trace.json" | wc -l)
+[[ -n "$delivered" && "$delivered" -eq "$measured" ]] \
+    || { echo "chrome trace drift: metadata delivered=$delivered, measured X events=$measured"; exit 1; }
+echo "--> chrome trace: $measured measured packet events = delivered"
+
 echo "==> panic gate: error-typed constructor and solver paths"
 # SimConfig::validate(), TrafficSpec::new() and Network::new() report bad
 # input through typed ConfigError values; the portfolio engine reports
@@ -73,6 +117,7 @@ echo "==> panic gate: error-typed constructor and solver paths"
 # (debug_assert! is fine). Files without a test module are scanned whole.
 for f in crates/noc-sim/src/config.rs crates/noc-sim/src/network.rs \
     crates/noc-sim/src/traffic.rs \
+    crates/noc-telemetry/src/histogram.rs crates/noc-telemetry/src/heatmap.rs \
     crates/portfolio/src/*.rs crates/cli/src/spec.rs; do
     cut=$(grep -n '#\[cfg(test)\]' "$f" | head -1 | cut -d: -f1 || true)
     cut=${cut:-$(( $(wc -l < "$f") + 1 ))}

@@ -31,8 +31,10 @@
 //! assert!(evaluate(&inst, &mapping).max_apl > 0.0);
 //! ```
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour and
-//! `examples/simulate_mapping.rs` for the simulator + telemetry side.
+//! See `examples/quickstart.rs` for an end-to-end tour,
+//! `examples/simulate_mapping.rs` for the simulator + telemetry side and
+//! `examples/noc_observability.rs` for the spatial heatmap, exact latency
+//! histograms and the per-packet latency decomposition.
 
 pub use assignment as lap;
 pub use cmp_cache as cache;
@@ -66,7 +68,8 @@ pub mod prelude {
         TrafficSpec,
     };
     pub use crate::telemetry::{
-        JsonLinesSink, LatencyAccum, NoopSink, Phase, Probe, Record, RingSink, Sink, SolverEvent,
+        FlowSummary, HeatmapRecord, JsonLinesSink, LatencyAccum, LatencyHistogram, NoopSink,
+        PacketRecord, Phase, Probe, ProfileRecord, Record, RingSink, Sink, SolverEvent,
         WindowRecord,
     };
     pub use crate::workload::{PaperConfig, WorkloadBuilder};

@@ -364,6 +364,231 @@ fn geometric_piecewise_epoch_boundaries_are_exact() {
     );
 }
 
+/// The DESIGN.md §12 decomposition identity, pinned on the golden
+/// scenario: for every delivered packet, `source_queue + in_network +
+/// serialization = latency` holds *exactly*, and the measured packets'
+/// latencies aggregate to the same totals the report accumulates.
+#[test]
+fn pinned_decomposition_identity_on_golden_scenario() {
+    let mut sink = RingSink::new(65_536).with_packets();
+    let r = small_scenario_network().run_probed(&mut sink);
+    assert!(r.semantic_eq(&small_scenario()), "packet probe perturbed");
+
+    let packets: Vec<_> = sink.packets().copied().collect();
+    assert!(!packets.is_empty());
+    for p in &packets {
+        assert_eq!(
+            p.source_queue() + p.in_network() + p.serialization(),
+            p.latency(),
+            "decomposition identity broken for {p:?}"
+        );
+        assert!(p.inject_cycle >= p.enqueue_cycle);
+        assert!(p.head_eject_cycle >= p.inject_cycle);
+        assert!(p.tail_eject_cycle >= p.head_eject_cycle);
+    }
+    // Measured packet records reconcile with the report: same count, and
+    // their latencies sum to the report's exact f64 totals.
+    let measured: Vec<_> = packets.iter().filter(|p| p.measured).collect();
+    assert_eq!(measured.len() as u64, r.delivered);
+    assert_eq!(measured.len(), 1_092);
+    let latency_sum: u64 = measured.iter().map(|p| p.latency()).sum();
+    assert_eq!(
+        latency_sum as f64,
+        r.cache.total_latency + r.memory.total_latency
+    );
+
+    // The flow summary is exactly the aggregation of the measured records.
+    let flow = sink
+        .flow_summaries()
+        .next()
+        .expect("probed run emits a flow summary");
+    assert_eq!(flow.total_packets(), r.delivered);
+    assert_eq!(flow.cache.packets, r.cache.packets);
+    assert_eq!(flow.memory.packets, r.memory.packets);
+    let merged = flow.merged();
+    assert_eq!(merged.histogram.total(), r.delivered);
+    assert_eq!(
+        merged.source_queue + merged.in_network + merged.serialization,
+        latency_sum
+    );
+}
+
+/// The heatmap conservation law on both pinned scenarios: the per-link
+/// flit counts sum to exactly `NetworkStats.link_flit_traversals`
+/// (9 592 under Bernoulli, 10 325 under Geometric — the PR 1/PR 4 golden
+/// values), and the ASCII rendering is deterministic.
+#[test]
+fn pinned_heatmap_link_conservation_both_injection_modes() {
+    let mut sink = RingSink::new(1_024);
+    let r = small_scenario_network().run_probed(&mut sink);
+    let heat = sink.heatmaps().next().expect("heatmap emitted");
+    assert_eq!(r.network.link_flit_traversals, 9_592);
+    assert_eq!(heat.total_link_flits(), 9_592);
+    assert_eq!(heat.links().map(|l| l.flits).sum::<u64>(), 9_592);
+    assert_eq!(heat.num_links(), r.network.num_links);
+    assert_eq!(heat.cycles, r.network.cycles_run);
+    assert_eq!(heat.ascii_mesh(), heat.ascii_mesh());
+
+    let mut sink = RingSink::new(1_024);
+    let r = geometric_small_scenario_network().run_probed(&mut sink);
+    let heat = sink.heatmaps().next().expect("heatmap emitted");
+    assert_eq!(r.network.link_flit_traversals, 10_325);
+    assert_eq!(heat.total_link_flits(), 10_325);
+    assert_eq!(heat.links().map(|l| l.flits).sum::<u64>(), 10_325);
+
+    // Occupancy integrals only accumulate where flits actually were, and
+    // the stall counters stay plausible (bounded by cycles × routers).
+    let total_occ: u64 = heat.vc_occupancy.iter().sum();
+    assert!(total_occ > 0, "traffic must occupy buffers");
+    let n_routers = (heat.rows * heat.cols) as u64;
+    for stalls in [&heat.credit_stalls, &heat.vc_stalls] {
+        let total: u64 = stalls.iter().sum();
+        assert!(total <= heat.cycles * n_routers);
+    }
+}
+
+/// Wall-clock profile records are opt-in observers: a `with_profile`
+/// probe must not perturb the golden semantics, and the profiled windows
+/// must tile the run exactly like the telemetry windows do.
+#[test]
+fn profile_records_cover_run_without_perturbing_it() {
+    let mut sink = RingSink::new(1_024).with_profile();
+    let r = small_scenario_network().run_probed(&mut sink);
+    assert!(
+        r.semantic_eq(&small_scenario()),
+        "profile probe perturbed the run"
+    );
+    let profiles: Vec<_> = sink.profiles().copied().collect();
+    let windows: Vec<_> = sink.windows().cloned().collect();
+    assert_eq!(profiles.len(), windows.len());
+    for (p, w) in profiles.iter().zip(&windows) {
+        assert_eq!(p.window_index, w.index);
+        assert_eq!(p.start_cycle, w.start_cycle);
+        assert_eq!(p.end_cycle, w.end_cycle);
+    }
+    // Wall time was actually measured somewhere in the run.
+    assert!(profiles.iter().map(|p| p.total_nanos()).sum::<u64>() > 0);
+    // A probe that does NOT opt in receives no profile records.
+    let mut plain = RingSink::new(1_024);
+    small_scenario_network().run_probed(&mut plain);
+    assert_eq!(plain.profiles().count(), 0);
+}
+
+/// Nearest-rank quantile on a plain sorted vector — the reference the
+/// histogram implementation must match.
+fn sorted_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Exact-quantile reconstruction: the flow histogram's quantiles must
+    /// equal quantiles computed from the raw sorted per-packet latency
+    /// list, for random loads and random probe points — the histogram is
+    /// lossless, not an approximation.
+    #[test]
+    fn histogram_quantiles_match_sorted_raw_latencies(
+        cache_rate in 0.002f64..0.04,
+        seed in any::<u64>(),
+        qs in proptest::collection::vec(0.01f64..1.0, 1..6),
+    ) {
+        let mesh = Mesh::square(4);
+        let mut cfg = SimConfig::paper_defaults(mesh);
+        cfg.warmup_cycles = 100;
+        cfg.measure_cycles = 1_500;
+        cfg.max_drain_cycles = 200_000;
+        cfg.seed = seed;
+        let sources: Vec<SourceSpec> = mesh
+            .tiles()
+            .map(|t| SourceSpec {
+                tile: t,
+                group: t.index() % 2,
+                cache: Schedule::Constant(cache_rate),
+                mem: Schedule::Constant(cache_rate * 0.2),
+            })
+            .collect();
+        let traffic = TrafficSpec::new(sources, 2).expect("valid traffic");
+        let mut sink = RingSink::new(65_536).with_packets();
+        let r = Network::new(cfg, traffic).expect("valid config").run_probed(&mut sink);
+        prop_assert!(r.fully_drained);
+
+        let mut raw: Vec<u64> = sink
+            .packets()
+            .filter(|p| p.measured)
+            .map(|p| p.latency())
+            .collect();
+        prop_assert_eq!(raw.len() as u64, r.delivered);
+        raw.sort_unstable();
+
+        let flow = sink.flow_summaries().next().expect("flow summary emitted");
+        let h = &flow.merged().histogram;
+        prop_assert_eq!(h.total(), raw.len() as u64);
+        if raw.is_empty() {
+            prop_assert_eq!(h.quantile(0.99), None);
+        } else {
+            prop_assert_eq!(h.min(), Some(raw[0]));
+            prop_assert_eq!(h.max(), Some(*raw.last().unwrap()));
+            prop_assert_eq!(h.quantile(1.0), h.max());
+            for &q in &qs {
+                prop_assert_eq!(
+                    h.quantile(q),
+                    Some(sorted_quantile(&raw, q)),
+                    "quantile({}) drifted from the sorted reference", q
+                );
+            }
+        }
+        // Per-packet decomposition identity holds under random load too.
+        for p in sink.packets() {
+            prop_assert_eq!(
+                p.source_queue() + p.in_network() + p.serialization(),
+                p.latency()
+            );
+        }
+        // And the heatmap conserves flit traversals under random load.
+        let heat = sink.heatmaps().next().expect("heatmap emitted");
+        prop_assert_eq!(heat.total_link_flits(), r.network.flit_hops());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Heatmap link conservation under `InjectionProcess::Geometric` with
+    /// fast-forward: skipped regions must not lose or invent link
+    /// traversals.
+    #[test]
+    fn geometric_heatmap_conserves_link_flits(
+        cache_rate in 0.0005f64..0.03,
+        seed in any::<u64>(),
+    ) {
+        let mesh = Mesh::square(4);
+        let mut cfg = SimConfig::paper_defaults(mesh);
+        cfg.warmup_cycles = 100;
+        cfg.measure_cycles = 1_500;
+        cfg.max_drain_cycles = 200_000;
+        cfg.seed = seed;
+        cfg.injection = InjectionProcess::Geometric;
+        let sources: Vec<SourceSpec> = mesh
+            .tiles()
+            .map(|t| SourceSpec {
+                tile: t,
+                group: t.index() % 2,
+                cache: Schedule::Constant(cache_rate),
+                mem: Schedule::Constant(cache_rate * 0.2),
+            })
+            .collect();
+        let traffic = TrafficSpec::new(sources, 2).expect("valid traffic");
+        let mut sink = RingSink::new(4_096);
+        let r = Network::new(cfg, traffic).expect("valid config").run_probed(&mut sink);
+        prop_assert!(r.fully_drained);
+        let heat = sink.heatmaps().next().expect("heatmap emitted");
+        prop_assert_eq!(heat.total_link_flits(), r.network.link_flit_traversals);
+        prop_assert_eq!(heat.links().map(|l| l.flits).sum::<u64>(), heat.total_link_flits());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
