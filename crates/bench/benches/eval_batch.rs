@@ -1,0 +1,84 @@
+//! Throughput of the batched SoA evaluation engine (DESIGN.md §13) against
+//! the per-mapping scratch evaluator, plus the end-to-end effect of the
+//! `EvalTables` hot-path rewiring on a long SA run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obm_bench::harness::paper_instance;
+use obm_core::algorithms::{Mapper, RandomMapper, SimulatedAnnealing};
+use obm_core::{evaluate, BatchEvaluator, Mapping, ObmInstance};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use workload::PaperConfig;
+
+const BATCH: usize = 1_024;
+
+fn random_batch(inst: &ObmInstance, count: usize, seed: u64) -> Vec<Mapping> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| RandomMapper::draw(inst, &mut rng))
+        .collect()
+}
+
+/// 8×8 C1, batch of 1024 mappings: scratch `evaluate()` loop vs the
+/// chunked `eval_many` kernel vs the alloc-free `objectives_into` path.
+fn eval_throughput(c: &mut Criterion) {
+    let pi = paper_instance(PaperConfig::C1);
+    let inst = &pi.instance;
+    let batch = random_batch(inst, BATCH, 7);
+    // Build the tables outside the timed region — solvers amortize this
+    // once per instance, so the steady-state kernel is what matters.
+    let be = BatchEvaluator::new(inst);
+    let mut group = c.benchmark_group("eval_batch");
+    // The speedup keys in BENCH_PR6.json are ratios of these medians, so
+    // take enough samples that a transient load spike on a shared box
+    // cannot poison a whole label's median.
+    group.sample_size(40);
+    group.bench_function("evaluate_scratch_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in &batch {
+                acc += evaluate(inst, m).max_apl;
+            }
+            acc
+        })
+    });
+    group.bench_function("eval_many_into_1024", |b| {
+        // Steady-state batched path: the report buffer is recycled across
+        // batches, so per-report `per_app` allocations happen once and the
+        // timed region is pure kernel + report refill.
+        let mut reports = Vec::new();
+        b.iter(|| {
+            be.eval_many_into(&batch, &mut reports);
+            reports.iter().map(|r| r.max_apl).sum::<f64>()
+        })
+    });
+    group.bench_function("eval_many_alloc_1024", |b| {
+        // Allocating convenience wrapper: same kernel, plus one fresh
+        // `per_app` Vec per report.
+        b.iter(|| be.eval_many(&batch).iter().map(|r| r.max_apl).sum::<f64>())
+    });
+    group.bench_function("objectives_into_1024", |b| {
+        let mut objs = Vec::new();
+        b.iter(|| {
+            objs.clear();
+            be.objectives_into(&batch, &mut objs);
+            objs.iter().sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end: a 50k-iteration SA run, whose inner loop reads the
+/// `EvalTables` cost matrix through `IncrementalEvaluator`.
+fn sa_end_to_end(c: &mut Criterion) {
+    let pi = paper_instance(PaperConfig::C1);
+    let mut group = c.benchmark_group("eval_batch");
+    group.sample_size(10);
+    group.bench_function("sa_50k_end_to_end", |b| {
+        b.iter(|| SimulatedAnnealing::with_iterations(50_000).map(&pi.instance, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, eval_throughput, sa_end_to_end);
+criterion_main!(benches);

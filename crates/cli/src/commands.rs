@@ -687,14 +687,18 @@ pub fn solve_command(spec_text: &str, args: &SolveArgs) -> Result<(String, Strin
             ""
         }
     ));
-    out.push_str("  task  algo     seed        evals   objective\n");
+    out.push_str("  task  algo     seed        evals      evals/s   objective\n");
     for s in &outcome.stats {
         out.push_str(&format!(
-            "  {:>4}  {:<7} {:>5} {:>12}   {}\n",
+            "  {:>4}  {:<7} {:>5} {:>12} {:>12}   {}\n",
             s.task,
             s.algo,
             s.seed,
             s.evaluations,
+            match s.evals_per_sec {
+                Some(r) => format!("{r:.0}"),
+                None => "-".to_string(),
+            },
             match s.objective {
                 Some(v) if s.resumed => format!("{v:.6} (resumed)"),
                 Some(v) => format!("{v:.6}"),

@@ -63,6 +63,9 @@ impl Default for BranchAndBound {
 
 struct Search<'a> {
     inst: &'a ObmInstance,
+    /// Flat SoA tables: one indexed load per Eq. (13) cost probe in the
+    /// bound and branch loops.
+    tables: &'a crate::batch::EvalTables,
     /// Threads in branching order (heaviest first).
     order: Vec<usize>,
     /// Current tile of each thread (by thread id), usize::MAX = free.
@@ -136,7 +139,7 @@ impl Search<'_> {
                 0.0
             } else if depth <= self.hungarian_depth {
                 let costs = CostMatrix::from_fn(unassigned.len(), free.len(), |r, c| {
-                    inst.placement_cost(unassigned[r], free[c])
+                    self.tables.cost(unassigned[r], free[c].index())
                 });
                 costs.solve().cost
             } else {
@@ -178,7 +181,7 @@ impl Search<'_> {
             return; // prune
         }
         let j = self.order[depth];
-        let app = self.inst.app_of_thread(j);
+        let app = self.tables.app_of(j);
         // Symmetry breaking: free tiles with identical (TC, TM) are fully
         // interchangeable for every remaining thread, so branching only
         // needs one representative per equivalence class (a mesh has just
@@ -200,14 +203,10 @@ impl Search<'_> {
         }
         // Try representatives in increasing placement cost (finds good
         // incumbents early, tightening pruning).
-        tiles.sort_by(|&a, &b| {
-            self.inst
-                .placement_cost(j, TileId(a))
-                .partial_cmp(&self.inst.placement_cost(j, TileId(b)))
-                .expect("finite costs")
-        });
+        let cost_row = self.tables.cost_row(j);
+        tiles.sort_by(|&a, &b| cost_row[a].partial_cmp(&cost_row[b]).expect("finite costs"));
         for k in tiles {
-            let cost = self.inst.placement_cost(j, TileId(k));
+            let cost = cost_row[k];
             self.assigned[j] = k;
             self.free_tiles[k] = false;
             self.fixed_num[app] += cost;
@@ -254,6 +253,7 @@ impl BranchAndBound {
         });
         let mut search = Search {
             inst,
+            tables: inst.eval_tables(),
             order,
             assigned: vec![usize::MAX; inst.num_threads()],
             free_tiles: vec![true; inst.num_tiles()],
@@ -427,6 +427,7 @@ mod tests {
             let bf = brute_optimum(&inst);
             let mut search = Search {
                 inst: &inst,
+                tables: inst.eval_tables(),
                 order: (0..inst.num_threads()).collect(),
                 assigned: vec![usize::MAX; inst.num_threads()],
                 free_tiles: vec![true; inst.num_tiles()],

@@ -25,8 +25,11 @@ impl Mapper for Global {
     }
 
     fn map(&self, inst: &ObmInstance, _seed: u64) -> Mapping {
+        // The Hungarian input is exactly the instance's precomputed flat
+        // cost matrix — read it instead of recomputing Eq. (13) N×N times.
+        let tables = inst.eval_tables();
         let costs = CostMatrix::from_fn(inst.num_threads(), inst.num_tiles(), |j, k| {
-            inst.placement_cost(j, TileId(k))
+            tables.cost(j, k)
         });
         let sol = costs.solve();
         Mapping::new(sol.row_to_col.iter().map(|&k| TileId(k)).collect())

@@ -51,11 +51,13 @@ impl Mapper for BalancedGreedy {
         // "weight" here is its cache rate (the dominant class); tiles are
         // already sorted cheap-first.
         let mut assignment = vec![TileId(0); inst.num_threads()];
+        let tables = inst.eval_tables();
         for (i, tiles_of_app) in app_tiles.iter().enumerate() {
-            let mut threads: Vec<usize> = inst.app_threads(i).collect();
+            let mut threads: Vec<usize> = tables.app_range(i).collect();
             threads.sort_by(|&x, &y| {
-                inst.cache_rate(y)
-                    .partial_cmp(&inst.cache_rate(x))
+                tables
+                    .cache_rate(y)
+                    .partial_cmp(&tables.cache_rate(x))
                     .expect("finite rates")
                     .then(x.cmp(&y))
             });

@@ -9,7 +9,6 @@
 
 use crate::algorithms::{random::RandomMapper, BudgetError, Mapper};
 use crate::cancel::CancelToken;
-use crate::eval::evaluate;
 use crate::problem::{Mapping, ObmInstance};
 use noc_telemetry::{NoopSink, Probe};
 use rand::rngs::SmallRng;
@@ -79,17 +78,31 @@ impl MonteCarlo {
         seed: u64,
         token: &CancelToken,
     ) -> Option<(f64, Mapping)> {
+        // Draws are batched at the cancellation-poll cadence and scored
+        // through the batch evaluator's objective kernel: the RNG stream,
+        // poll points, best-keeping order, and objective bits all match
+        // the old one-draw-one-evaluate loop exactly.
         let mut rng = SmallRng::seed_from_u64(seed);
+        let be = crate::batch::BatchEvaluator::new(inst);
         let mut best: Option<(f64, Mapping)> = None;
-        for i in 0..samples {
-            if i & CANCEL_POLL_MASK == 0 && token.is_cancelled() {
+        let mut pool: Vec<Mapping> = Vec::with_capacity(CANCEL_POLL_MASK + 1);
+        let mut objs: Vec<f64> = Vec::with_capacity(CANCEL_POLL_MASK + 1);
+        let mut drawn = 0;
+        while drawn < samples {
+            if token.is_cancelled() {
                 return None;
             }
-            let m = RandomMapper::draw(inst, &mut rng);
-            let v = evaluate(inst, &m).max_apl;
-            if best.as_ref().is_none_or(|(b, _)| v < *b) {
-                best = Some((v, m));
+            let quota = (samples - drawn).min(CANCEL_POLL_MASK + 1);
+            pool.clear();
+            pool.extend((0..quota).map(|_| RandomMapper::draw(inst, &mut rng)));
+            objs.clear();
+            be.objectives_into(&pool, &mut objs);
+            for (m, &v) in pool.iter().zip(&objs) {
+                if best.as_ref().is_none_or(|(b, _)| v < *b) {
+                    best = Some((v, m.clone()));
+                }
             }
+            drawn += quota;
         }
         Some(best.expect("samples > 0"))
     }
@@ -155,6 +168,7 @@ impl Mapper for MonteCarlo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::evaluate;
     use noc_model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
 
     fn inst() -> ObmInstance {

@@ -2,7 +2,6 @@
 //! Table 1 ("Random" column is the average over >10⁴ random mappings).
 
 use crate::algorithms::Mapper;
-use crate::eval::{evaluate, AplReport};
 use crate::problem::{Mapping, ObmInstance};
 use noc_model::TileId;
 use rand::rngs::SmallRng;
@@ -29,15 +28,28 @@ impl RandomMapper {
     pub fn averages(inst: &ObmInstance, samples: usize, seed: u64) -> RandomAverages {
         assert!(samples > 0);
         let mut rng = SmallRng::seed_from_u64(seed);
+        // Draw the whole population up front and score it through the
+        // batch evaluator (same draws, same report bits as the old
+        // one-evaluate-per-draw loop).
+        let pool: Vec<Mapping> = (0..samples)
+            .map(|_| RandomMapper::draw(inst, &mut rng))
+            .collect();
+        let be = crate::batch::BatchEvaluator::new(inst);
         let mut sum_g = 0.0;
         let mut sum_max = 0.0;
         let mut sum_dev = 0.0;
-        for _ in 0..samples {
-            let m = RandomMapper::draw(inst, &mut rng);
-            let r: AplReport = evaluate(inst, &m);
-            sum_g += r.g_apl;
-            sum_max += r.max_apl;
-            sum_dev += r.dev_apl;
+        // Stream the pool through one recycled report buffer in slabs.
+        // 1024 is a multiple of the evaluator's internal chunk, so the
+        // chunk boundaries — and therefore every report's bits — are the
+        // same as one whole-pool eval_many call.
+        let mut reports = Vec::new();
+        for slab in pool.chunks(1024) {
+            be.eval_many_into(slab, &mut reports);
+            for r in &reports {
+                sum_g += r.g_apl;
+                sum_max += r.max_apl;
+                sum_dev += r.dev_apl;
+            }
         }
         let n = samples as f64;
         RandomAverages {

@@ -51,7 +51,7 @@ pub fn evaluate(inst: &ObmInstance, mapping: &Mapping) -> AplReport {
     summarize(inst, per_app, total_num)
 }
 
-fn summarize(inst: &ObmInstance, per_app: Vec<f64>, total_num: f64) -> AplReport {
+pub(crate) fn summarize(inst: &ObmInstance, per_app: Vec<f64>, total_num: f64) -> AplReport {
     let (mut max_apl, mut min_apl, mut argmax) = (f64::NEG_INFINITY, f64::INFINITY, 0);
     for (i, &d) in per_app.iter().enumerate() {
         let weighted = inst.app_weight(i) * d;
@@ -80,6 +80,10 @@ fn summarize(inst: &ObmInstance, per_app: Vec<f64>, total_num: f64) -> AplReport
 #[derive(Debug, Clone)]
 pub struct IncrementalEvaluator<'a> {
     inst: &'a ObmInstance,
+    /// The instance's flat SoA tables: cost probes are one indexed load
+    /// and thread→app lookups are O(1), instead of recomputing Eq. (13)
+    /// and binary-searching the boundary vector per edit.
+    tables: &'a crate::batch::EvalTables,
     mapping: Mapping,
     /// tile → thread inverse view.
     inverse: Vec<Option<usize>>,
@@ -94,16 +98,18 @@ impl<'a> IncrementalEvaluator<'a> {
     /// Build from an instance and an initial mapping.
     pub fn new(inst: &'a ObmInstance, mapping: Mapping) -> Self {
         assert!(mapping.is_valid_for(inst), "invalid mapping");
+        let tables = inst.eval_tables();
         let inverse = mapping.tile_to_thread(inst.num_tiles());
         let app_num = (0..inst.num_apps())
             .map(|i| {
                 inst.app_threads(i)
-                    .map(|j| inst.placement_cost(j, mapping.tile_of(j)))
+                    .map(|j| tables.cost(j, mapping.tile_of(j).index()))
                     .sum()
             })
             .collect();
         IncrementalEvaluator {
             inst,
+            tables,
             mapping,
             inverse,
             app_num,
@@ -148,6 +154,16 @@ impl<'a> IncrementalEvaluator<'a> {
     }
 
     /// APL of application `i`.
+    ///
+    /// Deliberately a division, not a multiply by the precomputed
+    /// [`ObmInstance::inv_app_volume`]: the reciprocal form differs by
+    /// ≤1 ulp, and SA's accept test (`delta <= 0.0`) short-circuits the
+    /// RNG draw, so a single flipped ulp desynchronizes the RNG stream
+    /// and changes the whole trajectory (measured: the SA 5k-iteration
+    /// goldens diverge under the reciprocal). The batch evaluator keeps
+    /// the division for the same reason; the precomputed reciprocals are
+    /// exposed via [`EvalTables`](crate::EvalTables) for consumers
+    /// without a bit-identity contract. See DESIGN.md §13.
     #[inline]
     pub fn app_apl(&self, i: usize) -> f64 {
         self.app_num[i] / self.inst.app_volume(i)
@@ -184,8 +200,8 @@ impl<'a> IncrementalEvaluator<'a> {
             return;
         }
         debug_assert!(self.inverse[tile.index()].is_none(), "target tile occupied");
-        let app = self.inst.app_of_thread(j);
-        self.app_num[app] += self.inst.placement_cost(j, tile) - self.inst.placement_cost(j, old);
+        let app = self.tables.app_of(j);
+        self.app_num[app] += self.tables.cost(j, tile.index()) - self.tables.cost(j, old.index());
         self.inverse[old.index()] = None;
         self.inverse[tile.index()] = Some(j);
         self.mapping.set_tile(j, tile);
@@ -202,11 +218,11 @@ impl<'a> IncrementalEvaluator<'a> {
         let tb = self.inverse[b.index()];
         match (ta, tb) {
             (Some(ja), Some(jb)) => {
-                let (ia, ib) = (self.inst.app_of_thread(ja), self.inst.app_of_thread(jb));
+                let (ia, ib) = (self.tables.app_of(ja), self.tables.app_of(jb));
                 self.app_num[ia] +=
-                    self.inst.placement_cost(ja, b) - self.inst.placement_cost(ja, a);
+                    self.tables.cost(ja, b.index()) - self.tables.cost(ja, a.index());
                 self.app_num[ib] +=
-                    self.inst.placement_cost(jb, a) - self.inst.placement_cost(jb, b);
+                    self.tables.cost(jb, a.index()) - self.tables.cost(jb, b.index());
                 self.mapping.set_tile(ja, b);
                 self.mapping.set_tile(jb, a);
                 self.inverse[a.index()] = Some(jb);
@@ -231,16 +247,16 @@ impl<'a> IncrementalEvaluator<'a> {
         // Detach all first to avoid transient duplicate occupancy.
         for &t in tiles {
             if let Some(j) = self.inverse[t.index()] {
-                let app = self.inst.app_of_thread(j);
-                self.app_num[app] -= self.inst.placement_cost(j, t);
+                let app = self.tables.app_of(j);
+                self.app_num[app] -= self.tables.cost(j, t.index());
                 self.inverse[t.index()] = None;
             }
         }
         for (s, occ) in occupants.iter().enumerate() {
             if let Some(j) = *occ {
                 let t = tiles[s];
-                let app = self.inst.app_of_thread(j);
-                self.app_num[app] += self.inst.placement_cost(j, t);
+                let app = self.tables.app_of(j);
+                self.app_num[app] += self.tables.cost(j, t.index());
                 self.inverse[t.index()] = Some(j);
                 self.mapping.set_tile(j, t);
             }

@@ -6,6 +6,9 @@
 //!   mappings;
 //! * [`eval`] — per-application APL (Eq. 5), max-APL/dev-APL/g-APL metrics,
 //!   and an incremental evaluator for local-search algorithms;
+//! * [`batch`] — the flat SoA evaluation tables (precomputed Eq. 13 cost
+//!   matrix) every solver hot path reads, and the batched
+//!   [`BatchEvaluator`] with its deterministic parallel `eval_many`;
 //! * [`metrics`] — the balance-metric comparison of Section III.A;
 //! * [`sam`] — the Hungarian-based single-application solve (Algorithm 1);
 //! * [`algorithms`] — the proposed [`algorithms::SortSelectSwap`]
@@ -52,6 +55,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod batch;
 pub mod bridge;
 pub mod cancel;
 pub mod dynamic;
@@ -64,6 +68,7 @@ pub mod refine;
 pub mod sam;
 
 pub use algorithms::{BudgetError, Mapper};
+pub use batch::{BatchEvaluator, EvalTables};
 pub use bridge::traffic_spec;
 pub use cancel::CancelToken;
 pub use eval::{evaluate, AplReport, IncrementalEvaluator};

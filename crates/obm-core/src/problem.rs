@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// paper's footnote handles that by adding zero-traffic pseudo-threads,
 /// which is equivalent to simply leaving the surplus tiles unassigned —
 /// that is how this implementation treats them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ObmInstance {
     tiles: TileLatencies,
     boundaries: Vec<usize>,
@@ -23,6 +23,10 @@ pub struct ObmInstance {
     m: Vec<f64>,
     /// Per-application request-volume denominators `Σ (c_j + m_j)`.
     app_volume: Vec<f64>,
+    /// Per-application `1/app_volume`, precomputed so the incremental
+    /// evaluator's most-called queries (`app_apl`, `max_apl`) multiply
+    /// instead of divide.
+    inv_app_volume: Vec<f64>,
     /// Sum of `app_volume` — the g-APL denominator. Cached at construction
     /// because `evaluate()` divides by it on the solver hot path (one call
     /// per candidate mapping), where re-summing `app_volume` every time
@@ -34,6 +38,27 @@ pub struct ObmInstance {
     /// the "differentiated services" integration the paper's §II.A points
     /// to as future work.
     weights: Vec<f64>,
+    /// Lazily built flat evaluation tables (the SoA cost matrix every
+    /// solver hot path reads). Cache state, not identity: skipped by
+    /// serde and excluded from `PartialEq`.
+    #[serde(skip, default)]
+    tables: std::sync::OnceLock<crate::batch::EvalTables>,
+}
+
+impl PartialEq for ObmInstance {
+    fn eq(&self, other: &Self) -> bool {
+        // The `tables` cache is derived state — two instances are equal
+        // iff their defining fields are, whether or not either has built
+        // its tables yet.
+        self.tiles == other.tiles
+            && self.boundaries == other.boundaries
+            && self.c == other.c
+            && self.m == other.m
+            && self.app_volume == other.app_volume
+            && self.inv_app_volume == other.inv_app_volume
+            && self.total_volume == other.total_volume
+            && self.weights == other.weights
+    }
 }
 
 impl ObmInstance {
@@ -84,14 +109,17 @@ impl ObmInstance {
         );
         let weights = vec![1.0; app_volume.len()];
         let total_volume = app_volume.iter().sum();
+        let inv_app_volume = app_volume.iter().map(|&v| 1.0 / v).collect();
         ObmInstance {
             tiles,
             boundaries,
             c,
             m,
             app_volume,
+            inv_app_volume,
             total_volume,
             weights,
+            tables: std::sync::OnceLock::new(),
         }
     }
 
@@ -109,6 +137,8 @@ impl ObmInstance {
             "weights must be positive and finite"
         );
         self.weights = weights;
+        // Weights are baked into the eval tables; drop any cached build.
+        self.tables = std::sync::OnceLock::new();
         self
     }
 
@@ -178,11 +208,26 @@ impl ObmInstance {
         self.app_volume[i]
     }
 
+    /// Reciprocal request volume `1/app_volume(i)`, precomputed at
+    /// construction.
+    #[inline]
+    pub fn inv_app_volume(&self, i: usize) -> f64 {
+        self.inv_app_volume[i]
+    }
+
     /// Total request volume over all applications (cached at
     /// construction).
     #[inline]
     pub fn total_volume(&self) -> f64 {
         self.total_volume
+    }
+
+    /// The flat evaluation tables for this instance, built on first use
+    /// and cached for the instance's lifetime (an instance deserialized
+    /// by serde starts with an empty cache and rebuilds lazily).
+    pub fn eval_tables(&self) -> &crate::batch::EvalTables {
+        self.tables
+            .get_or_init(|| crate::batch::EvalTables::build(self))
     }
 
     /// Latency numerator contribution of thread `j` when placed on tile

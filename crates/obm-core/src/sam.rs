@@ -42,9 +42,11 @@ pub fn solve_sam(inst: &ObmInstance, threads: &[usize], tiles: &[TileId]) -> Sam
         .map(|&j| inst.cache_rate(j) + inst.mem_rate(j))
         .sum();
     assert!(volume > 0.0, "zero-volume thread set");
-    // Step 1: Eq. (13) cost matrix.
+    // Step 1: Eq. (13) cost matrix, read from the instance's precomputed
+    // flat tables (bit-identical to `placement_cost`).
+    let tables = inst.eval_tables();
     let costs = CostMatrix::from_fn(threads.len(), tiles.len(), |r, cidx| {
-        inst.placement_cost(threads[r], tiles[cidx])
+        tables.cost(threads[r], tiles[cidx].index())
     });
     // Step 2: Hungarian.
     let sol = costs.solve();

@@ -35,7 +35,7 @@ use std::sync::Mutex;
 
 use noc_telemetry::{Probe, SolverEvent};
 use obm_core::algorithms::{BalancedGreedy, Mapper};
-use obm_core::{evaluate, Mapping, ObmInstance};
+use obm_core::{evaluate, BatchEvaluator, Mapping, ObmInstance};
 
 use crate::checkpoint::{mapping_from_tiles, Checkpoint, CompletedTask, Fingerprint};
 use crate::outcome::{SolveOutcome, SolveStats, Termination};
@@ -60,6 +60,8 @@ struct TaskResult {
     value: f64,
     mapping: Mapping,
     events: Vec<SolverEvent>,
+    /// Wall-clock run time (telemetry only; zero for resumed tasks).
+    wall_nanos: u64,
 }
 
 /// Atomic minimum over `f64` bit patterns (the shared incumbent bound).
@@ -193,22 +195,30 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
     let (mut tasks, clamped) = plan(req);
     let fp = fingerprint(inst, &tasks);
 
-    // Inject completed tasks from a matching checkpoint.
+    // Inject completed tasks from a matching checkpoint. The stored
+    // mappings are re-scored in one `eval_many` batch — re-evaluating
+    // instead of trusting the stored objectives keeps a tampered/stale
+    // value from steering the merge (bit-identical to per-mapping
+    // `evaluate`, so resumed outcomes match the original run).
     let mut resume_rejected = false;
     if let Some(cp) = &req.resume {
         if cp.fingerprint == fp {
-            for t in &mut tasks {
+            let mut injected: Vec<(usize, Mapping)> = Vec::new();
+            for (i, t) in tasks.iter().enumerate() {
                 if t.dropped {
                     continue;
                 }
                 if let Some(entry) = cp.entry(t.rank, t.name, t.seed, inst.num_threads()) {
                     if let Some(m) = mapping_from_tiles(&entry.mapping, inst.num_tiles()) {
-                        // Re-evaluate instead of trusting the stored
-                        // objective: keeps a tampered/stale value from
-                        // steering the merge.
-                        let value = evaluate(inst, &m).max_apl;
-                        t.resumed = Some((value, m));
+                        injected.push((i, m));
                     }
+                }
+            }
+            if !injected.is_empty() {
+                let batch: Vec<Mapping> = injected.iter().map(|(_, m)| m.clone()).collect();
+                let reports = BatchEvaluator::new(inst).eval_many(&batch);
+                for ((i, m), r) in injected.into_iter().zip(reports) {
+                    tasks[i].resumed = Some((r.max_apl, m));
                 }
             }
         } else {
@@ -239,6 +249,10 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
         Mutex::new((0..runnable.len()).map(|_| None).collect());
     let workers = req.workers.min(runnable.len());
     if workers > 0 {
+        // Build the instance's eval tables once before the race so no
+        // worker pays (or double-pays) the one-off build inside its
+        // timed region.
+        let _ = inst.eval_tables();
         let next = AtomicUsize::new(0);
         let capture = probe.is_enabled();
         let tasks_ref = &tasks;
@@ -265,13 +279,16 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
                     let incumbent = aggressive
                         .then(|| bound_ref.load())
                         .filter(|b| b.is_finite());
+                    let started = std::time::Instant::now();
                     if let Some(m) = t.algo.run(inst, t.seed, token_ref, &mut buf, incumbent) {
-                        let value = evaluate(inst, &m).max_apl;
+                        let value = BatchEvaluator::new(inst).eval_one(&m).max_apl;
+                        let wall_nanos = started.elapsed().as_nanos() as u64;
                         bound_ref.update_min(value);
                         lock(slots_ref)[i] = Some(TaskResult {
                             value,
                             mapping: m,
                             events: buf.events,
+                            wall_nanos,
                         });
                     }
                 });
@@ -291,6 +308,7 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
                 value: r.value,
                 mapping: r.mapping.clone(),
                 events: r.events.clone(),
+                wall_nanos: r.wall_nanos,
             });
         }
     }
@@ -301,6 +319,7 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
                 value: *value,
                 mapping: m.clone(),
                 events: Vec::new(),
+                wall_nanos: 0,
             });
         }
     }
@@ -354,13 +373,22 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
     let stats: Vec<SolveStats> = tasks
         .iter()
         .enumerate()
-        .map(|(i, t)| SolveStats {
-            task: t.rank,
-            algo: t.name,
-            seed: t.seed,
-            objective: results[i].as_ref().map(|r| r.value),
-            evaluations: t.evals,
-            resumed: t.resumed.is_some(),
+        .map(|(i, t)| {
+            let wall_nanos = results[i].as_ref().map_or(0, |r| r.wall_nanos);
+            // Throughput only for fresh completed runs with measurable
+            // wall time (resumed/dropped/cancelled tasks report None).
+            let evals_per_sec = (wall_nanos > 0 && t.evals > 0 && results[i].is_some())
+                .then(|| t.evals as f64 * 1e9 / wall_nanos as f64);
+            SolveStats {
+                task: t.rank,
+                algo: t.name,
+                seed: t.seed,
+                objective: results[i].as_ref().map(|r| r.value),
+                evaluations: t.evals,
+                resumed: t.resumed.is_some(),
+                wall_nanos,
+                evals_per_sec,
+            }
         })
         .collect();
 

@@ -48,6 +48,14 @@ pub struct SolveStats {
     /// Whether the task's result came from a resume checkpoint instead
     /// of a fresh run.
     pub resumed: bool,
+    /// Wall-clock nanoseconds the task spent running. Telemetry only —
+    /// never feeds the merge, fingerprint, or checkpoint, so determinism
+    /// is unaffected. Zero for dropped, resumed, or never-started tasks.
+    pub wall_nanos: u64,
+    /// Measured evaluation throughput: budgeted evaluations ÷ wall time.
+    /// `None` when the task did not finish a fresh run (dropped, resumed,
+    /// cancelled) or ran too fast to time.
+    pub evals_per_sec: Option<f64>,
 }
 
 /// The result of racing a portfolio.

@@ -19,11 +19,15 @@
 # with -o or the BENCH_PR env var. When the run contains both
 # c1_8x8_10k_cycles and its _probed twin, a derived
 # "probed_delta_pct/c1_8x8_10k_cycles" key records the observability
-# overhead as a percentage of the unprobed median.
+# overhead as a percentage of the unprobed median. When the run contains
+# the eval_batch group, derived "speedup/eval_many_vs_scratch" (the
+# buffer-recycling eval_many_into steady state) and
+# "speedup/objectives_vs_scratch" keys record batched-vs-scratch
+# evaluation throughput (×).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR${BENCH_PR:-5}.json"
+out="BENCH_PR${BENCH_PR:-6}.json"
 benches=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -56,6 +60,15 @@ awk '
     if (base > 0 && probed > 0)
       printf ",\n  \"probed_delta_pct/c1_8x8_10k_cycles\": %.2f",
         100.0 * (probed - base) / base
+    scratch = medians["eval_batch/evaluate_scratch_1024"]
+    batched = medians["eval_batch/eval_many_into_1024"]
+    if (scratch > 0 && batched > 0)
+      printf ",\n  \"speedup/eval_many_vs_scratch\": %.2f",
+        scratch / batched
+    objs = medians["eval_batch/objectives_into_1024"]
+    if (scratch > 0 && objs > 0)
+      printf ",\n  \"speedup/objectives_vs_scratch\": %.2f",
+        scratch / objs
     printf "\n}\n"
   }
 ' "$raw" > "$out"

@@ -7,7 +7,9 @@
 #   3. tier-1 gate      — release build + full test suite
 #   4. examples         — every example must build *and* run to completion
 #   5. determinism      — the portfolio engine's worker-count-invariance
-#                         suite and the simulator's golden-report suite
+#                         suite, the batch-evaluation suite (eval_many ≡
+#                         scratch evaluate bitwise + pinned solver goldens),
+#                         and the simulator's golden-report suite
 #                         (Bernoulli + geometric injection) in release mode
 #                         (optimizations change f64 codegen timing, never
 #                         the pinned bit patterns)
@@ -23,9 +25,10 @@
 #                         constructor paths (typed ConfigError), the
 #                         portfolio engine (typed RequestError/
 #                         CheckpointError), the CLI spec parser (typed
-#                         SpecError), or noc-telemetry's histogram/
+#                         SpecError), noc-telemetry's histogram/
 #                         heatmap observers (probes must never abort a
-#                         simulation)
+#                         simulation), or the batched evaluation engine
+#                         (the parallel path must degrade, not abort)
 #
 # The tier-1 commands match ROADMAP.md; `--workspace` matters because the
 # root package is a facade crate and a bare `cargo build` would silently
@@ -63,6 +66,13 @@ echo "==> portfolio determinism suite (release)"
 # codegen that optimizations pick must not change the pinned bits.
 cargo test -q --release -p obm-portfolio
 cargo test -q --release --test portfolio
+
+echo "==> batch-evaluation determinism suite (release)"
+# The batched SoA engine's contract — eval_many bit-identical to the
+# scratch evaluator, worker-count-invariant parallel path, and solver
+# goldens pinned to their pre-rewire bits — must hold under release
+# codegen (the autovectorized kernel is only emitted there).
+cargo test -q --release --test eval_batch
 
 echo "==> simulator determinism suite (release)"
 # The pinned golden SimReports — the default Bernoulli stream (unchanged
@@ -118,7 +128,8 @@ echo "==> panic gate: error-typed constructor and solver paths"
 for f in crates/noc-sim/src/config.rs crates/noc-sim/src/network.rs \
     crates/noc-sim/src/traffic.rs \
     crates/noc-telemetry/src/histogram.rs crates/noc-telemetry/src/heatmap.rs \
-    crates/portfolio/src/*.rs crates/cli/src/spec.rs; do
+    crates/portfolio/src/*.rs crates/cli/src/spec.rs \
+    crates/obm-core/src/batch.rs; do
     cut=$(grep -n '#\[cfg(test)\]' "$f" | head -1 | cut -d: -f1 || true)
     cut=${cut:-$(( $(wc -l < "$f") + 1 ))}
     if hits=$(head -n $((cut - 1)) "$f" \

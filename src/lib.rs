@@ -55,8 +55,8 @@ pub mod prelude {
         SimulatedAnnealing, SortSelectSwap,
     };
     pub use crate::mapping::{
-        evaluate, traffic_spec, AplReport, BudgetError, CancelToken, IncrementalEvaluator, Mapping,
-        ObmInstance,
+        evaluate, traffic_spec, AplReport, BatchEvaluator, BudgetError, CancelToken, EvalTables,
+        IncrementalEvaluator, Mapping, ObmInstance,
     };
     pub use crate::model::{Coord, LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
     pub use crate::portfolio::{

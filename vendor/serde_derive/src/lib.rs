@@ -1,16 +1,17 @@
 //! No-op derive macros for the vendored offline `serde` stand-in: the
 //! workspace only needs `#[derive(Serialize, Deserialize)]` to parse, not
 //! to generate impls, because nothing serializes (no serializer crate is
-//! in the offline dependency tree).
+//! in the offline dependency tree). The `serde` helper attribute is
+//! declared so field annotations like `#[serde(skip, default)]` parse.
 
 use proc_macro::TokenStream;
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
