@@ -5,12 +5,13 @@
 //! trajectory of the hot loop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use noc_model::Mesh;
-use noc_sim::telemetry::RingSink;
+use noc_model::{LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
+use noc_sim::telemetry::{NoopSink, RingSink};
 use noc_sim::{InjectionProcess, Network, Schedule, SimConfig, TrafficSpec};
 use obm_bench::harness::paper_instance;
 use obm_bench::sim_bridge::{simulate_mapping, simulate_mapping_probed};
 use obm_core::algorithms::{Mapper, SortSelectSwap};
+use obm_core::{traffic_spec, ObmInstance, RemapConfig, RemapController};
 use workload::PaperConfig;
 
 fn uniform_sim_with(
@@ -98,10 +99,61 @@ fn sim_injection_modes(c: &mut Criterion) {
     group.finish();
 }
 
+/// Closed-loop controller overhead on the hot loop: the steady
+/// (no-drift) 4×4 single-MC scenario run plain and under
+/// `run_controlled` with an armed [`RemapController`] whose threshold
+/// is set high enough that it never re-solves. The delta between the
+/// two medians is the price of *watching* — the per-delivery
+/// per-source class accounting plus the per-window controller
+/// bookkeeping (`bench_snapshot.sh` derives it as
+/// `controlled_delta_pct/steady_4x4_10k`).
+fn sim_remap_loadcurve(c: &mut Criterion) {
+    let mesh = Mesh::square(4);
+    let mcs = MemoryControllers::custom(&mesh, vec![TileId(0)]);
+    let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+    let cache: Vec<f64> = [2.0; 4].iter().chain([3.0; 4].iter()).copied().collect();
+    let mem: Vec<f64> = [10.0; 4].iter().chain([0.3; 4].iter()).copied().collect();
+    let inst = ObmInstance::new(tiles, vec![0, 4, 8], cache, mem);
+    let mapping = SortSelectSwap::default().map(&inst, 0);
+    let cfg = || {
+        let mut cfg = SimConfig::paper_defaults(mesh);
+        cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(0)]);
+        cfg.warmup_cycles = 1_000;
+        cfg.measure_cycles = 10_000;
+        cfg.seed = 7;
+        cfg
+    };
+    let mut group = c.benchmark_group("remap_loadcurve");
+    group.sample_size(10);
+    group.bench_function("steady_4x4_10k_plain", |b| {
+        b.iter(|| {
+            Network::new(cfg(), traffic_spec(&inst, &mapping))
+                .expect("valid scenario")
+                .run()
+        })
+    });
+    group.bench_function("steady_4x4_10k_watched", |b| {
+        b.iter(|| {
+            let quiet = RemapConfig {
+                drift_threshold: 10.0,
+                ..RemapConfig::default()
+            };
+            let mut ctrl = RemapController::with_config(inst.clone(), mapping.clone(), mesh, quiet)
+                .expect("valid controller");
+            Network::new(cfg(), traffic_spec(&inst, &mapping))
+                .expect("valid scenario")
+                .run_controlled(&mut NoopSink, &mut ctrl)
+                .expect("a quiet controller cannot fail")
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     sim_c1_paper_load,
     sim_load_points,
-    sim_injection_modes
+    sim_injection_modes,
+    sim_remap_loadcurve
 );
 criterion_main!(benches);

@@ -13,7 +13,7 @@ use obm_core::algorithms::{
     BalancedGreedy, BranchAndBound, Global, HybridSssSa, Mapper, MonteCarlo, RandomMapper,
     SimulatedAnnealing, SortSelectSwap,
 };
-use obm_core::{evaluate, Mapping, ObmInstance};
+use obm_core::{evaluate, Mapping, ObjectiveSpec, ObmInstance};
 use obm_portfolio::{Algorithm, Checkpoint, SolveRequest};
 use workload::{PaperConfig, WorkloadBuilder};
 
@@ -68,6 +68,20 @@ fn report_block(spec: &InstanceSpec, inst: &ObmInstance, mapping: &Mapping) -> S
     out
 }
 
+/// Extra report line for non-default objectives (the default min-max APL
+/// is already the `max-APL` column, so repeating it would be noise).
+fn objective_line(inst: &ObmInstance, mapping: &Mapping, objective: ObjectiveSpec) -> String {
+    if objective.is_min_max_apl() {
+        String::new()
+    } else {
+        format!(
+            "objective {} = {:.6}\n",
+            objective.name(),
+            objective.score(inst, mapping)
+        )
+    }
+}
+
 fn mapping_grid(mesh: &Mesh, inst: &ObmInstance, mapping: &Mapping) -> String {
     let inv = mapping.tile_to_thread(inst.num_tiles());
     let mut out = String::new();
@@ -84,14 +98,31 @@ fn mapping_grid(mesh: &Mesh, inst: &ObmInstance, mapping: &Mapping) -> String {
     out
 }
 
-/// `obm map` — compute a mapping for a spec.
-pub fn map_command(spec_text: &str, algo: &str, seed: u64, grid: bool) -> Result<String, String> {
+/// `obm map` — compute a mapping for a spec, optionally optimized for a
+/// non-default objective (`--objective`). The default `min-max-apl` runs
+/// the mapper unmodified (bit-identical to the pre-objective CLI); other
+/// objectives go through [`Mapper::map_objective`].
+pub fn map_command(
+    spec_text: &str,
+    algo: &str,
+    seed: u64,
+    grid: bool,
+    objective: &str,
+) -> Result<String, String> {
     let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let objective: ObjectiveSpec = objective.parse()?;
     let inst = spec.to_instance();
     let mapper = mapper_by_name(algo)?;
-    let mapping = mapper.map(&inst, seed);
+    let mapping = if objective.is_min_max_apl() {
+        mapper.map(&inst, seed)
+    } else {
+        mapper.map_objective(&inst, seed, objective.build().as_ref())
+    };
     let mut out = String::new();
     out.push_str(&format!("# algorithm: {}\n", mapper.name()));
+    if !objective.is_min_max_apl() {
+        out.push_str(&format!("# objective: {}\n", objective.name()));
+    }
     out.push_str("# thread -> tile (paper 1-based numbering)\n");
     for j in 0..inst.num_threads() {
         out.push_str(&format!("{}\n", mapping.tile_of(j).to_paper()));
@@ -103,13 +134,20 @@ pub fn map_command(spec_text: &str, algo: &str, seed: u64, grid: bool) -> Result
         out.push('\n');
     }
     out.push_str(&report_block(&spec, &inst, &mapping));
+    out.push_str(&objective_line(&inst, &mapping, objective));
     Ok(out)
 }
 
 /// `obm eval` — evaluate an existing mapping (one paper tile number per
-/// line, thread order; '#' comments allowed).
-pub fn eval_command(spec_text: &str, mapping_text: &str) -> Result<String, String> {
+/// line, thread order; '#' comments allowed). `--objective` appends that
+/// objective's scalar next to the standard APL metrics.
+pub fn eval_command(
+    spec_text: &str,
+    mapping_text: &str,
+    objective: &str,
+) -> Result<String, String> {
     let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let objective: ObjectiveSpec = objective.parse()?;
     let inst = spec.to_instance();
     let tiles: Result<Vec<TileId>, String> = mapping_text
         .lines()
@@ -141,7 +179,11 @@ pub fn eval_command(spec_text: &str, mapping_text: &str) -> Result<String, Strin
         seen[t.index()] = true;
     }
     let mapping = Mapping::new(tiles);
-    Ok(report_block(&spec, &inst, &mapping))
+    Ok(format!(
+        "{}{}",
+        report_block(&spec, &inst, &mapping),
+        objective_line(&inst, &mapping, objective)
+    ))
 }
 
 /// `obm simulate` — map and replay through the cycle-level simulator.
@@ -593,6 +635,8 @@ pub struct SolveArgs<'a> {
     pub max_evals: Option<u64>,
     pub workers: Option<usize>,
     pub aggressive: bool,
+    /// Objective name (`min-max-apl`, `max-min-balance`, `energy`).
+    pub objective: &'a str,
     /// Contents of a `--resume` checkpoint file, if given.
     pub resume_json: Option<&'a str>,
 }
@@ -644,10 +688,12 @@ pub fn solve_command(spec_text: &str, args: &SolveArgs) -> Result<(String, Strin
     let inst = spec.to_instance();
     let algorithms = portfolio_algorithms(args.algos)?;
     let seeds = parse_seed_list(args.seeds)?;
+    let objective: ObjectiveSpec = args.objective.parse()?;
 
     let mut builder = SolveRequest::builder(&inst)
         .algorithms(algorithms)
         .seeds(seeds)
+        .objective(objective)
         .aggressive_pruning(args.aggressive);
     if let Some(ms) = args.deadline_ms {
         builder = builder.deadline(std::time::Duration::from_millis(ms));
@@ -677,9 +723,14 @@ pub fn solve_command(spec_text: &str, args: &SolveArgs) -> Result<(String, Strin
         out.push_str("note: --resume checkpoint did not match this request; all tasks re-ran\n");
     }
     out.push_str(&format!(
-        "winner: {} (seed {}) max-APL {:.6}{}\n",
+        "winner: {} (seed {}) {} {:.6}{}\n",
         outcome.winner,
         outcome.winner_seed,
+        if objective.is_min_max_apl() {
+            "max-APL".to_string()
+        } else {
+            objective.name().to_string()
+        },
         outcome.objective,
         if outcome.fallback {
             " [fallback: no task finished]"
@@ -711,6 +762,7 @@ pub fn solve_command(spec_text: &str, args: &SolveArgs) -> Result<(String, Strin
         out.push_str(&format!("{}\n", outcome.mapping.tile_of(j).to_paper()));
     }
     out.push_str(&report_block(&spec, &inst, &outcome.mapping));
+    out.push_str(&objective_line(&inst, &outcome.mapping, objective));
     Ok((out, outcome.checkpoint.to_json()))
 }
 
@@ -780,7 +832,7 @@ thread 8.5 1.3
 
     #[test]
     fn map_then_eval_roundtrip() {
-        let mapped = map_command(SPEC, "sss", 0, false).unwrap();
+        let mapped = map_command(SPEC, "sss", 0, false, "min-max-apl").unwrap();
         // Extract the tile list (non-comment numeric lines before the blank).
         let tiles: Vec<&str> = mapped
             .lines()
@@ -788,7 +840,7 @@ thread 8.5 1.3
             .filter(|l| !l.starts_with('#'))
             .collect();
         assert_eq!(tiles.len(), 8);
-        let eval_out = eval_command(SPEC, &tiles.join("\n")).unwrap();
+        let eval_out = eval_command(SPEC, &tiles.join("\n"), "apl").unwrap();
         assert!(eval_out.contains("max-APL"));
         // Evaluated metrics must equal the mapper's own report.
         let metrics_line = |s: &str| {
@@ -802,22 +854,50 @@ thread 8.5 1.3
 
     #[test]
     fn eval_rejects_bad_mappings() {
-        assert!(eval_command(SPEC, "1\n1\n2\n3\n4\n5\n6\n7\n").is_err()); // dup
-        assert!(eval_command(SPEC, "1\n2\n3\n").is_err()); // too few
-        assert!(eval_command(SPEC, "0\n2\n3\n4\n5\n6\n7\n8\n").is_err()); // 0 invalid
-        assert!(eval_command(SPEC, "99\n2\n3\n4\n5\n6\n7\n8\n").is_err()); // range
+        assert!(eval_command(SPEC, "1\n1\n2\n3\n4\n5\n6\n7\n", "apl").is_err()); // dup
+        assert!(eval_command(SPEC, "1\n2\n3\n", "apl").is_err()); // too few
+        assert!(eval_command(SPEC, "0\n2\n3\n4\n5\n6\n7\n8\n", "apl").is_err()); // 0 invalid
+        assert!(eval_command(SPEC, "99\n2\n3\n4\n5\n6\n7\n8\n", "apl").is_err());
+        // range
     }
 
     #[test]
     fn map_grid_output() {
-        let out = map_command(SPEC, "greedy", 0, true).unwrap();
+        let out = map_command(SPEC, "greedy", 0, true, "apl").unwrap();
         assert!(out.contains("application grid"));
         assert!(out.contains("  .") || out.contains("  1"), "{out}");
     }
 
     #[test]
     fn unknown_algo_rejected() {
-        assert!(map_command(SPEC, "quantum", 0, false).is_err());
+        assert!(map_command(SPEC, "quantum", 0, false, "apl").is_err());
+    }
+
+    #[test]
+    fn objective_flag_changes_the_report() {
+        // Unknown objectives are rejected up front.
+        assert!(map_command(SPEC, "sss", 0, false, "entropy").is_err());
+        assert!(eval_command(SPEC, "1\n2\n3\n4\n5\n6\n7\n8\n", "entropy").is_err());
+
+        // The default spelling produces no extra line (bit-identical to
+        // the pre-objective CLI)...
+        let default_out = map_command(SPEC, "sss", 0, false, "min-max-apl").unwrap();
+        assert!(!default_out.contains("objective "));
+
+        // ...while a non-default objective annotates the mapping and
+        // appends its scalar, and the mapping still evaluates cleanly.
+        let out = map_command(SPEC, "sss", 0, false, "max-min-balance").unwrap();
+        assert!(out.contains("# objective: max-min-balance"), "{out}");
+        assert!(out.contains("objective max-min-balance = "), "{out}");
+        let tiles: Vec<&str> = out
+            .lines()
+            .skip_while(|l| l.starts_with('#'))
+            .take_while(|l| !l.is_empty())
+            .filter(|l| !l.starts_with('#'))
+            .collect();
+        assert_eq!(tiles.len(), 8);
+        let eval_out = eval_command(SPEC, &tiles.join("\n"), "energy").unwrap();
+        assert!(eval_out.contains("objective energy = "), "{eval_out}");
     }
 
     #[test]
@@ -1046,6 +1126,7 @@ thread 5.0 0.7
             max_evals: Some(30_000),
             workers: Some(2),
             aggressive: false,
+            objective: "min-max-apl",
             resume_json: resume,
         }
     }

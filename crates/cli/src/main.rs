@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! obm gen C1 [--seed S]                         emit an instance spec (stdout)
-//! obm map <spec> [--algo sss] [--seed S] [--grid]
-//! obm eval <spec> <mapping>                     mapping: one tile number per line
+//! obm map <spec> [--algo sss] [--seed S] [--grid] [--objective min-max-apl]
+//! obm eval <spec> <mapping> [--objective min-max-apl]
+//!                                               mapping: one tile number per line
 //! obm simulate <spec> [--algo sss] [--cycles N] [--seed S]
 //! obm experiments trace <spec> [--algo sss] [--cycles N] [--seed S]
 //!                      [--window W] [--chrome] [--out FILE]   JSON-lines telemetry
@@ -15,7 +16,8 @@
 //! obm exact <spec> [--budget NODES]              prove the optimum (small chips)
 //! obm solve <spec> [--portfolio | --algos sss,sa,...] [--seeds 0,1,2,3]
 //!                  [--deadline-ms N] [--max-evals N] [--workers N]
-//!                  [--aggressive] [--checkpoint FILE] [--resume FILE]
+//!                  [--aggressive] [--objective min-max-apl]
+//!                  [--checkpoint FILE] [--resume FILE]
 //! obm latency [--mesh N] [--controllers corners|edges]
 //! ```
 
@@ -30,7 +32,8 @@ fn usage() -> &'static str {
 USAGE:
   obm gen <C1..C8> [--seed S]
   obm map <spec-file> [--algo sss|global|mc|sa|greedy|random] [--seed S] [--grid]
-  obm eval <spec-file> <mapping-file>
+          [--objective min-max-apl|max-min-balance|energy]
+  obm eval <spec-file> <mapping-file> [--objective min-max-apl|max-min-balance|energy]
   obm simulate <spec-file> [--algo NAME] [--cycles N] [--seed S]
   obm experiments trace <spec-file> [--algo NAME] [--cycles N] [--seed S] [--window W]
                   [--chrome] [--out FILE]
@@ -39,6 +42,7 @@ USAGE:
   obm exact <spec-file> [--budget NODES]
   obm solve <spec-file> [--portfolio | --algos sss,sa,hybrid,greedy,mc,exact] [--seeds 0,1,2,3]
             [--deadline-ms N] [--max-evals N] [--workers N] [--aggressive]
+            [--objective min-max-apl|max-min-balance|energy]
             [--checkpoint FILE] [--resume FILE]
   obm latency [--mesh N] [--controllers corners|edges]
 
@@ -130,12 +134,14 @@ fn run() -> Result<String, String> {
             let spec = read(args.positional.first().ok_or("map needs a spec file")?)?;
             let algo = args.value_flag("algo")?.unwrap_or("sss");
             let seed = args.parse_flag::<u64>("seed", 0)?;
-            commands::map_command(&spec, algo, seed, args.flag("grid").is_some())
+            let objective = args.value_flag("objective")?.unwrap_or("min-max-apl");
+            commands::map_command(&spec, algo, seed, args.flag("grid").is_some(), objective)
         }
         "eval" => {
             let spec = read(args.positional.first().ok_or("eval needs a spec file")?)?;
             let mapping = read(args.positional.get(1).ok_or("eval needs a mapping file")?)?;
-            commands::eval_command(&spec, &mapping)
+            let objective = args.value_flag("objective")?.unwrap_or("min-max-apl");
+            commands::eval_command(&spec, &mapping, objective)
         }
         "simulate" => {
             let spec = read(
@@ -229,6 +235,7 @@ fn run() -> Result<String, String> {
                 max_evals: args.opt_parse_flag::<u64>("max-evals")?,
                 workers: args.opt_parse_flag::<usize>("workers")?,
                 aggressive: args.flag("aggressive").is_some(),
+                objective: args.value_flag("objective")?.unwrap_or("min-max-apl"),
                 resume_json: resume_text.as_deref(),
             };
             let (report, checkpoint) = commands::solve_command(&spec, &solve_args)?;

@@ -101,6 +101,15 @@ pub enum ConfigError {
     ZeroEpochCycles,
     /// A piecewise schedule with no epochs at all.
     EmptyTrace,
+    /// A mid-run retarget vector whose length does not match the number
+    /// of traffic sources (see
+    /// [`SwapController`](crate::network::SwapController)).
+    RetargetLength {
+        /// Tiles in the rejected retarget vector.
+        got: usize,
+        /// Traffic sources the network actually has.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -147,6 +156,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::EmptyTrace => {
                 write!(f, "piecewise schedule needs at least one epoch rate")
+            }
+            ConfigError::RetargetLength { got, expected } => {
+                write!(
+                    f,
+                    "retarget vector has {got} tiles but the network has {expected} sources"
+                )
             }
         }
     }

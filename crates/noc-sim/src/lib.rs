@@ -108,6 +108,6 @@ pub mod traffic;
 pub use noc_telemetry as telemetry;
 
 pub use config::{ConfigError, InjectionProcess, RoutingKind, SimConfig, SimConfigBuilder};
-pub use network::Network;
+pub use network::{Network, SourceCounters, SwapController};
 pub use stats::{LatencyAccum, SimReport};
 pub use traffic::{Schedule, SourceSpec, TrafficSpec};

@@ -23,7 +23,8 @@ use crate::stats::SimReport;
 use crate::traffic::{SourceSpec, TrafficSpec};
 use noc_model::{route_xy, route_yx, Mesh, PacketClass, RouteDir, TileId};
 use noc_telemetry::{
-    FlowSummary, HeatmapRecord, NoopSink, PacketRecord, Probe, ProfileRecord, Windower,
+    FlowSummary, HeatmapRecord, LatencyAccum, NoopSink, PacketRecord, Probe, ProfileRecord,
+    WindowRecord, Windower,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -276,6 +277,11 @@ pub struct Network {
     live_packets: usize,
     peak_live_packets: usize,
     sources: Vec<SourceSpec>,
+    /// Cumulative per-source, per-class measured-delivery accumulators
+    /// for the [`SwapController`] ([`SourceCounters`]). Empty unless the
+    /// run was started through [`run_controlled`](Network::run_controlled),
+    /// so the plain path pays one never-taken branch per delivery.
+    source_accum: Vec<SourceCounters>,
     /// Nearest memory controller per tile, precomputed.
     nearest_mc: Vec<TileId>,
     rng: SmallRng,
@@ -332,6 +338,79 @@ pub struct Network {
 const CLASS_CACHE: u8 = 0;
 const CLASS_MEM: u8 = 1;
 
+/// Cumulative per-source, per-class delivery accumulators fed to a
+/// [`SwapController`] (measured packets only). Indexed by *source*,
+/// which stays stable across mid-run retargets — unlike
+/// [`SimReport::per_source`], which is indexed by spawn-time tile — so
+/// diffing consecutive controller calls recovers each workload thread's
+/// cache and memory request rates no matter where it currently sits.
+#[derive(Debug, Clone, Default)]
+pub struct SourceCounters {
+    /// Cache-class deliveries of this source.
+    pub cache: LatencyAccum,
+    /// Memory-class deliveries of this source.
+    pub mem: LatencyAccum,
+}
+
+impl SourceCounters {
+    /// Delivered packets across both classes.
+    pub fn packets(&self) -> u64 {
+        self.cache.packets + self.mem.packets
+    }
+}
+
+/// Mid-run mapping-swap hook driven by [`Network::run_controlled`]
+/// (DESIGN.md §14.2).
+///
+/// The controller is invoked once per **flushed** telemetry window, at
+/// the cycle boundary where the window closed, with the completed
+/// [`WindowRecord`] and the cumulative per-source, per-class
+/// [`SourceCounters`] of the run so far (measured packets only, indexed
+/// by source — diff consecutive calls to recover per-source rates
+/// within the window).
+///
+/// Returning `Some(tiles)` retargets source `j` to `tiles[j]` starting
+/// with the next cycle: future packets of source `j` spawn from (and,
+/// for memory traffic, address the controller nearest to) the new tile,
+/// while packets already queued or in flight complete under their
+/// spawn-time source/destination — the drain-free in-flight-packet rule.
+/// The swap perturbs no RNG draws: Bernoulli generation scans sources in
+/// index order regardless of tile, and geometric arrival events are
+/// keyed by `(cycle, source, class)` with per-*source* rates, so
+/// pre-drawn arrival times stay valid. A fixed seed therefore produces a
+/// bit-identical run for a given controller decision sequence.
+///
+/// The vector must hold exactly one tile per source, each in range and
+/// all distinct; anything else aborts the run with the corresponding
+/// [`ConfigError`].
+pub trait SwapController {
+    /// Observe a flushed window; optionally request a source retarget.
+    fn on_window(
+        &mut self,
+        record: &WindowRecord,
+        per_source: &[SourceCounters],
+    ) -> Option<Vec<noc_model::TileId>>;
+}
+
+/// Probe adapter for the controlled run: forwards every window to the
+/// real probe while keeping a copy of the last flushed record so the
+/// [`SwapController`] can observe it.
+struct WindowCapture<'a> {
+    inner: &'a mut dyn Probe,
+    last: Option<WindowRecord>,
+}
+
+impl Probe for WindowCapture<'_> {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn on_window(&mut self, record: &WindowRecord) {
+        self.inner.on_window(record);
+        self.last = Some(record.clone());
+    }
+}
+
 impl Network {
     /// Build a simulator for `cfg` driven by the validated traffic spec
     /// (tiles without a source stay silent).
@@ -360,6 +439,7 @@ impl Network {
             live_packets: 0,
             peak_live_packets: 0,
             sources,
+            source_accum: Vec::new(),
             nearest_mc,
             rng: SmallRng::seed_from_u64(cfg.seed),
             report: {
@@ -411,15 +491,57 @@ impl Network {
     /// (pinned by `tests/sim_determinism.rs`).
     ///
     /// [`WindowRecord`]: noc_telemetry::WindowRecord
-    pub fn run_probed(mut self, probe: &mut dyn Probe) -> SimReport {
+    pub fn run_probed(self, probe: &mut dyn Probe) -> SimReport {
+        match self.run_inner(probe, None) {
+            Ok(report) => report,
+            // The only fallible step of a run is applying a controller's
+            // retarget vector; without a controller this arm cannot be
+            // reached, and the empty report keeps the path panic-free.
+            Err(_) => SimReport::new(0),
+        }
+    }
+
+    /// [`run_probed`](Self::run_probed) plus a [`SwapController`]
+    /// observing every flushed telemetry window and optionally
+    /// retargeting the traffic sources at that boundary — the
+    /// deterministic mid-run mapping swap (DESIGN.md §14.2).
+    ///
+    /// Windowed telemetry is collected even when the probe is disabled
+    /// (the controller needs it); the probe still receives records only
+    /// according to its own contract. Returns an error if the controller
+    /// produces an invalid retarget vector (wrong length, out-of-range
+    /// or duplicate tiles); the run is abandoned at that point.
+    ///
+    /// With a controller that never retargets, the report is
+    /// [semantically identical](SimReport::semantic_eq) to the unprobed
+    /// run: the extra windowing only changes how far the event-horizon
+    /// fast-forward may jump (`skipped_cycles`), never what is computed.
+    pub fn run_controlled(
+        self,
+        probe: &mut dyn Probe,
+        controller: &mut dyn SwapController,
+    ) -> Result<SimReport, ConfigError> {
+        self.run_inner(probe, Some(controller))
+    }
+
+    fn run_inner(
+        mut self,
+        probe: &mut dyn Probe,
+        mut controller: Option<&mut dyn SwapController>,
+    ) -> Result<SimReport, ConfigError> {
         let wall_start = Instant::now();
-        if probe.is_enabled() {
+        if controller.is_some() {
+            self.source_accum = vec![SourceCounters::default(); self.sources.len()];
+        }
+        if probe.is_enabled() || controller.is_some() {
             self.windower = Some(Windower::new(
                 self.cfg.telemetry_window,
                 self.report.groups.len(),
                 self.cfg.warmup_cycles,
                 self.cfg.measure_cycles,
             ));
+        }
+        if probe.is_enabled() {
             self.flow = Some(Box::new(FlowState {
                 stamps: Vec::new(),
                 summary: FlowSummary::new(self.report.groups.len()),
@@ -486,14 +608,36 @@ impl Network {
                 }
             }
             let mut flushed_window_end = None;
+            let mut retarget = None;
             if let Some(w) = self.windower.as_mut() {
                 // The current window's (truncation-aware) end, captured
                 // before `end_cycle` may flush it and move on.
                 let wend = w.current_window_end();
-                w.end_cycle(cycle, self.total_buffered, self.live_packets, probe);
+                match controller.as_deref_mut() {
+                    Some(ctrl) => {
+                        // Tee the flush through a capture so the
+                        // controller sees the completed record too.
+                        let mut cap = WindowCapture {
+                            inner: probe,
+                            last: None,
+                        };
+                        w.end_cycle(cycle, self.total_buffered, self.live_packets, &mut cap);
+                        if let Some(rec) = cap.last {
+                            retarget = ctrl.on_window(&rec, &self.source_accum);
+                        }
+                    }
+                    None => w.end_cycle(cycle, self.total_buffered, self.live_packets, probe),
+                }
                 if cycle + 1 == wend {
                     flushed_window_end = Some(wend);
                 }
+            }
+            // Apply a requested mapping swap exactly at the window
+            // boundary: packets spawned from the next cycle on use the
+            // new source tiles; everything already in flight keeps its
+            // spawn-time source and destination.
+            if let Some(tiles) = retarget {
+                self.retarget_sources(&tiles)?;
             }
             if let Some(m) = mark.as_mut() {
                 let nanos = lap(m);
@@ -575,7 +719,38 @@ impl Network {
             skipped_cycles: self.skipped_cycles,
             wall_nanos: wall_start.elapsed().as_nanos() as u64,
         };
-        self.report
+        Ok(self.report)
+    }
+
+    /// Retarget source `j` to `tiles[j]` for all future spawns, after
+    /// validating the vector (one tile per source, in range, all
+    /// distinct). Schedules, groups and pre-drawn arrival events are
+    /// untouched — the workload follows its thread to the new tile.
+    fn retarget_sources(&mut self, tiles: &[TileId]) -> Result<(), ConfigError> {
+        if tiles.len() != self.sources.len() {
+            return Err(ConfigError::RetargetLength {
+                got: tiles.len(),
+                expected: self.sources.len(),
+            });
+        }
+        let n = self.cfg.mesh.num_tiles();
+        let mut seen = vec![false; n];
+        for &t in tiles {
+            if t.index() >= n {
+                return Err(ConfigError::SourceTileOutOfRange {
+                    tile: t.index(),
+                    num_tiles: n,
+                });
+            }
+            if seen[t.index()] {
+                return Err(ConfigError::DuplicateSourceTile(t.index()));
+            }
+            seen[t.index()] = true;
+        }
+        for (s, &t) in self.sources.iter_mut().zip(tiles) {
+            s.tile = t;
+        }
+        Ok(())
     }
 
     /// Seed the arrival heap for [`InjectionProcess::Geometric`]: one
@@ -688,6 +863,13 @@ impl Network {
             // latency (the Eq. (2) exception).
             if measured {
                 self.report.record(group, src.index(), class, 0, 0, len, 0);
+                if !self.source_accum.is_empty() {
+                    let acc = &mut self.source_accum[source_idx];
+                    match class {
+                        PacketClass::Cache => acc.cache.record(0, 0, len, 0),
+                        PacketClass::Memory => acc.mem.record(0, 0, len, 0),
+                    }
+                }
             }
             if let Some(w) = self.windower.as_mut() {
                 w.on_eject(class == PacketClass::Cache, group, 0, 0, len, 0);
@@ -720,6 +902,7 @@ impl Network {
         let info = PacketInfo {
             src,
             dst,
+            source: source_idx as u32,
             class,
             group,
             len,
@@ -1112,6 +1295,17 @@ impl Network {
                                 info.len,
                                 ideal,
                             );
+                            if !self.source_accum.is_empty() {
+                                let acc = &mut self.source_accum[info.source as usize];
+                                match info.class {
+                                    PacketClass::Cache => {
+                                        acc.cache.record(latency, info.hops, info.len, ideal)
+                                    }
+                                    PacketClass::Memory => {
+                                        acc.mem.record(latency, info.hops, info.len, ideal)
+                                    }
+                                }
+                            }
                             self.inflight_measured -= 1;
                         }
                         if let Some(w) = self.windower.as_mut() {

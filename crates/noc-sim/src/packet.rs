@@ -20,6 +20,11 @@ pub struct Flit {
 pub struct PacketInfo {
     pub src: TileId,
     pub dst: TileId,
+    /// Index of the traffic source that spawned the packet. `src` is the
+    /// spawn-time *tile*; the source index stays stable across mid-run
+    /// retargets ([`SwapController`](crate::SwapController)), so
+    /// per-source accounting follows the workload, not the floorplan.
+    pub source: u32,
     pub class: PacketClass,
     /// Traffic group (application id) for per-application accounting.
     pub group: usize,
@@ -68,6 +73,7 @@ mod tests {
         let p = PacketInfo {
             src: TileId(0),
             dst: TileId(5),
+            source: 0,
             class: PacketClass::Cache,
             group: 0,
             len: 5,
@@ -88,6 +94,7 @@ mod tests {
         let p = PacketInfo {
             src: TileId(0),
             dst: TileId(1),
+            source: 0,
             class: PacketClass::Memory,
             group: 1,
             len: 1,

@@ -35,6 +35,13 @@ impl Phase {
             Phase::Drain => "drain",
         }
     }
+
+    /// Whether this is the measured injection phase — the only phase
+    /// whose windows carry representative steady-state latencies (the
+    /// online remap controller gates its drift detection on it).
+    pub fn is_measure(self) -> bool {
+        self == Phase::Measure
+    }
 }
 
 /// Wall-clock phase profile for one window of simulated cycles — the

@@ -24,6 +24,7 @@ pub use sa::SimulatedAnnealing;
 pub use sss::SortSelectSwap;
 
 use crate::cancel::CancelToken;
+use crate::objective::Objective;
 use crate::problem::{Mapping, ObmInstance};
 use noc_telemetry::Probe;
 
@@ -106,7 +107,39 @@ pub trait Mapper {
         }
         Some(self.map_probed(inst, seed, probe))
     }
+
+    /// Compute a mapping optimized for an arbitrary [`Objective`].
+    ///
+    /// Every algorithm in this crate searches the min-max-APL landscape
+    /// natively, so the default implementation runs [`map`](Mapper::map)
+    /// and — when the objective is not [`MinMaxApl`]-equivalent —
+    /// polishes the result with a deterministic best-improvement
+    /// pairwise-exchange pass
+    /// ([`refine_for_objective`](crate::objective::refine_for_objective))
+    /// scored under `objective`. For `MinMaxApl` itself this is
+    /// bit-identical to `map` (no refinement runs), which keeps every
+    /// pre-objective golden result valid (proptested in
+    /// `tests/properties.rs`).
+    fn map_objective(&self, inst: &ObmInstance, seed: u64, objective: &dyn Objective) -> Mapping {
+        let mapping = self.map(inst, seed);
+        if objective.is_min_max_apl() {
+            mapping
+        } else {
+            crate::objective::refine_for_objective(
+                inst,
+                mapping,
+                objective,
+                OBJECTIVE_REFINE_PASSES,
+            )
+        }
+    }
 }
+
+/// Pass budget of the [`Mapper::map_objective`] polishing stage. Each pass
+/// is one full best-improvement sweep over thread/tile exchanges; the
+/// refinement stops early once a sweep finds no improving exchange, so
+/// this is a ceiling, not a fixed cost.
+pub const OBJECTIVE_REFINE_PASSES: usize = 32;
 
 /// All 24 permutations of 4 window slots, used by the SSS sliding-window
 /// swap (Algorithm 2, Step 3) and enumerated in lexicographic order so the

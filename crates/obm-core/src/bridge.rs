@@ -31,6 +31,53 @@ pub fn traffic_spec(inst: &ObmInstance, mapping: &Mapping) -> TrafficSpec {
     TrafficSpec::new(sources, inst.num_apps()).expect("valid mapping induces valid traffic")
 }
 
+/// Build a drifting-workload [`TrafficSpec`]: each thread's rates walk
+/// through one epoch per instance in `epochs`, switching every
+/// `epoch_cycles` cycles ([`Schedule::trace_per_kilocycle`]). All epochs
+/// must share `mapping`'s thread count and application structure — this is
+/// the same workload whose *statistics* drift, not a different workload —
+/// and the sources sit on `mapping`'s tiles for the whole run (an online
+/// controller retargets them mid-run via
+/// [`SwapController`](noc_sim::SwapController), not via the spec).
+///
+/// The epoch clock starts at cycle 0, i.e. warmup burns part of the first
+/// epoch; size `epoch_cycles` against warmup + measurement, not
+/// measurement alone. After the last epoch the trace wraps back to the
+/// first ([`Schedule::rate_at`] is periodic), so make the epochs cover
+/// the whole measured span.
+///
+/// # Panics
+/// Panics if `epochs` is empty, the epochs disagree on thread count, or
+/// the mapping is invalid for the first epoch (debug builds).
+pub fn piecewise_traffic_spec(
+    epochs: &[&ObmInstance],
+    mapping: &Mapping,
+    epoch_cycles: u64,
+) -> TrafficSpec {
+    assert!(!epochs.is_empty(), "need at least one epoch");
+    let first = epochs[0];
+    debug_assert!(mapping.is_valid_for(first), "invalid mapping");
+    assert!(
+        epochs
+            .iter()
+            .all(|e| e.num_threads() == first.num_threads()),
+        "epochs must agree on thread count"
+    );
+    let sources: Vec<SourceSpec> = (0..first.num_threads())
+        .map(|j| {
+            let cache: Vec<f64> = epochs.iter().map(|e| e.cache_rate(j)).collect();
+            let mem: Vec<f64> = epochs.iter().map(|e| e.mem_rate(j)).collect();
+            SourceSpec {
+                tile: mapping.tile_of(j),
+                group: first.app_of_thread(j),
+                cache: Schedule::trace_per_kilocycle(epoch_cycles, &cache),
+                mem: Schedule::trace_per_kilocycle(epoch_cycles, &mem),
+            }
+        })
+        .collect();
+    TrafficSpec::new(sources, first.num_apps()).expect("valid mapping induces valid traffic")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +105,38 @@ mod tests {
         assert_eq!(tiles.len(), inst.num_threads(), "duplicate tiles");
         for s in spec.sources() {
             assert!(s.group < inst.num_apps());
+        }
+    }
+
+    #[test]
+    fn piecewise_spec_walks_the_epochs() {
+        let inst = fig5_instance();
+        // Epoch 2 doubles every rate.
+        let doubled = ObmInstance::new(
+            inst.tiles().clone(),
+            inst.boundaries().to_vec(),
+            (0..inst.num_threads())
+                .map(|j| inst.cache_rate(j) * 2.0)
+                .collect(),
+            (0..inst.num_threads())
+                .map(|j| inst.mem_rate(j) * 2.0)
+                .collect(),
+        );
+        let mapping = SortSelectSwap::default().map(&inst, 0);
+        let spec = piecewise_traffic_spec(&[&inst, &doubled], &mapping, 5_000);
+        assert_eq!(spec.sources().len(), inst.num_threads());
+        for (j, s) in spec.sources().iter().enumerate() {
+            assert_eq!(s.tile, mapping.tile_of(j), "sources sit on the mapping");
+            let early = s.cache.rate_at(0);
+            let late = s.cache.rate_at(5_000);
+            assert!(
+                (late - 2.0 * early).abs() < 1e-12,
+                "epoch 2 doubles thread {j}"
+            );
+            assert!(
+                (s.cache.rate_at(10_000) - early).abs() < 1e-12,
+                "trace wraps around"
+            );
         }
     }
 

@@ -9,8 +9,10 @@
 
 use crate::algorithms::Mapper;
 use crate::eval::{evaluate, AplReport};
+use crate::objective::{migration_distance, threads_moved};
 use crate::problem::{Mapping, ObmInstance};
-use noc_model::TileLatencies;
+use noc_model::{Mesh, TileLatencies};
+use std::sync::OnceLock;
 
 /// The measured rates of one application's threads, as a runtime
 /// statistics collector would report them.
@@ -52,11 +54,40 @@ impl std::fmt::Display for CapacityError {
 
 impl std::error::Error for CapacityError {}
 
+/// The result of one [`DynamicSystem`] remap — the instance the mapper
+/// saw, the mapping it produced, its analytic evaluation, and (when the
+/// remap was computed against a previous mapping via
+/// [`DynamicSystem::remap_from`]) the movement it implies. Mirrors the
+/// portfolio crate's `SolveOutcome` shape.
+#[derive(Debug, Clone)]
+pub struct RemapOutcome {
+    /// The instance the mapping was computed for. Carries warm
+    /// [`ObmInstance::eval_tables`] when the system's cache was reused.
+    pub instance: ObmInstance,
+    /// The mapping the mapper produced.
+    pub mapping: Mapping,
+    /// Its analytic evaluation.
+    pub report: AplReport,
+    /// Threads placed on a different tile than in the previous mapping
+    /// (0 when there was no previous mapping to compare against).
+    pub threads_moved: usize,
+    /// Total Manhattan hops those threads travelled (0 without a
+    /// previous mapping).
+    pub migration_cost: u64,
+}
+
 /// A CMP hosting a changing set of applications.
 #[derive(Debug, Clone)]
 pub struct DynamicSystem {
     tiles: TileLatencies,
     apps: Vec<AppSpec>,
+    /// Memoized [`ObmInstance`] for the current application set,
+    /// invalidated on arrival/departure. Cloning the cached instance
+    /// preserves its lazily built `EvalTables` (the `OnceLock` inside
+    /// `ObmInstance` clones its populated value), so repeated remaps of
+    /// an unchanged system skip both the instance rebuild and the SoA
+    /// table build.
+    cache: OnceLock<ObmInstance>,
 }
 
 impl DynamicSystem {
@@ -65,6 +96,7 @@ impl DynamicSystem {
         DynamicSystem {
             tiles,
             apps: Vec::new(),
+            cache: OnceLock::new(),
         }
     }
 
@@ -102,6 +134,7 @@ impl DynamicSystem {
             });
         }
         self.apps.push(spec);
+        self.cache.take();
         Ok(self.apps.len() - 1)
     }
 
@@ -110,33 +143,91 @@ impl DynamicSystem {
     /// # Panics
     /// Panics if the index is out of range.
     pub fn remove_app(&mut self, idx: usize) -> AppSpec {
-        self.apps.remove(idx)
+        let removed = self.apps.remove(idx);
+        self.cache.take();
+        removed
     }
 
-    /// Build the OBM instance for the current application set.
+    /// The memoized OBM instance for the current application set, built
+    /// on first use and reused until the set changes.
+    ///
+    /// # Panics
+    /// Panics if no applications are hosted.
+    fn cached_instance(&self) -> &ObmInstance {
+        self.cache.get_or_init(|| {
+            assert!(!self.apps.is_empty(), "no applications to map");
+            let mut boundaries = vec![0];
+            let mut c = Vec::new();
+            let mut m = Vec::new();
+            for app in &self.apps {
+                c.extend_from_slice(&app.cache_rates);
+                m.extend_from_slice(&app.mem_rates);
+                boundaries.push(c.len());
+            }
+            ObmInstance::new(self.tiles.clone(), boundaries, c, m)
+        })
+    }
+
+    /// The OBM instance for the current application set.
+    ///
+    /// Served from the internal memo: repeated calls between arrivals/
+    /// departures return clones of one instance, and the clone carries
+    /// any [`ObmInstance::eval_tables`] already built — remapping an
+    /// unchanged system no longer rebuilds the SoA cost tables.
     ///
     /// # Panics
     /// Panics if no applications are hosted.
     pub fn instance(&self) -> ObmInstance {
-        assert!(!self.apps.is_empty(), "no applications to map");
-        let mut boundaries = vec![0];
-        let mut c = Vec::new();
-        let mut m = Vec::new();
-        for app in &self.apps {
-            c.extend_from_slice(&app.cache_rates);
-            m.extend_from_slice(&app.mem_rates);
-            boundaries.push(c.len());
-        }
-        ObmInstance::new(self.tiles.clone(), boundaries, c, m)
+        self.cached_instance().clone()
     }
 
-    /// Recompute the mapping for the current set with `mapper`, returning
-    /// the instance, the mapping and its evaluation.
-    pub fn remap(&self, mapper: &dyn Mapper, seed: u64) -> (ObmInstance, Mapping, AplReport) {
-        let inst = self.instance();
-        let mapping = mapper.map(&inst, seed);
-        let report = evaluate(&inst, &mapping);
-        (inst, mapping, report)
+    /// Recompute the mapping for the current set with `mapper`.
+    ///
+    /// There is no previous mapping to diff against, so the outcome's
+    /// movement fields are 0; use [`remap_from`](Self::remap_from) when
+    /// an incumbent mapping exists.
+    pub fn remap(&self, mapper: &dyn Mapper, seed: u64) -> RemapOutcome {
+        // Map against the cached reference so any `EvalTables` the
+        // mapper builds stay in the memo for the next remap; the clone
+        // handed out then carries the warm tables too.
+        let inst = self.cached_instance();
+        let mapping = mapper.map(inst, seed);
+        let report = evaluate(inst, &mapping);
+        RemapOutcome {
+            instance: inst.clone(),
+            mapping,
+            report,
+            threads_moved: 0,
+            migration_cost: 0,
+        }
+    }
+
+    /// Recompute the mapping and account for the migration it implies
+    /// relative to `previous` (the mapping the system currently runs):
+    /// `threads_moved` counts threads whose tile changed and
+    /// `migration_cost` sums their Manhattan hop distances on `mesh`.
+    /// Threads are compared by index over the common prefix, so after a
+    /// departure reshuffles indices the counts are relative to the
+    /// surviving prefix.
+    pub fn remap_from(
+        &self,
+        mapper: &dyn Mapper,
+        seed: u64,
+        previous: &Mapping,
+        mesh: &Mesh,
+    ) -> RemapOutcome {
+        let mut outcome = self.remap(mapper, seed);
+        outcome.threads_moved = threads_moved(previous, &outcome.mapping);
+        outcome.migration_cost = migration_distance(mesh, previous, &outcome.mapping);
+        outcome
+    }
+
+    /// Tuple form of [`remap`](Self::remap), kept for one release for
+    /// callers of the pre-`RemapOutcome` API.
+    #[deprecated(note = "use `remap`, which returns a `RemapOutcome`")]
+    pub fn remap_parts(&self, mapper: &dyn Mapper, seed: u64) -> (ObmInstance, Mapping, AplReport) {
+        let out = self.remap(mapper, seed);
+        (out.instance, out.mapping, out.report)
     }
 }
 
@@ -190,19 +281,73 @@ mod tests {
         let mut sys = system();
         sys.add_app(spec("light", 8, 0.5)).unwrap();
         sys.add_app(spec("heavy", 8, 5.0)).unwrap();
-        let (inst, mapping, report) = sys.remap(&SortSelectSwap::default(), 0);
-        assert!(mapping.is_valid_for(&inst));
-        assert_eq!(report.per_app.len(), 2);
+        let out = sys.remap(&SortSelectSwap::default(), 0);
+        assert!(out.mapping.is_valid_for(&out.instance));
+        assert_eq!(out.report.per_app.len(), 2);
+        assert_eq!(out.threads_moved, 0);
+        assert_eq!(out.migration_cost, 0);
         // uniform per-thread rates within each app ⇒ near-equal APLs
-        assert!(report.dev_apl < 0.5, "dev-APL {}", report.dev_apl);
+        assert!(out.report.dev_apl < 0.5, "dev-APL {}", out.report.dev_apl);
     }
 
     #[test]
     fn partial_occupancy_supported() {
         let mut sys = system();
         sys.add_app(spec("small", 5, 1.0)).unwrap();
-        let (inst, mapping, _) = sys.remap(&SortSelectSwap::default(), 0);
-        assert_eq!(inst.num_threads(), 5);
-        assert!(mapping.is_valid_for(&inst));
+        let out = sys.remap(&SortSelectSwap::default(), 0);
+        assert_eq!(out.instance.num_threads(), 5);
+        assert!(out.mapping.is_valid_for(&out.instance));
+    }
+
+    #[test]
+    fn instance_cache_reused_and_invalidated() {
+        let mut sys = system();
+        sys.add_app(spec("a", 8, 1.0)).unwrap();
+        // A handed-out clone starts cold; warming the memoized instance
+        // (as remap's solver does) makes every later clone warm.
+        assert!(!sys.instance().eval_tables_built());
+        let _ = sys.cached_instance().eval_tables();
+        assert!(sys.instance().eval_tables_built(), "cache must be reused");
+        // Arrival invalidates: fresh instance, cold tables.
+        sys.add_app(spec("b", 4, 2.0)).unwrap();
+        let rebuilt = sys.instance();
+        assert!(!rebuilt.eval_tables_built());
+        assert_eq!(rebuilt.num_threads(), 12);
+        // Departure invalidates too.
+        let _ = rebuilt.eval_tables();
+        sys.remove_app(1);
+        assert!(!sys.instance().eval_tables_built());
+        assert_eq!(sys.instance().num_threads(), 8);
+    }
+
+    #[test]
+    fn remap_from_accounts_for_migration() {
+        let mut sys = system();
+        sys.add_app(spec("light", 8, 0.5)).unwrap();
+        sys.add_app(spec("heavy", 8, 5.0)).unwrap();
+        let mesh = Mesh::square(4);
+        let first = sys.remap(&SortSelectSwap::default(), 0);
+        // Same system, same mapper, same seed ⇒ no movement.
+        let same = sys.remap_from(&SortSelectSwap::default(), 0, &first.mapping, &mesh);
+        assert_eq!(same.threads_moved, 0);
+        assert_eq!(same.migration_cost, 0);
+        // Against the identity incumbent the optimized mapping moves
+        // threads, and every move costs at least one hop.
+        let ident = Mapping::identity(16);
+        let moved = sys.remap_from(&SortSelectSwap::default(), 0, &ident, &mesh);
+        assert!(moved.threads_moved > 0);
+        assert!(moved.migration_cost >= moved.threads_moved as u64);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn remap_parts_matches_remap() {
+        let mut sys = system();
+        sys.add_app(spec("a", 8, 1.0)).unwrap();
+        let out = sys.remap(&SortSelectSwap::default(), 7);
+        let (inst, mapping, report) = sys.remap_parts(&SortSelectSwap::default(), 7);
+        assert_eq!(inst, out.instance);
+        assert_eq!(mapping, out.mapping);
+        assert_eq!(report.max_apl.to_bits(), out.report.max_apl.to_bits());
     }
 }

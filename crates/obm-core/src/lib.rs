@@ -23,7 +23,13 @@
 //! * [`oversub`] — multiple threads per tile via virtual-tile expansion
 //!   (the generalization the paper's §III.B footnote defers);
 //! * [`bridge`] — [`traffic_spec`]: the `noc-sim` traffic a mapped
-//!   instance induces, for cycle-level validation of analytic results.
+//!   instance induces, for cycle-level validation of analytic results;
+//! * [`objective`] — the pluggable [`Objective`] API (min-max APL,
+//!   max-min balance, energy, migration-penalized) behind `--objective`
+//!   and the online controller;
+//! * [`remap`] — the closed-loop online [`RemapController`]: windowed
+//!   telemetry in, drift detection, warm-started migration-penalized
+//!   re-solve, deterministic mid-run mapping swap out (DESIGN.md §14).
 //!
 //! Every [`Mapper`] also has a [`Mapper::map_probed`] entry point that
 //! streams solver telemetry (`noc-telemetry`
@@ -61,18 +67,26 @@ pub mod cancel;
 pub mod dynamic;
 pub mod eval;
 pub mod metrics;
+pub mod objective;
 pub mod oversub;
 pub mod problem;
 pub mod reduction;
 pub mod refine;
+pub mod remap;
 pub mod sam;
 
 pub use algorithms::{BudgetError, Mapper};
 pub use batch::{BatchEvaluator, EvalTables};
-pub use bridge::traffic_spec;
+pub use bridge::{piecewise_traffic_spec, traffic_spec};
 pub use cancel::CancelToken;
+pub use dynamic::RemapOutcome;
 pub use eval::{evaluate, AplReport, IncrementalEvaluator};
 pub use metrics::BalanceMetric;
+pub use objective::{
+    migration_distance, refine_for_objective, threads_moved, Energy, MaxMinBalance,
+    MigrationPenalized, MinMaxApl, Objective, ObjectiveSpec,
+};
 pub use problem::{Mapping, ObmInstance};
 pub use refine::{polish, Polished};
+pub use remap::{RemapConfig, RemapController, RemapError, RemapEvent};
 pub use sam::{solve_sam, SamSolution};

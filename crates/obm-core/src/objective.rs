@@ -1,0 +1,454 @@
+//! Pluggable mapping objectives (DESIGN.md §14.3).
+//!
+//! The paper's formulation fixes one objective — minimize the maximum
+//! per-application APL (Eq. 6) — but the machinery around it (SSS, the
+//! portfolio, the online controller) only needs *a* scalar to minimize.
+//! [`Objective`] is that seam: a pure function from an evaluated mapping
+//! (its [`AplReport`], the mapping itself, and the instance) to a
+//! lower-is-better score.
+//!
+//! Implementations:
+//!
+//! * [`MinMaxApl`] — the paper's objective. Its score is **bit-identical**
+//!   to [`AplReport::max_apl`] (it *is* that field), so every pre-existing
+//!   golden stays valid when it is selected; `tests/properties.rs` pins
+//!   the identity by proptest.
+//! * [`MaxMinBalance`] — the per-application APL spread `max − min`, the
+//!   "balance" criterion the paper's Figure 5 warns about: a mapping can
+//!   be perfectly balanced yet uniformly slow, so this objective is for
+//!   ablations, not for reproducing the paper's numbers.
+//! * [`Energy`] — analytic dynamic NoC power (mW) of the induced traffic,
+//!   mirroring `noc-power`'s `analytic_power` (Marcon et al.,
+//!   arXiv 0710.4738 motivates energy-aware mapping objectives).
+//! * [`MigrationPenalized`] — wraps any base objective and adds
+//!   `weight × Σ_j manhattan(reference(j), mapping(j))`, the thread-
+//!   migration cost the online [`RemapController`](crate::remap)
+//!   charges a candidate remapping.
+//!
+//! [`ObjectiveSpec`] is the serializable / CLI-parsable selector
+//! (`--objective min-max-apl|max-min-balance|energy`) that builds the
+//! corresponding boxed objective.
+
+use crate::eval::AplReport;
+use crate::problem::{Mapping, ObmInstance};
+use noc_model::Mesh;
+use noc_power::PowerParams;
+use serde::{Deserialize, Serialize};
+
+/// A mapping objective: evaluated report → lower-is-better scalar.
+///
+/// Implementations must be pure (no interior state, no randomness): the
+/// portfolio engine scores candidates from multiple worker threads and
+/// relies on identical inputs producing identical bits.
+pub trait Objective: Send + Sync + std::fmt::Debug {
+    /// Short stable name (used in logs and solver telemetry).
+    fn name(&self) -> &'static str;
+
+    /// Score the mapping; smaller is better.
+    fn score(&self, inst: &ObmInstance, mapping: &Mapping, report: &AplReport) -> f64;
+
+    /// `true` iff [`score`](Self::score) returns exactly
+    /// `report.max_apl` for every input — the flag the hot paths use to
+    /// keep the pre-objective-API code paths (and their bit-exact
+    /// goldens) when the paper's objective is selected.
+    fn is_min_max_apl(&self) -> bool {
+        false
+    }
+}
+
+/// The paper's Eq. (6) objective: minimize `max_i w_i·d_i`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinMaxApl;
+
+impl Objective for MinMaxApl {
+    fn name(&self) -> &'static str {
+        "min-max-apl"
+    }
+
+    fn score(&self, _inst: &ObmInstance, _mapping: &Mapping, report: &AplReport) -> f64 {
+        report.max_apl
+    }
+
+    fn is_min_max_apl(&self) -> bool {
+        true
+    }
+}
+
+/// Minimize the per-application APL spread `max_i d_i − min_i d_i`.
+///
+/// This is the "balance only" criterion the paper's Figure 5 argues
+/// against: both the optimal and the uniformly-bad mapping there have
+/// zero spread. Provided for ablations against [`MinMaxApl`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxMinBalance;
+
+impl Objective for MaxMinBalance {
+    fn name(&self) -> &'static str {
+        "max-min-balance"
+    }
+
+    fn score(&self, _inst: &ObmInstance, _mapping: &Mapping, report: &AplReport) -> f64 {
+        report.max_apl - report.min_apl
+    }
+}
+
+/// Minimize analytic dynamic NoC power (mW) of the mapped traffic.
+///
+/// Computes exactly what `noc_power::analytic_power` reports as
+/// `dynamic_mw` for the loads the mapping induces (per-kilocycle instance
+/// rates ÷ 1000, each thread on its mapped tile): expected flit-hop
+/// energy per cycle from the closed-form hop averages `H̄C`/`H̄M` of the
+/// latency model. Static power is mapping-independent and omitted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Energy {
+    /// Technology point (defaults to [`PowerParams::dsent_45nm`]).
+    pub params: PowerParams,
+    /// Mean flits per packet (3.0 for the paper's even request/reply mix).
+    pub flits_per_packet: f64,
+}
+
+impl Default for Energy {
+    fn default() -> Self {
+        Energy {
+            params: PowerParams::dsent_45nm(),
+            flits_per_packet: 3.0,
+        }
+    }
+}
+
+impl Objective for Energy {
+    fn name(&self) -> &'static str {
+        "energy"
+    }
+
+    fn score(&self, inst: &ObmInstance, mapping: &Mapping, _report: &AplReport) -> f64 {
+        let tl = inst.tiles();
+        let n = inst.num_tiles() as f64;
+        let mut energy_pj_per_cycle = 0.0;
+        for j in 0..inst.num_threads() {
+            let tile = mapping.tile_of(j);
+            // Rates are per kilocycle in the instance; per cycle here.
+            let cache_rate = inst.cache_rate(j) / 1000.0;
+            let mem_rate = inst.mem_rate(j) / 1000.0;
+            let hc = tl.cache_hops(tile);
+            // 1/N of cache packets stay on-tile: E[routers] = hc + (N-1)/N.
+            let cache_routers = hc + (n - 1.0) / n;
+            energy_pj_per_cycle += cache_rate
+                * self.flits_per_packet
+                * (cache_routers * self.params.router_energy_pj + hc * self.params.link_energy_pj);
+            let hm = tl.mem_hops(tile);
+            let mem_routers = if hm > 0.0 { hm + 1.0 } else { 0.0 };
+            energy_pj_per_cycle += mem_rate
+                * self.flits_per_packet
+                * (mem_routers * self.params.router_energy_pj + hm * self.params.link_energy_pj);
+        }
+        // pJ/cycle → mW at the configured clock (identical arithmetic to
+        // noc_power::analytic_power, pinned by the unit test below).
+        let cycle_seconds = 1.0 / (self.params.frequency_ghz * 1e9);
+        energy_pj_per_cycle * 1e-12 / cycle_seconds * 1e3
+    }
+}
+
+/// Wraps a base objective with a thread-migration penalty against a
+/// reference mapping: `base + weight × Σ_j manhattan(ref(j), new(j))`.
+///
+/// The online controller scores candidate remappings with this so a
+/// marginal APL gain never justifies mass migration; `weight` is in the
+/// base objective's units per Manhattan hop moved.
+#[derive(Debug, Clone)]
+pub struct MigrationPenalized<O> {
+    /// The wrapped objective.
+    pub base: O,
+    /// The incumbent mapping migrations are charged against.
+    pub reference: Mapping,
+    /// Penalty per Manhattan hop of thread movement.
+    pub weight: f64,
+    /// Mesh geometry the Manhattan distances live on.
+    pub mesh: Mesh,
+}
+
+/// Total Manhattan distance threads travel going from `from` to `to`,
+/// over the common thread-index prefix of the two mappings.
+pub fn migration_distance(mesh: &Mesh, from: &Mapping, to: &Mapping) -> u64 {
+    let n = from.num_threads().min(to.num_threads());
+    (0..n)
+        .map(|j| {
+            mesh.coord(from.tile_of(j))
+                .manhattan(mesh.coord(to.tile_of(j))) as u64
+        })
+        .sum()
+}
+
+/// Number of threads on different tiles in `from` vs `to` (common prefix).
+pub fn threads_moved(from: &Mapping, to: &Mapping) -> usize {
+    let n = from.num_threads().min(to.num_threads());
+    (0..n).filter(|&j| from.tile_of(j) != to.tile_of(j)).count()
+}
+
+impl<O: Objective> Objective for MigrationPenalized<O> {
+    fn name(&self) -> &'static str {
+        "migration-penalized"
+    }
+
+    fn score(&self, inst: &ObmInstance, mapping: &Mapping, report: &AplReport) -> f64 {
+        self.base.score(inst, mapping, report)
+            + self.weight * migration_distance(&self.mesh, &self.reference, mapping) as f64
+    }
+}
+
+/// Serializable / CLI-parsable objective selector (`--objective …`).
+///
+/// The default is the paper's [`MinMaxApl`]; [`Energy`] is built at the
+/// default 45 nm technology point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ObjectiveSpec {
+    /// The paper's Eq. (6) objective (the default).
+    #[default]
+    MinMaxApl,
+    /// Per-application APL spread (`max − min`).
+    MaxMinBalance,
+    /// Analytic dynamic NoC power at the default technology point.
+    Energy,
+}
+
+impl ObjectiveSpec {
+    /// Stable lower-case name (the CLI spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectiveSpec::MinMaxApl => "min-max-apl",
+            ObjectiveSpec::MaxMinBalance => "max-min-balance",
+            ObjectiveSpec::Energy => "energy",
+        }
+    }
+
+    /// Build the boxed objective this spec selects.
+    pub fn build(self) -> Box<dyn Objective> {
+        match self {
+            ObjectiveSpec::MinMaxApl => Box::new(MinMaxApl),
+            ObjectiveSpec::MaxMinBalance => Box::new(MaxMinBalance),
+            ObjectiveSpec::Energy => Box::new(Energy::default()),
+        }
+    }
+
+    /// Whether this spec selects the paper's objective (the bit-exact
+    /// fast path everywhere).
+    pub fn is_min_max_apl(self) -> bool {
+        self == ObjectiveSpec::MinMaxApl
+    }
+
+    /// Score `mapping` under this spec, evaluating it from scratch.
+    pub fn score(self, inst: &ObmInstance, mapping: &Mapping) -> f64 {
+        let report = crate::eval::evaluate(inst, mapping);
+        match self {
+            // Identical bits to `evaluate().max_apl`.
+            ObjectiveSpec::MinMaxApl => report.max_apl,
+            ObjectiveSpec::MaxMinBalance => MaxMinBalance.score(inst, mapping, &report),
+            ObjectiveSpec::Energy => Energy::default().score(inst, mapping, &report),
+        }
+    }
+}
+
+impl std::fmt::Display for ObjectiveSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ObjectiveSpec {
+    type Err = String;
+
+    /// Parse a CLI spelling (`min-max-apl` / `apl`, `max-min-balance` /
+    /// `balance`, `energy`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "min-max-apl" | "apl" | "minmax" => Ok(ObjectiveSpec::MinMaxApl),
+            "max-min-balance" | "balance" => Ok(ObjectiveSpec::MaxMinBalance),
+            "energy" => Ok(ObjectiveSpec::Energy),
+            other => Err(format!(
+                "unknown objective '{other}' (expected min-max-apl, max-min-balance or energy)"
+            )),
+        }
+    }
+}
+
+/// Deterministic objective-aware polish: best-improvement pairwise tile
+/// exchange, warm-started from `start`.
+///
+/// Each pass scans every tile pair `(a, b)` in ascending index order,
+/// scores the exchanged mapping under `obj` (full report + score — cheap
+/// at instance sizes ≤ 64), and applies the strictly best improving
+/// exchange; it stops when a pass finds no strict improvement or after
+/// `max_passes` passes. Ties break toward the earliest pair scanned, so
+/// the result is a pure function of `(inst, start, obj)` — this is both
+/// the default generic-objective path of
+/// [`Mapper::map_objective`](crate::algorithms::Mapper::map_objective)
+/// and the warm-started re-solver of the online controller.
+pub fn refine_for_objective(
+    inst: &ObmInstance,
+    start: Mapping,
+    obj: &dyn Objective,
+    max_passes: usize,
+) -> Mapping {
+    let k = inst.num_tiles();
+    let mut ev = crate::eval::IncrementalEvaluator::new(inst, start);
+    let mut current = obj.score(inst, ev.mapping(), &ev.report());
+    for _ in 0..max_passes {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let (ta, tb) = (noc_model::TileId(a), noc_model::TileId(b));
+                let before = ev.edits();
+                ev.swap_tiles(ta, tb);
+                if ev.edits() == before {
+                    // Two holes: nothing to score, nothing to undo.
+                    continue;
+                }
+                let s = obj.score(inst, ev.mapping(), &ev.report());
+                ev.swap_tiles(ta, tb);
+                let improves = match best {
+                    Some((_, _, bs)) => s.total_cmp(&bs) == std::cmp::Ordering::Less,
+                    None => s.total_cmp(&current) == std::cmp::Ordering::Less,
+                };
+                if improves {
+                    best = Some((a, b, s));
+                }
+            }
+        }
+        match best {
+            Some((a, b, s)) => {
+                ev.swap_tiles(noc_model::TileId(a), noc_model::TileId(b));
+                current = s;
+            }
+            None => break,
+        }
+    }
+    ev.into_mapping()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Mapper, SortSelectSwap};
+    use crate::eval::evaluate;
+    use noc_model::{LatencyParams, MemoryControllers, TileId, TileLatencies};
+
+    fn instance() -> ObmInstance {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+        let c: Vec<f64> = (0..16).map(|j| 0.5 + 0.31 * j as f64).collect();
+        let m: Vec<f64> = c.iter().map(|x| x * 0.15).collect();
+        ObmInstance::new(tiles, vec![0, 6, 11, 16], c, m)
+    }
+
+    #[test]
+    fn min_max_apl_is_the_report_field_bitwise() {
+        let inst = instance();
+        let m = Mapping::identity(16);
+        let r = evaluate(&inst, &m);
+        assert_eq!(
+            MinMaxApl.score(&inst, &m, &r).to_bits(),
+            r.max_apl.to_bits()
+        );
+        assert_eq!(
+            ObjectiveSpec::MinMaxApl.score(&inst, &m).to_bits(),
+            r.max_apl.to_bits()
+        );
+        assert!(MinMaxApl.is_min_max_apl());
+        assert!(!MaxMinBalance.is_min_max_apl());
+    }
+
+    #[test]
+    fn energy_matches_noc_power_analytic() {
+        let inst = instance();
+        let mesh = Mesh::square(4);
+        let m = SortSelectSwap::default().map(&inst, 0);
+        let r = evaluate(&inst, &m);
+        let obj = Energy::default();
+        let loads: Vec<noc_power::PlacedLoad> = (0..inst.num_threads())
+            .map(|j| noc_power::PlacedLoad {
+                tile: m.tile_of(j),
+                cache_rate: inst.cache_rate(j) / 1000.0,
+                mem_rate: inst.mem_rate(j) / 1000.0,
+            })
+            .collect();
+        let direct =
+            noc_power::analytic_power(&obj.params, &mesh, inst.tiles(), &loads, 3.0).dynamic_mw;
+        assert!((obj.score(&inst, &m, &r) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_prefers_central_heavy_threads() {
+        // One heavy cache thread: center placement must score lower
+        // (less energy) than corner placement.
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
+        let inst = ObmInstance::new(tiles, vec![0, 1], vec![10.0], vec![0.0]);
+        let obj = Energy::default();
+        let corner = Mapping::new(vec![TileId(0)]);
+        let center = Mapping::new(vec![TileId(5)]);
+        let rc = evaluate(&inst, &corner);
+        let rn = evaluate(&inst, &center);
+        assert!(obj.score(&inst, &center, &rn) < obj.score(&inst, &corner, &rc));
+    }
+
+    #[test]
+    fn migration_penalty_charges_manhattan_hops() {
+        let inst = instance();
+        let mesh = Mesh::square(4);
+        let reference = Mapping::identity(16);
+        let obj = MigrationPenalized {
+            base: MinMaxApl,
+            reference: reference.clone(),
+            weight: 0.5,
+            mesh,
+        };
+        let r0 = evaluate(&inst, &reference);
+        assert_eq!(
+            obj.score(&inst, &reference, &r0).to_bits(),
+            r0.max_apl.to_bits(),
+            "no movement, no penalty"
+        );
+        // Swap threads on tiles 0 and 15: each moves 6 Manhattan hops.
+        let mut tiles: Vec<TileId> = (0..16).map(TileId).collect();
+        tiles.swap(0, 15);
+        let moved = Mapping::new(tiles);
+        assert_eq!(migration_distance(&mesh, &reference, &moved), 12);
+        assert_eq!(threads_moved(&reference, &moved), 2);
+        let rm = evaluate(&inst, &moved);
+        assert!((obj.score(&inst, &moved, &rm) - (rm.max_apl + 0.5 * 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_round_trips_and_builds() {
+        for spec in [
+            ObjectiveSpec::MinMaxApl,
+            ObjectiveSpec::MaxMinBalance,
+            ObjectiveSpec::Energy,
+        ] {
+            let parsed: ObjectiveSpec = spec.name().parse().expect("round trip");
+            assert_eq!(parsed, spec);
+            assert_eq!(spec.build().name(), spec.name());
+        }
+        assert_eq!(
+            "balance".parse::<ObjectiveSpec>().expect("alias"),
+            ObjectiveSpec::MaxMinBalance
+        );
+        assert!("latency".parse::<ObjectiveSpec>().is_err());
+        assert_eq!(ObjectiveSpec::default(), ObjectiveSpec::MinMaxApl);
+    }
+
+    #[test]
+    fn refine_never_worsens_and_is_deterministic() {
+        let inst = instance();
+        let start = Mapping::identity(16);
+        let before = ObjectiveSpec::MaxMinBalance.score(&inst, &start);
+        let a = refine_for_objective(&inst, start.clone(), &MaxMinBalance, 32);
+        let b = refine_for_objective(&inst, start, &MaxMinBalance, 32);
+        assert_eq!(a.as_slice(), b.as_slice(), "refinement must be pure");
+        let after = ObjectiveSpec::MaxMinBalance.score(&inst, &a);
+        assert!(after <= before, "refine worsened: {before} -> {after}");
+        assert!(a.is_valid_for(&inst));
+    }
+}

@@ -230,6 +230,13 @@ impl ObmInstance {
             .get_or_init(|| crate::batch::EvalTables::build(self))
     }
 
+    /// Whether [`eval_tables`](Self::eval_tables) has already been built
+    /// for this instance. Observability for cache-reuse tests and for
+    /// callers deciding whether a clone carries warm tables.
+    pub fn eval_tables_built(&self) -> bool {
+        self.tables.get().is_some()
+    }
+
     /// Latency numerator contribution of thread `j` when placed on tile
     /// `k`: `c_j·TC(k) + m_j·TM(k)` — the paper's Eq. (13) cost.
     #[inline]

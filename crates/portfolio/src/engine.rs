@@ -34,8 +34,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use noc_telemetry::{Probe, SolverEvent};
-use obm_core::algorithms::{BalancedGreedy, Mapper};
-use obm_core::{evaluate, BatchEvaluator, Mapping, ObmInstance};
+use obm_core::algorithms::{BalancedGreedy, Mapper, OBJECTIVE_REFINE_PASSES};
+use obm_core::{
+    evaluate, refine_for_objective, BatchEvaluator, Mapping, ObjectiveSpec, ObmInstance,
+};
 
 use crate::checkpoint::{mapping_from_tiles, Checkpoint, CompletedTask, Fingerprint};
 use crate::outcome::{SolveOutcome, SolveStats, Termination};
@@ -166,8 +168,12 @@ fn plan(req: &SolveRequest<'_>) -> (Vec<Task>, bool) {
 /// Fingerprint of (instance, task list): what a checkpoint must match to
 /// be resumable. Hashes the full algorithm configuration (via its `Debug`
 /// form — derived, covers every field) so e.g. two SA line-ups differing
-/// only in cooling schedule do not share checkpoints.
-fn fingerprint(inst: &ObmInstance, tasks: &[Task]) -> u64 {
+/// only in cooling schedule do not share checkpoints. A non-default
+/// objective is hashed in too (a checkpoint scored under one objective
+/// must not resume a race under another); the default is deliberately
+/// *not* hashed, so checkpoints written before objectives existed keep
+/// resuming min-max requests.
+fn fingerprint(inst: &ObmInstance, tasks: &[Task], objective: ObjectiveSpec) -> u64 {
     let mut fp = Fingerprint::new();
     fp.instance(inst);
     for t in tasks {
@@ -177,7 +183,22 @@ fn fingerprint(inst: &ObmInstance, tasks: &[Task]) -> u64 {
         fp.u64(t.evals);
         fp.u64(t.dropped as u64);
     }
+    if !objective.is_min_max_apl() {
+        fp.str(&format!("objective:{objective:?}"));
+    }
     fp.finish()
+}
+
+/// Score `mapping` under the request's objective. The default
+/// [`ObjectiveSpec::MinMaxApl`] keeps the engine's historical scoring
+/// path (the batched evaluator's `max_apl`, bit-identical to
+/// `evaluate`); anything else dispatches through the spec.
+fn score(inst: &ObmInstance, objective: ObjectiveSpec, mapping: &Mapping) -> f64 {
+    if objective.is_min_max_apl() {
+        BatchEvaluator::new(inst).eval_one(mapping).max_apl
+    } else {
+        objective.score(inst, mapping)
+    }
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -192,8 +213,10 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
 
 pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome {
     let inst = req.inst;
+    let objective = req.objective;
+    let min_max = objective.is_min_max_apl();
     let (mut tasks, clamped) = plan(req);
-    let fp = fingerprint(inst, &tasks);
+    let fp = fingerprint(inst, &tasks, objective);
 
     // Inject completed tasks from a matching checkpoint. The stored
     // mappings are re-scored in one `eval_many` batch — re-evaluating
@@ -215,10 +238,19 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
                 }
             }
             if !injected.is_empty() {
-                let batch: Vec<Mapping> = injected.iter().map(|(_, m)| m.clone()).collect();
-                let reports = BatchEvaluator::new(inst).eval_many(&batch);
-                for ((i, m), r) in injected.into_iter().zip(reports) {
-                    tasks[i].resumed = Some((r.max_apl, m));
+                if min_max {
+                    let batch: Vec<Mapping> = injected.iter().map(|(_, m)| m.clone()).collect();
+                    let reports = BatchEvaluator::new(inst).eval_many(&batch);
+                    for ((i, m), r) in injected.into_iter().zip(reports) {
+                        tasks[i].resumed = Some((r.max_apl, m));
+                    }
+                } else {
+                    // Checkpointed mappings are post-polish; re-scoring
+                    // under the (fingerprint-matched) objective suffices.
+                    for (i, m) in injected {
+                        let v = score(inst, objective, &m);
+                        tasks[i].resumed = Some((v, m));
+                    }
                 }
             }
         } else {
@@ -276,12 +308,26 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
                         enabled: capture,
                         events: Vec::new(),
                     };
-                    let incumbent = aggressive
+                    // The shared bound and branch-and-bound both prune on
+                    // max-APL, so the incumbent is only sound when that
+                    // is the racing objective.
+                    let incumbent = (aggressive && min_max)
                         .then(|| bound_ref.load())
                         .filter(|b| b.is_finite());
                     let started = std::time::Instant::now();
                     if let Some(m) = t.algo.run(inst, t.seed, token_ref, &mut buf, incumbent) {
-                        let value = BatchEvaluator::new(inst).eval_one(&m).max_apl;
+                        // Every algorithm searches the min-max landscape
+                        // natively; under another objective each result
+                        // is polished by the same deterministic exchange
+                        // refinement `Mapper::map_objective` uses, then
+                        // scored by the objective's scalar.
+                        let m = if min_max {
+                            m
+                        } else {
+                            let obj = objective.build();
+                            refine_for_objective(inst, m, obj.as_ref(), OBJECTIVE_REFINE_PASSES)
+                        };
+                        let value = score(inst, objective, &m);
                         let wall_nanos = started.elapsed().as_nanos() as u64;
                         bound_ref.update_min(value);
                         lock(slots_ref)[i] = Some(TaskResult {
@@ -426,7 +472,14 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
             let Some(r) = results[i].take() else {
                 // Unreachable by construction (best indexes a Some);
                 // degrade to the fallback rather than panic.
-                return fallback_outcome(inst, termination, stats, checkpoint, resume_rejected);
+                return fallback_outcome(
+                    inst,
+                    objective,
+                    termination,
+                    stats,
+                    checkpoint,
+                    resume_rejected,
+                );
             };
             SolveOutcome {
                 mapping: r.mapping,
@@ -440,22 +493,34 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
                 checkpoint,
             }
         }
-        None => fallback_outcome(inst, termination, stats, checkpoint, resume_rejected),
+        None => fallback_outcome(
+            inst,
+            objective,
+            termination,
+            stats,
+            checkpoint,
+            resume_rejected,
+        ),
     }
 }
 
 /// Nothing finished (deadline or cancellation beat every task): return
 /// the deterministic fallback, `BalancedGreedy` at seed 0, so callers
-/// always get a valid mapping.
+/// always get a valid mapping (scored under the request's objective).
 fn fallback_outcome(
     inst: &ObmInstance,
+    spec: ObjectiveSpec,
     termination: Termination,
     stats: Vec<SolveStats>,
     checkpoint: Checkpoint,
     resume_rejected: bool,
 ) -> SolveOutcome {
     let mapping = BalancedGreedy.map(inst, 0);
-    let objective = evaluate(inst, &mapping).max_apl;
+    let objective = if spec.is_min_max_apl() {
+        evaluate(inst, &mapping).max_apl
+    } else {
+        spec.score(inst, &mapping)
+    };
     SolveOutcome {
         mapping,
         objective,
@@ -716,6 +781,66 @@ mod tests {
         assert!(outcome.resume_rejected);
         assert!(outcome.stats.iter().all(|s| !s.resumed));
         assert_eq!(outcome.termination, Termination::Completed);
+    }
+
+    #[test]
+    fn objective_spec_rescores_the_race_deterministically() {
+        let inst = fig5_instance();
+        let solve = |spec: ObjectiveSpec, workers: usize| {
+            SolveRequest::builder(&inst)
+                .algorithms(quick_lineup())
+                .seeds([7])
+                .workers(workers)
+                .objective(spec)
+                .build()
+                .expect("valid")
+                .solve()
+        };
+        // Non-default objective: still worker-count invariant, and the
+        // reported objective is the spec's scalar on the winner.
+        let bal1 = solve(ObjectiveSpec::MaxMinBalance, 1);
+        let bal4 = solve(ObjectiveSpec::MaxMinBalance, 4);
+        assert_eq!(bal1.mapping.as_slice(), bal4.mapping.as_slice());
+        assert_eq!(bal1.objective.to_bits(), bal4.objective.to_bits());
+        assert_eq!(
+            bal1.objective.to_bits(),
+            ObjectiveSpec::MaxMinBalance
+                .score(&inst, &bal1.mapping)
+                .to_bits()
+        );
+        // Default-objective checkpoints keep their pre-objective
+        // fingerprints (resume works without naming an objective)…
+        let plain = solve(ObjectiveSpec::MinMaxApl, 2);
+        let resumed = SolveRequest::builder(&inst)
+            .algorithms(quick_lineup())
+            .seeds([7])
+            .resume(plain.checkpoint.clone())
+            .build()
+            .expect("valid")
+            .solve();
+        assert!(!resumed.resume_rejected);
+        assert_eq!(resumed.objective.to_bits(), plain.objective.to_bits());
+        // …while a balance-scored checkpoint must not resume a min-max
+        // race (different fingerprint ⇒ rejected and re-run).
+        let cross = SolveRequest::builder(&inst)
+            .algorithms(quick_lineup())
+            .seeds([7])
+            .resume(bal1.checkpoint.clone())
+            .build()
+            .expect("valid")
+            .solve();
+        assert!(cross.resume_rejected);
+        // And a balance-objective request resumes its own checkpoint.
+        let bal_resume = SolveRequest::builder(&inst)
+            .algorithms(quick_lineup())
+            .seeds([7])
+            .objective(ObjectiveSpec::MaxMinBalance)
+            .resume(bal1.checkpoint.clone())
+            .build()
+            .expect("valid")
+            .solve();
+        assert!(!bal_resume.resume_rejected);
+        assert_eq!(bal_resume.objective.to_bits(), bal1.objective.to_bits());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use obm_core::algorithms::{
     BalancedGreedy, BranchAndBound, HybridSssSa, Mapper, MonteCarlo, SimulatedAnnealing,
     SortSelectSwap,
 };
-use obm_core::{BudgetError, CancelToken, Mapping, ObmInstance};
+use obm_core::{BudgetError, CancelToken, Mapping, ObjectiveSpec, ObmInstance};
 
 use crate::checkpoint::Checkpoint;
 use crate::engine;
@@ -240,6 +240,7 @@ pub struct SolveRequest<'a> {
     pub(crate) budget: SolveBudget,
     pub(crate) workers: usize,
     pub(crate) aggressive_pruning: bool,
+    pub(crate) objective: ObjectiveSpec,
     pub(crate) cancel: CancelToken,
     pub(crate) resume: Option<Checkpoint>,
 }
@@ -254,6 +255,7 @@ impl<'a> SolveRequest<'a> {
             budget: SolveBudget::unlimited(),
             workers: default_workers(),
             aggressive_pruning: false,
+            objective: ObjectiveSpec::default(),
             cancel: CancelToken::never(),
             resume: None,
         }
@@ -285,6 +287,12 @@ impl<'a> SolveRequest<'a> {
     pub fn cancel_token(&self) -> &CancelToken {
         &self.cancel
     }
+
+    /// The objective every task is scored (and, for non-default
+    /// objectives, polished) under.
+    pub fn objective(&self) -> ObjectiveSpec {
+        self.objective
+    }
 }
 
 fn default_workers() -> usize {
@@ -302,6 +310,7 @@ pub struct SolveRequestBuilder<'a> {
     budget: SolveBudget,
     workers: usize,
     aggressive_pruning: bool,
+    objective: ObjectiveSpec,
     cancel: CancelToken,
     resume: Option<Checkpoint>,
 }
@@ -364,6 +373,18 @@ impl<'a> SolveRequestBuilder<'a> {
         self
     }
 
+    /// Score (and polish) every task under `objective` instead of the
+    /// default min-max APL. With [`ObjectiveSpec::MinMaxApl`] the race is
+    /// bit-identical to the pre-objective engine; any other objective
+    /// re-ranks the merge by its scalar, polishes each task's mapping
+    /// with a deterministic exchange refinement, and disables the shared
+    /// incumbent bound for exact tasks (branch-and-bound prunes on
+    /// max-APL internally, which is no longer the racing objective).
+    pub fn objective(mut self, objective: ObjectiveSpec) -> Self {
+        self.objective = objective;
+        self
+    }
+
     /// Let exact (branch-and-bound) tasks prune against the live shared
     /// incumbent. Off by default: the live bound depends on scheduling,
     /// so switching this on trades bit-for-bit reproducibility of the
@@ -410,6 +431,7 @@ impl<'a> SolveRequestBuilder<'a> {
             budget: self.budget,
             workers: self.workers,
             aggressive_pruning: self.aggressive_pruning,
+            objective: self.objective,
             cancel: self.cancel,
             resume: self.resume,
         })

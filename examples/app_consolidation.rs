@@ -32,6 +32,9 @@ fn main() {
     let mut sys = DynamicSystem::new(TileLatencies::paper_default(&mesh));
     let mapper = SortSelectSwap::default();
     let mut rng = SmallRng::seed_from_u64(2014);
+    // The mapping currently deployed on the chip, used to account for
+    // thread-migration cost at each remap.
+    let mut previous = None;
 
     // A timeline of arrivals and departures on the shared chip.
     let timeline: Vec<(&str, Option<AppSpec>)> = vec![
@@ -78,20 +81,26 @@ fn main() {
             }
         }
         let t0 = Instant::now();
-        let (_, _, report) = sys.remap(&mapper, 0);
+        let out = match &previous {
+            Some(prev) => sys.remap_from(&mapper, 0, prev, &mesh),
+            None => sys.remap(&mapper, 0),
+        };
         let dt = t0.elapsed();
         println!(
-            "   remapped {} threads in {:.2?}: per-app APL {:?} | max-APL {:.2} | dev-APL {:.3}",
+            "   remapped {} threads in {:.2?}: per-app APL {:?} | max-APL {:.2} | dev-APL {:.3} | moved {} threads ({} hops)",
             sys.threads_in_use(),
             dt,
-            report
+            out.report
                 .per_app
                 .iter()
                 .map(|d| (d * 100.0).round() / 100.0)
                 .collect::<Vec<_>>(),
-            report.max_apl,
-            report.dev_apl
+            out.report.max_apl,
+            out.report.dev_apl,
+            out.threads_moved,
+            out.migration_cost
         );
+        previous = Some(out.mapping);
     }
 
     // Capacity guard: an application that does not fit is rejected.

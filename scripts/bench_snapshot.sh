@@ -2,7 +2,7 @@
 # Snapshot the criterion benchmarks into a machine-readable JSON file.
 #
 #   scripts/bench_snapshot.sh [BENCH]... [-o OUT.json]
-#   BENCH_PR=6 scripts/bench_snapshot.sh        # writes BENCH_PR6.json
+#   BENCH_PR=7 scripts/bench_snapshot.sh        # writes BENCH_PR7.json
 #
 # Runs `cargo bench -p obm-bench` for the named bench targets (default:
 # noc_sim, the simulator hot loop) and parses the vendored criterion
@@ -23,11 +23,14 @@
 # the eval_batch group, derived "speedup/eval_many_vs_scratch" (the
 # buffer-recycling eval_many_into steady state) and
 # "speedup/objectives_vs_scratch" keys record batched-vs-scratch
-# evaluation throughput (×).
+# evaluation throughput (×). When the run contains the remap_loadcurve
+# group, a derived "controlled_delta_pct/steady_4x4_10k" key records
+# the overhead of running under an armed-but-quiet RemapController as a
+# percentage of the plain run's median.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR${BENCH_PR:-6}.json"
+out="BENCH_PR${BENCH_PR:-7}.json"
 benches=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -69,6 +72,11 @@ awk '
     if (scratch > 0 && objs > 0)
       printf ",\n  \"speedup/objectives_vs_scratch\": %.2f",
         scratch / objs
+    plain = medians["remap_loadcurve/steady_4x4_10k_plain"]
+    watched = medians["remap_loadcurve/steady_4x4_10k_watched"]
+    if (plain > 0 && watched > 0)
+      printf ",\n  \"controlled_delta_pct/steady_4x4_10k\": %.2f",
+        100.0 * (watched - plain) / plain
     printf "\n}\n"
   }
 ' "$raw" > "$out"

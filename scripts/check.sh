@@ -9,10 +9,12 @@
 #   5. determinism      — the portfolio engine's worker-count-invariance
 #                         suite, the batch-evaluation suite (eval_many ≡
 #                         scratch evaluate bitwise + pinned solver goldens),
-#                         and the simulator's golden-report suite
-#                         (Bernoulli + geometric injection) in release mode
-#                         (optimizations change f64 codegen timing, never
-#                         the pinned bit patterns)
+#                         the simulator's golden-report suite
+#                         (Bernoulli + geometric injection), and the
+#                         online-remap controller's pinned decision
+#                         sequence, all in release mode (optimizations
+#                         change f64 codegen timing, never the pinned
+#                         bit patterns)
 #   6. CLI smoke        — the observability subcommands (`experiments
 #                         heatmap --json`, `experiments trace --chrome`)
 #                         run on a generated C1 instance; the emitted
@@ -27,8 +29,12 @@
 #                         CheckpointError), the CLI spec parser (typed
 #                         SpecError), noc-telemetry's histogram/
 #                         heatmap observers (probes must never abort a
-#                         simulation), or the batched evaluation engine
-#                         (the parallel path must degrade, not abort)
+#                         simulation), the batched evaluation engine
+#                         (the parallel path must degrade, not abort),
+#                         or the Objective implementations and the
+#                         online remap controller (typed RemapError;
+#                         a mid-run controller must never abort a
+#                         simulation)
 #
 # The tier-1 commands match ROADMAP.md; `--workspace` matters because the
 # root package is a facade crate and a bare `cargo build` would silently
@@ -51,7 +57,8 @@ cargo test -q --workspace
 echo "==> examples: build and run every example"
 cargo build --release --workspace --examples
 for ex in quickstart simulate_mapping app_consolidation custom_chip \
-    np_reduction qos_priorities portfolio_solve noc_observability; do
+    np_reduction qos_priorities portfolio_solve noc_observability \
+    online_remap; do
     echo "--> example: $ex"
     cargo run --quiet --release --example "$ex" >/dev/null
 done
@@ -80,6 +87,12 @@ echo "==> simulator determinism suite (release)"
 # window spans across fast-forwarded regions — must hold under release
 # codegen too.
 cargo test -q --release --test sim_determinism
+
+echo "==> online-remap determinism suite (release)"
+# The closed-loop controller's decision sequence (remap cycles + final
+# mapping for the pinned seed) and the headline drifting-workload win
+# must replay bit-identically under release codegen.
+cargo test -q --release --test remap
 
 echo "==> CLI observability smoke: heatmap + chrome-trace JSON"
 # Run the spatial-observability subcommands end to end on a generated C1
@@ -129,7 +142,8 @@ for f in crates/noc-sim/src/config.rs crates/noc-sim/src/network.rs \
     crates/noc-sim/src/traffic.rs \
     crates/noc-telemetry/src/histogram.rs crates/noc-telemetry/src/heatmap.rs \
     crates/portfolio/src/*.rs crates/cli/src/spec.rs \
-    crates/obm-core/src/batch.rs; do
+    crates/obm-core/src/batch.rs \
+    crates/obm-core/src/objective.rs crates/obm-core/src/remap.rs; do
     cut=$(grep -n '#\[cfg(test)\]' "$f" | head -1 | cut -d: -f1 || true)
     cut=${cut:-$(( $(wc -l < "$f") + 1 ))}
     if hits=$(head -n $((cut - 1)) "$f" \

@@ -13,7 +13,9 @@
 //!   first principles (L1 + MOESI-lite directory + shared L2 banks);
 //! * [`lap`] — Hungarian assignment solver;
 //! * [`mapping`] — the OBM problem, the sort-select-swap heuristic and the
-//!   Global / Monte-Carlo / simulated-annealing baselines;
+//!   Global / Monte-Carlo / simulated-annealing baselines, plus the
+//!   pluggable `Objective` API and the closed-loop online
+//!   `RemapController` (DESIGN.md §14);
 //! * [`portfolio`] — deterministic parallel solver-portfolio engine racing
 //!   the mappers behind the `SolveRequest`/`SolveOutcome` API;
 //! * [`power`] — DSENT-substitute NoC power model.
@@ -55,8 +57,10 @@ pub mod prelude {
         SimulatedAnnealing, SortSelectSwap,
     };
     pub use crate::mapping::{
-        evaluate, traffic_spec, AplReport, BatchEvaluator, BudgetError, CancelToken, EvalTables,
-        IncrementalEvaluator, Mapping, ObmInstance,
+        evaluate, piecewise_traffic_spec, traffic_spec, AplReport, BatchEvaluator, BudgetError,
+        CancelToken, Energy, EvalTables, IncrementalEvaluator, Mapping, MaxMinBalance,
+        MigrationPenalized, MinMaxApl, Objective, ObjectiveSpec, ObmInstance, RemapConfig,
+        RemapController, RemapError, RemapEvent, RemapOutcome,
     };
     pub use crate::model::{Coord, LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
     pub use crate::portfolio::{
@@ -64,8 +68,8 @@ pub mod prelude {
         Termination,
     };
     pub use crate::sim::{
-        ConfigError, Network, Schedule, SimConfig, SimConfigBuilder, SimReport, SourceSpec,
-        TrafficSpec,
+        ConfigError, Network, Schedule, SimConfig, SimConfigBuilder, SimReport, SourceCounters,
+        SourceSpec, SwapController, TrafficSpec,
     };
     pub use crate::telemetry::{
         FlowSummary, HeatmapRecord, JsonLinesSink, LatencyAccum, LatencyHistogram, NoopSink,

@@ -97,6 +97,26 @@ proptest! {
         }
     }
 
+    /// The default objective is bit-identical with the historical paths:
+    /// `ObjectiveSpec::MinMaxApl.score` equals `evaluate().max_apl`
+    /// exactly (same f64 bits), and `Mapper::map_objective` under
+    /// MinMaxApl returns the very mapping `map` does.
+    #[test]
+    fn min_max_apl_objective_is_bit_identical(inst in arb_instance(), seed in any::<u64>()) {
+        use obm::mapping::ObjectiveSpec;
+        let spec = ObjectiveSpec::MinMaxApl;
+        for mapper in [&SortSelectSwap::default() as &dyn Mapper, &Global, &RandomMapper] {
+            let m = mapper.map(&inst, seed);
+            prop_assert_eq!(
+                spec.score(&inst, &m).to_bits(),
+                evaluate(&inst, &m).max_apl.to_bits(),
+                "{} score diverged from evaluate()", mapper.name()
+            );
+            let via_objective = mapper.map_objective(&inst, seed, spec.build().as_ref());
+            prop_assert_eq!(via_objective, m, "{} map_objective diverged", mapper.name());
+        }
+    }
+
     /// SSS and Global are deterministic; seeded algorithms reproduce.
     #[test]
     fn determinism(inst in arb_instance(), seed in any::<u64>()) {
