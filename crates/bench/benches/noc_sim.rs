@@ -109,7 +109,7 @@ fn sim_injection_modes(c: &mut Criterion) {
 /// `controlled_delta_pct/steady_4x4_10k`).
 fn sim_remap_loadcurve(c: &mut Criterion) {
     let mesh = Mesh::square(4);
-    let mcs = MemoryControllers::custom(&mesh, vec![TileId(0)]);
+    let mcs = MemoryControllers::try_custom(&mesh, vec![TileId(0)]).expect("valid placement");
     let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
     let cache: Vec<f64> = [2.0; 4].iter().chain([3.0; 4].iter()).copied().collect();
     let mem: Vec<f64> = [10.0; 4].iter().chain([0.3; 4].iter()).copied().collect();
@@ -117,7 +117,8 @@ fn sim_remap_loadcurve(c: &mut Criterion) {
     let mapping = SortSelectSwap::default().map(&inst, 0);
     let cfg = || {
         let mut cfg = SimConfig::paper_defaults(mesh);
-        cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(0)]);
+        cfg.controllers =
+            MemoryControllers::try_custom(&mesh, vec![TileId(0)]).expect("valid placement");
         cfg.warmup_cycles = 1_000;
         cfg.measure_cycles = 10_000;
         cfg.seed = 7;

@@ -1,0 +1,67 @@
+//! Cost of the outer placement search (DESIGN.md §15): an exhaustive
+//! sweep over the 252 canonical 4-controller placements of a 4×4 chip
+//! with a sort-select-swap inner solve per candidate, and the annealed
+//! outer loop at the default iteration budget. Alongside the timings the
+//! bench emits two quality lines in the same `label time: N ns/iter`
+//! shape — corner-default and best-found max-APL in millicycles — so
+//! `scripts/bench_snapshot.sh` can derive `placement_gain_pct` from the
+//! same run that produced the timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+use obm_core::placement::{co_optimize, sss_inner, PlacementOptions, SearchMode};
+use obm_core::ObmInstance;
+
+/// The fixed configuration of `experiments placement`: four 4-thread
+/// apps on a 4×4 chip, app 4 the most memory-intensive.
+fn sweep_instance() -> (ObmInstance, Mesh) {
+    let mesh = Mesh::square(4);
+    let c: Vec<f64> = (0..16).map(|j| 1.0 + 0.5 * (j % 4) as f64).collect();
+    let m: Vec<f64> = (0..16).map(|j| 0.2 + 0.15 * (j / 4) as f64).collect();
+    let bounds = vec![0, 4, 8, 12, 16];
+    let tl = TileLatencies::compute(
+        &mesh,
+        &MemoryControllers::corners(&mesh),
+        LatencyParams::paper_table2(),
+    );
+    (ObmInstance::new(tl, bounds, c, m), mesh)
+}
+
+fn placement_outer(c: &mut Criterion) {
+    let (inst, mesh) = sweep_instance();
+    let mut group = c.benchmark_group("placement_outer_4x4");
+    group.sample_size(10);
+    group.bench_function("exhaustive_252_layouts", |b| {
+        let mut opts = PlacementOptions::new(4);
+        opts.mode = SearchMode::Exhaustive;
+        b.iter(|| {
+            co_optimize(&inst, &mesh, &opts, sss_inner)
+                .expect("4 controllers on a 4x4 mesh is a valid search")
+                .objective
+        })
+    });
+    group.bench_function("annealed_400_iters", |b| {
+        let mut opts = PlacementOptions::new(4);
+        opts.mode = SearchMode::Annealed { iterations: 400 };
+        b.iter(|| {
+            co_optimize(&inst, &mesh, &opts, sss_inner)
+                .expect("4 controllers on a 4x4 mesh is a valid search")
+                .objective
+        })
+    });
+    group.finish();
+
+    // Quality metrics, printed in the criterion-stub line format so the
+    // snapshot script's awk pass collects them next to the timings.
+    let mut opts = PlacementOptions::new(4);
+    opts.mode = SearchMode::Exhaustive;
+    let out = co_optimize(&inst, &mesh, &opts, sss_inner)
+        .expect("4 controllers on a 4x4 mesh is a valid search");
+    let corner = (out.baseline_objective * 1000.0).round() as u64;
+    let best = (out.objective * 1000.0).round() as u64;
+    println!("placement_outer_4x4/corner_maxapl_millicycles time: {corner} ns/iter (1 samples)");
+    println!("placement_outer_4x4/best_maxapl_millicycles time: {best} ns/iter (1 samples)");
+}
+
+criterion_group!(benches, placement_outer);
+criterion_main!(benches);

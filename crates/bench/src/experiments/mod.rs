@@ -15,6 +15,7 @@ pub mod loadcurve;
 pub mod nocparams;
 pub mod optgap;
 pub mod oversub;
+pub mod placement;
 pub mod queueing;
 pub mod scaling;
 pub mod table1;
@@ -51,6 +52,7 @@ pub const ALL: &[&str] = &[
     "oversub",
     "nocparams",
     "tails",
+    "placement",
 ];
 
 /// Run one experiment by id. `fast` trims sample counts / simulated cycles
@@ -90,6 +92,7 @@ pub fn run_with(id: &str, fast: bool, injection: noc_sim::InjectionProcess) -> O
         "oversub" => oversub::run(),
         "nocparams" => nocparams::run(fast),
         "tails" => tails::run_with(fast, injection),
+        "placement" => placement::run(fast),
         _ => return None,
     })
 }

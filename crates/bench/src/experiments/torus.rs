@@ -6,7 +6,7 @@
 //! tiles. Global's imbalance should therefore collapse on the torus.
 
 use crate::table::{f, MarkdownTable};
-use noc_model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+use noc_model::{ChipLayout, LatencyParams, MemoryControllers, Mesh, TileLatencies, Topology};
 use obm_core::algorithms::{Global, Mapper, SortSelectSwap};
 use obm_core::{evaluate, ObmInstance};
 use workload::{PaperConfig, WorkloadBuilder};
@@ -20,9 +20,11 @@ pub fn run() -> String {
 
     let mut t = MarkdownTable::new(vec!["topology", "algo", "max-APL", "dev-APL", "g-APL"]);
     let mut imbalance = Vec::new();
+    let torus = ChipLayout::try_new(mesh, Topology::Torus, mcs.clone(), Vec::new())
+        .expect("corner controllers are valid on a torus");
     for (name, tiles) in [
         ("mesh", TileLatencies::compute(&mesh, &mcs, params)),
-        ("torus", TileLatencies::compute_torus(&mesh, &mcs, params)),
+        ("torus", TileLatencies::for_layout(&torus, params)),
     ] {
         let inst = ObmInstance::new(tiles, w.boundaries(), c.clone(), m.clone());
         for mapper in [&Global as &dyn Mapper, &SortSelectSwap::default()] {

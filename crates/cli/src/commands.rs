@@ -1,8 +1,10 @@
 //! CLI command implementations, kept pure (string in → string out) so the
 //! tests can drive them without a process boundary.
 
-use crate::spec::{spec_from_workload, InstanceSpec};
-use noc_model::{LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
+use crate::spec::{spec_from_workload, ControllerSpec, InstanceSpec};
+use noc_model::{
+    ChipLayout, LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies, Topology,
+};
 use noc_sim::telemetry::heatmap::{PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST};
 use noc_sim::telemetry::json::Value;
 use noc_sim::telemetry::{
@@ -13,9 +15,39 @@ use obm_core::algorithms::{
     BalancedGreedy, BranchAndBound, Global, HybridSssSa, Mapper, MonteCarlo, RandomMapper,
     SimulatedAnnealing, SortSelectSwap,
 };
-use obm_core::{evaluate, Mapping, ObjectiveSpec, ObmInstance};
-use obm_portfolio::{Algorithm, Checkpoint, SolveRequest};
+use obm_core::{evaluate, Mapping, ObjectiveSpec, ObmInstance, PlacementOptions, SearchMode};
+use obm_portfolio::{Algorithm, Checkpoint, SolveBudget, SolveRequest};
 use workload::{PaperConfig, WorkloadBuilder};
+
+/// Layout flags shared by every spec-driven command: `--topology` picks
+/// mesh or torus links, `--mcs` overrides the spec's controller
+/// placement. Both default to the spec itself, keeping flag-free
+/// invocations byte-identical to the pre-layout CLI.
+#[derive(Clone, Copy, Default)]
+pub struct LayoutFlags<'a> {
+    /// `--topology mesh|torus` (None = spec default, mesh).
+    pub topology: Option<&'a str>,
+    /// `--mcs corners|edge-centers|custom:<k1,k2,...>` (None = spec).
+    pub mcs: Option<&'a str>,
+}
+
+impl LayoutFlags<'_> {
+    /// Apply the overrides to a parsed spec, returning the (possibly
+    /// rewritten) spec and the chip layout commands should solve on.
+    fn apply(&self, mut spec: InstanceSpec) -> Result<(InstanceSpec, ChipLayout), String> {
+        let topology: Topology = match self.topology {
+            Some(text) => text.parse().map_err(|e| format!("--topology: {e}"))?,
+            None => Topology::Mesh,
+        };
+        if let Some(text) = self.mcs {
+            let controllers: ControllerSpec = text.parse().map_err(|e| format!("--mcs: {e}"))?;
+            spec.set_controllers(controllers)
+                .map_err(|e| format!("--mcs: {e}"))?;
+        }
+        let layout = spec.chip_layout(topology);
+        Ok((spec, layout))
+    }
+}
 
 /// Resolve an algorithm name to a mapper.
 pub fn mapper_by_name(name: &str) -> Result<Box<dyn Mapper>, String> {
@@ -108,10 +140,12 @@ pub fn map_command(
     seed: u64,
     grid: bool,
     objective: &str,
+    layout: LayoutFlags,
 ) -> Result<String, String> {
     let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
     let objective: ObjectiveSpec = objective.parse()?;
-    let inst = spec.to_instance();
+    let (spec, chip) = layout.apply(spec)?;
+    let inst = spec.to_instance_for_layout(&chip);
     let mapper = mapper_by_name(algo)?;
     let mapping = if objective.is_min_max_apl() {
         mapper.map(&inst, seed)
@@ -145,10 +179,12 @@ pub fn eval_command(
     spec_text: &str,
     mapping_text: &str,
     objective: &str,
+    layout: LayoutFlags,
 ) -> Result<String, String> {
     let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
     let objective: ObjectiveSpec = objective.parse()?;
-    let inst = spec.to_instance();
+    let (spec, chip) = layout.apply(spec)?;
+    let inst = spec.to_instance_for_layout(&chip);
     let tiles: Result<Vec<TileId>, String> = mapping_text
         .lines()
         .map(|l| l.split('#').next().unwrap_or("").trim())
@@ -192,14 +228,14 @@ pub fn simulate_command(
     algo: &str,
     seed: u64,
     cycles: u64,
+    layout: LayoutFlags,
 ) -> Result<String, String> {
     let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
-    let inst = spec.to_instance();
+    let (spec, chip) = layout.apply(spec)?;
+    let inst = spec.to_instance_for_layout(&chip);
     let mapper = mapper_by_name(algo)?;
     let mapping = mapper.map(&inst, seed);
-    let mesh = spec.mesh();
-    let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.controllers = spec.memory_controllers();
+    let mut cfg = SimConfig::for_layout(&chip).map_err(|e| format!("invalid layout: {e}"))?;
     cfg.warmup_cycles = (cycles / 10).max(100);
     cfg.measure_cycles = cycles;
     cfg.seed = seed ^ 0xC0FFEE;
@@ -248,13 +284,14 @@ pub fn trace_command(
     seed: u64,
     cycles: u64,
     window: u64,
+    layout: LayoutFlags,
 ) -> Result<String, String> {
     let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
-    let inst = spec.to_instance();
+    let (spec, chip) = layout.apply(spec)?;
+    let inst = spec.to_instance_for_layout(&chip);
     let mapper = mapper_by_name(algo)?;
     let mesh = spec.mesh();
-    let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.controllers = spec.memory_controllers();
+    let mut cfg = SimConfig::for_layout(&chip).map_err(|e| format!("invalid layout: {e}"))?;
     cfg.warmup_cycles = (cycles / 10).max(100);
     cfg.measure_cycles = cycles;
     cfg.telemetry_window = window;
@@ -346,14 +383,14 @@ pub fn heatmap_command(
     seed: u64,
     cycles: u64,
     json: bool,
+    layout: LayoutFlags,
 ) -> Result<String, String> {
     let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
-    let inst = spec.to_instance();
+    let (spec, chip) = layout.apply(spec)?;
+    let inst = spec.to_instance_for_layout(&chip);
     let mapper = mapper_by_name(algo)?;
     let mapping = mapper.map(&inst, seed);
-    let mesh = spec.mesh();
-    let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.controllers = spec.memory_controllers();
+    let mut cfg = SimConfig::for_layout(&chip).map_err(|e| format!("invalid layout: {e}"))?;
     cfg.warmup_cycles = (cycles / 10).max(100);
     cfg.measure_cycles = cycles;
     cfg.seed = seed ^ 0xC0FFEE;
@@ -481,14 +518,14 @@ pub fn chrome_trace_command(
     seed: u64,
     cycles: u64,
     window: u64,
+    layout: LayoutFlags,
 ) -> Result<String, String> {
     let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
-    let inst = spec.to_instance();
+    let (spec, chip) = layout.apply(spec)?;
+    let inst = spec.to_instance_for_layout(&chip);
     let mapper = mapper_by_name(algo)?;
     let mapping = mapper.map(&inst, seed);
-    let mesh = spec.mesh();
-    let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.controllers = spec.memory_controllers();
+    let mut cfg = SimConfig::for_layout(&chip).map_err(|e| format!("invalid layout: {e}"))?;
     cfg.warmup_cycles = (cycles / 10).max(100);
     cfg.measure_cycles = cycles;
     cfg.telemetry_window = window;
@@ -639,6 +676,8 @@ pub struct SolveArgs<'a> {
     pub objective: &'a str,
     /// Contents of a `--resume` checkpoint file, if given.
     pub resume_json: Option<&'a str>,
+    /// `--topology`/`--mcs` overrides.
+    pub layout: LayoutFlags<'a>,
 }
 
 fn portfolio_algorithms(names: &str) -> Result<Vec<Algorithm>, String> {
@@ -685,7 +724,8 @@ fn parse_seed_list(text: &str) -> Result<Vec<u64>, String> {
 /// by `main` when `--checkpoint` is given).
 pub fn solve_command(spec_text: &str, args: &SolveArgs) -> Result<(String, String), String> {
     let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
-    let inst = spec.to_instance();
+    let (spec, chip) = args.layout.apply(spec)?;
+    let inst = spec.to_instance_for_layout(&chip);
     let algorithms = portfolio_algorithms(args.algos)?;
     let seeds = parse_seed_list(args.seeds)?;
     let objective: ObjectiveSpec = args.objective.parse()?;
@@ -766,6 +806,117 @@ pub fn solve_command(spec_text: &str, args: &SolveArgs) -> Result<(String, Strin
     Ok((out, outcome.checkpoint.to_json()))
 }
 
+/// Flags for `obm place` (placement co-optimization).
+pub struct PlaceArgs<'a> {
+    /// Number of memory controllers to place (`--controllers K`).
+    pub controllers: usize,
+    /// `--topology mesh|torus`.
+    pub topology: &'a str,
+    /// `--exhaustive` forces full canonical enumeration.
+    pub exhaustive: bool,
+    /// `--annealed N` forces simulated annealing over placements.
+    pub annealed: Option<usize>,
+    /// Outer-search seed (also seeds the inner solver).
+    pub seed: u64,
+    /// `--portfolio`: race the default solver portfolio on every
+    /// candidate layout instead of single sort-select-swap.
+    pub portfolio: bool,
+    /// Worker threads for `--portfolio`.
+    pub workers: Option<usize>,
+    /// `--grid`: render the best mapping as an application grid.
+    pub grid: bool,
+}
+
+fn controller_list(layout: &ChipLayout) -> String {
+    let list: Vec<String> = layout
+        .controllers()
+        .tiles()
+        .iter()
+        .map(|t| t.to_paper().to_string())
+        .collect();
+    list.join(" ")
+}
+
+/// `obm place` — co-optimize memory-controller placement and thread
+/// mapping: a deterministic outer search over symmetry-reduced controller
+/// placements (exhaustive when small, simulated annealing otherwise) with
+/// an OBM solver in the inner loop. Reports the corner-default baseline
+/// next to the best layout found, plus the inner mapping for it.
+pub fn place_command(spec_text: &str, args: &PlaceArgs) -> Result<String, String> {
+    let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let inst = spec.to_instance();
+    let mesh = spec.mesh();
+
+    let mut opts = PlacementOptions::new(args.controllers);
+    opts.topology = args
+        .topology
+        .parse()
+        .map_err(|e| format!("--topology: {e}"))?;
+    opts.seed = args.seed;
+    opts.inner_seed = args.seed;
+    if args.exhaustive && args.annealed.is_some() {
+        return Err("--exhaustive and --annealed are mutually exclusive".to_string());
+    }
+    if args.exhaustive {
+        opts.mode = SearchMode::Exhaustive;
+    } else if let Some(iterations) = args.annealed {
+        if iterations == 0 {
+            return Err("--annealed needs at least one iteration".to_string());
+        }
+        opts.mode = SearchMode::Annealed { iterations };
+    }
+
+    let outcome = if args.portfolio {
+        let inner = obm_portfolio::portfolio_inner(
+            Algorithm::default_portfolio(),
+            args.workers.unwrap_or(4),
+            SolveBudget::unlimited(),
+        );
+        obm_core::co_optimize(&inst, &mesh, &opts, inner)
+    } else {
+        obm_core::co_optimize(&inst, &mesh, &opts, obm_core::sss_inner)
+    }
+    .map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "placement search: {} controller(s) | topology {} | inner {} | {} layout(s) scored ({})\n",
+        args.controllers,
+        outcome.layout.topology(),
+        if args.portfolio { "portfolio" } else { "sss" },
+        outcome.evaluated,
+        if outcome.exhaustive {
+            "exhaustive over canonical placements"
+        } else {
+            "annealed"
+        }
+    ));
+    out.push_str(&format!(
+        "baseline (corner-default)  tiles {:<16} max-APL {:.4}\n",
+        controller_list(&outcome.baseline_layout),
+        outcome.baseline_objective
+    ));
+    out.push_str(&format!(
+        "best found                 tiles {:<16} max-APL {:.4}  (gain {:.2}%)\n\n",
+        controller_list(&outcome.layout),
+        outcome.objective,
+        outcome.gain_pct()
+    ));
+    out.push_str("# thread -> tile (paper 1-based numbering)\n");
+    for j in 0..inst.num_threads() {
+        out.push_str(&format!("{}\n", outcome.mapping.tile_of(j).to_paper()));
+    }
+    out.push('\n');
+    let best_inst = spec.to_instance_for_layout(&outcome.layout);
+    if args.grid {
+        out.push_str("application grid (1 = first declared app):\n");
+        out.push_str(&mapping_grid(&mesh, &best_inst, &outcome.mapping));
+        out.push('\n');
+    }
+    out.push_str(&report_block(&spec, &best_inst, &outcome.mapping));
+    Ok(out)
+}
+
 /// `obm latency` — print the TC/TM arrays for a chip.
 pub fn latency_command(n: usize, controllers: &str) -> Result<String, String> {
     let mesh = Mesh::square(n);
@@ -832,7 +983,8 @@ thread 8.5 1.3
 
     #[test]
     fn map_then_eval_roundtrip() {
-        let mapped = map_command(SPEC, "sss", 0, false, "min-max-apl").unwrap();
+        let mapped =
+            map_command(SPEC, "sss", 0, false, "min-max-apl", LayoutFlags::default()).unwrap();
         // Extract the tile list (non-comment numeric lines before the blank).
         let tiles: Vec<&str> = mapped
             .lines()
@@ -840,7 +992,8 @@ thread 8.5 1.3
             .filter(|l| !l.starts_with('#'))
             .collect();
         assert_eq!(tiles.len(), 8);
-        let eval_out = eval_command(SPEC, &tiles.join("\n"), "apl").unwrap();
+        let eval_out =
+            eval_command(SPEC, &tiles.join("\n"), "apl", LayoutFlags::default()).unwrap();
         assert!(eval_out.contains("max-APL"));
         // Evaluated metrics must equal the mapper's own report.
         let metrics_line = |s: &str| {
@@ -854,39 +1007,72 @@ thread 8.5 1.3
 
     #[test]
     fn eval_rejects_bad_mappings() {
-        assert!(eval_command(SPEC, "1\n1\n2\n3\n4\n5\n6\n7\n", "apl").is_err()); // dup
-        assert!(eval_command(SPEC, "1\n2\n3\n", "apl").is_err()); // too few
-        assert!(eval_command(SPEC, "0\n2\n3\n4\n5\n6\n7\n8\n", "apl").is_err()); // 0 invalid
-        assert!(eval_command(SPEC, "99\n2\n3\n4\n5\n6\n7\n8\n", "apl").is_err());
+        assert!(eval_command(
+            SPEC,
+            "1\n1\n2\n3\n4\n5\n6\n7\n",
+            "apl",
+            LayoutFlags::default()
+        )
+        .is_err()); // dup
+        assert!(eval_command(SPEC, "1\n2\n3\n", "apl", LayoutFlags::default()).is_err()); // too few
+        assert!(eval_command(
+            SPEC,
+            "0\n2\n3\n4\n5\n6\n7\n8\n",
+            "apl",
+            LayoutFlags::default()
+        )
+        .is_err()); // 0 invalid
+        assert!(eval_command(
+            SPEC,
+            "99\n2\n3\n4\n5\n6\n7\n8\n",
+            "apl",
+            LayoutFlags::default()
+        )
+        .is_err());
         // range
     }
 
     #[test]
     fn map_grid_output() {
-        let out = map_command(SPEC, "greedy", 0, true, "apl").unwrap();
+        let out = map_command(SPEC, "greedy", 0, true, "apl", LayoutFlags::default()).unwrap();
         assert!(out.contains("application grid"));
         assert!(out.contains("  .") || out.contains("  1"), "{out}");
     }
 
     #[test]
     fn unknown_algo_rejected() {
-        assert!(map_command(SPEC, "quantum", 0, false, "apl").is_err());
+        assert!(map_command(SPEC, "quantum", 0, false, "apl", LayoutFlags::default()).is_err());
     }
 
     #[test]
     fn objective_flag_changes_the_report() {
         // Unknown objectives are rejected up front.
-        assert!(map_command(SPEC, "sss", 0, false, "entropy").is_err());
-        assert!(eval_command(SPEC, "1\n2\n3\n4\n5\n6\n7\n8\n", "entropy").is_err());
+        assert!(map_command(SPEC, "sss", 0, false, "entropy", LayoutFlags::default()).is_err());
+        assert!(eval_command(
+            SPEC,
+            "1\n2\n3\n4\n5\n6\n7\n8\n",
+            "entropy",
+            LayoutFlags::default()
+        )
+        .is_err());
 
         // The default spelling produces no extra line (bit-identical to
         // the pre-objective CLI)...
-        let default_out = map_command(SPEC, "sss", 0, false, "min-max-apl").unwrap();
+        let default_out =
+            map_command(SPEC, "sss", 0, false, "min-max-apl", LayoutFlags::default()).unwrap();
         assert!(!default_out.contains("objective "));
 
         // ...while a non-default objective annotates the mapping and
         // appends its scalar, and the mapping still evaluates cleanly.
-        let out = map_command(SPEC, "sss", 0, false, "max-min-balance").unwrap();
+        let out = map_command(
+            SPEC,
+            "sss",
+            0,
+            false,
+            "max-min-balance",
+            LayoutFlags::default(),
+        )
+        .unwrap();
         assert!(out.contains("# objective: max-min-balance"), "{out}");
         assert!(out.contains("objective max-min-balance = "), "{out}");
         let tiles: Vec<&str> = out
@@ -896,13 +1082,14 @@ thread 8.5 1.3
             .filter(|l| !l.starts_with('#'))
             .collect();
         assert_eq!(tiles.len(), 8);
-        let eval_out = eval_command(SPEC, &tiles.join("\n"), "energy").unwrap();
+        let eval_out =
+            eval_command(SPEC, &tiles.join("\n"), "energy", LayoutFlags::default()).unwrap();
         assert!(eval_out.contains("objective energy = "), "{eval_out}");
     }
 
     #[test]
     fn simulate_small() {
-        let out = simulate_command(SPEC, "sss", 1, 5_000).unwrap();
+        let out = simulate_command(SPEC, "sss", 1, 5_000, LayoutFlags::default()).unwrap();
         assert!(out.contains("simulated"), "{out}");
         assert!(!out.contains("undrained"), "{out}");
     }
@@ -913,7 +1100,7 @@ thread 8.5 1.3
 
         let cycles = 4_000u64;
         let window = 500u64;
-        let out = trace_command(SPEC, "sss", 1, cycles, window).unwrap();
+        let out = trace_command(SPEC, "sss", 1, cycles, window, LayoutFlags::default()).unwrap();
         let values: Vec<json::Value> = out
             .lines()
             .map(|l| json::parse(l).expect("every line is valid JSON"))
@@ -995,8 +1182,8 @@ thread 8.5 1.3
     fn heatmap_json_is_deterministic_and_conserves_flits() {
         use noc_sim::telemetry::json;
 
-        let a = heatmap_command(SPEC, "sss", 1, 3_000, true).unwrap();
-        let b = heatmap_command(SPEC, "sss", 1, 3_000, true).unwrap();
+        let a = heatmap_command(SPEC, "sss", 1, 3_000, true, LayoutFlags::default()).unwrap();
+        let b = heatmap_command(SPEC, "sss", 1, 3_000, true, LayoutFlags::default()).unwrap();
         assert_eq!(a, b, "same seed must give byte-identical heatmap JSON");
 
         let v = json::parse(&a).unwrap();
@@ -1025,7 +1212,7 @@ thread 8.5 1.3
 
     #[test]
     fn heatmap_ascii_renders_mesh_and_decomposition() {
-        let out = heatmap_command(SPEC, "sss", 1, 3_000, false).unwrap();
+        let out = heatmap_command(SPEC, "sss", 1, 3_000, false, LayoutFlags::default()).unwrap();
         assert!(out.contains("link heatmap"), "{out}");
         assert!(out.contains("o-"), "{out}");
         assert!(out.contains("hottest links"), "{out}");
@@ -1042,7 +1229,7 @@ thread 8.5 1.3
     fn chrome_trace_events_satisfy_decomposition_identity() {
         use noc_sim::telemetry::json;
 
-        let out = chrome_trace_command(SPEC, "sss", 1, 3_000, 500).unwrap();
+        let out = chrome_trace_command(SPEC, "sss", 1, 3_000, 500, LayoutFlags::default()).unwrap();
         let v = json::parse(&out).unwrap();
         let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
         assert!(!events.is_empty());
@@ -1128,6 +1315,7 @@ thread 5.0 0.7
             aggressive: false,
             objective: "min-max-apl",
             resume_json: resume,
+            layout: LayoutFlags::default(),
         }
     }
 
@@ -1173,6 +1361,122 @@ thread 5.0 0.7
         assert!(e.contains("worker count"), "{e}");
         let e = solve_command(SPEC, &quick_solve_args("sss", Some("not json"))).unwrap_err();
         assert!(e.contains("JSON"), "{e}");
+    }
+
+    #[test]
+    fn layout_flags_override_and_reject() {
+        let topo = |t: &'static str| LayoutFlags {
+            topology: Some(t),
+            mcs: None,
+        };
+        let mcs = |m: &'static str| LayoutFlags {
+            topology: None,
+            mcs: Some(m),
+        };
+        // Explicit defaults are byte-identical to flag-free runs.
+        let default_out =
+            map_command(SPEC, "sss", 0, false, "min-max-apl", LayoutFlags::default()).unwrap();
+        let explicit = map_command(SPEC, "sss", 0, false, "min-max-apl", topo("mesh")).unwrap();
+        assert_eq!(default_out, explicit);
+        let corners = map_command(SPEC, "sss", 0, false, "min-max-apl", mcs("corners")).unwrap();
+        assert_eq!(default_out, corners);
+        // Overrides change the solved instance.
+        let torus = map_command(SPEC, "sss", 0, false, "min-max-apl", topo("torus")).unwrap();
+        assert_ne!(default_out, torus);
+        let custom = map_command(
+            SPEC,
+            "sss",
+            0,
+            false,
+            "min-max-apl",
+            mcs("custom:6,7,10,11"),
+        )
+        .unwrap();
+        assert_ne!(default_out, custom);
+        // Bad values surface as readable errors, not panics.
+        let e = map_command(SPEC, "sss", 0, false, "min-max-apl", topo("ring")).unwrap_err();
+        assert!(e.contains("--topology"), "{e}");
+        for bad in ["custom:0", "custom:99", "custom:", "ring"] {
+            let e = map_command(
+                SPEC,
+                "sss",
+                0,
+                false,
+                "min-max-apl",
+                LayoutFlags {
+                    topology: None,
+                    mcs: Some(bad),
+                },
+            )
+            .unwrap_err();
+            assert!(e.contains("--mcs"), "{bad}: {e}");
+        }
+        // eval and simulate honor the same overrides.
+        let eval_torus =
+            eval_command(SPEC, "1\n2\n3\n4\n5\n6\n7\n8\n", "apl", topo("torus")).unwrap();
+        let eval_mesh = eval_command(
+            SPEC,
+            "1\n2\n3\n4\n5\n6\n7\n8\n",
+            "apl",
+            LayoutFlags::default(),
+        )
+        .unwrap();
+        assert_ne!(eval_torus, eval_mesh);
+        let sim = simulate_command(SPEC, "sss", 1, 5_000, topo("torus")).unwrap();
+        assert!(!sim.contains("undrained"), "{sim}");
+    }
+
+    fn quick_place_args(exhaustive: bool) -> PlaceArgs<'static> {
+        PlaceArgs {
+            controllers: 1,
+            topology: "mesh",
+            exhaustive,
+            annealed: if exhaustive { None } else { Some(40) },
+            seed: 1,
+            portfolio: false,
+            workers: None,
+            grid: true,
+        }
+    }
+
+    #[test]
+    fn place_beats_or_matches_the_corner_baseline() {
+        let out = place_command(SPEC, &quick_place_args(true)).unwrap();
+        assert!(out.contains("placement search: 1 controller(s)"), "{out}");
+        assert!(
+            out.contains("exhaustive over canonical placements"),
+            "{out}"
+        );
+        assert!(out.contains("baseline (corner-default)"), "{out}");
+        assert!(out.contains("gain"), "{out}");
+        assert!(out.contains("application grid"), "{out}");
+        assert!(out.contains("max-APL"), "{out}");
+        // Deterministic: same flags, same report.
+        assert_eq!(out, place_command(SPEC, &quick_place_args(true)).unwrap());
+        // Annealed mode runs too and reports its mode.
+        let annealed = place_command(SPEC, &quick_place_args(false)).unwrap();
+        assert!(annealed.contains("(annealed)"), "{annealed}");
+    }
+
+    #[test]
+    fn place_rejects_bad_flags() {
+        let mut args = quick_place_args(true);
+        args.annealed = Some(10);
+        let e = place_command(SPEC, &args).unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        let mut args = quick_place_args(false);
+        args.annealed = Some(0);
+        assert!(place_command(SPEC, &args).is_err());
+        let mut args = quick_place_args(true);
+        args.topology = "ring";
+        let e = place_command(SPEC, &args).unwrap_err();
+        assert!(e.contains("--topology"), "{e}");
+        let mut args = quick_place_args(true);
+        args.controllers = 0;
+        assert!(place_command(SPEC, &args).is_err());
+        let mut args = quick_place_args(true);
+        args.controllers = 17;
+        assert!(place_command(SPEC, &args).is_err());
     }
 
     #[test]

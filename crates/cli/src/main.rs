@@ -18,8 +18,15 @@
 //!                  [--deadline-ms N] [--max-evals N] [--workers N]
 //!                  [--aggressive] [--objective min-max-apl]
 //!                  [--checkpoint FILE] [--resume FILE]
+//! obm place <spec> [--controllers K] [--topology mesh|torus]
+//!           [--exhaustive | --annealed N] [--seed S] [--portfolio] [--grid]
+//!                                               co-optimize MC placement + mapping
 //! obm latency [--mesh N] [--controllers corners|edges]
 //! ```
+//!
+//! `map`, `eval`, `simulate`, `solve` and `experiments trace|heatmap`
+//! additionally accept `--topology mesh|torus` and
+//! `--mcs corners|edge-centers|custom:<k1,k2,...>` layout overrides.
 
 mod commands;
 mod spec;
@@ -38,13 +45,21 @@ USAGE:
   obm experiments trace <spec-file> [--algo NAME] [--cycles N] [--seed S] [--window W]
                   [--chrome] [--out FILE]
   obm experiments heatmap <spec-file> [--algo NAME] [--cycles N] [--seed S] [--json] [--out FILE]
-  obm experiments loadcurve|validate|tails [--fast] [--injection bernoulli|geometric]
+  obm experiments loadcurve|validate|tails|placement [--fast]
+                  [--injection bernoulli|geometric]
   obm exact <spec-file> [--budget NODES]
   obm solve <spec-file> [--portfolio | --algos sss,sa,hybrid,greedy,mc,exact] [--seeds 0,1,2,3]
             [--deadline-ms N] [--max-evals N] [--workers N] [--aggressive]
             [--objective min-max-apl|max-min-balance|energy]
             [--checkpoint FILE] [--resume FILE]
+  obm place <spec-file> [--controllers K] [--topology mesh|torus]
+            [--exhaustive | --annealed N] [--seed S] [--portfolio] [--workers N] [--grid]
   obm latency [--mesh N] [--controllers corners|edges]
+
+Layout overrides (map, eval, simulate, solve, experiments trace/heatmap):
+  --topology mesh|torus                        link topology (default mesh)
+  --mcs corners|edge-centers|custom:<k1,k2,..> memory-controller placement
+                                               (default: the spec's controllers line)
 
 The spec format is documented in the repository README and crates/cli/src/spec.rs."
 }
@@ -114,6 +129,14 @@ fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
+/// The shared `--topology`/`--mcs` layout overrides.
+fn layout_flags(args: &Args) -> Result<commands::LayoutFlags<'_>, String> {
+    Ok(commands::LayoutFlags {
+        topology: args.value_flag("topology")?,
+        mcs: args.value_flag("mcs")?,
+    })
+}
+
 fn run() -> Result<String, String> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -135,13 +158,20 @@ fn run() -> Result<String, String> {
             let algo = args.value_flag("algo")?.unwrap_or("sss");
             let seed = args.parse_flag::<u64>("seed", 0)?;
             let objective = args.value_flag("objective")?.unwrap_or("min-max-apl");
-            commands::map_command(&spec, algo, seed, args.flag("grid").is_some(), objective)
+            commands::map_command(
+                &spec,
+                algo,
+                seed,
+                args.flag("grid").is_some(),
+                objective,
+                layout_flags(&args)?,
+            )
         }
         "eval" => {
             let spec = read(args.positional.first().ok_or("eval needs a spec file")?)?;
             let mapping = read(args.positional.get(1).ok_or("eval needs a mapping file")?)?;
             let objective = args.value_flag("objective")?.unwrap_or("min-max-apl");
-            commands::eval_command(&spec, &mapping, objective)
+            commands::eval_command(&spec, &mapping, objective, layout_flags(&args)?)
         }
         "simulate" => {
             let spec = read(
@@ -152,18 +182,20 @@ fn run() -> Result<String, String> {
             let algo = args.value_flag("algo")?.unwrap_or("sss");
             let seed = args.parse_flag::<u64>("seed", 0)?;
             let cycles = args.parse_flag::<u64>("cycles", 50_000)?;
-            commands::simulate_command(&spec, algo, seed, cycles)
+            commands::simulate_command(&spec, algo, seed, cycles, layout_flags(&args)?)
         }
         "experiments" => {
-            let sub = args
-                .positional
-                .first()
-                .ok_or("experiments needs a subcommand (trace|heatmap|loadcurve|validate|tails)")?;
+            let sub = args.positional.first().ok_or(
+                "experiments needs a subcommand (trace|heatmap|loadcurve|validate|tails|placement)",
+            )?;
             // The simulator sweeps from the bench harness: latency
             // statistics at offered loads, so they default to the
             // geometric fast path; `--injection bernoulli` restores the
             // per-cycle process for apples-to-apples comparisons.
-            if matches!(sub.as_str(), "loadcurve" | "validate" | "tails") {
+            if matches!(
+                sub.as_str(),
+                "loadcurve" | "validate" | "tails" | "placement"
+            ) {
                 let fast = args.flag("fast").is_some();
                 let injection = args.parse_flag::<noc_sim::InjectionProcess>(
                     "injection",
@@ -176,7 +208,7 @@ fn run() -> Result<String, String> {
             if !matches!(sub.as_str(), "trace" | "heatmap") {
                 return Err(format!(
                     "unknown experiments subcommand '{sub}' \
-                     (try trace, heatmap, loadcurve, validate or tails)"
+                     (try trace, heatmap, loadcurve, validate, tails or placement)"
                 ));
             }
             let spec = read(
@@ -187,14 +219,22 @@ fn run() -> Result<String, String> {
             let algo = args.value_flag("algo")?.unwrap_or("sss");
             let seed = args.parse_flag::<u64>("seed", 0)?;
             let cycles = args.parse_flag::<u64>("cycles", 20_000)?;
+            let layout = layout_flags(&args)?;
             let out = if sub == "heatmap" {
-                commands::heatmap_command(&spec, algo, seed, cycles, args.flag("json").is_some())?
+                commands::heatmap_command(
+                    &spec,
+                    algo,
+                    seed,
+                    cycles,
+                    args.flag("json").is_some(),
+                    layout,
+                )?
             } else {
                 let window = args.parse_flag::<u64>("window", 1_000)?;
                 if args.flag("chrome").is_some() {
-                    commands::chrome_trace_command(&spec, algo, seed, cycles, window)?
+                    commands::chrome_trace_command(&spec, algo, seed, cycles, window, layout)?
                 } else {
-                    commands::trace_command(&spec, algo, seed, cycles, window)?
+                    commands::trace_command(&spec, algo, seed, cycles, window, layout)?
                 }
             };
             match args.value_flag("out")? {
@@ -237,6 +277,7 @@ fn run() -> Result<String, String> {
                 aggressive: args.flag("aggressive").is_some(),
                 objective: args.value_flag("objective")?.unwrap_or("min-max-apl"),
                 resume_json: resume_text.as_deref(),
+                layout: layout_flags(&args)?,
             };
             let (report, checkpoint) = commands::solve_command(&spec, &solve_args)?;
             if let Some(path) = args.value_flag("checkpoint")? {
@@ -244,6 +285,20 @@ fn run() -> Result<String, String> {
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
             }
             Ok(report)
+        }
+        "place" => {
+            let spec = read(args.positional.first().ok_or("place needs a spec file")?)?;
+            let place_args = commands::PlaceArgs {
+                controllers: args.parse_flag::<usize>("controllers", 4)?,
+                topology: args.value_flag("topology")?.unwrap_or("mesh"),
+                exhaustive: args.flag("exhaustive").is_some(),
+                annealed: args.opt_parse_flag::<usize>("annealed")?,
+                seed: args.parse_flag::<u64>("seed", 1)?,
+                portfolio: args.flag("portfolio").is_some(),
+                workers: args.opt_parse_flag::<usize>("workers")?,
+                grid: args.flag("grid").is_some(),
+            };
+            commands::place_command(&spec, &place_args)
         }
         "latency" => {
             let n = args.parse_flag::<usize>("mesh", 8)?;

@@ -17,7 +17,9 @@
 //! Thread counts may total less than the tile count (surplus tiles stay
 //! idle), never more.
 
-use noc_model::{LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
+use noc_model::{
+    ChipLayout, LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies, Topology,
+};
 use obm_core::ObmInstance;
 use std::fmt::Write as _;
 
@@ -36,6 +38,41 @@ pub enum ControllerSpec {
     Corners,
     Edges,
     Tiles(Vec<usize>),
+}
+
+/// The `--mcs` flag grammar: `corners`, `edge-centers` (alias `edges`),
+/// or `custom:<k1,k2,...>` with 1-based paper tile numbers. Range checks
+/// against the mesh happen later, in [`InstanceSpec::set_controllers`].
+impl std::str::FromStr for ControllerSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        let bad = |message: &str| SpecError::BadControllerFlag {
+            value: s.to_string(),
+            message: message.to_string(),
+        };
+        match s {
+            "corners" => Ok(ControllerSpec::Corners),
+            "edge-centers" | "edges" => Ok(ControllerSpec::Edges),
+            other => {
+                let Some(list) = other.strip_prefix("custom:") else {
+                    return Err(bad("unknown placement"));
+                };
+                let ids: Vec<usize> = list
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| bad("tile list must be comma-separated integers"))?;
+                if ids.is_empty() {
+                    return Err(bad("custom: needs at least one tile"));
+                }
+                if ids.contains(&0) {
+                    return Err(bad("tile numbers are 1-based (paper Eq. 1)"));
+                }
+                Ok(ControllerSpec::Tiles(ids))
+            }
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +102,8 @@ pub enum SpecError {
     /// A `controllers tiles` id is outside the mesh (1-based paper
     /// numbering).
     ControllerTileOutOfRange { tile: usize, tiles: usize },
+    /// A malformed `--mcs` flag value.
+    BadControllerFlag { value: String, message: String },
 }
 
 impl std::fmt::Display for SpecError {
@@ -86,6 +125,13 @@ impl std::fmt::Display for SpecError {
                 write!(
                     f,
                     "controller tile {tile} out of range 1..={tiles} (paper numbering)"
+                )
+            }
+            SpecError::BadControllerFlag { value, message } => {
+                write!(
+                    f,
+                    "bad controller placement '{value}': {message} \
+                     (try corners, edge-centers, or custom:<k1,k2,...>)"
                 )
             }
         }
@@ -302,11 +348,34 @@ impl InstanceSpec {
         match &self.controllers {
             ControllerSpec::Corners => MemoryControllers::corners(&mesh),
             ControllerSpec::Edges => MemoryControllers::edge_centers(&mesh),
-            ControllerSpec::Tiles(ids) => MemoryControllers::custom(
+            ControllerSpec::Tiles(ids) => MemoryControllers::try_custom(
                 &mesh,
                 ids.iter().map(|&k| TileId::from_paper(k)).collect(),
-            ),
+            )
+            .expect("controller ids are range-checked at parse time"),
         }
+    }
+
+    /// Replace the controller placement, re-running the range check the
+    /// parser applies (the `--mcs` override path).
+    pub fn set_controllers(&mut self, controllers: ControllerSpec) -> Result<(), SpecError> {
+        if let ControllerSpec::Tiles(ids) = &controllers {
+            if let Some(&bad) = ids.iter().find(|&&k| k > self.rows * self.cols) {
+                return Err(SpecError::ControllerTileOutOfRange {
+                    tile: bad,
+                    tiles: self.rows * self.cols,
+                });
+            }
+        }
+        self.controllers = controllers;
+        Ok(())
+    }
+
+    /// The full chip layout this spec describes under `topology` (no
+    /// failed links; the spec format has no syntax for them).
+    pub fn chip_layout(&self, topology: Topology) -> ChipLayout {
+        ChipLayout::try_new(self.mesh(), topology, self.memory_controllers(), Vec::new())
+            .expect("spec controllers are range-checked, and no failed links are given")
     }
 
     /// Build the OBM instance (Table 2 latency parameters).
@@ -317,6 +386,20 @@ impl InstanceSpec {
             &self.memory_controllers(),
             LatencyParams::paper_table2(),
         );
+        self.instance_from_tiles(tiles)
+    }
+
+    /// [`InstanceSpec::to_instance`] for an explicit [`ChipLayout`]
+    /// (the `--topology`/`--mcs` override path; identical to
+    /// `to_instance` when the layout is the spec's own mesh default).
+    pub fn to_instance_for_layout(&self, layout: &ChipLayout) -> ObmInstance {
+        self.instance_from_tiles(TileLatencies::for_layout(
+            layout,
+            LatencyParams::paper_table2(),
+        ))
+    }
+
+    fn instance_from_tiles(&self, tiles: TileLatencies) -> ObmInstance {
         let mut c = Vec::new();
         let mut m = Vec::new();
         let mut bounds = vec![0];
@@ -502,6 +585,75 @@ weights 2 1
             InstanceSpec::parse("mesh 2 2\n").unwrap_err(),
             SpecError::NoApps
         );
+    }
+
+    #[test]
+    fn controller_spec_flag_grammar() {
+        assert_eq!(
+            "corners".parse::<ControllerSpec>(),
+            Ok(ControllerSpec::Corners)
+        );
+        assert_eq!(
+            "edge-centers".parse::<ControllerSpec>(),
+            Ok(ControllerSpec::Edges)
+        );
+        assert_eq!("edges".parse::<ControllerSpec>(), Ok(ControllerSpec::Edges));
+        assert_eq!(
+            "custom:1,4,13,16".parse::<ControllerSpec>(),
+            Ok(ControllerSpec::Tiles(vec![1, 4, 13, 16]))
+        );
+        for bad in ["ring", "custom:", "custom:1,x", "custom:0,2"] {
+            let e = bad.parse::<ControllerSpec>().unwrap_err();
+            assert!(
+                matches!(e, SpecError::BadControllerFlag { .. }),
+                "{bad}: {e:?}"
+            );
+            assert!(e.to_string().contains(bad), "{e}");
+        }
+    }
+
+    #[test]
+    fn set_controllers_range_checks_against_the_mesh() {
+        let mut spec = InstanceSpec::parse(SAMPLE).unwrap();
+        assert_eq!(
+            spec.set_controllers(ControllerSpec::Tiles(vec![17])),
+            Err(SpecError::ControllerTileOutOfRange {
+                tile: 17,
+                tiles: 16
+            })
+        );
+        // The failed override must not have modified the spec.
+        assert_eq!(spec.controllers, ControllerSpec::Corners);
+        spec.set_controllers(ControllerSpec::Tiles(vec![6, 11]))
+            .unwrap();
+        assert_eq!(spec.memory_controllers().tiles().len(), 2);
+    }
+
+    #[test]
+    fn default_layout_reproduces_to_instance() {
+        let spec = InstanceSpec::parse(SAMPLE).unwrap();
+        let layout = spec.chip_layout(Topology::Mesh);
+        assert_eq!(layout.topology(), Topology::Mesh);
+        assert_eq!(layout.controllers(), &spec.memory_controllers());
+        let a = spec.to_instance();
+        let b = spec.to_instance_for_layout(&layout);
+        // Bit-identical latencies either way (the PR 8 delegation pin).
+        for k in 0..a.num_tiles() {
+            let t = TileId(k);
+            assert_eq!(a.tiles().tc(t), b.tiles().tc(t));
+            assert_eq!(a.tiles().tm(t), b.tiles().tm(t));
+        }
+    }
+
+    #[test]
+    fn torus_layout_changes_the_instance() {
+        let spec = InstanceSpec::parse(SAMPLE).unwrap();
+        let torus = spec.chip_layout(Topology::Torus);
+        assert_eq!(torus.topology(), Topology::Torus);
+        let a = spec.to_instance();
+        let b = spec.to_instance_for_layout(&torus);
+        // Wraparound shortens some tile's average distances.
+        assert!((0..16).any(|k| a.tiles().tc(TileId(k)) != b.tiles().tc(TileId(k))));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! enters the network and pays neither hop nor serialization latency.
 
 use crate::geometry::{Mesh, TileId};
+use crate::layout::{ChipLayout, Topology};
 use crate::placement::MemoryControllers;
 use crate::traffic::PacketFormat;
 use serde::{Deserialize, Serialize};
@@ -118,16 +119,29 @@ impl TileLatencies {
     /// `TM(k) = H̄M_k · (td_r+td_w+td_q) + td_s`, except controller tiles
     /// themselves, which pay nothing.
     pub fn compute(mesh: &Mesh, mcs: &MemoryControllers, params: LatencyParams) -> Self {
+        TileLatencies::for_layout(&ChipLayout::with_controllers(*mesh, mcs.clone()), params)
+    }
+
+    /// Compute `TC`/`TM` for every tile of an arbitrary validated
+    /// [`ChipLayout`] — the one constructor behind every topology,
+    /// controller placement and failed-link configuration.
+    ///
+    /// On the paper's layout (mesh topology, corner controllers, no
+    /// failed links) the result is bit-identical to the closed forms of
+    /// Eqs. (3)–(4): the hop averages are the same integer sums divided
+    /// by `N`, combined with `params` in the same expression order.
+    pub fn for_layout(layout: &ChipLayout, params: LatencyParams) -> Self {
+        let mesh = layout.mesh();
         let n = mesh.num_tiles();
         let mut tc = Vec::with_capacity(n);
         let mut tm = Vec::with_capacity(n);
         let mut cache_hops = Vec::with_capacity(n);
         let mut mem_hops = Vec::with_capacity(n);
         for k in mesh.tiles() {
-            let hc = mesh.avg_cache_hops(k);
+            let hc = layout.avg_cache_hops(k);
             cache_hops.push(hc);
             tc.push(hc * params.per_hop() + params.td_s_cache * mesh.offtile_fraction());
-            let hm = mcs.hops_to_nearest(mesh, k);
+            let hm = layout.hops_to_nearest_controller(k);
             mem_hops.push(hm as f64);
             tm.push(params.mem_packet_latency(hm));
         }
@@ -145,27 +159,19 @@ impl TileLatencies {
     /// only the memory-controller distances differentiate tiles. Useful as
     /// a topology ablation — most of the OBM problem's tension comes from
     /// the mesh's centre-vs-perimeter asymmetry.
+    ///
+    /// # Panics
+    /// Panics if the controller set does not fit the mesh (the pre-layout
+    /// API's behaviour); [`TileLatencies::for_layout`] with
+    /// [`ChipLayout::try_new`] reports that as a typed `PlacementError`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use for_layout with a ChipLayout built on Topology::Torus"
+    )]
     pub fn compute_torus(mesh: &Mesh, mcs: &MemoryControllers, params: LatencyParams) -> Self {
-        let n = mesh.num_tiles();
-        let mut tc = Vec::with_capacity(n);
-        let mut tm = Vec::with_capacity(n);
-        let mut cache_hops = Vec::with_capacity(n);
-        let mut mem_hops = Vec::with_capacity(n);
-        for k in mesh.tiles() {
-            let hc = mesh.avg_cache_hops_torus(k);
-            cache_hops.push(hc);
-            tc.push(hc * params.per_hop() + params.td_s_cache * mesh.offtile_fraction());
-            let hm = mcs.hops_to_nearest_torus(mesh, k);
-            mem_hops.push(hm as f64);
-            tm.push(params.mem_packet_latency(hm));
-        }
-        TileLatencies {
-            tc,
-            tm,
-            cache_hops,
-            mem_hops,
-            params,
-        }
+        let layout = ChipLayout::try_new(*mesh, Topology::Torus, mcs.clone(), Vec::new())
+            .expect("controller set fits the mesh");
+        TileLatencies::for_layout(&layout, params)
     }
 
     /// Convenience constructor for the paper's platform: square mesh,
@@ -338,7 +344,14 @@ mod tests {
         let mcs = MemoryControllers::corners(&mesh);
         let params = LatencyParams::paper_table2();
         let mesh_tl = TileLatencies::compute(&mesh, &mcs, params);
-        let torus_tl = TileLatencies::compute_torus(&mesh, &mcs, params);
+        let torus = ChipLayout::try_new(mesh, Topology::Torus, mcs.clone(), Vec::new())
+            .expect("valid layout");
+        let torus_tl = TileLatencies::for_layout(&torus, params);
+        // The deprecated entry point delegates to the same path.
+        #[allow(deprecated)]
+        {
+            assert_eq!(TileLatencies::compute_torus(&mesh, &mcs, params), torus_tl);
+        }
         let first = torus_tl.tc(TileId(0));
         for k in mesh.tiles() {
             assert!(

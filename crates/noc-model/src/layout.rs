@@ -1,0 +1,562 @@
+//! The chip layout as a first-class value: mesh dimensions, topology,
+//! memory-controller placement and (optionally) failed links, all behind
+//! one [`ChipLayout`] that is the single source of truth the latency
+//! model ([`TileLatencies::for_layout`](crate::TileLatencies::for_layout))
+//! and the simulator (`noc_sim::SimConfig::for_layout`) derive from.
+//!
+//! The paper fixes the layout by fiat — a mesh with one controller per
+//! corner (Eqs. 3–4). [`ChipLayout::paper_default`] reproduces exactly
+//! that (bit-identical latency tables), while [`ChipLayout::try_new`]
+//! admits arbitrary placements, the torus topology, and meshes with
+//! failed links that traffic is rerouted around (hop counts become BFS
+//! shortest paths over the surviving links). Validation happens here,
+//! once, through typed [`PlacementError`]s — downstream consumers never
+//! re-check.
+
+use crate::geometry::{Coord, Mesh, TileId};
+use crate::placement::MemoryControllers;
+
+/// Network topology of the chip.
+///
+/// The paper's platform is a 2-D mesh; the torus adds wraparound links,
+/// which makes every tile's average cache distance identical (vertex
+/// transitivity) and is the classic hardware fix for the centre/perimeter
+/// asymmetry the OBM problem exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Topology {
+    /// 2-D mesh (the paper's platform).
+    #[default]
+    Mesh,
+    /// 2-D torus: per-dimension wraparound links.
+    Torus,
+}
+
+impl Topology {
+    /// Hop count between two tiles under minimal routing on this
+    /// topology.
+    #[inline]
+    pub fn hops(self, mesh: &Mesh, a: TileId, b: TileId) -> usize {
+        match self {
+            Topology::Mesh => mesh.hops(a, b),
+            Topology::Torus => mesh.torus_hops_impl(a, b),
+        }
+    }
+
+    /// Average hop count from tile `k` to all tiles including itself —
+    /// Eq. (3) on the mesh, its wraparound analogue on the torus.
+    #[inline]
+    pub fn avg_cache_hops(self, mesh: &Mesh, k: TileId) -> f64 {
+        match self {
+            Topology::Mesh => mesh.avg_cache_hops(k),
+            Topology::Torus => mesh.avg_cache_hops_torus_impl(k),
+        }
+    }
+
+    /// CLI spelling (`mesh` / `torus`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Mesh => "mesh",
+            Topology::Torus => "torus",
+        }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Topology {
+    type Err = String;
+
+    /// Parse a CLI spelling: `mesh` or `torus`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mesh" => Ok(Topology::Mesh),
+            "torus" => Ok(Topology::Torus),
+            other => Err(format!(
+                "unknown topology '{other}' (expected mesh or torus)"
+            )),
+        }
+    }
+}
+
+/// A rejected chip layout or controller placement.
+///
+/// The `ConfigError`/`SpecError` convention: typed variants with
+/// readable messages, no panics on the construction path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The controller set is empty (every memory packet needs a target).
+    NoControllers,
+    /// A controller tile index is outside the mesh.
+    ControllerOutOfRange {
+        /// The offending 0-based tile index.
+        tile: usize,
+        /// Tiles in the mesh.
+        num_tiles: usize,
+    },
+    /// A failed-link endpoint is outside the mesh.
+    LinkOutOfRange {
+        /// The offending 0-based tile index.
+        tile: usize,
+        /// Tiles in the mesh.
+        num_tiles: usize,
+    },
+    /// A failed link connects a tile to itself.
+    SelfLink(usize),
+    /// A failed link's endpoints are not neighbours under the topology.
+    LinkNotAdjacent {
+        /// First endpoint (0-based).
+        a: usize,
+        /// Second endpoint (0-based).
+        b: usize,
+    },
+    /// Removing the failed links disconnects the chip: `tile` cannot
+    /// reach tile 0.
+    Disconnected {
+        /// A tile unreachable from tile 0 over the surviving links.
+        tile: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoControllers => {
+                write!(f, "at least one memory controller is required")
+            }
+            PlacementError::ControllerOutOfRange { tile, num_tiles } => {
+                write!(
+                    f,
+                    "controller tile {tile} out of range (mesh has {num_tiles} tiles)"
+                )
+            }
+            PlacementError::LinkOutOfRange { tile, num_tiles } => {
+                write!(
+                    f,
+                    "failed-link tile {tile} out of range (mesh has {num_tiles} tiles)"
+                )
+            }
+            PlacementError::SelfLink(tile) => {
+                write!(f, "failed link connects tile {tile} to itself")
+            }
+            PlacementError::LinkNotAdjacent { a, b } => {
+                write!(f, "tiles {a} and {b} are not neighbours; no link to fail")
+            }
+            PlacementError::Disconnected { tile } => {
+                write!(
+                    f,
+                    "failed links disconnect the chip (tile {tile} unreachable)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// The chip layout: mesh dimensions, topology, memory-controller
+/// placement and failed links, validated once at construction.
+///
+/// Hop counts come from the closed forms when no links have failed
+/// (bit-identical to the pre-layout API) and from a precomputed all-pairs
+/// BFS distance matrix over the surviving links otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipLayout {
+    mesh: Mesh,
+    topology: Topology,
+    controllers: MemoryControllers,
+    /// Normalized (lower tile first), sorted, deduplicated.
+    failed_links: Vec<(TileId, TileId)>,
+    /// All-pairs hop counts over surviving links, row-major `[src][dst]`;
+    /// only populated when `failed_links` is non-empty.
+    dist: Option<Vec<u32>>,
+}
+
+impl ChipLayout {
+    /// Validate and build a layout.
+    ///
+    /// Failed links are undirected: `(a, b)` and `(b, a)` describe the
+    /// same link and are normalized and deduplicated. With failed links
+    /// present, all-pairs shortest-path hop counts are precomputed by BFS
+    /// and the chip must stay connected.
+    pub fn try_new(
+        mesh: Mesh,
+        topology: Topology,
+        controllers: MemoryControllers,
+        failed_links: Vec<(TileId, TileId)>,
+    ) -> Result<Self, PlacementError> {
+        let n = mesh.num_tiles();
+        if controllers.tiles().is_empty() {
+            return Err(PlacementError::NoControllers);
+        }
+        for &t in controllers.tiles() {
+            if t.index() >= n {
+                return Err(PlacementError::ControllerOutOfRange {
+                    tile: t.index(),
+                    num_tiles: n,
+                });
+            }
+        }
+        let mut links: Vec<(TileId, TileId)> = Vec::with_capacity(failed_links.len());
+        for &(a, b) in &failed_links {
+            for t in [a, b] {
+                if t.index() >= n {
+                    return Err(PlacementError::LinkOutOfRange {
+                        tile: t.index(),
+                        num_tiles: n,
+                    });
+                }
+            }
+            if a == b {
+                return Err(PlacementError::SelfLink(a.index()));
+            }
+            if !adjacent(&mesh, topology, a, b) {
+                return Err(PlacementError::LinkNotAdjacent {
+                    a: a.index(),
+                    b: b.index(),
+                });
+            }
+            links.push(if a.index() < b.index() {
+                (a, b)
+            } else {
+                (b, a)
+            });
+        }
+        links.sort_unstable();
+        links.dedup();
+        let dist = if links.is_empty() {
+            None
+        } else {
+            Some(bfs_all_pairs(&mesh, topology, &links)?)
+        };
+        Ok(ChipLayout {
+            mesh,
+            topology,
+            controllers,
+            failed_links: links,
+            dist,
+        })
+    }
+
+    /// A healthy mesh (no failed links) with the given controllers — the
+    /// infallible fast path [`TileLatencies::compute`] delegates through.
+    ///
+    /// The controller set must fit the mesh (always true for sets built
+    /// against the same mesh via `corners`/`edge_centers`/`try_custom`).
+    pub fn with_controllers(mesh: Mesh, controllers: MemoryControllers) -> Self {
+        ChipLayout::try_new(mesh, Topology::Mesh, controllers, Vec::new())
+            .expect("controller set fits the mesh")
+    }
+
+    /// The paper's platform: mesh topology, one controller per corner,
+    /// no failed links. [`TileLatencies::for_layout`] on this layout is
+    /// bit-identical to [`TileLatencies::paper_default`].
+    pub fn paper_default(mesh: Mesh) -> Self {
+        let controllers = MemoryControllers::corners(&mesh);
+        ChipLayout::with_controllers(mesh, controllers)
+    }
+
+    /// The mesh dimensions.
+    #[inline]
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The topology.
+    #[inline]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The memory-controller placement.
+    #[inline]
+    pub fn controllers(&self) -> &MemoryControllers {
+        &self.controllers
+    }
+
+    /// The failed links, normalized (lower tile first) and sorted.
+    pub fn failed_links(&self) -> &[(TileId, TileId)] {
+        &self.failed_links
+    }
+
+    /// Hop count between two tiles under minimal routing on this layout:
+    /// the topology's closed form when the chip is healthy, the BFS
+    /// shortest path over surviving links otherwise.
+    #[inline]
+    pub fn hops(&self, a: TileId, b: TileId) -> usize {
+        match &self.dist {
+            None => self.topology.hops(&self.mesh, a, b),
+            Some(d) => d[a.index() * self.mesh.num_tiles() + b.index()] as usize,
+        }
+    }
+
+    /// Average hop count from `k` to all tiles including itself (Eq. 3
+    /// generalized to this layout).
+    pub fn avg_cache_hops(&self, k: TileId) -> f64 {
+        match &self.dist {
+            None => self.topology.avg_cache_hops(&self.mesh, k),
+            Some(d) => {
+                let n = self.mesh.num_tiles();
+                let sum: u64 = d[k.index() * n..(k.index() + 1) * n]
+                    .iter()
+                    .map(|&h| h as u64)
+                    .sum();
+                sum as f64 / n as f64
+            }
+        }
+    }
+
+    /// The controller nearest to `from` under this layout's distances
+    /// (ties broken by lowest tile index).
+    pub fn nearest_controller(&self, from: TileId) -> TileId {
+        match (&self.dist, self.topology) {
+            (None, Topology::Mesh) => self.controllers.nearest(&self.mesh, from),
+            (None, Topology::Torus) => self.controllers.nearest_torus(&self.mesh, from),
+            (Some(_), _) => *self
+                .controllers
+                .tiles()
+                .iter()
+                .min_by_key(|&&mc| (self.hops(from, mc), mc.index()))
+                .expect("validated non-empty controller set"),
+        }
+    }
+
+    /// Hop distance from `from` to its nearest controller (Eq. 4
+    /// generalized to this layout).
+    pub fn hops_to_nearest_controller(&self, from: TileId) -> usize {
+        self.hops(from, self.nearest_controller(from))
+    }
+}
+
+/// Whether `a` and `b` share a physical link under `topology`.
+fn adjacent(mesh: &Mesh, topology: Topology, a: TileId, b: TileId) -> bool {
+    topology.hops(mesh, a, b) == 1
+}
+
+/// Physical neighbours of `t` under `topology` (wraparound links count on
+/// the torus), excluding `failed` links.
+fn surviving_neighbors(
+    mesh: &Mesh,
+    topology: Topology,
+    failed: &[(TileId, TileId)],
+    t: TileId,
+) -> Vec<TileId> {
+    let c = mesh.coord(t);
+    let rows = mesh.rows();
+    let cols = mesh.cols();
+    let mut out = Vec::with_capacity(4);
+    let mut push = |coord: Coord| {
+        let nb = mesh.tile(coord);
+        if nb == t {
+            return; // degenerate 1-wide torus dimension: wrap is a self-loop
+        }
+        let key = if t.index() < nb.index() {
+            (t, nb)
+        } else {
+            (nb, t)
+        };
+        if failed.binary_search(&key).is_err() && !out.contains(&nb) {
+            out.push(nb);
+        }
+    };
+    match topology {
+        Topology::Mesh => {
+            if c.row > 0 {
+                push(Coord::new(c.row - 1, c.col));
+            }
+            if c.row + 1 < rows {
+                push(Coord::new(c.row + 1, c.col));
+            }
+            if c.col > 0 {
+                push(Coord::new(c.row, c.col - 1));
+            }
+            if c.col + 1 < cols {
+                push(Coord::new(c.row, c.col + 1));
+            }
+        }
+        Topology::Torus => {
+            push(Coord::new((c.row + rows - 1) % rows, c.col));
+            push(Coord::new((c.row + 1) % rows, c.col));
+            push(Coord::new(c.row, (c.col + cols - 1) % cols));
+            push(Coord::new(c.row, (c.col + 1) % cols));
+        }
+    }
+    out
+}
+
+/// All-pairs BFS hop counts over the surviving links; errors if any tile
+/// is unreachable from tile 0 (the chip must stay connected).
+fn bfs_all_pairs(
+    mesh: &Mesh,
+    topology: Topology,
+    failed: &[(TileId, TileId)],
+) -> Result<Vec<u32>, PlacementError> {
+    let n = mesh.num_tiles();
+    let adjacency: Vec<Vec<TileId>> = mesh
+        .tiles()
+        .map(|t| surviving_neighbors(mesh, topology, failed, t))
+        .collect();
+    let mut dist = vec![u32::MAX; n * n];
+    let mut queue = std::collections::VecDeque::new();
+    for src in 0..n {
+        let row = &mut dist[src * n..(src + 1) * n];
+        row[src] = 0;
+        queue.clear();
+        queue.push_back(TileId(src));
+        while let Some(t) = queue.pop_front() {
+            let d = row[t.index()];
+            for &nb in &adjacency[t.index()] {
+                if row[nb.index()] == u32::MAX {
+                    row[nb.index()] = d + 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        if src == 0 {
+            if let Some(unreached) = row.iter().position(|&d| d == u32::MAX) {
+                return Err(PlacementError::Disconnected { tile: unreached });
+            }
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{LatencyParams, TileLatencies};
+
+    #[test]
+    fn paper_default_layout_matches_paper_default_tables() {
+        for n in [2usize, 4, 8] {
+            let mesh = Mesh::square(n);
+            let layout = ChipLayout::paper_default(mesh);
+            let via_layout = TileLatencies::for_layout(&layout, LatencyParams::paper_table2());
+            let direct = TileLatencies::paper_default(&mesh);
+            // Bit-identical, not just approximately equal.
+            assert_eq!(via_layout, direct, "n={n}");
+        }
+    }
+
+    #[test]
+    fn topology_parses_cli_spellings() {
+        assert_eq!("mesh".parse::<Topology>(), Ok(Topology::Mesh));
+        assert_eq!("torus".parse::<Topology>(), Ok(Topology::Torus));
+        assert!("ring".parse::<Topology>().is_err());
+        assert_eq!(Topology::Torus.to_string(), "torus");
+        assert_eq!(Topology::default(), Topology::Mesh);
+    }
+
+    #[test]
+    fn torus_hops_via_topology() {
+        let mesh = Mesh::square(4);
+        let a = mesh.tile(Coord::new(0, 0));
+        let b = mesh.tile(Coord::new(3, 3));
+        assert_eq!(Topology::Mesh.hops(&mesh, a, b), 6);
+        assert_eq!(Topology::Torus.hops(&mesh, a, b), 2);
+    }
+
+    #[test]
+    fn controller_validation_errors() {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&Mesh::square(8)); // tiles up to 63
+        assert_eq!(
+            ChipLayout::try_new(mesh, Topology::Mesh, mcs, Vec::new()),
+            Err(PlacementError::ControllerOutOfRange {
+                tile: 56, // first out-of-range tile in sorted order
+                num_tiles: 16
+            })
+        );
+    }
+
+    #[test]
+    fn failed_link_validation_errors() {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let bad = |links: Vec<(TileId, TileId)>| {
+            ChipLayout::try_new(mesh, Topology::Mesh, mcs.clone(), links).unwrap_err()
+        };
+        assert_eq!(
+            bad(vec![(TileId(0), TileId(99))]),
+            PlacementError::LinkOutOfRange {
+                tile: 99,
+                num_tiles: 16
+            }
+        );
+        assert_eq!(
+            bad(vec![(TileId(3), TileId(3))]),
+            PlacementError::SelfLink(3)
+        );
+        assert_eq!(
+            bad(vec![(TileId(0), TileId(5))]),
+            PlacementError::LinkNotAdjacent { a: 0, b: 5 }
+        );
+        // Cutting both links of corner tile 0 isolates it.
+        assert_eq!(
+            bad(vec![(TileId(0), TileId(1)), (TileId(0), TileId(4))]),
+            PlacementError::Disconnected { tile: 1 }
+        );
+        // Errors render readable messages.
+        assert!(PlacementError::NoControllers.to_string().contains("one"));
+    }
+
+    #[test]
+    fn failed_link_reroutes_hops() {
+        // 2x2 mesh: failing the (0,1) link forces 0 -> 2 -> 3 -> 1.
+        let mesh = Mesh::new(2, 2);
+        let mcs = MemoryControllers::corners(&mesh);
+        let layout = ChipLayout::try_new(
+            mesh,
+            Topology::Mesh,
+            mcs,
+            vec![(TileId(1), TileId(0))], // reversed order: normalized
+        )
+        .expect("connected");
+        assert_eq!(layout.failed_links(), &[(TileId(0), TileId(1))]);
+        assert_eq!(layout.hops(TileId(0), TileId(1)), 3);
+        assert_eq!(layout.hops(TileId(1), TileId(0)), 3);
+        assert_eq!(layout.hops(TileId(0), TileId(3)), 2);
+        // Average cache hops sees the detour: (0 + 3 + 1 + 2) / 4.
+        assert!((layout.avg_cache_hops(TileId(0)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn torus_wrap_link_can_fail() {
+        // On a 1x4 torus, failing the wrap link (0,3) degrades it to a line.
+        let mesh = Mesh::new(1, 4);
+        let mcs = MemoryControllers::corners(&mesh);
+        let layout = ChipLayout::try_new(mesh, Topology::Torus, mcs, vec![(TileId(0), TileId(3))])
+            .expect("still connected");
+        assert_eq!(layout.hops(TileId(0), TileId(3)), 3);
+        // The same link is not a mesh link: rejected under Topology::Mesh.
+        let err = ChipLayout::try_new(
+            mesh,
+            Topology::Mesh,
+            MemoryControllers::corners(&mesh),
+            vec![(TileId(0), TileId(3))],
+        )
+        .unwrap_err();
+        assert_eq!(err, PlacementError::LinkNotAdjacent { a: 0, b: 3 });
+    }
+
+    #[test]
+    fn nearest_controller_respects_detours() {
+        // Controllers at the top corners of a 4x4. Tile 1 is one hop from
+        // controller 0 on the healthy chip; failing the (0,1) link makes
+        // the detour to 0 three hops, so controller 3 (two hops) wins.
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::try_custom(&mesh, vec![TileId(0), TileId(3)])
+            .expect("valid placement");
+        let healthy = ChipLayout::try_new(mesh, Topology::Mesh, mcs.clone(), Vec::new())
+            .expect("valid layout");
+        assert_eq!(healthy.nearest_controller(TileId(1)), TileId(0));
+        assert_eq!(healthy.hops_to_nearest_controller(TileId(1)), 1);
+        let cut = ChipLayout::try_new(mesh, Topology::Mesh, mcs, vec![(TileId(0), TileId(1))])
+            .expect("still connected");
+        assert_eq!(cut.nearest_controller(TileId(1)), TileId(3));
+        assert_eq!(cut.hops_to_nearest_controller(TileId(1)), 2);
+    }
+}

@@ -24,6 +24,7 @@
 pub mod geometry;
 pub mod hashing;
 pub mod latency;
+pub mod layout;
 pub mod loads;
 pub mod placement;
 pub mod routing;
@@ -31,7 +32,8 @@ pub mod traffic;
 
 pub use geometry::{Coord, Mesh, TileId};
 pub use latency::{LatencyParams, TileLatencies};
+pub use layout::{ChipLayout, PlacementError, Topology};
 pub use loads::{LinkLoads, SourceLoad};
 pub use placement::MemoryControllers;
-pub use routing::{route_xy, route_yx, RouteDir};
+pub use routing::{route_xy, route_xy_torus, route_yx, route_yx_torus, RouteDir};
 pub use traffic::{PacketClass, PacketFormat};

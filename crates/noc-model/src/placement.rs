@@ -8,6 +8,7 @@
 //! machinery.
 
 use crate::geometry::{Mesh, TileId};
+use crate::layout::PlacementError;
 use serde::{Deserialize, Serialize};
 
 /// A set of memory-controller tiles with nearest-controller forwarding.
@@ -41,18 +42,32 @@ impl MemoryControllers {
         MemoryControllers { tiles }
     }
 
+    /// An arbitrary custom placement, validated: `tiles` must be
+    /// non-empty and every tile must be on the mesh. Duplicates are
+    /// deduplicated and the set is kept sorted (deterministic
+    /// nearest-controller tie-breaks).
+    pub fn try_custom(mesh: &Mesh, mut tiles: Vec<TileId>) -> Result<Self, PlacementError> {
+        if tiles.is_empty() {
+            return Err(PlacementError::NoControllers);
+        }
+        if let Some(&bad) = tiles.iter().find(|t| t.index() >= mesh.num_tiles()) {
+            return Err(PlacementError::ControllerOutOfRange {
+                tile: bad.index(),
+                num_tiles: mesh.num_tiles(),
+            });
+        }
+        tiles.sort_unstable();
+        tiles.dedup();
+        Ok(MemoryControllers { tiles })
+    }
+
     /// An arbitrary custom placement.
     ///
     /// # Panics
     /// Panics if `tiles` is empty or contains an out-of-range tile.
-    pub fn custom(mesh: &Mesh, mut tiles: Vec<TileId>) -> Self {
-        assert!(!tiles.is_empty(), "at least one memory controller required");
-        for &t in &tiles {
-            assert!(t.index() < mesh.num_tiles(), "controller tile out of range");
-        }
-        tiles.sort_unstable();
-        tiles.dedup();
-        MemoryControllers { tiles }
+    #[deprecated(since = "0.8.0", note = "use try_custom, which returns PlacementError")]
+    pub fn custom(mesh: &Mesh, tiles: Vec<TileId>) -> Self {
+        MemoryControllers::try_custom(mesh, tiles).expect("valid controller placement")
     }
 
     /// The controller tiles, sorted and deduplicated.
@@ -76,13 +91,13 @@ impl MemoryControllers {
         *self
             .tiles
             .iter()
-            .min_by_key(|&&mc| (mesh.torus_hops(from, mc), mc.index()))
+            .min_by_key(|&&mc| (mesh.torus_hops_impl(from, mc), mc.index()))
             .expect("non-empty controller set")
     }
 
     /// Torus hop distance from `from` to its nearest controller.
     pub fn hops_to_nearest_torus(&self, mesh: &Mesh, from: TileId) -> usize {
-        mesh.torus_hops(from, self.nearest_torus(mesh, from))
+        mesh.torus_hops_impl(from, self.nearest_torus(mesh, from))
     }
 
     /// Hop distance from `from` to its nearest controller.
@@ -154,7 +169,7 @@ mod tests {
     fn custom_single_controller() {
         let m = Mesh::square(4);
         let mc = m.tile(Coord::new(2, 1));
-        let mcs = MemoryControllers::custom(&m, vec![mc]);
+        let mcs = MemoryControllers::try_custom(&m, vec![mc]).expect("valid");
         for t in m.tiles() {
             assert_eq!(mcs.nearest(&m, t), mc);
             assert_eq!(mcs.hops_to_nearest(&m, t), m.hops(t, mc));
@@ -162,9 +177,30 @@ mod tests {
     }
 
     #[test]
+    fn try_custom_rejects_bad_placements() {
+        let m = Mesh::square(4);
+        assert_eq!(
+            MemoryControllers::try_custom(&m, vec![]),
+            Err(PlacementError::NoControllers)
+        );
+        assert_eq!(
+            MemoryControllers::try_custom(&m, vec![TileId(16)]),
+            Err(PlacementError::ControllerOutOfRange {
+                tile: 16,
+                num_tiles: 16
+            })
+        );
+        // Duplicates collapse; the set stays sorted.
+        let mcs = MemoryControllers::try_custom(&m, vec![TileId(5), TileId(2), TileId(5)])
+            .expect("valid");
+        assert_eq!(mcs.tiles(), &[TileId(2), TileId(5)]);
+    }
+
+    #[test]
     #[should_panic]
     fn empty_custom_panics() {
         let m = Mesh::square(4);
+        #[allow(deprecated)]
         let _ = MemoryControllers::custom(&m, vec![]);
     }
 }

@@ -59,6 +59,82 @@ pub fn route_yx(mesh: &Mesh, here: TileId, dst: TileId) -> RouteDir {
     }
 }
 
+/// Next-hop decision at tile `here` for a packet destined to `dst` under
+/// XY routing on a **torus**: dimension order is preserved, but each
+/// dimension travels in whichever direction (possibly through the
+/// wraparound link) is shorter, ties broken towards East/South so the
+/// decision is deterministic. Every hop reduces the torus distance by
+/// one, so path lengths equal
+/// [`Topology::Torus.hops`](crate::layout::Topology::hops).
+///
+/// Note the classic caveat: wraparound links close a cycle per ring, so
+/// unlike mesh XY this is *not* deadlock-free for wormhole flow control
+/// without a dateline VC policy; the cycle-level simulator uses it for
+/// low-load validation runs where cyclic waits do not arise.
+pub fn route_xy_torus(mesh: &Mesh, here: TileId, dst: TileId) -> RouteDir {
+    let h = mesh.coord(here);
+    let d = mesh.coord(dst);
+    if h.col != d.col {
+        let fwd = (d.col + mesh.cols() - h.col) % mesh.cols();
+        if 2 * fwd <= mesh.cols() {
+            RouteDir::East
+        } else {
+            RouteDir::West
+        }
+    } else if h.row != d.row {
+        let fwd = (d.row + mesh.rows() - h.row) % mesh.rows();
+        if 2 * fwd <= mesh.rows() {
+            RouteDir::South
+        } else {
+            RouteDir::North
+        }
+    } else {
+        RouteDir::Local
+    }
+}
+
+/// Torus variant of [`route_yx`]: Y dimension first, each dimension via
+/// its shorter (possibly wraparound) direction. See [`route_xy_torus`]
+/// for the tie-break and deadlock caveat.
+pub fn route_yx_torus(mesh: &Mesh, here: TileId, dst: TileId) -> RouteDir {
+    let h = mesh.coord(here);
+    let d = mesh.coord(dst);
+    if h.row != d.row {
+        let fwd = (d.row + mesh.rows() - h.row) % mesh.rows();
+        if 2 * fwd <= mesh.rows() {
+            RouteDir::South
+        } else {
+            RouteDir::North
+        }
+    } else if h.col != d.col {
+        let fwd = (d.col + mesh.cols() - h.col) % mesh.cols();
+        if 2 * fwd <= mesh.cols() {
+            RouteDir::East
+        } else {
+            RouteDir::West
+        }
+    } else {
+        RouteDir::Local
+    }
+}
+
+/// Apply a direction to a tile on a torus: wraps around the edges.
+///
+/// # Panics
+/// Panics if `dir` is [`RouteDir::Local`].
+pub fn step_torus(mesh: &Mesh, here: TileId, dir: RouteDir) -> TileId {
+    let c = mesh.coord(here);
+    let (rows, cols) = (mesh.rows(), mesh.cols());
+    let next = match dir {
+        RouteDir::North => crate::geometry::Coord::new((c.row + rows - 1) % rows, c.col),
+        RouteDir::South => crate::geometry::Coord::new((c.row + 1) % rows, c.col),
+        RouteDir::West => crate::geometry::Coord::new(c.row, (c.col + cols - 1) % cols),
+        RouteDir::East => crate::geometry::Coord::new(c.row, (c.col + 1) % cols),
+        RouteDir::Local => panic!("cannot step in the Local direction"),
+    };
+    mesh.tile(next)
+}
+
 /// Apply a direction to a tile, returning the neighbouring tile.
 ///
 /// # Panics
@@ -209,6 +285,55 @@ mod tests {
                 assert_eq!(yx, expect);
             }
         }
+    }
+
+    #[test]
+    fn torus_routes_walk_minimal_paths() {
+        // Following route_{xy,yx}_torus step by step from any source must
+        // reach the destination in exactly torus_hops steps.
+        for m in [Mesh::square(4), Mesh::new(5, 4), Mesh::new(3, 7)] {
+            for a in m.tiles() {
+                for b in m.tiles() {
+                    for route in [route_xy_torus, route_yx_torus] {
+                        let mut here = a;
+                        let mut steps = 0usize;
+                        while here != b {
+                            let dir = route(&m, here, b);
+                            assert_ne!(dir, RouteDir::Local);
+                            here = step_torus(&m, here, dir);
+                            steps += 1;
+                            assert!(steps <= m.num_tiles(), "routing loop {a:?}→{b:?}");
+                        }
+                        assert_eq!(steps, m.torus_hops_impl(a, b), "{a:?}→{b:?}");
+                        assert_eq!(route(&m, b, b), RouteDir::Local);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_route_uses_wraparound_when_shorter() {
+        // On a 1×8 ring, going from col 0 to col 6 is shorter westwards
+        // through the wrap link (2 hops) than eastwards (6 hops).
+        let m = Mesh::new(1, 8);
+        let a = m.tile(Coord::new(0, 0));
+        let b = m.tile(Coord::new(0, 6));
+        assert_eq!(route_xy_torus(&m, a, b), RouteDir::West);
+        // Exactly half way (col 4): tie broken towards East.
+        let c = m.tile(Coord::new(0, 4));
+        assert_eq!(route_xy_torus(&m, a, c), RouteDir::East);
+    }
+
+    #[test]
+    fn torus_route_matches_mesh_route_when_no_wrap_helps() {
+        // Between tiles less than half the ring apart in both dimensions,
+        // the torus route agrees with plain dimension-order routing.
+        let m = Mesh::square(5);
+        let a = m.tile(Coord::new(1, 1));
+        let b = m.tile(Coord::new(2, 3));
+        assert_eq!(route_xy_torus(&m, a, b), route_xy(&m, a, b));
+        assert_eq!(route_yx_torus(&m, a, b), route_yx(&m, a, b));
     }
 
     #[test]

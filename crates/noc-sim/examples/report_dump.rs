@@ -74,7 +74,8 @@ fn dump(name: &str, report: &SimReport) {
 fn scenario_small() -> SimReport {
     let mesh = Mesh::square(4);
     let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+    cfg.controllers =
+        MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement");
     cfg.warmup_cycles = 500;
     cfg.measure_cycles = 3_000;
     cfg.max_drain_cycles = 20_000;
@@ -119,7 +120,8 @@ fn scenario_paper() -> SimReport {
 fn scenario_geometric() -> SimReport {
     let mesh = Mesh::square(4);
     let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+    cfg.controllers =
+        MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement");
     cfg.warmup_cycles = 500;
     cfg.measure_cycles = 3_000;
     cfg.max_drain_cycles = 20_000;

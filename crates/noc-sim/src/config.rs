@@ -9,7 +9,7 @@
 //! [`ConfigError`]s instead of panics, so callers (CLI, sweeps, property
 //! tests) can surface bad parameters without crashing.
 
-use noc_model::{MemoryControllers, Mesh};
+use noc_model::{ChipLayout, MemoryControllers, Mesh, Topology};
 use std::fmt;
 
 /// Maximum arbitration slots (`ports × total VCs`) supported by the
@@ -110,6 +110,14 @@ pub enum ConfigError {
         /// Traffic sources the network actually has.
         expected: usize,
     },
+    /// [`SimConfig::for_layout`] was given a [`ChipLayout`] with failed
+    /// links. The cycle-level router only implements dimension-order
+    /// routing, which cannot detour around a dead link; failed-link
+    /// layouts are an analytic-model-only feature.
+    FailedLinksUnsupported {
+        /// Number of failed links in the rejected layout.
+        num_links: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -163,6 +171,13 @@ impl fmt::Display for ConfigError {
                     "retarget vector has {got} tiles but the network has {expected} sources"
                 )
             }
+            ConfigError::FailedLinksUnsupported { num_links } => {
+                write!(
+                    f,
+                    "layout has {num_links} failed link(s); the cycle-level simulator \
+                     only routes on healthy chips (failed links are analytic-only)"
+                )
+            }
         }
     }
 }
@@ -179,6 +194,11 @@ impl std::error::Error for ConfigError {}
 pub struct SimConfig {
     /// The mesh to simulate.
     pub mesh: Mesh,
+    /// Network topology: plain mesh (paper default) or torus with
+    /// wraparound links. Torus runs use the shortest-direction
+    /// dimension-order router, which is only deadlock-free at the low
+    /// loads used for validation (see `noc_model::routing::route_xy_torus`).
+    pub topology: Topology,
     /// Memory-controller placement (Table 2: one per corner).
     pub controllers: MemoryControllers,
     /// Router pipeline depth in cycles (Table 2: 3-stage).
@@ -225,6 +245,7 @@ impl SimConfig {
         let controllers = MemoryControllers::corners(&mesh);
         SimConfig {
             mesh,
+            topology: Topology::Mesh,
             controllers,
             router_stages: 3,
             link_cycles: 1,
@@ -248,6 +269,27 @@ impl SimConfig {
         SimConfigBuilder {
             cfg: SimConfig::paper_defaults(mesh),
         }
+    }
+
+    /// Paper defaults specialized to a [`ChipLayout`]: the layout's mesh,
+    /// topology and controller placement become the simulated chip, so a
+    /// latency table built with `TileLatencies::for_layout` can be
+    /// cross-validated by simulation on the *same* layout.
+    ///
+    /// Layouts with failed links are rejected
+    /// ([`ConfigError::FailedLinksUnsupported`]): the dimension-order
+    /// router cannot detour, so rerouted-distance layouts stay an
+    /// analytic-model-only feature.
+    pub fn for_layout(layout: &ChipLayout) -> Result<Self, ConfigError> {
+        if !layout.failed_links().is_empty() {
+            return Err(ConfigError::FailedLinksUnsupported {
+                num_links: layout.failed_links().len(),
+            });
+        }
+        let mut cfg = SimConfig::paper_defaults(*layout.mesh());
+        cfg.topology = layout.topology();
+        cfg.controllers = layout.controllers().clone();
+        Ok(cfg)
     }
 
     /// Total VCs per input port (2 traffic classes).
@@ -326,6 +368,10 @@ macro_rules! setter {
 
 impl SimConfigBuilder {
     setter!(
+        /// Network topology (default: mesh).
+        topology: Topology
+    );
+    setter!(
         /// Memory-controller placement (default: one per corner).
         controllers: MemoryControllers
     );
@@ -400,6 +446,7 @@ mod tests {
     #[test]
     fn defaults_match_table2() {
         let cfg = SimConfig::paper_defaults(Mesh::square(8));
+        assert_eq!(cfg.topology, Topology::Mesh);
         assert_eq!(cfg.router_stages, 3);
         assert_eq!(cfg.link_cycles, 1);
         assert_eq!(cfg.vcs_per_class, 3);
@@ -451,6 +498,35 @@ mod tests {
         assert_eq!(cfg.routing, RoutingKind::Yx);
         assert!(!cfg.crossbar_input_limit);
         assert_eq!(cfg.telemetry_window, 250);
+    }
+
+    #[test]
+    fn for_layout_adopts_topology_and_controllers() {
+        let mesh = Mesh::square(4);
+        let mcs = MemoryControllers::try_custom(&mesh, vec![noc_model::TileId(5)]).expect("valid");
+        let layout = ChipLayout::try_new(mesh, Topology::Torus, mcs.clone(), Vec::new())
+            .expect("valid layout");
+        let cfg = SimConfig::for_layout(&layout).expect("healthy layout");
+        assert_eq!(cfg.topology, Topology::Torus);
+        assert_eq!(cfg.controllers, mcs);
+        // Everything else stays at paper defaults.
+        assert_eq!(cfg.router_stages, 3);
+        assert_eq!(cfg.seed, 1);
+    }
+
+    #[test]
+    fn for_layout_rejects_failed_links() {
+        let mesh = Mesh::square(4);
+        let layout = ChipLayout::try_new(
+            mesh,
+            Topology::Mesh,
+            MemoryControllers::corners(&mesh),
+            vec![(noc_model::TileId(0), noc_model::TileId(1))],
+        )
+        .expect("valid layout");
+        let err = SimConfig::for_layout(&layout).unwrap_err();
+        assert_eq!(err, ConfigError::FailedLinksUnsupported { num_links: 1 });
+        assert!(err.to_string().contains("analytic-only"));
     }
 
     #[test]

@@ -21,7 +21,10 @@ use crate::config::{ConfigError, InjectionProcess, RoutingKind, SimConfig, NUM_P
 use crate::packet::{Flit, PacketId, PacketInfo, PacketStamps};
 use crate::stats::SimReport;
 use crate::traffic::{SourceSpec, TrafficSpec};
-use noc_model::{route_xy, route_yx, Mesh, PacketClass, RouteDir, TileId};
+use noc_model::{
+    route_xy, route_xy_torus, route_yx, route_yx_torus, Mesh, PacketClass, RouteDir, TileId,
+    Topology,
+};
 use noc_telemetry::{
     FlowSummary, HeatmapRecord, LatencyAccum, NoopSink, PacketRecord, Probe, ProfileRecord,
     WindowRecord, Windower,
@@ -59,8 +62,9 @@ fn opposite(port: usize) -> usize {
     }
 }
 
-/// Neighbour tile in the direction of `port`, if it exists.
-fn neighbor(mesh: &Mesh, tile: TileId, port: usize) -> Option<TileId> {
+/// Neighbour tile in the direction of `port`, if it exists. On a torus
+/// every direction exists — off-edge moves wrap around.
+fn neighbor(mesh: &Mesh, topology: Topology, tile: TileId, port: usize) -> Option<TileId> {
     let c = mesh.coord(tile);
     let (dr, dc): (isize, isize) = match port {
         P_NORTH => (-1, 0),
@@ -72,7 +76,14 @@ fn neighbor(mesh: &Mesh, tile: TileId, port: usize) -> Option<TileId> {
     let nr = c.row as isize + dr;
     let nc = c.col as isize + dc;
     if nr < 0 || nc < 0 || nr as usize >= mesh.rows() || nc as usize >= mesh.cols() {
-        None
+        match topology {
+            Topology::Mesh => None,
+            Topology::Torus => {
+                let wr = (nr + mesh.rows() as isize) as usize % mesh.rows();
+                let wc = (nc + mesh.cols() as isize) as usize % mesh.cols();
+                Some(mesh.tile(noc_model::Coord::new(wr, wc)))
+            }
+        }
     } else {
         Some(mesh.tile(noc_model::Coord::new(nr as usize, nc as usize)))
     }
@@ -429,7 +440,10 @@ impl Network {
         let nearest_mc = cfg
             .mesh
             .tiles()
-            .map(|t| cfg.controllers.nearest(&cfg.mesh, t))
+            .map(|t| match cfg.topology {
+                Topology::Mesh => cfg.controllers.nearest(&cfg.mesh, t),
+                Topology::Torus => cfg.controllers.nearest_torus(&cfg.mesh, t),
+            })
             .collect();
         Ok(Network {
             routers: (0..n).map(|_| Router::new(vcs, depth)).collect(),
@@ -851,7 +865,7 @@ impl Network {
         } else {
             1
         };
-        let hops = self.cfg.mesh.hops(src, dst) as u32;
+        let hops = self.cfg.topology.hops(&self.cfg.mesh, src, dst) as u32;
         if measured {
             self.report.injected += 1;
         }
@@ -1140,6 +1154,7 @@ impl Network {
     ) {
         {
             let here = TileId(r);
+            let topo = self.cfg.topology;
             // One crossbar input per port and cycle (switch allocation's
             // physical constraint), unless disabled for ablation.
             let mut input_used = [false; NUM_PORTS];
@@ -1178,9 +1193,19 @@ impl Network {
                         let info = &self.packets[front.packet as usize];
                         if self.routers[r].inputs[in_port][vc].route.is_none() {
                             debug_assert!(front.is_head, "routing state lost mid-packet");
-                            let dir = match self.cfg.routing {
-                                RoutingKind::Xy => route_xy(&mesh, here, info.dst),
-                                RoutingKind::Yx => route_yx(&mesh, here, info.dst),
+                            let dir = match (self.cfg.topology, self.cfg.routing) {
+                                (Topology::Mesh, RoutingKind::Xy) => {
+                                    route_xy(&mesh, here, info.dst)
+                                }
+                                (Topology::Mesh, RoutingKind::Yx) => {
+                                    route_yx(&mesh, here, info.dst)
+                                }
+                                (Topology::Torus, RoutingKind::Xy) => {
+                                    route_xy_torus(&mesh, here, info.dst)
+                                }
+                                (Topology::Torus, RoutingKind::Yx) => {
+                                    route_yx_torus(&mesh, here, info.dst)
+                                }
                             };
                             self.routers[r].inputs[in_port][vc].route = Some(port_of(dir));
                         }
@@ -1243,7 +1268,7 @@ impl Network {
                 // Credit back to whoever feeds this input VC.
                 if in_port == P_LOCAL {
                     credits.push(Credit::Ni { tile: r, vc });
-                } else if let Some(up) = neighbor(&mesh, here, in_port) {
+                } else if let Some(up) = neighbor(&mesh, topo, here, in_port) {
                     credits.push(Credit::Router {
                         router: up.index(),
                         port: opposite(in_port),
@@ -1333,7 +1358,7 @@ impl Network {
                     if let Some(fl) = self.flow.as_mut() {
                         fl.heatmap.on_link_traversal(r, out_port);
                     }
-                    let next = neighbor(&mesh, here, out_port).expect("route stays on mesh");
+                    let next = neighbor(&mesh, topo, here, out_port).expect("route stays on chip");
                     // Charge the downstream pipeline unless the flit will
                     // eject there.
                     let extra = if next == info.dst { 0 } else { stages };
@@ -1383,7 +1408,8 @@ mod tests {
         let mesh = Mesh::square(4);
         let mut cfg = quiet_config(mesh);
         // single controller far from the source: src (0,0), mc (3,3) → 6 hops
-        cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+        cfg.controllers =
+            MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement");
         cfg.long_fraction = 0.0; // all single-flit
         cfg.measure_cycles = 5_000;
         let src = SourceSpec {
@@ -1404,11 +1430,68 @@ mod tests {
         assert!(report.mean_td_q().abs() < 1e-9);
     }
 
+    /// Same setup on a torus: the wraparound links shorten (0,0)→(3,3)
+    /// from 6 mesh hops to 2 torus hops, and the simulated uncontended
+    /// latency must follow Eq. (2) with the torus hop count.
+    #[test]
+    fn torus_uncontended_latency_matches_eq2() {
+        let mesh = Mesh::square(4);
+        let mut cfg = quiet_config(mesh);
+        cfg.topology = Topology::Torus;
+        cfg.controllers =
+            MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement");
+        cfg.long_fraction = 0.0;
+        cfg.measure_cycles = 5_000;
+        let src = SourceSpec {
+            tile: TileId(0),
+            group: 0,
+            cache: Schedule::Constant(0.0),
+            mem: Schedule::Constant(0.01),
+        };
+        let report = net(cfg, vec![src], 1).run();
+        assert!(report.fully_drained);
+        assert!(report.memory.packets > 0, "no packets generated");
+        // H = torus_hops((0,0),(3,3)) = 2, per-hop 4, 1 flit → latency 9.
+        assert!(
+            (report.memory.apl() - 9.0).abs() < 1e-9,
+            "APL {}",
+            report.memory.apl()
+        );
+        assert!(report.mean_td_q().abs() < 1e-9);
+    }
+
+    /// A torus run at the paper's low loads must deliver every measured
+    /// packet (the shortest-direction router is deadlock-free in practice
+    /// at validation loads) under both routing variants.
+    #[test]
+    fn torus_delivers_everything_at_low_load() {
+        for routing in [RoutingKind::Xy, RoutingKind::Yx] {
+            let mesh = Mesh::square(4);
+            let mut cfg = quiet_config(mesh);
+            cfg.topology = Topology::Torus;
+            cfg.routing = routing;
+            cfg.measure_cycles = 3_000;
+            let sources: Vec<SourceSpec> = mesh
+                .tiles()
+                .map(|t| SourceSpec {
+                    tile: t,
+                    group: 0,
+                    cache: Schedule::Constant(0.02),
+                    mem: Schedule::Constant(0.01),
+                })
+                .collect();
+            let report = net(cfg, sources, 1).run();
+            assert!(report.fully_drained, "torus {routing:?} failed to drain");
+            assert_eq!(report.injected, report.delivered);
+        }
+    }
+
     #[test]
     fn long_packets_add_serialization() {
         let mesh = Mesh::square(4);
         let mut cfg = quiet_config(mesh);
-        cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+        cfg.controllers =
+            MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement");
         cfg.long_fraction = 1.0; // all 5-flit
         cfg.measure_cycles = 5_000;
         let src = SourceSpec {
@@ -1520,7 +1603,8 @@ mod tests {
         // far-away controller: the shared links must show td_q > 0.
         let mesh = Mesh::square(4);
         let mut cfg = quiet_config(mesh);
-        cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(3)]);
+        cfg.controllers =
+            MemoryControllers::try_custom(&mesh, vec![TileId(3)]).expect("valid placement");
         cfg.long_fraction = 1.0;
         cfg.measure_cycles = 5_000;
         cfg.max_drain_cycles = 50_000;
@@ -1569,7 +1653,8 @@ mod tests {
         // prevent cache packets from draining.
         let mesh = Mesh::square(4);
         let mut cfg = quiet_config(mesh);
-        cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+        cfg.controllers =
+            MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement");
         cfg.measure_cycles = 4_000;
         cfg.max_drain_cycles = 400_000;
         let sources: Vec<SourceSpec> = mesh
@@ -1729,7 +1814,8 @@ mod tests {
         let mesh = Mesh::square(4);
         let mut cfg = quiet_config(mesh);
         cfg.injection = crate::config::InjectionProcess::Geometric;
-        cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+        cfg.controllers =
+            MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement");
         cfg.long_fraction = 0.0; // all single-flit
         cfg.measure_cycles = 5_000;
         let src = SourceSpec {

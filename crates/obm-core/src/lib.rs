@@ -29,7 +29,10 @@
 //!   and the online controller;
 //! * [`remap`] — the closed-loop online [`RemapController`]: windowed
 //!   telemetry in, drift detection, warm-started migration-penalized
-//!   re-solve, deterministic mid-run mapping swap out (DESIGN.md §14).
+//!   re-solve, deterministic mid-run mapping swap out (DESIGN.md §14);
+//! * [`placement`] — placement co-optimization: an outer deterministic
+//!   search over memory-controller [`ChipLayout`](noc_model::ChipLayout)s
+//!   with the OBM solver in the inner loop (DESIGN.md §15).
 //!
 //! Every [`Mapper`] also has a [`Mapper::map_probed`] entry point that
 //! streams solver telemetry (`noc-telemetry`
@@ -69,6 +72,7 @@ pub mod eval;
 pub mod metrics;
 pub mod objective;
 pub mod oversub;
+pub mod placement;
 pub mod problem;
 pub mod reduction;
 pub mod refine;
@@ -85,6 +89,9 @@ pub use metrics::BalanceMetric;
 pub use objective::{
     migration_distance, refine_for_objective, threads_moved, Energy, MaxMinBalance,
     MigrationPenalized, MinMaxApl, Objective, ObjectiveSpec,
+};
+pub use placement::{
+    co_optimize, sss_inner, PlacementOptions, PlacementOutcome, PlacementSearchError, SearchMode,
 };
 pub use problem::{Mapping, ObmInstance};
 pub use refine::{polish, Polished};

@@ -47,8 +47,10 @@
 pub mod checkpoint;
 mod engine;
 pub mod outcome;
+pub mod placement;
 pub mod request;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CompletedTask, CHECKPOINT_VERSION};
 pub use outcome::{SolveOutcome, SolveStats, Termination};
+pub use placement::portfolio_inner;
 pub use request::{Algorithm, RequestError, SolveBudget, SolveRequest, SolveRequestBuilder};

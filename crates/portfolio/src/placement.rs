@@ -1,0 +1,86 @@
+//! Portfolio-backed inner solver for placement co-optimization.
+//!
+//! `obm_core::placement::co_optimize` is generic over its inner solver;
+//! [`portfolio_inner`] adapts the full racing engine to that interface so
+//! the outer placement search can spend a solver portfolio (instead of a
+//! single heuristic) on every candidate layout.
+
+use crate::request::{Algorithm, SolveBudget, SolveRequest};
+use obm_core::problem::{Mapping, ObmInstance};
+
+/// Build an inner solver for
+/// [`co_optimize`](obm_core::placement::co_optimize) that races `algos`
+/// across `workers` threads under `budget` for every candidate layout,
+/// seeded with the outer search's `inner_seed`.
+///
+/// Determinism: a fixed algorithm line-up and an evaluation-cap-only
+/// budget make each inner solve bit-identical for any worker count
+/// (DESIGN.md §10), so the whole placement search stays reproducible.
+/// Wall-clock deadlines in `budget` trade that away per solve.
+pub fn portfolio_inner(
+    algos: Vec<Algorithm>,
+    workers: usize,
+    budget: SolveBudget,
+) -> impl FnMut(&ObmInstance, u64) -> (Mapping, f64) {
+    move |inst, seed| {
+        let outcome = SolveRequest::builder(inst)
+            .algorithms(algos.iter().cloned())
+            .seed(seed)
+            .workers(workers)
+            .budget(budget)
+            .build()
+            .expect("portfolio placement request: static line-up and seed are valid")
+            .solve();
+        (outcome.mapping, outcome.objective)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::{LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
+    use obm_core::placement::{co_optimize, PlacementOptions};
+
+    fn fig5_instance(mesh: &Mesh) -> ObmInstance {
+        let mcs = MemoryControllers::corners(mesh);
+        let tiles = TileLatencies::compute(mesh, &mcs, LatencyParams::fig5_example());
+        let c: Vec<f64> = (0..4).flat_map(|_| [0.1, 0.2, 0.3, 0.4]).collect();
+        ObmInstance::new(tiles, vec![0, 4, 8, 12, 16], c, vec![0.05; 16])
+    }
+
+    #[test]
+    fn portfolio_inner_drives_placement_search() {
+        let mesh = Mesh::square(4);
+        let inst = fig5_instance(&mesh);
+        let inner = portfolio_inner(
+            vec![
+                Algorithm::SortSelectSwap(Default::default()),
+                Algorithm::BalancedGreedy,
+            ],
+            2,
+            SolveBudget::unlimited(),
+        );
+        let out = co_optimize(&inst, &mesh, &PlacementOptions::new(1), inner).expect("search runs");
+        assert!(out.objective <= out.baseline_objective);
+        assert_ne!(out.layout.controllers().tiles(), &[TileId(0)]);
+    }
+
+    #[test]
+    fn portfolio_inner_is_deterministic() {
+        let mesh = Mesh::square(4);
+        let inst = fig5_instance(&mesh);
+        let run = |workers: usize| {
+            let inner = portfolio_inner(
+                vec![Algorithm::SortSelectSwap(Default::default())],
+                workers,
+                SolveBudget::unlimited(),
+            );
+            co_optimize(&inst, &mesh, &PlacementOptions::new(2), inner).expect("search runs")
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.layout.controllers(), b.layout.controllers());
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.mapping, b.mapping);
+    }
+}

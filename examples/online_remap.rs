@@ -38,7 +38,7 @@ fn max_group_apl(report: &SimReport) -> f64 {
 fn main() {
     // -- arrive ----------------------------------------------------------
     let mesh = Mesh::square(4);
-    let mcs = MemoryControllers::custom(&mesh, vec![TileId(0)]);
+    let mcs = MemoryControllers::try_custom(&mesh, vec![TileId(0)]).expect("valid placement");
     let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
     let mut sys = DynamicSystem::new(tiles.clone());
 
@@ -93,7 +93,8 @@ fn main() {
     let traffic =
         |mapping: &Mapping| piecewise_traffic_spec(&[&e1, &e2, &e2, &e2, &e2], mapping, EPOCH);
     let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(0)]);
+    cfg.controllers =
+        MemoryControllers::try_custom(&mesh, vec![TileId(0)]).expect("valid placement");
     cfg.warmup_cycles = WARMUP;
     cfg.measure_cycles = MEASURE;
     cfg.seed = 0xD01F;

@@ -26,11 +26,15 @@
 # evaluation throughput (×). When the run contains the remap_loadcurve
 # group, a derived "controlled_delta_pct/steady_4x4_10k" key records
 # the overhead of running under an armed-but-quiet RemapController as a
-# percentage of the plain run's median.
+# percentage of the plain run's median. When the run contains the
+# placement_outer_4x4 group, a derived "placement_gain_pct/outer_4x4"
+# key records how far the exhaustive placement search's best layout
+# undercuts the corner default's max-APL (the bench emits both as
+# millicycle quality lines in the same label format as the timings).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR${BENCH_PR:-7}.json"
+out="BENCH_PR${BENCH_PR:-8}.json"
 benches=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -77,6 +81,11 @@ awk '
     if (plain > 0 && watched > 0)
       printf ",\n  \"controlled_delta_pct/steady_4x4_10k\": %.2f",
         100.0 * (watched - plain) / plain
+    corner = medians["placement_outer_4x4/corner_maxapl_millicycles"]
+    best = medians["placement_outer_4x4/best_maxapl_millicycles"]
+    if (corner > 0 && best > 0)
+      printf ",\n  \"placement_gain_pct/outer_4x4\": %.2f",
+        100.0 * (corner - best) / corner
     printf "\n}\n"
   }
 ' "$raw" > "$out"

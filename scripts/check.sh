@@ -10,11 +10,13 @@
 #                         suite, the batch-evaluation suite (eval_many ≡
 #                         scratch evaluate bitwise + pinned solver goldens),
 #                         the simulator's golden-report suite
-#                         (Bernoulli + geometric injection), and the
+#                         (Bernoulli + geometric injection), the
 #                         online-remap controller's pinned decision
-#                         sequence, all in release mode (optimizations
-#                         change f64 codegen timing, never the pinned
-#                         bit patterns)
+#                         sequence, and the placement search's pinned
+#                         exhaustive win + TM-vs-simulator agreement,
+#                         all in release mode (optimizations change
+#                         f64 codegen timing, never the pinned bit
+#                         patterns)
 #   6. CLI smoke        — the observability subcommands (`experiments
 #                         heatmap --json`, `experiments trace --chrome`)
 #                         run on a generated C1 instance; the emitted
@@ -31,10 +33,12 @@
 #                         heatmap observers (probes must never abort a
 #                         simulation), the batched evaluation engine
 #                         (the parallel path must degrade, not abort),
-#                         or the Objective implementations and the
+#                         the Objective implementations and the
 #                         online remap controller (typed RemapError;
 #                         a mid-run controller must never abort a
-#                         simulation)
+#                         simulation), or the ChipLayout/placement
+#                         constructors and the outer placement search
+#                         (typed PlacementError)
 #
 # The tier-1 commands match ROADMAP.md; `--workspace` matters because the
 # root package is a facade crate and a bare `cargo build` would silently
@@ -58,7 +62,7 @@ echo "==> examples: build and run every example"
 cargo build --release --workspace --examples
 for ex in quickstart simulate_mapping app_consolidation custom_chip \
     np_reduction qos_priorities portfolio_solve noc_observability \
-    online_remap; do
+    online_remap placement_search; do
     echo "--> example: $ex"
     cargo run --quiet --release --example "$ex" >/dev/null
 done
@@ -93,6 +97,13 @@ echo "==> online-remap determinism suite (release)"
 # mapping for the pinned seed) and the headline drifting-workload win
 # must replay bit-identically under release codegen.
 cargo test -q --release --test remap
+
+echo "==> placement determinism suite (release)"
+# The outer placement search's contract — pinned exhaustive win over the
+# corner default, D4 canonical-orbit count, bit-identical reruns from a
+# fixed seed, and the analytic-vs-simulator TM agreement for arbitrary
+# layouts — must hold under release codegen too.
+cargo test -q --release --test placement
 
 echo "==> CLI observability smoke: heatmap + chrome-trace JSON"
 # Run the spatial-observability subcommands end to end on a generated C1
@@ -133,7 +144,9 @@ echo "==> panic gate: error-typed constructor and solver paths"
 # SimConfig::validate(), TrafficSpec::new() and Network::new() report bad
 # input through typed ConfigError values; the portfolio engine reports
 # through RequestError/CheckpointError and degrades to its greedy
-# fallback instead of panicking; the CLI spec parser returns SpecError.
+# fallback instead of panicking; the CLI spec parser returns SpecError;
+# the ChipLayout/MemoryControllers constructors and the outer placement
+# search report through PlacementError.
 # Reintroducing unwrap()/assert!/panic! in the non-test portions of these
 # files would silently bring panicking paths back, so fail on any
 # occurrence outside the #[cfg(test)] module and doc comments
@@ -143,7 +156,9 @@ for f in crates/noc-sim/src/config.rs crates/noc-sim/src/network.rs \
     crates/noc-telemetry/src/histogram.rs crates/noc-telemetry/src/heatmap.rs \
     crates/portfolio/src/*.rs crates/cli/src/spec.rs \
     crates/obm-core/src/batch.rs \
-    crates/obm-core/src/objective.rs crates/obm-core/src/remap.rs; do
+    crates/obm-core/src/objective.rs crates/obm-core/src/remap.rs \
+    crates/noc-model/src/layout.rs crates/noc-model/src/placement.rs \
+    crates/obm-core/src/placement.rs; do
     cut=$(grep -n '#\[cfg(test)\]' "$f" | head -1 | cut -d: -f1 || true)
     cut=${cut:-$(( $(wc -l < "$f") + 1 ))}
     if hits=$(head -n $((cut - 1)) "$f" \

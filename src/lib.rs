@@ -57,15 +57,19 @@ pub mod prelude {
         SimulatedAnnealing, SortSelectSwap,
     };
     pub use crate::mapping::{
-        evaluate, piecewise_traffic_spec, traffic_spec, AplReport, BatchEvaluator, BudgetError,
-        CancelToken, Energy, EvalTables, IncrementalEvaluator, Mapping, MaxMinBalance,
-        MigrationPenalized, MinMaxApl, Objective, ObjectiveSpec, ObmInstance, RemapConfig,
-        RemapController, RemapError, RemapEvent, RemapOutcome,
+        co_optimize, evaluate, piecewise_traffic_spec, sss_inner, traffic_spec, AplReport,
+        BatchEvaluator, BudgetError, CancelToken, Energy, EvalTables, IncrementalEvaluator,
+        Mapping, MaxMinBalance, MigrationPenalized, MinMaxApl, Objective, ObjectiveSpec,
+        ObmInstance, PlacementOptions, PlacementOutcome, RemapConfig, RemapController, RemapError,
+        RemapEvent, RemapOutcome, SearchMode,
     };
-    pub use crate::model::{Coord, LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
+    pub use crate::model::{
+        ChipLayout, Coord, LatencyParams, MemoryControllers, Mesh, PlacementError, TileId,
+        TileLatencies, Topology,
+    };
     pub use crate::portfolio::{
-        Algorithm, Checkpoint, RequestError, SolveBudget, SolveOutcome, SolveRequest, SolveStats,
-        Termination,
+        portfolio_inner, Algorithm, Checkpoint, RequestError, SolveBudget, SolveOutcome,
+        SolveRequest, SolveStats, Termination,
     };
     pub use crate::sim::{
         ConfigError, Network, Schedule, SimConfig, SimConfigBuilder, SimReport, SourceCounters,

@@ -7,7 +7,7 @@ use obm::cache::system::{CacheAppSpec, CmpSystem, SystemConfig, ThreadSpec};
 use obm::mapping::algorithms::{BranchAndBound, Global, Mapper, SortSelectSwap};
 use obm::mapping::oversub::map_with_capacity;
 use obm::mapping::{evaluate, ObmInstance};
-use obm::model::{LatencyParams, MemoryControllers, Mesh, TileLatencies};
+use obm::model::{ChipLayout, LatencyParams, MemoryControllers, Mesh, TileLatencies, Topology};
 use obm::workload::{PaperConfig, WorkloadBuilder};
 
 fn c1_instance() -> ObmInstance {
@@ -52,8 +52,10 @@ fn torus_suppresses_imbalance() {
         c.clone(),
         m.clone(),
     );
+    let torus = ChipLayout::try_new(mesh, Topology::Torus, mcs.clone(), Vec::new())
+        .expect("corner controllers are valid on a torus");
     let torus_inst = ObmInstance::new(
-        TileLatencies::compute_torus(&mesh, &mcs, params),
+        TileLatencies::for_layout(&torus, params),
         w.boundaries(),
         c,
         m,

@@ -21,7 +21,7 @@ const EPOCH: u64 = 6_000;
 /// far from the controller.
 fn drift_epochs() -> (ObmInstance, ObmInstance, Mesh) {
     let mesh = Mesh::square(4);
-    let mcs = MemoryControllers::custom(&mesh, vec![TileId(0)]);
+    let mcs = MemoryControllers::try_custom(&mesh, vec![TileId(0)]).expect("valid placement");
     let tiles = TileLatencies::compute(&mesh, &mcs, LatencyParams::paper_table2());
     let heavy = (2.0, 10.0); // (cache, mem) packets per kilocycle per thread
     let light = (3.0, 0.3);
@@ -39,7 +39,8 @@ fn drift_epochs() -> (ObmInstance, ObmInstance, Mesh) {
 
 fn drift_config(mesh: Mesh) -> SimConfig {
     let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(0)]);
+    cfg.controllers =
+        MemoryControllers::try_custom(&mesh, vec![TileId(0)]).expect("valid placement");
     cfg.warmup_cycles = WARMUP;
     cfg.measure_cycles = MEASURE;
     cfg.seed = SEED;

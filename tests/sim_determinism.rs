@@ -30,7 +30,8 @@ use proptest::prelude::*;
 fn small_scenario_network() -> Network {
     let mesh = Mesh::square(4);
     let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+    cfg.controllers =
+        MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement");
     cfg.warmup_cycles = 500;
     cfg.measure_cycles = 3_000;
     cfg.max_drain_cycles = 20_000;
@@ -169,7 +170,8 @@ fn peak_buffered_flits_matches_pre_optimization_scan() {
     let mut cfg = SimConfig::paper_defaults(mesh);
     // All memory traffic from two heavy sources funnels into one corner
     // controller — a deterministic hot-spot that exercises deep queues.
-    cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+    cfg.controllers =
+        MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement");
     cfg.warmup_cycles = 0;
     cfg.measure_cycles = 2_000;
     cfg.max_drain_cycles = 50_000;
@@ -202,7 +204,8 @@ fn peak_buffered_flits_matches_pre_optimization_scan() {
 fn geometric_small_scenario_network() -> Network {
     let mesh = Mesh::square(4);
     let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+    cfg.controllers =
+        MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement");
     cfg.warmup_cycles = 500;
     cfg.measure_cycles = 3_000;
     cfg.max_drain_cycles = 20_000;
@@ -271,7 +274,8 @@ fn pinned_golden_geometric_small_scenario() {
 fn geometric_windows_stay_exact_across_skipped_regions() {
     let mesh = Mesh::square(4);
     let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+    cfg.controllers =
+        MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement");
     cfg.warmup_cycles = 500;
     cfg.measure_cycles = 5_000;
     cfg.max_drain_cycles = 20_000;
@@ -321,7 +325,8 @@ fn geometric_windows_stay_exact_across_skipped_regions() {
 fn geometric_piecewise_epoch_boundaries_are_exact() {
     let mesh = Mesh::square(4);
     let mut cfg = SimConfig::paper_defaults(mesh);
-    cfg.controllers = MemoryControllers::custom(&mesh, vec![TileId(15)]);
+    cfg.controllers =
+        MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement");
     cfg.warmup_cycles = 0;
     cfg.measure_cycles = 4_000;
     cfg.max_drain_cycles = 20_000;
