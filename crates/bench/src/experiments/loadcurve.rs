@@ -4,6 +4,7 @@
 //! per kilocycle per tile) sit far below saturation, which is why `td_q`
 //! stays in the 0–1 cycle band and the analytic model is valid.
 
+use crate::pool;
 use crate::table::{f, MarkdownTable};
 use noc_model::Mesh;
 use noc_sim::config::RoutingKind;
@@ -79,28 +80,21 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
         "peak buffered flits",
         "peak measure-window buffered",
     ]);
-    // Each sweep point is an independent seeded simulation: fan the points
-    // out to one worker each and join in spawn order, which keeps the row
-    // order identical to the serial version. The XY/YX ablation runs ride
-    // along in the same scope.
-    let (reports, xy, yx) = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = rates
-            .iter()
-            .map(|&r| scope.spawn(move |_| run_point(r, RoutingKind::Xy, cycles, injection)))
-            .collect();
-        let h_xy = scope.spawn(move |_| run_point(8.0, RoutingKind::Xy, cycles, injection));
-        let h_yx = scope.spawn(move |_| run_point(8.0, RoutingKind::Yx, cycles, injection));
-        let reports: Vec<_> = handles
-            .into_iter()
-            .map(|h| h.join().expect("loadcurve worker panicked"))
-            .collect();
-        (
-            reports,
-            h_xy.join().expect("loadcurve worker panicked"),
-            h_yx.join().expect("loadcurve worker panicked"),
-        )
-    })
-    .expect("crossbeam scope");
+    // Each sweep point is an independent seeded simulation, work-stolen
+    // across the shared pool; slot-ordered results keep the row order
+    // identical to the serial version. The XY/YX ablation runs ride along
+    // as the last two grid items.
+    let mut reports = pool::run_indexed(rates.len() + 2, |i| {
+        if i < rates.len() {
+            run_point(rates[i], RoutingKind::Xy, cycles, injection)
+        } else if i == rates.len() {
+            run_point(8.0, RoutingKind::Xy, cycles, injection)
+        } else {
+            run_point(8.0, RoutingKind::Yx, cycles, injection)
+        }
+    });
+    let yx = reports.pop().expect("grid includes the YX ablation point");
+    let xy = reports.pop().expect("grid includes the XY ablation point");
     for (&r, (rep, peak_window, p99)) in rates.iter().zip(&reports) {
         t.row(vec![
             format!("{r}"),

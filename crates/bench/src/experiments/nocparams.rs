@@ -3,6 +3,7 @@
 //! Sweeps virtual channels per class and input-buffer depth at C1-scale
 //! uniform load on the cycle-level simulator.
 
+use crate::pool;
 use crate::table::{f, MarkdownTable};
 use noc_model::Mesh;
 use noc_sim::{Network, Schedule, SimConfig, TrafficSpec};
@@ -48,19 +49,13 @@ pub fn run(fast: bool) -> String {
             (4, 8),
         ]
     };
-    // Independent seeded sims: one worker per point, joined in spawn order
-    // so the table rows match the serial version.
-    let reports = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = points
-            .iter()
-            .map(|&(vcs, depth)| scope.spawn(move |_| run_point(vcs, depth, cycles)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("nocparams worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope");
+    // Independent seeded sims, work-stolen across the shared pool;
+    // slot-ordered results keep the table rows matching the serial
+    // version.
+    let reports = pool::run_indexed(points.len(), |i| {
+        let (vcs, depth) = points[i];
+        run_point(vcs, depth, cycles)
+    });
     for (&(vcs, depth), r) in points.iter().zip(&reports) {
         t.row(vec![
             format!("{vcs}"),

@@ -10,6 +10,7 @@
 //! source-queuing, in-network and serialization cycles (DESIGN.md §12).
 
 use crate::harness::paper_instance;
+use crate::pool;
 use crate::sim_bridge::simulate_mapping_observed;
 use crate::table::{f, MarkdownTable};
 use noc_sim::InjectionProcess;
@@ -31,25 +32,12 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
     let mut spreads = Vec::new();
     let sss = SortSelectSwap::default();
     let mappers: [&(dyn Mapper + Sync); 2] = [&Global, &sss];
-    // Simulate the two mappings on separate workers; join in spawn order so
-    // the table keeps its serial row order.
-    let runs = crossbeam::thread::scope(|scope| {
-        let pi = &pi;
-        let handles: Vec<_> = mappers
-            .iter()
-            .map(|mapper| {
-                scope.spawn(move |_| {
-                    let mapping = mapper.map(&pi.instance, 0);
-                    simulate_mapping_observed(pi, &mapping, cycles, 3, injection)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("tails worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope");
+    // Simulate the two mappings across the shared pool; slot-ordered
+    // results keep the table's serial row order.
+    let runs = pool::run_indexed(mappers.len(), |i| {
+        let mapping = mappers[i].map(&pi.instance, 0);
+        simulate_mapping_observed(&pi, &mapping, cycles, 3, injection)
+    });
     for (mapper, run) in mappers.iter().zip(&runs) {
         let mut p95s = Vec::new();
         for (i, acc) in run.flow.groups.iter().enumerate() {

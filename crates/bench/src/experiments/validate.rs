@@ -5,6 +5,7 @@
 //! cycle band.
 
 use crate::harness::{all_paper_instances, paper_instance};
+use crate::pool;
 use crate::sim_bridge::simulate_mapping_probed_with;
 use crate::table::{f, MarkdownTable};
 use noc_sim::telemetry::{Phase, RingSink};
@@ -48,63 +49,52 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
         "NI-q cyc/pkt",
     ]);
     let sa_iterations = if fast { 20_000 } else { 100_000 };
-    // One worker per configuration (mapping + analytic model + seeded
-    // simulation are all per-instance); joining in spawn order keeps the
-    // table rows in the serial order.
-    let results = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = instances
-            .iter()
-            .map(|pi| {
-                scope.spawn(move |_| {
-                    let mapping = SortSelectSwap::default().map(&pi.instance, 0);
-                    let analytic = evaluate(&pi.instance, &mapping);
-                    // Race the solver portfolio on the same instance: its
-                    // winner bounds what any single heuristic achieved.
-                    let portfolio = SolveRequest::builder(&pi.instance)
-                        .algorithm(Algorithm::SortSelectSwap(SortSelectSwap::default()))
-                        .algorithm(Algorithm::SimulatedAnnealing(SimulatedAnnealing {
-                            iterations: sa_iterations,
-                            ..SimulatedAnnealing::default()
-                        }))
-                        .algorithm(Algorithm::MonteCarlo(MonteCarlo {
-                            samples: 2_000,
-                            workers: 1,
-                        }))
-                        .algorithm(Algorithm::BalancedGreedy)
-                        .seeds([0, 1])
-                        .workers(2)
-                        .build()
-                        .expect("valid portfolio request")
-                        .solve();
-                    // Probed run: windowed telemetry rides along with the
-                    // validation sweep at no semantic cost (bit-identical).
-                    let mut sink = RingSink::new(4096);
-                    let sim =
-                        simulate_mapping_probed_with(pi, &mapping, cycles, 7, injection, &mut sink);
-                    let measure = || sink.windows().filter(|w| w.phase == Phase::Measure);
-                    let peak_inj = measure().map(|w| w.injection_rate()).fold(0.0f64, f64::max);
-                    let peak_buf = measure().map(|w| w.buffered_flits).max().unwrap_or(0);
-                    // The end-of-run flow summary arrives after every
-                    // window, so it survives the bounded ring: exact
-                    // (nearest-rank) p99 and the per-packet NI source-
-                    // queuing cost ride along for free.
-                    let all = sink
-                        .flow_summaries()
-                        .next()
-                        .map(|flow| flow.merged())
-                        .unwrap_or_default();
-                    let p99 = all.histogram.quantile(0.99).unwrap_or(0);
-                    let ni_q = all.mean_source_queue();
-                    (analytic, sim, peak_inj, peak_buf, portfolio, p99, ni_q)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("validate worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope");
+    // One grid item per configuration (mapping + analytic model + seeded
+    // simulation are all per-instance), work-stolen across the shared
+    // pool; results come back in item order, keeping the table rows in
+    // the serial order.
+    let results = pool::run_indexed(instances.len(), |i| {
+        let pi = &instances[i];
+        let mapping = SortSelectSwap::default().map(&pi.instance, 0);
+        let analytic = evaluate(&pi.instance, &mapping);
+        // Race the solver portfolio on the same instance: its
+        // winner bounds what any single heuristic achieved.
+        let portfolio = SolveRequest::builder(&pi.instance)
+            .algorithm(Algorithm::SortSelectSwap(SortSelectSwap::default()))
+            .algorithm(Algorithm::SimulatedAnnealing(SimulatedAnnealing {
+                iterations: sa_iterations,
+                ..SimulatedAnnealing::default()
+            }))
+            .algorithm(Algorithm::MonteCarlo(MonteCarlo {
+                samples: 2_000,
+                workers: 1,
+            }))
+            .algorithm(Algorithm::BalancedGreedy)
+            .seeds([0, 1])
+            .workers(2)
+            .build()
+            .expect("valid portfolio request")
+            .solve();
+        // Probed run: windowed telemetry rides along with the
+        // validation sweep at no semantic cost (bit-identical).
+        let mut sink = RingSink::new(4096);
+        let sim = simulate_mapping_probed_with(pi, &mapping, cycles, 7, injection, &mut sink);
+        let measure = || sink.windows().filter(|w| w.phase == Phase::Measure);
+        let peak_inj = measure().map(|w| w.injection_rate()).fold(0.0f64, f64::max);
+        let peak_buf = measure().map(|w| w.buffered_flits).max().unwrap_or(0);
+        // The end-of-run flow summary arrives after every
+        // window, so it survives the bounded ring: exact
+        // (nearest-rank) p99 and the per-packet NI source-
+        // queuing cost ride along for free.
+        let all = sink
+            .flow_summaries()
+            .next()
+            .map(|flow| flow.merged())
+            .unwrap_or_default();
+        let p99 = all.histogram.quantile(0.99).unwrap_or(0);
+        let ni_q = all.mean_source_queue();
+        (analytic, sim, peak_inj, peak_buf, portfolio, p99, ni_q)
+    });
     let mut max_err: f64 = 0.0;
     let mut max_tdq: f64 = 0.0;
     let mut max_gain: f64 = 0.0;
@@ -162,7 +152,9 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
          (paper: td_q observed 0–1 cycles at evaluated loads).\n\
          Portfolio winner improves on plain SSS by up to {:.2}% max-APL.\n\
          Simulator throughput: {:.2} Mcycles/s, {:.2} Mflit-hops/s per worker thread.\n\
-         Portfolio evaluation throughput: {:.2} Mevals/s aggregate over timed tasks.\n",
+         Portfolio evaluation throughput: {:.2} Mevals/s aggregate over timed tasks.\n\
+         Sweep pool: {} effective worker(s) on {} detected core(s); \
+         simulator shards: {} per run (OBM_SIM_SHARDS).\n",
         t.render(),
         max_err * 100.0,
         max_tdq,
@@ -170,6 +162,9 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
         agg_cps / 1e6,
         agg_fps / 1e6,
         agg_eps / 1e6,
+        pool::effective_workers(),
+        pool::detected_cores(),
+        noc_sim::env_shards().unwrap_or(1),
     )
 }
 

@@ -6,5 +6,6 @@
 pub mod experiments;
 pub mod harness;
 pub mod lineup;
+pub mod pool;
 pub mod sim_bridge;
 pub mod table;

@@ -2,10 +2,11 @@
 //! Table 4 and Figures 9–11: run Global, MC, SA and SSS on C1–C8 once and
 //! let each experiment format its own view of the results.
 //!
-//! The per-configuration runs are independent, so they are fanned out over
-//! scoped crossbeam threads (one per configuration).
+//! The per-configuration runs are independent, so they are work-stolen
+//! across the shared sweep pool ([`crate::pool`]).
 
 use crate::harness::{paper_instance, sa_matching_sss, standard_mappers, PaperInstance};
+use crate::pool;
 use noc_model::Mesh;
 use noc_power::{analytic_power, PlacedLoad, PowerParams};
 use obm_core::{evaluate, AplReport, Mapping};
@@ -90,19 +91,12 @@ fn run_config(cfg: PaperConfig, seed: u64) -> ConfigResults {
     }
 }
 
-/// Run the full sweep (parallel over configurations).
+/// Run the full sweep (work-stolen across the shared pool, one grid item
+/// per configuration).
 pub fn run_lineup(seed: u64) -> Lineup {
-    let configs = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = PaperConfig::ALL
-            .iter()
-            .map(|&cfg| scope.spawn(move |_| run_config(cfg, seed)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("config sweep worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope");
+    let configs = pool::run_indexed(PaperConfig::ALL.len(), |i| {
+        run_config(PaperConfig::ALL[i], seed)
+    });
     Lineup { configs }
 }
 

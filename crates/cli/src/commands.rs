@@ -236,6 +236,7 @@ pub fn simulate_command(
     let mapper = mapper_by_name(algo)?;
     let mapping = mapper.map(&inst, seed);
     let mut cfg = SimConfig::for_layout(&chip).map_err(|e| format!("invalid layout: {e}"))?;
+    cfg.shards = noc_sim::env_shards().unwrap_or(1);
     cfg.warmup_cycles = (cycles / 10).max(100);
     cfg.measure_cycles = cycles;
     cfg.seed = seed ^ 0xC0FFEE;
@@ -292,6 +293,7 @@ pub fn trace_command(
     let mapper = mapper_by_name(algo)?;
     let mesh = spec.mesh();
     let mut cfg = SimConfig::for_layout(&chip).map_err(|e| format!("invalid layout: {e}"))?;
+    cfg.shards = noc_sim::env_shards().unwrap_or(1);
     cfg.warmup_cycles = (cycles / 10).max(100);
     cfg.measure_cycles = cycles;
     cfg.telemetry_window = window;
@@ -391,6 +393,7 @@ pub fn heatmap_command(
     let mapper = mapper_by_name(algo)?;
     let mapping = mapper.map(&inst, seed);
     let mut cfg = SimConfig::for_layout(&chip).map_err(|e| format!("invalid layout: {e}"))?;
+    cfg.shards = noc_sim::env_shards().unwrap_or(1);
     cfg.warmup_cycles = (cycles / 10).max(100);
     cfg.measure_cycles = cycles;
     cfg.seed = seed ^ 0xC0FFEE;
@@ -526,6 +529,7 @@ pub fn chrome_trace_command(
     let mapper = mapper_by_name(algo)?;
     let mapping = mapper.map(&inst, seed);
     let mut cfg = SimConfig::for_layout(&chip).map_err(|e| format!("invalid layout: {e}"))?;
+    cfg.shards = noc_sim::env_shards().unwrap_or(1);
     cfg.warmup_cycles = (cycles / 10).max(100);
     cfg.measure_cycles = cycles;
     cfg.telemetry_window = window;
@@ -753,11 +757,22 @@ pub fn solve_command(spec_text: &str, args: &SolveArgs) -> Result<(String, Strin
     let outcome = request.solve();
 
     let mut out = String::new();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     out.push_str(&format!(
         "portfolio: {} task(s) across {} worker(s) | termination: {}\n",
         outcome.stats.len(),
         workers,
         outcome.termination
+    ));
+    // Effective parallelism, so solve logs record what actually ran:
+    // configured workers vs detected cores, and the simulator shard knob
+    // (bit-identical to serial; consumed by `obm simulate`/`trace`).
+    out.push_str(&format!(
+        "parallelism: {workers} configured worker(s) on {cores} detected core(s); \
+         sim shards: {} (OBM_SIM_SHARDS)\n",
+        noc_sim::env_shards().unwrap_or(1)
     ));
     if outcome.resume_rejected {
         out.push_str("note: --resume checkpoint did not match this request; all tasks re-ran\n");

@@ -17,8 +17,10 @@
 //! the front, which preserves wormhole contiguity because upstream senders
 //! never interleave flits of different packets on one VC).
 
-use crate::config::{ConfigError, InjectionProcess, RoutingKind, SimConfig, NUM_PORTS};
-use crate::packet::{Flit, PacketId, PacketInfo, PacketStamps};
+use crate::config::{
+    ConfigError, InjectionProcess, RoutingKind, SimConfig, MAX_ARBITRATION_SLOTS, NUM_PORTS,
+};
+use crate::packet::{Flit, PacketId, PacketInfo, PacketStamps, FLIT_HEAD, FLIT_MEM, FLIT_TAIL};
 use crate::stats::SimReport;
 use crate::traffic::{SourceSpec, TrafficSpec};
 use noc_model::{
@@ -115,9 +117,13 @@ struct OutVc {
 }
 
 #[derive(Debug)]
-struct Router {
-    inputs: Vec<Vec<InputVc>>,
-    outputs: Vec<Vec<OutVc>>,
+pub(crate) struct Router {
+    /// Input VCs, indexed by arbitration slot (`in_port * total_vcs + vc`)
+    /// — one flat array, so the hot scan does a single indexed load per
+    /// visited slot instead of chasing two nested `Vec`s.
+    inputs: Vec<InputVc>,
+    /// Output VCs, indexed `out_port * total_vcs + vc` (same flattening).
+    outputs: Vec<OutVc>,
     /// Round-robin arbitration pointer per output port.
     rr: [usize; NUM_PORTS],
     /// Total buffered flits (fast-path skip for idle routers).
@@ -128,39 +134,63 @@ struct Router {
     /// `NUM_PORTS × total_vcs` of them; requires that product ≤ 64
     /// (validated in `Network::new` as `ConfigError::VcOverflow`).
     occ: u64,
+    /// Per-output-port mask of slots whose front packet is routed to that
+    /// port (bit set iff `inputs[slot].route == Some(port)`). The
+    /// unprobed switch-allocation scan visits only `routed[p] & occ` plus
+    /// the still-unrouted occupied slots, skipping slots that would fail
+    /// the route check anyway.
+    routed: [u64; NUM_PORTS],
 }
 
 impl Router {
     fn new(vcs: usize, depth: usize) -> Self {
         Router {
-            inputs: (0..NUM_PORTS)
-                .map(|_| (0..vcs).map(|_| InputVc::default()).collect())
-                .collect(),
-            outputs: (0..NUM_PORTS)
-                .map(|_| {
-                    (0..vcs)
-                        .map(|_| OutVc {
-                            busy: false,
-                            credits: depth,
-                        })
-                        .collect()
+            inputs: (0..NUM_PORTS * vcs).map(|_| InputVc::default()).collect(),
+            outputs: (0..NUM_PORTS * vcs)
+                .map(|_| OutVc {
+                    busy: false,
+                    credits: depth,
                 })
                 .collect(),
             rr: [0; NUM_PORTS],
             buffered: 0,
             occ: 0,
+            routed: [0; NUM_PORTS],
         }
     }
+}
+
+/// A packet waiting in an NI class queue. Length and destination ride
+/// along so injection never reads the coordinator-owned packet slab.
+#[derive(Debug, Clone, Copy)]
+struct NiQueued {
+    id: PacketId,
+    len: u16,
+    dst: u16,
+}
+
+/// The packet an NI is currently injecting, flit by flit.
+#[derive(Debug, Clone, Copy)]
+struct NiCur {
+    id: PacketId,
+    /// Next flit index.
+    idx: u16,
+    len: u16,
+    dst: u16,
+    /// Local input VC the packet streams into.
+    vc: u8,
+    /// Memory class (clear = cache), for the flit class flag.
+    mem: bool,
 }
 
 /// Per-tile network interface: source queues feeding the router's local
 /// input port, one flit per cycle.
 #[derive(Debug)]
-struct Ni {
+pub(crate) struct Ni {
     /// Per-class queues of waiting packets.
-    queues: [VecDeque<PacketId>; 2],
-    /// Packet currently being injected: (id, next flit index, vc).
-    current: Option<(PacketId, u16, usize)>,
+    queues: [VecDeque<NiQueued>; 2],
+    /// Packet currently being injected.
+    current: Option<NiCur>,
     /// Credits for the router's local input VCs.
     credits: Vec<usize>,
     /// Class round-robin pointer.
@@ -198,7 +228,7 @@ fn class_index(class: PacketClass) -> usize {
 /// other order would change low bits of the totals and break bit-exact
 /// reproducibility against the pre-optimization simulator.
 #[derive(Debug, Clone)]
-struct ActiveSet {
+pub(crate) struct ActiveSet {
     words: Vec<u64>,
 }
 
@@ -217,6 +247,29 @@ impl ActiveSet {
     #[inline]
     fn remove(&mut self, i: usize) {
         self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Collect the set members in `lo..hi` into `out`, ascending. This is
+    /// the per-cycle worklist snapshot: the serial driver collects the
+    /// full range, the shard dispatcher one band per worker.
+    pub(crate) fn collect_range(&self, lo: usize, hi: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let first = lo / 64;
+        let last = hi.div_ceil(64);
+        for w in first..last {
+            let mut bits = self.words[w];
+            if w == first {
+                bits &= u64::MAX << (lo % 64);
+            }
+            let base = w * 64;
+            if base + 64 > hi {
+                bits &= (1u64 << (hi - base)) - 1;
+            }
+            while bits != 0 {
+                out.push((base + bits.trailing_zeros() as usize) as u32);
+                bits &= bits - 1;
+            }
+        }
     }
 }
 
@@ -273,6 +326,436 @@ enum Credit {
     },
 }
 
+/// Immutable per-run context for the router/NI datapath: everything the
+/// per-cycle pass reads but never writes, hoisted out of `Network` so a
+/// band of routers can be advanced with no access to the coordinator
+/// state. Shared across shard workers behind an `Arc`.
+pub(crate) struct StepCtx {
+    mesh: Mesh,
+    topology: Topology,
+    routing: RoutingKind,
+    crossbar_input_limit: bool,
+    /// `router_stages`.
+    stages: u64,
+    /// `link_cycles`.
+    link: u64,
+    /// `vcs_per_class`.
+    vpc: usize,
+    total_vcs: usize,
+    /// `NUM_PORTS * total_vcs` arbitration slots.
+    slots: usize,
+    /// Input port of each arbitration slot (`slot / total_vcs`,
+    /// precomputed: the scan runs per buffered flit per output port).
+    slot_port: [u8; MAX_ARBITRATION_SLOTS],
+    /// `neighbors[tile][port]` for the four cardinal ports, torus wrap
+    /// applied; `u16::MAX` marks a mesh edge.
+    neighbors: Vec<[u16; 4]>,
+    /// Whether a probe is attached: gates observability event emission so
+    /// the plain path records nothing.
+    probed: bool,
+}
+
+/// An observability or coordinator-state side effect recorded by the
+/// datapath pass in execution order and replayed by the coordinator at
+/// the cycle barrier. Everything order-sensitive (f64 latency sums,
+/// telemetry records, slab recycling) lives behind these events; the
+/// pass itself only mutates its own band's routers and NIs.
+#[derive(Debug, Clone, Copy)]
+enum SimEvent {
+    /// A flit entered `(router, vc)` from the local NI (heatmap ledger).
+    Buffer { r: u32, vc: u8 },
+    /// A packet's head flit left its NI (lifecycle stamp).
+    HeadInject(PacketId),
+    /// A flit left `(router, vc)` through the crossbar (heatmap ledger).
+    Pop { r: u32, vc: u8 },
+    /// Arbitration skipped an occupied slot: crossbar input in use.
+    SwitchStall(u32),
+    /// No free output VC in the packet's class.
+    VcStall(u32),
+    /// Downstream buffer full.
+    CreditStall(u32),
+    /// A flit crossed the link out of `r` through `port`.
+    LinkTraversal { r: u32, port: u8 },
+    /// A packet's head flit ejected at its destination.
+    HeadEject(PacketId),
+    /// A packet's tail flit ejected: the coordinator runs the full
+    /// delivery bookkeeping (report, windower, flow record, slab free).
+    TailEject(PacketId),
+}
+
+/// Per-cycle effects of one band's inject + router pass, drained by the
+/// coordinator at the cycle barrier in ascending shard order — the fixed
+/// merge order that makes any shard count bit-identical to the serial
+/// pass (DESIGN.md §16).
+#[derive(Default)]
+pub(crate) struct ShardSink {
+    /// Flits crossing links this cycle (possibly into another band).
+    deliveries: Vec<Delivery>,
+    /// Credits returned upstream (possibly into another band).
+    credits: Vec<Credit>,
+    /// Observability events from the inject phase, in execution order.
+    inject_events: Vec<SimEvent>,
+    /// Events from the router pass (including tail ejections), in order.
+    step_events: Vec<SimEvent>,
+    /// Routers that received an NI flit this cycle (activity insert).
+    injected_routers: Vec<u32>,
+    /// Routers that drained to zero buffered flits (activity remove).
+    router_removals: Vec<u32>,
+    /// NIs that ran out of queued packets (activity remove).
+    ni_removals: Vec<u32>,
+    /// Link-traversal count delta.
+    link_traversals: u64,
+    /// Net change to the global buffered-flit count (injects minus pops;
+    /// deliveries are counted when applied).
+    buffered: isize,
+}
+
+/// Advance one band's NIs and routers by one cycle. Both id lists are
+/// global tile indices within `base..base + routers.len()`, ascending;
+/// effects land in `sink`. This is the whole per-cycle datapath — the
+/// serial driver calls it once over the full mesh, each shard worker
+/// over its own row band.
+#[allow(clippy::too_many_arguments)] // the shard-worker handoff: bands + worklists + cycle + ctx + sink
+pub(crate) fn run_band(
+    nis: &mut [Ni],
+    routers: &mut [Router],
+    base: usize,
+    ni_ids: &[u32],
+    router_ids: &[u32],
+    cycle: u64,
+    ctx: &StepCtx,
+    sink: &mut ShardSink,
+) {
+    inject_band(nis, routers, base, ni_ids, cycle, ctx, sink);
+    step_band(routers, base, router_ids, cycle, ctx, sink);
+}
+
+/// NI injection for one band: one flit per cycle per tile into the
+/// router's local input port, credit-gated. Band-local by construction —
+/// NI `t` only ever feeds router `t`.
+fn inject_band(
+    nis: &mut [Ni],
+    routers: &mut [Router],
+    base: usize,
+    ni_ids: &[u32],
+    cycle: u64,
+    ctx: &StepCtx,
+    sink: &mut ShardSink,
+) {
+    for &t in ni_ids {
+        let i = t as usize - base;
+        inject_tile_core(&mut nis[i], &mut routers[i], t, cycle, ctx, sink);
+        if !nis[i].pending() {
+            sink.ni_removals.push(t);
+        }
+    }
+}
+
+/// One NI's injection step: select a packet if idle, then push one flit
+/// into the router's local input port, credit-gated.
+fn inject_tile_core(
+    ni: &mut Ni,
+    router: &mut Router,
+    t: u32,
+    cycle: u64,
+    ctx: &StepCtx,
+    sink: &mut ShardSink,
+) {
+    // Select a packet if none is mid-injection.
+    if ni.current.is_none() {
+        let rr = ni.rr_class;
+        for off in 0..2 {
+            let class = (rr + off) % 2;
+            if ni.queues[class].is_empty() {
+                continue;
+            }
+            // Pick the class VC with the most credits.
+            let range = class * ctx.vpc..(class + 1) * ctx.vpc;
+            if let Some(vc) = range
+                .clone()
+                .filter(|&v| ni.credits[v] > 0)
+                .max_by_key(|&v| ni.credits[v])
+            {
+                let q = ni.queues[class].pop_front().expect("non-empty");
+                ni.current = Some(NiCur {
+                    id: q.id,
+                    idx: 0,
+                    len: q.len,
+                    dst: q.dst,
+                    vc: vc as u8,
+                    mem: class == 1,
+                });
+                ni.rr_class = (class + 1) % 2;
+                break;
+            }
+        }
+    }
+    // Push one flit of the current packet if credit allows.
+    if let Some(cur) = ni.current {
+        let vc = cur.vc as usize;
+        if ni.credits[vc] == 0 {
+            return;
+        }
+        let mut flags = if cur.mem { FLIT_MEM } else { 0 };
+        if cur.idx == 0 {
+            flags |= FLIT_HEAD;
+        }
+        if cur.idx + 1 == cur.len {
+            flags |= FLIT_TAIL;
+        }
+        ni.credits[vc] -= 1;
+        let slot = P_LOCAL * ctx.total_vcs + vc;
+        router.inputs[slot].buf.push_back(TimedFlit {
+            flit: Flit {
+                packet: cur.id,
+                dst: cur.dst,
+                flags,
+            },
+            ready: cycle + ctx.stages,
+        });
+        router.buffered += 1;
+        router.occ |= 1 << slot;
+        sink.buffered += 1;
+        sink.injected_routers.push(t);
+        if ctx.probed {
+            sink.inject_events
+                .push(SimEvent::Buffer { r: t, vc: cur.vc });
+            if cur.idx == 0 {
+                sink.inject_events.push(SimEvent::HeadInject(cur.id));
+            }
+        }
+        ni.current = if cur.idx + 1 == cur.len {
+            None
+        } else {
+            Some(NiCur {
+                idx: cur.idx + 1,
+                ..cur
+            })
+        };
+    }
+}
+
+/// Router pass for one band: visit the listed routers in ascending order
+/// and advance each by one cycle.
+fn step_band(
+    routers: &mut [Router],
+    base: usize,
+    router_ids: &[u32],
+    cycle: u64,
+    ctx: &StepCtx,
+    sink: &mut ShardSink,
+) {
+    for &rid in router_ids {
+        let i = rid as usize - base;
+        if routers[i].buffered == 0 {
+            sink.router_removals.push(rid);
+            continue;
+        }
+        step_router_core(&mut routers[i], rid as usize, cycle, ctx, sink);
+        if routers[i].buffered == 0 {
+            sink.router_removals.push(rid);
+        }
+    }
+}
+
+/// One cycle of a single router: routing, VC allocation, switch
+/// allocation, traversal, credit return. Touches only this router's own
+/// state; cross-router effects (deliveries, credits) and observability
+/// events go to `sink`.
+fn step_router_core(
+    router: &mut Router,
+    r: usize,
+    cycle: u64,
+    ctx: &StepCtx,
+    sink: &mut ShardSink,
+) {
+    let total_vcs = ctx.total_vcs;
+    // One crossbar input per port and cycle (switch allocation's physical
+    // constraint), unless disabled for ablation.
+    let mut input_used: u32 = 0;
+    // Per output port: route/VC-allocate eligible inputs, then pick one
+    // winner round-robin.
+    for out_port in 0..NUM_PORTS {
+        let occ = router.occ;
+        if occ == 0 {
+            break;
+        }
+        // Candidate slots for this output. The unprobed scan visits only
+        // slots whose front packet is already routed here plus the
+        // still-unrouted occupied slots (their route is computed lazily on
+        // first inspection and may point anywhere): a slot routed to a
+        // *different* port would fail the route check with no side
+        // effects, so skipping it is behaviour-preserving. The probed scan
+        // visits every occupied slot exactly like the original router so
+        // the heatmap's switch-stall upper bound keeps its historical
+        // definition (pinned by the probed≡unprobed determinism tests).
+        let cand = if ctx.probed {
+            occ
+        } else {
+            let routed_any = router.routed[0]
+                | router.routed[1]
+                | router.routed[2]
+                | router.routed[3]
+                | router.routed[4];
+            (router.routed[out_port] | !routed_any) & occ
+        };
+        if cand == 0 {
+            continue;
+        }
+        let rr_start = router.rr[out_port];
+        // Identical round-robin order to a full slot scan: ascending from
+        // `rr_start`, then the wrap-around below it.
+        let parts = [
+            cand & (u64::MAX << rr_start),
+            cand & !(u64::MAX << rr_start),
+        ];
+        let mut winner = usize::MAX;
+        'scan: for mut part in parts {
+            while part != 0 {
+                let slot = part.trailing_zeros() as usize;
+                part &= part - 1;
+                let in_port = ctx.slot_port[slot] as usize;
+                if ctx.crossbar_input_limit && input_used & (1 << in_port) != 0 {
+                    // Arbitration-pressure proxy: the slot may not even
+                    // want this output port (routing is checked later) or
+                    // may not be switch-ready yet, so this counter is an
+                    // upper bound (see HeatmapRecord).
+                    if ctx.probed {
+                        sink.step_events.push(SimEvent::SwitchStall(r as u32));
+                    }
+                    continue;
+                }
+                // Routing + VC allocation for the front flit.
+                let front = match router.inputs[slot].buf.front() {
+                    Some(tf) if tf.ready <= cycle => tf.flit,
+                    _ => continue,
+                };
+                if router.inputs[slot].route.is_none() {
+                    debug_assert!(front.is_head(), "routing state lost mid-packet");
+                    let here = TileId(r);
+                    let dst = TileId(front.dst as usize);
+                    let dir = match (ctx.topology, ctx.routing) {
+                        (Topology::Mesh, RoutingKind::Xy) => route_xy(&ctx.mesh, here, dst),
+                        (Topology::Mesh, RoutingKind::Yx) => route_yx(&ctx.mesh, here, dst),
+                        (Topology::Torus, RoutingKind::Xy) => route_xy_torus(&ctx.mesh, here, dst),
+                        (Topology::Torus, RoutingKind::Yx) => route_yx_torus(&ctx.mesh, here, dst),
+                    };
+                    let p = port_of(dir);
+                    router.inputs[slot].route = Some(p);
+                    router.routed[p] |= 1 << slot;
+                }
+                if router.inputs[slot].route != Some(out_port) {
+                    continue;
+                }
+                if out_port != P_LOCAL && router.inputs[slot].out_vc.is_none() {
+                    let class = front.class_index();
+                    let obase = out_port * total_vcs;
+                    let range = class * ctx.vpc..(class + 1) * ctx.vpc;
+                    let free = range.clone().find(|&v| !router.outputs[obase + v].busy);
+                    if let Some(v) = free {
+                        router.outputs[obase + v].busy = true;
+                        router.inputs[slot].out_vc = Some(v);
+                    } else {
+                        if ctx.probed {
+                            sink.step_events.push(SimEvent::VcStall(r as u32));
+                        }
+                        continue; // no VC available this cycle
+                    }
+                }
+                if out_port != P_LOCAL {
+                    let ovc = router.inputs[slot].out_vc.expect("allocated");
+                    if router.outputs[out_port * total_vcs + ovc].credits == 0 {
+                        if ctx.probed {
+                            sink.step_events.push(SimEvent::CreditStall(r as u32));
+                        }
+                        continue; // downstream buffer full
+                    }
+                }
+                winner = slot;
+                router.rr[out_port] = (slot + 1) % ctx.slots;
+                break 'scan;
+            }
+        }
+        if winner == usize::MAX {
+            continue;
+        }
+        let slot = winner;
+        let in_port = ctx.slot_port[slot] as usize;
+        let vc = slot - in_port * total_vcs;
+        input_used |= 1 << in_port;
+        // ---- Traversal: pop and move the flit.
+        let tf = router.inputs[slot]
+            .buf
+            .pop_front()
+            .expect("winner has a flit");
+        if router.inputs[slot].buf.is_empty() {
+            router.occ &= !(1 << slot);
+        }
+        router.buffered -= 1;
+        sink.buffered -= 1;
+        if ctx.probed {
+            sink.step_events.push(SimEvent::Pop {
+                r: r as u32,
+                vc: vc as u8,
+            });
+        }
+        let flit = tf.flit;
+        // Credit back to whoever feeds this input VC.
+        if in_port == P_LOCAL {
+            sink.credits.push(Credit::Ni { tile: r, vc });
+        } else {
+            let up = ctx.neighbors[r][in_port];
+            if up != u16::MAX {
+                sink.credits.push(Credit::Router {
+                    router: up as usize,
+                    port: opposite(in_port),
+                    vc,
+                });
+            }
+        }
+        if out_port == P_LOCAL {
+            // Ejection: the coordinator replays the bookkeeping (report,
+            // windower, flow record, slab recycling) at the barrier.
+            if ctx.probed && flit.is_head() {
+                sink.step_events.push(SimEvent::HeadEject(flit.packet));
+            }
+            if flit.is_tail() {
+                sink.step_events.push(SimEvent::TailEject(flit.packet));
+            }
+        } else {
+            let ovc = router.inputs[slot].out_vc.expect("allocated");
+            router.outputs[out_port * total_vcs + ovc].credits -= 1;
+            sink.link_traversals += 1;
+            if ctx.probed {
+                sink.step_events.push(SimEvent::LinkTraversal {
+                    r: r as u32,
+                    port: out_port as u8,
+                });
+            }
+            let next = ctx.neighbors[r][out_port];
+            debug_assert!(next != u16::MAX, "route stays on chip");
+            // Charge the downstream pipeline unless the flit will eject
+            // there.
+            let extra = if next == flit.dst { 0 } else { ctx.stages };
+            sink.deliveries.push(Delivery {
+                router: next as usize,
+                port: opposite(out_port),
+                vc: ovc,
+                flit,
+                ready: cycle + ctx.link + extra,
+            });
+            if flit.is_tail() {
+                router.outputs[out_port * total_vcs + ovc].busy = false;
+            }
+        }
+        if flit.is_tail() {
+            router.inputs[slot].route = None;
+            router.routed[out_port] &= !(1 << slot);
+            router.inputs[slot].out_vc = None;
+        }
+    }
+}
+
 /// The simulator.
 pub struct Network {
     cfg: SimConfig,
@@ -315,10 +798,15 @@ pub struct Network {
     active_routers: ActiveSet,
     /// NIs with a queued or mid-injection packet.
     active_nis: ActiveSet,
-    /// Reusable per-cycle scratch (cleared, never dropped, so the steady
-    /// state allocates nothing).
-    scratch_deliveries: Vec<Delivery>,
-    scratch_credits: Vec<Credit>,
+    /// Reusable per-cycle effect sink for the serial path (drained, never
+    /// dropped, so the steady state allocates nothing). The sharded path
+    /// keeps one sink per worker inside the [`ShardPool`] instead.
+    ///
+    /// [`ShardPool`]: crate::shard::ShardPool
+    scratch_sink: ShardSink,
+    /// Reusable worklist snapshots for the serial path.
+    scratch_rids: Vec<u32>,
+    scratch_nids: Vec<u32>,
     /// Windowed telemetry accumulator. `None` unless the run was started
     /// through [`run_probed`](Network::run_probed) with an enabled probe,
     /// so the plain [`run`](Network::run) path pays one never-taken branch
@@ -469,8 +957,9 @@ impl Network {
             cycles_run: 0,
             active_routers: ActiveSet::new(n),
             active_nis: ActiveSet::new(n),
-            scratch_deliveries: Vec::new(),
-            scratch_credits: Vec::new(),
+            scratch_sink: ShardSink::default(),
+            scratch_rids: Vec::new(),
+            scratch_nids: Vec::new(),
             windower: None,
             flow: None,
             profile: None,
@@ -543,6 +1032,71 @@ impl Network {
         probe: &mut dyn Probe,
         mut controller: Option<&mut dyn SwapController>,
     ) -> Result<SimReport, ConfigError> {
+        let ctx = self.step_ctx(probe.is_enabled());
+        let shards = self.cfg.effective_shards();
+        if shards > 1 {
+            let ctx = std::sync::Arc::new(ctx);
+            let rows = self.cfg.mesh.rows();
+            let cols = self.cfg.mesh.cols();
+            // Workers live exactly as long as the drive loop: the scope
+            // joins them after the pool (and with it the command channels)
+            // is dropped.
+            std::thread::scope(|scope| {
+                let mut pool =
+                    crate::shard::ShardPool::start(scope, rows, cols, shards, ctx.clone());
+                let out = self.drive(probe, controller.as_deref_mut(), &ctx, Some(&mut pool));
+                drop(pool);
+                out
+            })
+        } else {
+            self.drive(probe, controller, &ctx, None)
+        }
+    }
+
+    /// Immutable datapath context for this run (see [`StepCtx`]).
+    fn step_ctx(&self, probed: bool) -> StepCtx {
+        let total_vcs = self.cfg.total_vcs();
+        let slots = NUM_PORTS * total_vcs;
+        let mut slot_port = [0u8; MAX_ARBITRATION_SLOTS];
+        for (s, p) in slot_port.iter_mut().enumerate().take(slots) {
+            *p = (s / total_vcs) as u8;
+        }
+        let n = self.cfg.mesh.num_tiles();
+        let mut neighbors = vec![[u16::MAX; 4]; n];
+        for (t, row) in neighbors.iter_mut().enumerate() {
+            for (port, slot) in row.iter_mut().enumerate() {
+                if let Some(nb) = neighbor(&self.cfg.mesh, self.cfg.topology, TileId(t), port) {
+                    *slot = nb.index() as u16;
+                }
+            }
+        }
+        StepCtx {
+            mesh: self.cfg.mesh,
+            topology: self.cfg.topology,
+            routing: self.cfg.routing,
+            crossbar_input_limit: self.cfg.crossbar_input_limit,
+            stages: self.cfg.router_stages,
+            link: self.cfg.link_cycles,
+            vpc: self.cfg.vcs_per_class,
+            total_vcs,
+            slots,
+            slot_port,
+            neighbors,
+            probed,
+        }
+    }
+
+    /// The warm-up + measurement + drain loop, shared by the serial and
+    /// sharded paths (they differ only in who runs the per-cycle datapath
+    /// pass; every coordinator-side effect is applied here, in the same
+    /// fixed order).
+    fn drive<'c>(
+        &mut self,
+        probe: &mut dyn Probe,
+        mut controller: Option<&mut (dyn SwapController + 'c)>,
+        ctx: &StepCtx,
+        mut pool: Option<&mut crate::shard::ShardPool>,
+    ) -> Result<SimReport, ConfigError> {
         let wall_start = Instant::now();
         if controller.is_some() {
             self.source_accum = vec![SourceCounters::default(); self.sources.len()];
@@ -596,18 +1150,9 @@ impl Network {
                     p.generate_nanos += nanos;
                 }
             }
-            self.inject(cycle);
-            if let Some(m) = mark.as_mut() {
-                let nanos = lap(m);
-                if let Some(p) = self.profile.as_mut() {
-                    p.inject_nanos += nanos;
-                }
-            }
-            self.step_routers(cycle);
-            // Route/traverse spans are timed inside `step_routers`; reset
-            // the mark so the telemetry lap below excludes them.
-            if let Some(m) = mark.as_mut() {
-                *m = Instant::now();
+            match pool.as_deref_mut() {
+                Some(p) => self.cycle_sharded(cycle, p, &mut mark),
+                None => self.cycle_serial(cycle, ctx, &mut mark),
             }
             // `total_buffered` is maintained incrementally; sampling it here
             // (after deliveries are applied) matches the original
@@ -733,7 +1278,303 @@ impl Network {
             skipped_cycles: self.skipped_cycles,
             wall_nanos: wall_start.elapsed().as_nanos() as u64,
         };
-        Ok(self.report)
+        Ok(std::mem::replace(&mut self.report, SimReport::new(0)))
+    }
+
+    /// One cycle of the datapath on the serial path: run the full-mesh
+    /// band inline, then merge its effect sink exactly as the sharded
+    /// barrier would merge many.
+    fn cycle_serial(&mut self, cycle: u64, ctx: &StepCtx, mark: &mut Option<Instant>) {
+        let mut sink = std::mem::take(&mut self.scratch_sink);
+        let mut nids = std::mem::take(&mut self.scratch_nids);
+        let mut rids = std::mem::take(&mut self.scratch_rids);
+        let n = ctx.neighbors.len();
+        self.active_nis.collect_range(0, n, &mut nids);
+        inject_band(
+            &mut self.nis,
+            &mut self.routers,
+            0,
+            &nids,
+            cycle,
+            ctx,
+            &mut sink,
+        );
+        // Same-cycle activation: the router worklist is snapshotted after
+        // injection, so a router woken by this cycle's own injected flit
+        // is visited (a no-op unless `router_stages == 0` — the flit is
+        // not switch-ready before then — but with zero stages it may pop
+        // immediately, which is why `effective_shards` pins that corner
+        // to the serial path).
+        for &t in &sink.injected_routers {
+            self.active_routers.insert(t as usize);
+        }
+        sink.injected_routers.clear();
+        if let Some(m) = mark.as_mut() {
+            let nanos = lap(m);
+            if let Some(p) = self.profile.as_mut() {
+                p.inject_nanos += nanos;
+            }
+        }
+        self.active_routers.collect_range(0, n, &mut rids);
+        step_band(&mut self.routers, 0, &rids, cycle, ctx, &mut sink);
+        self.merge_effects(std::slice::from_mut(&mut sink));
+        self.replay_events(cycle, std::slice::from_mut(&mut sink));
+        if let Some(m) = mark.as_mut() {
+            let nanos = lap(m);
+            if let Some(p) = self.profile.as_mut() {
+                p.route_nanos += nanos;
+            }
+        }
+        self.apply_transfers(cycle, std::slice::from_mut(&mut sink));
+        if let Some(m) = mark.as_mut() {
+            let nanos = lap(m);
+            if let Some(p) = self.profile.as_mut() {
+                p.traverse_nanos += nanos;
+            }
+        }
+        self.scratch_sink = sink;
+        self.scratch_nids = nids;
+        self.scratch_rids = rids;
+    }
+
+    /// One cycle of the datapath on the sharded path: dispatch the cycle
+    /// to the workers, block at the barrier, then merge every shard's
+    /// effect sink in ascending shard order (DESIGN.md §16).
+    fn cycle_sharded(
+        &mut self,
+        cycle: u64,
+        pool: &mut crate::shard::ShardPool,
+        mark: &mut Option<Instant>,
+    ) {
+        pool.run_cycle(
+            cycle,
+            &mut self.routers,
+            &mut self.nis,
+            &self.active_routers,
+            &self.active_nis,
+        );
+        // The whole worker round-trip lands in the inject span; the
+        // profile's phase split is meaningful on the serial path only
+        // (wall-clock phases are nondeterministic either way).
+        if let Some(m) = mark.as_mut() {
+            let nanos = lap(m);
+            if let Some(p) = self.profile.as_mut() {
+                p.inject_nanos += nanos;
+            }
+        }
+        let mut sinks = pool.take_sinks();
+        self.merge_effects(&mut sinks);
+        self.replay_events(cycle, &mut sinks);
+        if let Some(m) = mark.as_mut() {
+            let nanos = lap(m);
+            if let Some(p) = self.profile.as_mut() {
+                p.route_nanos += nanos;
+            }
+        }
+        self.apply_transfers(cycle, &mut sinks);
+        if let Some(m) = mark.as_mut() {
+            let nanos = lap(m);
+            if let Some(p) = self.profile.as_mut() {
+                p.traverse_nanos += nanos;
+            }
+        }
+        pool.put_sinks(sinks);
+    }
+
+    /// Fold the cheap per-band deltas into coordinator state: activity
+    /// worklist membership and global counters. Insertions are applied
+    /// before removals; for `router_stages ≥ 1` the two sets are disjoint
+    /// (an injected flit cannot pop in the same cycle, so its router
+    /// cannot have drained), making the order immaterial.
+    fn merge_effects(&mut self, sinks: &mut [ShardSink]) {
+        for sink in sinks.iter_mut() {
+            for &t in &sink.ni_removals {
+                self.active_nis.remove(t as usize);
+            }
+            sink.ni_removals.clear();
+            for &t in &sink.injected_routers {
+                self.active_routers.insert(t as usize);
+            }
+            sink.injected_routers.clear();
+            for &r in &sink.router_removals {
+                self.active_routers.remove(r as usize);
+            }
+            sink.router_removals.clear();
+            self.link_flit_traversals += sink.link_traversals;
+            sink.link_traversals = 0;
+            self.total_buffered = (self.total_buffered as isize + sink.buffered) as usize;
+            sink.buffered = 0;
+        }
+    }
+
+    /// Replay the order-sensitive side effects recorded by the datapath
+    /// pass: all inject-phase events (ascending tile within a shard,
+    /// shards ascending), then all router-pass events in the same order —
+    /// exactly the sequence the pre-shard simulator produced inline, so
+    /// every f64 accumulation and telemetry record is bit-identical.
+    fn replay_events(&mut self, cycle: u64, sinks: &mut [ShardSink]) {
+        for sink in sinks.iter_mut() {
+            for ev in sink.inject_events.drain(..) {
+                self.replay_event(cycle, ev);
+            }
+        }
+        for sink in sinks.iter_mut() {
+            for ev in sink.step_events.drain(..) {
+                self.replay_event(cycle, ev);
+            }
+        }
+    }
+
+    fn replay_event(&mut self, cycle: u64, ev: SimEvent) {
+        match ev {
+            SimEvent::TailEject(pid) => self.eject_tail(pid, cycle),
+            SimEvent::Buffer { r, vc } => {
+                if let Some(fl) = self.flow.as_mut() {
+                    fl.heatmap.on_buffer(r as usize, vc as usize, cycle);
+                }
+            }
+            SimEvent::HeadInject(pid) => {
+                if let Some(fl) = self.flow.as_mut() {
+                    fl.stamps[pid as usize].head_inject = cycle;
+                }
+            }
+            SimEvent::Pop { r, vc } => {
+                if let Some(fl) = self.flow.as_mut() {
+                    fl.heatmap.on_pop(r as usize, vc as usize, cycle);
+                }
+            }
+            SimEvent::SwitchStall(r) => {
+                if let Some(fl) = self.flow.as_mut() {
+                    fl.heatmap.on_switch_stall(r as usize);
+                }
+            }
+            SimEvent::VcStall(r) => {
+                if let Some(fl) = self.flow.as_mut() {
+                    fl.heatmap.on_vc_stall(r as usize);
+                }
+            }
+            SimEvent::CreditStall(r) => {
+                if let Some(fl) = self.flow.as_mut() {
+                    fl.heatmap.on_credit_stall(r as usize);
+                }
+            }
+            SimEvent::LinkTraversal { r, port } => {
+                if let Some(fl) = self.flow.as_mut() {
+                    fl.heatmap.on_link_traversal(r as usize, port as usize);
+                }
+            }
+            SimEvent::HeadEject(pid) => {
+                if let Some(fl) = self.flow.as_mut() {
+                    fl.stamps[pid as usize].head_eject = cycle;
+                }
+            }
+        }
+    }
+
+    /// Full tail-ejection bookkeeping for one delivered packet: flow
+    /// record, report accumulation, controller counters, windower hook,
+    /// in-flight counters and slab recycling — in the exact order of the
+    /// pre-shard inline ejection path.
+    fn eject_tail(&mut self, pid: PacketId, cycle: u64) {
+        let info = self.packets[pid as usize].clone();
+        let latency = cycle - info.inject_cycle + 1;
+        let ideal = info.hops as u64 * self.cfg.per_hop_cycles() + info.len as u64;
+        if let Some(fl) = self.flow.as_mut() {
+            let stamps = fl.stamps[pid as usize];
+            let rec = PacketRecord {
+                src: info.src.index(),
+                dst: info.dst.index(),
+                cache: info.class == PacketClass::Cache,
+                group: info.group,
+                flits: info.len,
+                hops: info.hops,
+                enqueue_cycle: info.inject_cycle,
+                inject_cycle: stamps.head_inject,
+                head_eject_cycle: stamps.head_eject,
+                tail_eject_cycle: cycle,
+                measured: info.measured,
+            };
+            // The flow summary reconciles with the report, so it covers
+            // measured packets only; opted-in per-packet streams carry
+            // every delivery.
+            if info.measured {
+                fl.summary.record(&rec);
+            }
+            if fl.wants_packets {
+                fl.pending.push(rec);
+            }
+        }
+        if info.measured {
+            self.report.record(
+                info.group,
+                info.src.index(),
+                info.class,
+                latency,
+                info.hops,
+                info.len,
+                ideal,
+            );
+            if !self.source_accum.is_empty() {
+                let acc = &mut self.source_accum[info.source as usize];
+                match info.class {
+                    PacketClass::Cache => acc.cache.record(latency, info.hops, info.len, ideal),
+                    PacketClass::Memory => acc.mem.record(latency, info.hops, info.len, ideal),
+                }
+            }
+            self.inflight_measured -= 1;
+        }
+        if let Some(w) = self.windower.as_mut() {
+            w.on_eject(
+                info.class == PacketClass::Cache,
+                info.group,
+                latency,
+                info.hops,
+                info.len,
+                ideal,
+            );
+        }
+        self.inflight_total -= 1;
+        // The tail leaving the network means no live flit references this
+        // id any more: recycle the slab slot.
+        self.free_packet_ids.push(pid);
+        self.live_packets -= 1;
+    }
+
+    /// Apply the cross-router transfers at the barrier: every shard's
+    /// deliveries (ascending shard order), then every shard's credits —
+    /// the same all-deliveries-then-all-credits order as the serial pass.
+    fn apply_transfers(&mut self, cycle: u64, sinks: &mut [ShardSink]) {
+        let total_vcs = self.cfg.total_vcs();
+        for sink in sinks.iter_mut() {
+            for d in sink.deliveries.drain(..) {
+                let router = &mut self.routers[d.router];
+                router.inputs[d.port * total_vcs + d.vc]
+                    .buf
+                    .push_back(TimedFlit {
+                        flit: d.flit,
+                        ready: d.ready,
+                    });
+                router.buffered += 1;
+                router.occ |= 1 << (d.port * total_vcs + d.vc);
+                self.total_buffered += 1;
+                self.active_routers.insert(d.router);
+                if let Some(fl) = self.flow.as_mut() {
+                    fl.heatmap.on_buffer(d.router, d.vc, cycle);
+                }
+            }
+        }
+        for sink in sinks.iter_mut() {
+            for c in sink.credits.drain(..) {
+                match c {
+                    Credit::Router { router, port, vc } => {
+                        self.routers[router].outputs[port * total_vcs + vc].credits += 1;
+                    }
+                    Credit::Ni { tile, vc } => {
+                        self.nis[tile].credits[vc] += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Retarget source `j` to `tiles[j]` for all future spawns, after
@@ -948,436 +1789,15 @@ impl Network {
         }
         self.live_packets += 1;
         self.peak_live_packets = self.peak_live_packets.max(self.live_packets);
-        self.nis[src.index()].queues[class_index(class)].push_back(id);
+        self.nis[src.index()].queues[class_index(class)].push_back(NiQueued {
+            id,
+            len,
+            dst: dst.index() as u16,
+        });
         self.active_nis.insert(src.index());
         self.inflight_total += 1;
         if measured {
             self.inflight_measured += 1;
-        }
-    }
-
-    /// NI injection: one flit per cycle per tile into the router's local
-    /// input port, credit-gated.
-    fn inject(&mut self, cycle: u64) {
-        let stages = self.cfg.router_stages;
-        let vpc = self.cfg.vcs_per_class;
-        // Visit only NIs with queued or mid-injection packets, in ascending
-        // tile order (same order as the original full scan). The word is
-        // snapshotted because the only in-pass mutation is clearing the
-        // current tile's own bit.
-        for w in 0..self.active_nis.words.len() {
-            let mut bits = self.active_nis.words[w];
-            while bits != 0 {
-                let t = w * 64 + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                self.inject_tile(t, cycle, stages, vpc);
-                if !self.nis[t].pending() {
-                    self.active_nis.remove(t);
-                }
-            }
-        }
-    }
-
-    /// One NI's injection step: select a packet if idle, then push one flit
-    /// into the router's local input port, credit-gated.
-    fn inject_tile(&mut self, t: usize, cycle: u64, stages: u64, vpc: usize) {
-        // Select a packet if none is mid-injection.
-        if self.nis[t].current.is_none() {
-            let rr = self.nis[t].rr_class;
-            let mut selected = None;
-            for off in 0..2 {
-                let class = (rr + off) % 2;
-                if self.nis[t].queues[class].is_empty() {
-                    continue;
-                }
-                // Pick the class VC with the most credits.
-                let range = class * vpc..(class + 1) * vpc;
-                if let Some(vc) = range
-                    .clone()
-                    .filter(|&v| self.nis[t].credits[v] > 0)
-                    .max_by_key(|&v| self.nis[t].credits[v])
-                {
-                    let pid = self.nis[t].queues[class].pop_front().expect("non-empty");
-                    selected = Some((pid, 0u16, vc));
-                    self.nis[t].rr_class = (class + 1) % 2;
-                    break;
-                }
-            }
-            self.nis[t].current = selected;
-        }
-        // Push one flit of the current packet if credit allows.
-        if let Some((pid, idx, vc)) = self.nis[t].current {
-            if self.nis[t].credits[vc] == 0 {
-                return;
-            }
-            let len = self.packets[pid as usize].len;
-            let flit = Flit {
-                packet: pid,
-                is_head: idx == 0,
-                is_tail: idx + 1 == len,
-            };
-            self.nis[t].credits[vc] -= 1;
-            self.routers[t].inputs[P_LOCAL][vc]
-                .buf
-                .push_back(TimedFlit {
-                    flit,
-                    ready: cycle + stages,
-                });
-            self.buffer_flit_at(t, P_LOCAL, vc, cycle);
-            if let Some(fl) = self.flow.as_mut() {
-                if idx == 0 {
-                    fl.stamps[pid as usize].head_inject = cycle;
-                }
-            }
-            self.nis[t].current = if idx + 1 == len {
-                None
-            } else {
-                Some((pid, idx + 1, vc))
-            };
-        }
-    }
-
-    /// Bookkeeping for a flit entering router `r`'s input VC `(port, vc)`:
-    /// per-router and global counters, the occupancy mask, and the activity
-    /// worklist. `cycle` feeds the observability occupancy ledger only.
-    #[inline]
-    fn buffer_flit_at(&mut self, r: usize, port: usize, vc: usize, cycle: u64) {
-        let router = &mut self.routers[r];
-        router.buffered += 1;
-        router.occ |= 1 << (port * self.cfg.total_vcs() + vc);
-        self.total_buffered += 1;
-        self.active_routers.insert(r);
-        if let Some(fl) = self.flow.as_mut() {
-            fl.heatmap.on_buffer(r, vc, cycle);
-        }
-    }
-
-    /// One cycle of router operation: routing, VC allocation, switch
-    /// allocation, traversal, credit return.
-    fn step_routers(&mut self, cycle: u64) {
-        // External effects collected during the per-router pass and applied
-        // afterwards: deliveries to neighbour buffers and credits returned
-        // to upstream routers / NIs. The buffers are owned by `Network` and
-        // reused every cycle so the steady state allocates nothing; they are
-        // taken out here to keep the borrow checker happy while the pass
-        // also borrows `self`.
-        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
-        let mut credits = std::mem::take(&mut self.scratch_credits);
-        debug_assert!(deliveries.is_empty() && credits.is_empty());
-        let mesh = self.cfg.mesh;
-        let stages = self.cfg.router_stages;
-        let link = self.cfg.link_cycles;
-        let per_hop = self.cfg.per_hop_cycles();
-        let vpc = self.cfg.vcs_per_class;
-        let total_vcs = self.cfg.total_vcs();
-        // Phase-profile marks: the per-router pass is the route/arbitrate
-        // span, applying deliveries and credits the traverse span.
-        let route_start = self.profile.as_ref().map(|_| Instant::now());
-
-        // Visit only routers on the activity worklist, in ascending index
-        // order (a requirement for bit-identical reports: f64 latency sums
-        // are accumulated in visit order). The per-word snapshot is safe
-        // because the pass only *clears* bits; deliveries re-insert below.
-        for w in 0..self.active_routers.words.len() {
-            let mut bits = self.active_routers.words[w];
-            while bits != 0 {
-                let r = w * 64 + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                if self.routers[r].buffered == 0 {
-                    self.active_routers.remove(r);
-                    continue;
-                }
-                self.step_router(
-                    r,
-                    cycle,
-                    mesh,
-                    stages,
-                    link,
-                    per_hop,
-                    vpc,
-                    total_vcs,
-                    &mut deliveries,
-                    &mut credits,
-                );
-                if self.routers[r].buffered == 0 {
-                    self.active_routers.remove(r);
-                }
-            }
-        }
-
-        let traverse_start = route_start.map(|_| Instant::now());
-
-        for d in deliveries.drain(..) {
-            self.routers[d.router].inputs[d.port][d.vc]
-                .buf
-                .push_back(TimedFlit {
-                    flit: d.flit,
-                    ready: d.ready,
-                });
-            self.buffer_flit_at(d.router, d.port, d.vc, cycle);
-        }
-        for c in credits.drain(..) {
-            match c {
-                Credit::Router { router, port, vc } => {
-                    self.routers[router].outputs[port][vc].credits += 1;
-                }
-                Credit::Ni { tile, vc } => {
-                    self.nis[tile].credits[vc] += 1;
-                }
-            }
-        }
-        self.scratch_deliveries = deliveries;
-        self.scratch_credits = credits;
-        if let (Some(rs), Some(ts)) = (route_start, traverse_start) {
-            if let Some(p) = self.profile.as_mut() {
-                p.route_nanos += ts.duration_since(rs).as_nanos() as u64;
-                p.traverse_nanos += ts.elapsed().as_nanos() as u64;
-            }
-        }
-    }
-
-    /// One cycle of a single router `r`: routing, VC allocation, switch
-    /// allocation, traversal, credit return.
-    #[allow(clippy::too_many_arguments)]
-    fn step_router(
-        &mut self,
-        r: usize,
-        cycle: u64,
-        mesh: Mesh,
-        stages: u64,
-        link: u64,
-        per_hop: u64,
-        vpc: usize,
-        total_vcs: usize,
-        deliveries: &mut Vec<Delivery>,
-        credits: &mut Vec<Credit>,
-    ) {
-        {
-            let here = TileId(r);
-            let topo = self.cfg.topology;
-            // One crossbar input per port and cycle (switch allocation's
-            // physical constraint), unless disabled for ablation.
-            let mut input_used = [false; NUM_PORTS];
-            // Per output port: route/VC-allocate eligible inputs, then pick
-            // one winner round-robin.
-            for out_port in 0..NUM_PORTS {
-                let mut winner: Option<(usize, usize)> = None; // (in_port, vc)
-                let rr_start = self.routers[r].rr[out_port];
-                let slots = NUM_PORTS * total_vcs;
-                // Visit only occupied slots (the original loop scanned all
-                // `slots` and skipped empty buffers via `front() == None`),
-                // in identical round-robin order: ascending from `rr_start`,
-                // then the wrap-around below it.
-                let occ = self.routers[r].occ;
-                let parts = [occ & (u64::MAX << rr_start), occ & !(u64::MAX << rr_start)];
-                'scan: for mut part in parts {
-                    while part != 0 {
-                        let slot = part.trailing_zeros() as usize;
-                        part &= part - 1;
-                        let (in_port, vc) = (slot / total_vcs, slot % total_vcs);
-                        if self.cfg.crossbar_input_limit && input_used[in_port] {
-                            // Arbitration-pressure proxy: the slot may not
-                            // even want this output port (routing is checked
-                            // later) or may not be switch-ready yet, so this
-                            // counter is an upper bound (see HeatmapRecord).
-                            if let Some(fl) = self.flow.as_mut() {
-                                fl.heatmap.on_switch_stall(r);
-                            }
-                            continue;
-                        }
-                        // Routing + VC allocation for the front flit.
-                        let front = match self.routers[r].inputs[in_port][vc].buf.front() {
-                            Some(tf) if tf.ready <= cycle => tf.flit,
-                            _ => continue,
-                        };
-                        let info = &self.packets[front.packet as usize];
-                        if self.routers[r].inputs[in_port][vc].route.is_none() {
-                            debug_assert!(front.is_head, "routing state lost mid-packet");
-                            let dir = match (self.cfg.topology, self.cfg.routing) {
-                                (Topology::Mesh, RoutingKind::Xy) => {
-                                    route_xy(&mesh, here, info.dst)
-                                }
-                                (Topology::Mesh, RoutingKind::Yx) => {
-                                    route_yx(&mesh, here, info.dst)
-                                }
-                                (Topology::Torus, RoutingKind::Xy) => {
-                                    route_xy_torus(&mesh, here, info.dst)
-                                }
-                                (Topology::Torus, RoutingKind::Yx) => {
-                                    route_yx_torus(&mesh, here, info.dst)
-                                }
-                            };
-                            self.routers[r].inputs[in_port][vc].route = Some(port_of(dir));
-                        }
-                        if self.routers[r].inputs[in_port][vc].route != Some(out_port) {
-                            continue;
-                        }
-                        if out_port != P_LOCAL
-                            && self.routers[r].inputs[in_port][vc].out_vc.is_none()
-                        {
-                            let class = class_index(info.class);
-                            let range = class * vpc..(class + 1) * vpc;
-                            let free = range
-                                .clone()
-                                .find(|&v| !self.routers[r].outputs[out_port][v].busy);
-                            if let Some(v) = free {
-                                self.routers[r].outputs[out_port][v].busy = true;
-                                self.routers[r].inputs[in_port][vc].out_vc = Some(v);
-                            } else {
-                                if let Some(fl) = self.flow.as_mut() {
-                                    fl.heatmap.on_vc_stall(r);
-                                }
-                                continue; // no VC available this cycle
-                            }
-                        }
-                        if out_port != P_LOCAL {
-                            let ovc = self.routers[r].inputs[in_port][vc]
-                                .out_vc
-                                .expect("allocated");
-                            if self.routers[r].outputs[out_port][ovc].credits == 0 {
-                                if let Some(fl) = self.flow.as_mut() {
-                                    fl.heatmap.on_credit_stall(r);
-                                }
-                                continue; // downstream buffer full
-                            }
-                        }
-                        winner = Some((in_port, vc));
-                        self.routers[r].rr[out_port] = (slot + 1) % slots;
-                        break 'scan;
-                    }
-                }
-                let Some((in_port, vc)) = winner else {
-                    continue;
-                };
-                input_used[in_port] = true;
-                // ---- Traversal: pop and move the flit.
-                let tf = self.routers[r].inputs[in_port][vc]
-                    .buf
-                    .pop_front()
-                    .expect("winner has a flit");
-                if self.routers[r].inputs[in_port][vc].buf.is_empty() {
-                    self.routers[r].occ &= !(1 << (in_port * total_vcs + vc));
-                }
-                self.routers[r].buffered -= 1;
-                self.total_buffered -= 1;
-                if let Some(fl) = self.flow.as_mut() {
-                    fl.heatmap.on_pop(r, vc, cycle);
-                }
-                let flit = tf.flit;
-                let info = &self.packets[flit.packet as usize];
-                // Credit back to whoever feeds this input VC.
-                if in_port == P_LOCAL {
-                    credits.push(Credit::Ni { tile: r, vc });
-                } else if let Some(up) = neighbor(&mesh, topo, here, in_port) {
-                    credits.push(Credit::Router {
-                        router: up.index(),
-                        port: opposite(in_port),
-                        vc,
-                    });
-                }
-                if out_port == P_LOCAL {
-                    // Ejection.
-                    if flit.is_head {
-                        if let Some(fl) = self.flow.as_mut() {
-                            fl.stamps[flit.packet as usize].head_eject = cycle;
-                        }
-                    }
-                    if flit.is_tail {
-                        let latency = cycle - info.inject_cycle + 1;
-                        let ideal = info.hops as u64 * per_hop + info.len as u64;
-                        if let Some(fl) = self.flow.as_mut() {
-                            let stamps = fl.stamps[flit.packet as usize];
-                            let rec = PacketRecord {
-                                src: info.src.index(),
-                                dst: info.dst.index(),
-                                cache: info.class == PacketClass::Cache,
-                                group: info.group,
-                                flits: info.len,
-                                hops: info.hops,
-                                enqueue_cycle: info.inject_cycle,
-                                inject_cycle: stamps.head_inject,
-                                head_eject_cycle: stamps.head_eject,
-                                tail_eject_cycle: cycle,
-                                measured: info.measured,
-                            };
-                            // The flow summary reconciles with the report,
-                            // so it covers measured packets only; opted-in
-                            // per-packet streams carry every delivery.
-                            if info.measured {
-                                fl.summary.record(&rec);
-                            }
-                            if fl.wants_packets {
-                                fl.pending.push(rec);
-                            }
-                        }
-                        if info.measured {
-                            self.report.record(
-                                info.group,
-                                info.src.index(),
-                                info.class,
-                                latency,
-                                info.hops,
-                                info.len,
-                                ideal,
-                            );
-                            if !self.source_accum.is_empty() {
-                                let acc = &mut self.source_accum[info.source as usize];
-                                match info.class {
-                                    PacketClass::Cache => {
-                                        acc.cache.record(latency, info.hops, info.len, ideal)
-                                    }
-                                    PacketClass::Memory => {
-                                        acc.mem.record(latency, info.hops, info.len, ideal)
-                                    }
-                                }
-                            }
-                            self.inflight_measured -= 1;
-                        }
-                        if let Some(w) = self.windower.as_mut() {
-                            w.on_eject(
-                                info.class == PacketClass::Cache,
-                                info.group,
-                                latency,
-                                info.hops,
-                                info.len,
-                                ideal,
-                            );
-                        }
-                        self.inflight_total -= 1;
-                        // The tail leaving the network means no live flit
-                        // references this id any more: recycle the slab slot.
-                        self.free_packet_ids.push(flit.packet);
-                        self.live_packets -= 1;
-                    }
-                } else {
-                    let ovc = self.routers[r].inputs[in_port][vc]
-                        .out_vc
-                        .expect("allocated");
-                    self.routers[r].outputs[out_port][ovc].credits -= 1;
-                    self.link_flit_traversals += 1;
-                    if let Some(fl) = self.flow.as_mut() {
-                        fl.heatmap.on_link_traversal(r, out_port);
-                    }
-                    let next = neighbor(&mesh, topo, here, out_port).expect("route stays on chip");
-                    // Charge the downstream pipeline unless the flit will
-                    // eject there.
-                    let extra = if next == info.dst { 0 } else { stages };
-                    deliveries.push(Delivery {
-                        router: next.index(),
-                        port: opposite(out_port),
-                        vc: ovc,
-                        flit,
-                        ready: cycle + link + extra,
-                    });
-                    if flit.is_tail {
-                        self.routers[r].outputs[out_port][ovc].busy = false;
-                    }
-                }
-                if flit.is_tail {
-                    self.routers[r].inputs[in_port][vc].route = None;
-                    self.routers[r].inputs[in_port][vc].out_vc = None;
-                }
-            }
         }
     }
 }

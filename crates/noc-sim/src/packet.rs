@@ -6,13 +6,50 @@ use noc_model::{PacketClass, TileId};
 /// table).
 pub type PacketId = u32;
 
-/// One flit on the wire. Flits carry only their packet id and position
-/// markers; the payload is irrelevant to timing.
+/// Flag bit: this flit is its packet's head.
+pub const FLIT_HEAD: u8 = 1;
+/// Flag bit: this flit is its packet's tail.
+pub const FLIT_TAIL: u8 = 1 << 1;
+/// Flag bit: the packet travels in the memory class (clear = cache).
+pub const FLIT_MEM: u8 = 1 << 2;
+
+/// One flit on the wire. The payload is irrelevant to timing, but the
+/// flit carries everything the router datapath needs — destination tile
+/// and class alongside the position markers — so routing, VC allocation
+/// and delivery never have to chase the packet id into the metadata
+/// slab. That keeps the hot arbitration loop free of slab cache misses
+/// and makes a router shard self-contained: the slab stays owned by the
+/// coordinator, which resolves ids only when a tail ejects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
     pub packet: PacketId,
-    pub is_head: bool,
-    pub is_tail: bool,
+    /// Destination tile index (meshes are capped at 65536 tiles —
+    /// `ConfigError::MeshTooLarge`).
+    pub dst: u16,
+    /// Position and class bits ([`FLIT_HEAD`] | [`FLIT_TAIL`] |
+    /// [`FLIT_MEM`]).
+    pub flags: u8,
+}
+
+impl Flit {
+    /// Whether this is the packet's head flit.
+    #[inline]
+    pub fn is_head(&self) -> bool {
+        self.flags & FLIT_HEAD != 0
+    }
+
+    /// Whether this is the packet's tail flit.
+    #[inline]
+    pub fn is_tail(&self) -> bool {
+        self.flags & FLIT_TAIL != 0
+    }
+
+    /// Traffic-class index (0 = cache, 1 = memory), matching the VC
+    /// partition.
+    #[inline]
+    pub fn class_index(&self) -> usize {
+        ((self.flags & FLIT_MEM) >> 2) as usize
+    }
 }
 
 /// Metadata of a packet, kept in a side table.
@@ -56,10 +93,25 @@ impl PacketInfo {
     /// Expand into the flit sequence.
     pub fn flits(&self, id: PacketId) -> impl Iterator<Item = Flit> + '_ {
         let len = self.len;
-        (0..len).map(move |i| Flit {
-            packet: id,
-            is_head: i == 0,
-            is_tail: i + 1 == len,
+        let dst = self.dst.index() as u16;
+        let class = if self.class == PacketClass::Memory {
+            FLIT_MEM
+        } else {
+            0
+        };
+        (0..len).map(move |i| {
+            let mut flags = class;
+            if i == 0 {
+                flags |= FLIT_HEAD;
+            }
+            if i + 1 == len {
+                flags |= FLIT_TAIL;
+            }
+            Flit {
+                packet: id,
+                dst,
+                flags,
+            }
         })
     }
 }
@@ -83,10 +135,12 @@ mod tests {
         };
         let flits: Vec<Flit> = p.flits(7).collect();
         assert_eq!(flits.len(), 5);
-        assert!(flits[0].is_head && !flits[0].is_tail);
-        assert!(flits[4].is_tail && !flits[4].is_head);
-        assert!(flits[1..4].iter().all(|f| !f.is_head && !f.is_tail));
+        assert!(flits[0].is_head() && !flits[0].is_tail());
+        assert!(flits[4].is_tail() && !flits[4].is_head());
+        assert!(flits[1..4].iter().all(|f| !f.is_head() && !f.is_tail()));
         assert!(flits.iter().all(|f| f.packet == 7));
+        assert!(flits.iter().all(|f| f.dst == 5));
+        assert!(flits.iter().all(|f| f.class_index() == 0));
     }
 
     #[test]
@@ -104,6 +158,7 @@ mod tests {
         };
         let flits: Vec<Flit> = p.flits(0).collect();
         assert_eq!(flits.len(), 1);
-        assert!(flits[0].is_head && flits[0].is_tail);
+        assert!(flits[0].is_head() && flits[0].is_tail());
+        assert_eq!(flits[0].class_index(), 1);
     }
 }

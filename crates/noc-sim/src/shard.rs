@@ -1,0 +1,209 @@
+//! Sharded parallel simulation: row-band mesh partitioning with a
+//! cycle-boundary barrier (DESIGN.md §16).
+//!
+//! The mesh is split into horizontal row bands, one worker thread per
+//! band. Every cycle the coordinator sends each worker a command naming
+//! the cycle and the band's active routers/NIs; the worker advances its
+//! band's NI injection and router pass ([`run_band`]) against its own
+//! slice of the router/NI arrays, accumulating all cross-band and
+//! order-sensitive effects in a private [`ShardSink`]. The coordinator
+//! then receives every sink — *in ascending shard order*, which is the
+//! barrier — and merges them exactly as the serial path merges its one
+//! sink, so any shard count is bit-identical to `shards = 1`.
+//!
+//! # Safety
+//!
+//! Workers access the coordinator's `Vec<Router>` / `Vec<Ni>` through raw
+//! band pointers. Soundness rests on three invariants:
+//!
+//! 1. **Disjointness** — band `i` covers tiles `base..base + len`, and
+//!    bands partition `0..n`: no two workers ever alias an element, and
+//!    band pointers are derived per cycle without overlap.
+//! 2. **Temporal exclusivity** — pointers are re-derived from the live
+//!    `&mut` slices at every [`ShardPool::run_cycle`] call and sent with
+//!    the command; the coordinator touches neither array between sending
+//!    the commands and receiving every response, and workers only touch
+//!    their band between receiving a command and sending its response.
+//!    The mpsc channel endpoints provide the happens-before edges in both
+//!    directions.
+//! 3. **Stability** — both `Vec`s are sized at construction and never
+//!    reallocated during a run, so a band pointer derived at dispatch
+//!    stays valid until the barrier.
+//!
+//! Workers hold no simulator state of their own: RNG draws, telemetry,
+//! the packet slab and every f64 accumulation stay on the coordinator,
+//! which is why the RNG stream and all report fields are trivially
+//! unchanged by the shard count.
+
+use crate::network::{run_band, ActiveSet, Ni, Router, ShardSink, StepCtx};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::Scope;
+
+/// Raw pointers to one band's slice of the router/NI arrays, re-derived
+/// every cycle (see the module-level safety notes).
+struct BandPtr {
+    routers: *mut Router,
+    nis: *mut Ni,
+    base: usize,
+    len: usize,
+}
+
+// SAFETY: the pointers name a disjoint band of the coordinator's arrays
+// and are only dereferenced between the command send and the response
+// send of the same cycle (module-level invariants 1–3).
+unsafe impl Send for BandPtr {}
+
+/// One cycle's work order for a shard worker.
+struct ShardCmd {
+    cycle: u64,
+    band: BandPtr,
+    router_ids: Vec<u32>,
+    ni_ids: Vec<u32>,
+    sink: ShardSink,
+}
+
+/// Worker response: the filled sink plus the recycled id buffers.
+type ShardRes = (ShardSink, Vec<u32>, Vec<u32>);
+
+struct ShardHandle {
+    /// First tile of the band.
+    base: usize,
+    /// Tiles in the band.
+    len: usize,
+    tx: Sender<ShardCmd>,
+    rx: Receiver<ShardRes>,
+    /// Recycled worklist buffers (router ids, NI ids).
+    spare: Option<(Vec<u32>, Vec<u32>)>,
+}
+
+/// The per-run worker pool: one thread per row band, driven one cycle at
+/// a time by [`run_cycle`](ShardPool::run_cycle). Dropping the pool
+/// closes the command channels, which ends every worker loop — the
+/// enclosing `thread::scope` then joins them.
+pub(crate) struct ShardPool {
+    handles: Vec<ShardHandle>,
+    /// Each shard's effect sink, parked here between cycles (index =
+    /// shard = ascending band order, the deterministic merge order).
+    sinks: Vec<ShardSink>,
+}
+
+impl ShardPool {
+    /// Partition `rows` into `shards` contiguous row bands (callers
+    /// guarantee `1 ≤ shards ≤ rows` via `SimConfig::effective_shards`)
+    /// and spawn one worker per band onto `scope`.
+    pub(crate) fn start<'scope, 'env>(
+        scope: &'scope Scope<'scope, 'env>,
+        rows: usize,
+        cols: usize,
+        shards: usize,
+        ctx: Arc<StepCtx>,
+    ) -> ShardPool {
+        let mut handles = Vec::with_capacity(shards);
+        let mut sinks = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let r0 = i * rows / shards;
+            let r1 = (i + 1) * rows / shards;
+            let base = r0 * cols;
+            let len = (r1 - r0) * cols;
+            let (cmd_tx, cmd_rx) = channel::<ShardCmd>();
+            let (res_tx, res_rx) = channel::<ShardRes>();
+            let ctx = Arc::clone(&ctx);
+            scope.spawn(move || {
+                while let Ok(cmd) = cmd_rx.recv() {
+                    let ShardCmd {
+                        cycle,
+                        band,
+                        router_ids,
+                        ni_ids,
+                        mut sink,
+                    } = cmd;
+                    // SAFETY: module-level invariants 1–3 — the band is
+                    // disjoint from every other worker's, the coordinator
+                    // is parked in `recv` until this worker responds, and
+                    // the arrays outlive the cycle.
+                    let routers = unsafe { std::slice::from_raw_parts_mut(band.routers, band.len) };
+                    let nis = unsafe { std::slice::from_raw_parts_mut(band.nis, band.len) };
+                    run_band(
+                        nis,
+                        routers,
+                        band.base,
+                        &ni_ids,
+                        &router_ids,
+                        cycle,
+                        &ctx,
+                        &mut sink,
+                    );
+                    if res_tx.send((sink, router_ids, ni_ids)).is_err() {
+                        break;
+                    }
+                }
+            });
+            handles.push(ShardHandle {
+                base,
+                len,
+                tx: cmd_tx,
+                rx: res_rx,
+                spare: Some((Vec::new(), Vec::new())),
+            });
+            sinks.push(ShardSink::default());
+        }
+        ShardPool { handles, sinks }
+    }
+
+    /// Advance every band by one cycle: dispatch all commands, then block
+    /// at the barrier until every shard has responded. On return the
+    /// per-shard sinks (in ascending shard order) hold the cycle's
+    /// effects, ready for the coordinator's merge.
+    pub(crate) fn run_cycle(
+        &mut self,
+        cycle: u64,
+        routers: &mut [Router],
+        nis: &mut [Ni],
+        active_routers: &ActiveSet,
+        active_nis: &ActiveSet,
+    ) {
+        let rbase = routers.as_mut_ptr();
+        let nbase = nis.as_mut_ptr();
+        for (i, h) in self.handles.iter_mut().enumerate() {
+            let (mut rids, mut nids) = h.spare.take().unwrap_or_default();
+            active_routers.collect_range(h.base, h.base + h.len, &mut rids);
+            active_nis.collect_range(h.base, h.base + h.len, &mut nids);
+            let sink = std::mem::take(&mut self.sinks[i]);
+            // SAFETY: `base + len ≤ routers.len()` by the band partition,
+            // so both offsets stay within the allocations.
+            let band = BandPtr {
+                routers: unsafe { rbase.add(h.base) },
+                nis: unsafe { nbase.add(h.base) },
+                base: h.base,
+                len: h.len,
+            };
+            // A send can only fail if the worker died (worker code is
+            // panic-free by the crate's gate); the paired `recv` below
+            // then reports it by leaving the sink empty.
+            let _ = h.tx.send(ShardCmd {
+                cycle,
+                band,
+                router_ids: rids,
+                ni_ids: nids,
+                sink,
+            });
+        }
+        for (i, h) in self.handles.iter_mut().enumerate() {
+            if let Ok((sink, rids, nids)) = h.rx.recv() {
+                self.sinks[i] = sink;
+                h.spare = Some((rids, nids));
+            }
+        }
+    }
+
+    /// Take the per-shard sinks for merging (ascending shard order).
+    pub(crate) fn take_sinks(&mut self) -> Vec<ShardSink> {
+        std::mem::take(&mut self.sinks)
+    }
+
+    /// Return the drained sinks for reuse next cycle.
+    pub(crate) fn put_sinks(&mut self, sinks: Vec<ShardSink>) {
+        self.sinks = sinks;
+    }
+}

@@ -25,7 +25,29 @@ impl RandomMapper {
     /// Estimate the random-mapping averages (g-APL, max-APL, dev-APL) over
     /// `samples` draws — the "Random" row of Table 1. The canonical home of
     /// the former free function [`random_averages`].
+    ///
+    /// Scoring fans out over the host's cores via
+    /// [`BatchEvaluator::eval_many_parallel`], whose fixed-chunk contract
+    /// makes the reports — and therefore these averages — bit-identical
+    /// at any worker count (including the serial path).
+    ///
+    /// [`BatchEvaluator::eval_many_parallel`]: crate::batch::BatchEvaluator::eval_many_parallel
     pub fn averages(inst: &ObmInstance, samples: usize, seed: u64) -> RandomAverages {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        RandomMapper::averages_with_workers(inst, samples, seed, workers)
+    }
+
+    /// [`averages`](Self::averages) with an explicit worker count
+    /// (bit-identical for any count by the evaluator's fixed-chunk
+    /// contract).
+    pub fn averages_with_workers(
+        inst: &ObmInstance,
+        samples: usize,
+        seed: u64,
+        workers: usize,
+    ) -> RandomAverages {
         assert!(samples > 0);
         let mut rng = SmallRng::seed_from_u64(seed);
         // Draw the whole population up front and score it through the
@@ -35,21 +57,17 @@ impl RandomMapper {
             .map(|_| RandomMapper::draw(inst, &mut rng))
             .collect();
         let be = crate::batch::BatchEvaluator::new(inst);
+        let reports = be.eval_many_parallel(&pool, workers);
         let mut sum_g = 0.0;
         let mut sum_max = 0.0;
         let mut sum_dev = 0.0;
-        // Stream the pool through one recycled report buffer in slabs.
-        // 1024 is a multiple of the evaluator's internal chunk, so the
-        // chunk boundaries — and therefore every report's bits — are the
-        // same as one whole-pool eval_many call.
-        let mut reports = Vec::new();
-        for slab in pool.chunks(1024) {
-            be.eval_many_into(slab, &mut reports);
-            for r in &reports {
-                sum_g += r.g_apl;
-                sum_max += r.max_apl;
-                sum_dev += r.dev_apl;
-            }
+        // Reports come back in pool order whatever the worker count, so
+        // the ascending-sample summation order (and its f64 rounding) is
+        // unchanged from the serial slab loop it replaces.
+        for r in &reports {
+            sum_g += r.g_apl;
+            sum_max += r.max_apl;
+            sum_dev += r.dev_apl;
         }
         let n = samples as f64;
         RandomAverages {
@@ -123,6 +141,19 @@ mod tests {
         assert!(avg.mean_g_apl > 0.0);
         assert!(avg.mean_max_apl >= avg.mean_g_apl); // max ≥ weighted mean
         assert!(avg.mean_dev_apl >= 0.0);
+    }
+
+    #[test]
+    fn averages_are_worker_count_invariant() {
+        let inst = inst();
+        // 600 samples > 2 × PAR_CHUNK, so the parallel path actually
+        // engages; the fixed-chunk contract must keep every worker count
+        // bit-identical to the serial evaluation.
+        let serial = RandomMapper::averages_with_workers(&inst, 600, 11, 1);
+        for workers in [2, 3, 8] {
+            let par = RandomMapper::averages_with_workers(&inst, 600, 11, workers);
+            assert_eq!(serial, par, "workers = {workers}");
+        }
     }
 
     #[test]

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Compare two benchmark snapshots produced by scripts/bench_snapshot.sh.
+#
+#   scripts/bench_compare.sh OLD.json NEW.json [THRESHOLD_PCT]
+#   scripts/bench_compare.sh BENCH_PR8.json BENCH_PR9.json 5
+#
+# Prints one row per benchmark label present in either snapshot with the
+# old/new medians (ns/iter) and the relative change. Raw timing labels
+# (`group/name`) improve when they go *down*; derived `speedup/*` keys
+# improve when they go *up*; `*_delta_pct/*` and `meta/*` keys are
+# informational and never flagged. With a THRESHOLD_PCT (default 10),
+# rows whose timing regressed by more than the threshold are marked
+# `REGRESSED` and the script exits 1 — so CI can gate a PR on its
+# snapshot without hand-reading the numbers. Labels present in only one
+# snapshot are listed as added/removed and never fail the gate.
+set -euo pipefail
+
+if [[ $# -lt 2 || $# -gt 3 ]]; then
+  echo "usage: $0 OLD.json NEW.json [THRESHOLD_PCT]" >&2
+  exit 2
+fi
+old_file="$1"
+new_file="$2"
+threshold="${3:-10}"
+for f in "$old_file" "$new_file"; do
+  [[ -r $f ]] || { echo "cannot read $f" >&2; exit 2; }
+done
+
+# Snapshots are flat `"label": number` objects — parse with awk, no jq
+# dependency.
+parse() {
+  awk -F'"' '/":/ {
+    label = $2
+    val = $3
+    gsub(/[:, ]/, "", val)
+    if (label != "" && val + 0 == val) print label, val
+  }' "$1"
+}
+
+old_data="$(parse "$old_file")"
+new_data="$(parse "$new_file")"
+
+awk -v threshold="$threshold" -v old_name="$old_file" -v new_name="$new_file" '
+  NR == FNR { old[$1] = $2; next }
+  { new[$1] = $2; order[++n] = $1 }
+  END {
+    printf "%-45s %15s %15s %10s  %s\n", "benchmark", old_name, new_name, "change", ""
+    fail = 0
+    for (i = 1; i <= n; i++) {
+      label = order[i]
+      if (!(label in old)) {
+        printf "%-45s %15s %15s %10s  added\n", label, "-", new[label], "-"
+        continue
+      }
+      o = old[label]; v = new[label]
+      delta = (o > 0) ? 100.0 * (v - o) / o : 0
+      note = ""
+      if (label ~ /^speedup\//) {
+        # Derived speedups: bigger is better.
+        if (delta < -threshold) { note = "REGRESSED"; fail = 1 }
+        else if (delta > threshold) note = "improved"
+      } else if (label ~ /_delta_pct\// || label ~ /_gain_pct\// || label ~ /^meta\//) {
+        note = ""
+      } else {
+        # Raw ns/iter medians: smaller is better.
+        if (delta > threshold) { note = "REGRESSED"; fail = 1 }
+        else if (delta < -threshold) note = "improved"
+      }
+      printf "%-45s %15s %15s %9.1f%%  %s\n", label, o, v, delta, note
+      seen[label] = 1
+    }
+    for (label in old)
+      if (!(label in new))
+        printf "%-45s %15s %15s %10s  removed\n", label, old[label], "-", "-"
+    exit fail
+  }
+' <(printf '%s\n' "$old_data") <(printf '%s\n' "$new_data")

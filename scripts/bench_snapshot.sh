@@ -31,10 +31,20 @@
 # key records how far the exhaustive placement search's best layout
 # undercuts the corner default's max-APL (the bench emits both as
 # millicycle quality lines in the same label format as the timings).
+# When the run contains load_48 (the saturated-load router hot loop), a
+# derived "speedup/load_48_vs_pr8" key records the single-thread gain
+# over the PR 8 baseline median (override the baseline with
+# LOAD48_PR8_NS). When the run contains c1_8x8_10k_cycles and its
+# _sharded4 twin, a derived "shard_delta_pct/c1_8x8_10k_cycles" key
+# records the 4-shard engine's wall-clock delta as a percentage of the
+# serial median (negative = sharding is faster; on a 1-core host this
+# prices the barrier overhead instead). Every snapshot also records the
+# host's core count under "meta/nproc" so shard/pool numbers can be
+# read in context.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR${BENCH_PR:-8}.json"
+out="BENCH_PR${BENCH_PR:-9}.json"
 benches=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -52,7 +62,8 @@ for b in "${benches[@]}"; do
 done
 
 # criterion's stub prints:  <label>  time:  <ns> ns/iter (<n> samples)
-awk '
+awk -v nproc="$(nproc 2>/dev/null || echo 1)" \
+    -v load48_pr8="${LOAD48_PR8_NS:-208283461}" '
   / time: +[0-9]+ ns\/iter / {
     label = $1
     for (i = 2; i <= NF; i++) if ($i == "time:") { ns = $(i + 1); break }
@@ -60,7 +71,7 @@ awk '
     if (count++) printf ",\n"
     printf "  \"%s\": %s", label, ns
   }
-  BEGIN { printf "{\n" }
+  BEGIN { printf "{\n  \"meta/nproc\": %d", nproc; count = 1 }
   END {
     base = medians["noc_sim/c1_8x8_10k_cycles"]
     probed = medians["noc_sim/c1_8x8_10k_cycles_probed"]
@@ -81,6 +92,14 @@ awk '
     if (plain > 0 && watched > 0)
       printf ",\n  \"controlled_delta_pct/steady_4x4_10k\": %.2f",
         100.0 * (watched - plain) / plain
+    load48 = medians["noc_sim_uniform_8x8_10k/load_48"]
+    if (load48 > 0 && load48_pr8 > 0)
+      printf ",\n  \"speedup/load_48_vs_pr8\": %.2f",
+        load48_pr8 / load48
+    sharded = medians["noc_sim/c1_8x8_10k_cycles_sharded4"]
+    if (base > 0 && sharded > 0)
+      printf ",\n  \"shard_delta_pct/c1_8x8_10k_cycles\": %.2f",
+        100.0 * (sharded - base) / base
     corner = medians["placement_outer_4x4/corner_maxapl_millicycles"]
     best = medians["placement_outer_4x4/best_maxapl_millicycles"]
     if (corner > 0 && best > 0)

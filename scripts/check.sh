@@ -12,8 +12,11 @@
 #                         the simulator's golden-report suite
 #                         (Bernoulli + geometric injection), the
 #                         online-remap controller's pinned decision
-#                         sequence, and the placement search's pinned
+#                         sequence, the placement search's pinned
 #                         exhaustive win + TM-vs-simulator agreement,
+#                         and the sharded-engine suite (any shard
+#                         count bit-identical to serial, forced to
+#                         verify 4 shards via OBM_SIM_SHARDS),
 #                         all in release mode (optimizations change
 #                         f64 codegen timing, never the pinned bit
 #                         patterns)
@@ -36,9 +39,11 @@
 #                         the Objective implementations and the
 #                         online remap controller (typed RemapError;
 #                         a mid-run controller must never abort a
-#                         simulation), or the ChipLayout/placement
+#                         simulation), the ChipLayout/placement
 #                         constructors and the outer placement search
-#                         (typed PlacementError)
+#                         (typed PlacementError), or the shard worker
+#                         pool (a dead worker must surface as a
+#                         closed channel, never an abort)
 #
 # The tier-1 commands match ROADMAP.md; `--workspace` matters because the
 # root package is a facade crate and a bare `cargo build` would silently
@@ -91,6 +96,18 @@ echo "==> simulator determinism suite (release)"
 # window spans across fast-forwarded regions — must hold under release
 # codegen too.
 cargo test -q --release --test sim_determinism
+
+echo "==> shard determinism suite (release, OBM_SIM_SHARDS=4)"
+# The row-band parallel engine's contract — bit-identical SimReport and
+# telemetry for any shard count (DESIGN.md §16) — pinned on the 8×8 C1
+# scenario, torus/YX, geometric fast-forward, the controlled-run path
+# and a randomized proptest. OBM_SIM_SHARDS=4 forces the suite to
+# verify up to 4 shards even on a 1-core host, and routes every
+# env-consulting entry point through the sharded engine.
+OBM_SIM_SHARDS=4 cargo test -q --release --test shard_determinism
+# The bridge helpers every experiment shares must honor the same env
+# knob without perturbing their goldens.
+OBM_SIM_SHARDS=4 cargo test -q --release -p obm-bench sim_bridge
 
 echo "==> online-remap determinism suite (release)"
 # The closed-loop controller's decision sequence (remap cycles + final
@@ -152,7 +169,7 @@ echo "==> panic gate: error-typed constructor and solver paths"
 # occurrence outside the #[cfg(test)] module and doc comments
 # (debug_assert! is fine). Files without a test module are scanned whole.
 for f in crates/noc-sim/src/config.rs crates/noc-sim/src/network.rs \
-    crates/noc-sim/src/traffic.rs \
+    crates/noc-sim/src/traffic.rs crates/noc-sim/src/shard.rs \
     crates/noc-telemetry/src/histogram.rs crates/noc-telemetry/src/heatmap.rs \
     crates/portfolio/src/*.rs crates/cli/src/spec.rs \
     crates/obm-core/src/batch.rs \

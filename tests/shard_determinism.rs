@@ -1,0 +1,357 @@
+//! Sharded-simulation determinism tests (DESIGN.md §16).
+//!
+//! The row-band sharded simulator must be **bit-identical** to the
+//! serial path for any shard count — same [`SimReport`], same telemetry
+//! records, same RNG stream. These tests pin that contract on the
+//! pinned 8×8 C1 scenario (shards 1/2/4, report + windows + heatmap +
+//! flow + per-packet records), on a torus with YX routing, under
+//! geometric injection with the event-horizon fast-forward (clamp
+//! interaction), through the controlled-run path, and property-based
+//! over random loads and shard counts.
+//!
+//! `OBM_SIM_SHARDS` (the CLI/env knob) doubles as the *maximum verified
+//! shard count* here, so CI can force e.g. 4 while a many-core host can
+//! verify more.
+//!
+//! [`SimReport`]: obm::sim::SimReport
+
+use obm::model::{ChipLayout, MemoryControllers, Mesh, TileId, Topology};
+use obm::sim::{
+    env_shards, ConfigError, InjectionProcess, Network, RoutingKind, Schedule, SimConfig,
+    SimReport, SourceCounters, SourceSpec, SwapController, TrafficSpec,
+};
+use obm::telemetry::{RingSink, WindowRecord};
+use proptest::prelude::*;
+
+/// Highest shard count the suite verifies: `OBM_SIM_SHARDS` if set,
+/// otherwise 4 (the CI-pinned value).
+fn max_shards() -> usize {
+    env_shards().unwrap_or(4)
+}
+
+/// The pinned 8×8 C1 scenario: paper-default network, uniform C1-rate
+/// traffic (7.0 cache / 0.9 memory packets per kilocycle per tile),
+/// seed 42 — the same shape as the `c1_8x8` benches, shortened to test
+/// length.
+fn c1_8x8_config() -> (SimConfig, TrafficSpec) {
+    let mesh = Mesh::square(8);
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.warmup_cycles = 500;
+    cfg.measure_cycles = 3_000;
+    cfg.max_drain_cycles = 20_000;
+    cfg.seed = 42;
+    let traffic = TrafficSpec::uniform(
+        &mesh,
+        Schedule::per_kilocycle(7.0),
+        Schedule::per_kilocycle(0.9),
+    );
+    (cfg, traffic)
+}
+
+/// Run a scenario at a given shard count with full telemetry capture.
+fn run_sharded(mut cfg: SimConfig, traffic: TrafficSpec, shards: usize) -> (SimReport, RingSink) {
+    cfg.shards = shards;
+    let mut sink = RingSink::new(65_536).with_packets();
+    let report = Network::new(cfg, traffic)
+        .expect("valid config")
+        .run_probed(&mut sink);
+    (report, sink)
+}
+
+/// Assert the full observable surface matches: report (bit-for-bit via
+/// `semantic_eq` plus spot-checked accumulators) and every telemetry
+/// stream.
+fn assert_identical(
+    (base_report, base_sink): &(SimReport, RingSink),
+    (report, sink): &(SimReport, RingSink),
+    label: &str,
+) {
+    assert!(
+        base_report.semantic_eq(report),
+        "{label}: report diverged from serial"
+    );
+    assert_eq!(base_report.cache, report.cache, "{label}: cache accum");
+    assert_eq!(base_report.memory, report.memory, "{label}: memory accum");
+    assert_eq!(base_report.groups, report.groups, "{label}: group accums");
+    assert_eq!(
+        base_report.per_source, report.per_source,
+        "{label}: per-source accums"
+    );
+    let base_windows: Vec<_> = base_sink.windows().cloned().collect();
+    let windows: Vec<_> = sink.windows().cloned().collect();
+    assert_eq!(base_windows, windows, "{label}: window records diverged");
+    let base_heat: Vec<_> = base_sink.heatmaps().cloned().collect();
+    let heat: Vec<_> = sink.heatmaps().cloned().collect();
+    assert_eq!(base_heat, heat, "{label}: heatmap diverged");
+    let base_flow: Vec<_> = base_sink.flow_summaries().cloned().collect();
+    let flow: Vec<_> = sink.flow_summaries().cloned().collect();
+    assert_eq!(base_flow, flow, "{label}: flow summary diverged");
+    let base_packets: Vec<_> = base_sink.packets().copied().collect();
+    let packets: Vec<_> = sink.packets().copied().collect();
+    assert_eq!(base_packets, packets, "{label}: packet records diverged");
+}
+
+/// The acceptance pin: 1/2/4 shards (and up to `OBM_SIM_SHARDS`) on the
+/// 8×8 C1 scenario, bit-identical report and telemetry.
+#[test]
+fn pinned_c1_8x8_shards_bit_identical() {
+    let (cfg, traffic) = c1_8x8_config();
+    let base = run_sharded(cfg.clone(), traffic.clone(), 1);
+    assert!(base.0.fully_drained);
+    assert!(base.0.delivered > 0);
+    let mut verified = vec![1usize];
+    for shards in [2usize, 4, 8] {
+        if shards > max_shards() {
+            break;
+        }
+        let run = run_sharded(cfg.clone(), traffic.clone(), shards);
+        assert_identical(&base, &run, &format!("{shards} shards"));
+        verified.push(shards);
+    }
+    assert!(
+        verified.len() >= 3,
+        "suite must verify at least shards 1/2/4, got {verified:?}"
+    );
+}
+
+/// Torus topology with YX routing: wrap-around links cross the band
+/// boundary between the first and last shard every cycle.
+#[test]
+fn torus_yx_sharded_matches_serial() {
+    let mesh = Mesh::square(8);
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.topology = Topology::Torus;
+    cfg.routing = RoutingKind::Yx;
+    cfg.warmup_cycles = 200;
+    cfg.measure_cycles = 2_000;
+    cfg.max_drain_cycles = 20_000;
+    cfg.seed = 99;
+    let traffic = TrafficSpec::uniform(
+        &mesh,
+        Schedule::per_kilocycle(7.0),
+        Schedule::per_kilocycle(0.9),
+    );
+    let base = run_sharded(cfg.clone(), traffic.clone(), 1);
+    assert!(base.0.delivered > 0);
+    for shards in [2usize, 4] {
+        let run = run_sharded(cfg.clone(), traffic.clone(), shards);
+        assert_identical(&base, &run, &format!("torus {shards} shards"));
+    }
+}
+
+/// Geometric injection with the event-horizon fast-forward: the jump is
+/// computed on the coordinator after the barrier, so the clamp to the
+/// telemetry window grid must behave identically at any shard count.
+#[test]
+fn geometric_fast_forward_sharded_matches_serial() {
+    let mesh = Mesh::square(8);
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.injection = InjectionProcess::Geometric;
+    cfg.warmup_cycles = 500;
+    cfg.measure_cycles = 4_000;
+    cfg.max_drain_cycles = 20_000;
+    cfg.seed = 7;
+    // Sparse load: long quiescent stretches, so the fast-forward engages
+    // and its window-boundary clamp is exercised.
+    let traffic = TrafficSpec::uniform(
+        &mesh,
+        Schedule::per_kilocycle(0.4),
+        Schedule::per_kilocycle(0.1),
+    );
+    let base = run_sharded(cfg.clone(), traffic.clone(), 1);
+    assert!(
+        base.0.network.skipped_cycles > 0,
+        "scenario must exercise the fast-forward"
+    );
+    for shards in [2usize, 4] {
+        let run = run_sharded(cfg.clone(), traffic.clone(), shards);
+        assert_identical(&base, &run, &format!("geometric {shards} shards"));
+        assert_eq!(
+            base.0.network.skipped_cycles, run.0.network.skipped_cycles,
+            "fast-forward jumps diverged at {shards} shards"
+        );
+        assert_eq!(base.0.network.arrival_draws, run.0.network.arrival_draws);
+    }
+}
+
+/// A controller that swaps two sources once, at the second window — the
+/// controlled-run path (windower tee, source accumulators, retarget at a
+/// window boundary) shares the sharded drive loop.
+struct SwapOnce {
+    windows_seen: usize,
+    tiles: Vec<TileId>,
+}
+
+impl SwapController for SwapOnce {
+    fn on_window(
+        &mut self,
+        _record: &WindowRecord,
+        _per_source: &[SourceCounters],
+    ) -> Option<Vec<TileId>> {
+        self.windows_seen += 1;
+        if self.windows_seen == 2 {
+            let mut tiles = self.tiles.clone();
+            tiles.swap(0, 1);
+            Some(tiles)
+        } else {
+            None
+        }
+    }
+}
+
+/// The controlled (mid-run remap) path is shard-invariant too.
+#[test]
+fn controlled_run_sharded_matches_serial() {
+    let (cfg, traffic) = c1_8x8_config();
+    let tiles: Vec<TileId> = Mesh::square(8).tiles().collect();
+    let run = |shards: usize| {
+        let mut cfg = cfg.clone();
+        cfg.shards = shards;
+        let mut sink = RingSink::new(4_096);
+        let mut ctrl = SwapOnce {
+            windows_seen: 0,
+            tiles: tiles.clone(),
+        };
+        let report = Network::new(cfg, traffic.clone())
+            .expect("valid config")
+            .run_controlled(&mut sink, &mut ctrl)
+            .expect("controlled run");
+        (report, sink)
+    };
+    let base = run(1);
+    for shards in [2usize, 4] {
+        let r = run(shards);
+        assert_identical(&base, &r, &format!("controlled {shards} shards"));
+    }
+}
+
+/// Failed-link layouts are rejected before any engine (serial or
+/// sharded) is chosen, and the rejection is shard-independent; a healthy
+/// layout built through the same `ChipLayout` API runs sharded and
+/// matches serial.
+#[test]
+fn chip_layout_paths_are_shard_invariant() {
+    let mesh = Mesh::square(4);
+    let broken = ChipLayout::try_new(
+        mesh,
+        Topology::Mesh,
+        MemoryControllers::try_custom(&mesh, vec![TileId(15)]).expect("valid placement"),
+        vec![(TileId(0), TileId(1))],
+    )
+    .expect("valid layout");
+    match SimConfig::for_layout(&broken) {
+        Err(ConfigError::FailedLinksUnsupported { num_links }) => assert_eq!(num_links, 1),
+        other => panic!("expected FailedLinksUnsupported, got {other:?}"),
+    }
+
+    let healthy = ChipLayout::try_new(
+        mesh,
+        Topology::Torus,
+        MemoryControllers::try_custom(&mesh, vec![TileId(5), TileId(10)]).expect("valid"),
+        Vec::new(),
+    )
+    .expect("valid layout");
+    let mut cfg = SimConfig::for_layout(&healthy).expect("healthy layout accepted");
+    cfg.warmup_cycles = 100;
+    cfg.measure_cycles = 1_500;
+    cfg.max_drain_cycles = 20_000;
+    cfg.seed = 13;
+    let traffic = TrafficSpec::uniform(
+        &mesh,
+        Schedule::per_kilocycle(10.0),
+        Schedule::per_kilocycle(2.0),
+    );
+    let base = run_sharded(cfg.clone(), traffic.clone(), 1);
+    assert!(base.0.delivered > 0);
+    let sharded = run_sharded(cfg, traffic, 4);
+    assert_identical(&base, &sharded, "layout torus 4 shards");
+}
+
+/// Shard counts beyond the row count clamp (and still match), and the
+/// plain unprobed path (no telemetry allocated at all) is shard-
+/// invariant too.
+#[test]
+fn shard_count_clamps_to_rows_and_unprobed_path_matches() {
+    let mesh = Mesh::square(4);
+    let mut cfg = SimConfig::paper_defaults(mesh);
+    cfg.warmup_cycles = 200;
+    cfg.measure_cycles = 2_000;
+    cfg.max_drain_cycles = 20_000;
+    cfg.seed = 3;
+    let traffic = TrafficSpec::uniform(
+        &mesh,
+        Schedule::per_kilocycle(20.0),
+        Schedule::per_kilocycle(4.0),
+    );
+    let serial = Network::new(cfg.clone(), traffic.clone())
+        .expect("valid config")
+        .run();
+    cfg.shards = 64; // 4 rows → effective 4
+    assert_eq!(cfg.effective_shards(), 4);
+    let sharded = Network::new(cfg, traffic).expect("valid config").run();
+    assert!(serial.semantic_eq(&sharded), "unprobed sharded diverged");
+    assert_eq!(serial.per_source, sharded.per_source);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Property: for random loads, seeds, VC counts, buffer depths,
+    /// topology/routing and shard counts, the sharded report is
+    /// bit-identical to the serial one.
+    #[test]
+    fn sharded_reports_match_serial(
+        shards in 2usize..=4,
+        vcs in 1usize..=3,
+        depth in 2usize..=6,
+        cache_rate in 0.001f64..0.05,
+        mem_rate in 0.0f64..0.01,
+        torus in any::<bool>(),
+        yx in any::<bool>(),
+        geometric in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mesh = Mesh::square(4);
+        let mut cfg = SimConfig::paper_defaults(mesh);
+        cfg.vcs_per_class = vcs;
+        cfg.buffer_depth = depth;
+        cfg.warmup_cycles = 100;
+        cfg.measure_cycles = 1_500;
+        cfg.max_drain_cycles = 200_000;
+        cfg.seed = seed;
+        if torus {
+            cfg.topology = Topology::Torus;
+        }
+        if yx {
+            cfg.routing = RoutingKind::Yx;
+        }
+        if geometric {
+            cfg.injection = InjectionProcess::Geometric;
+        }
+        let sources: Vec<SourceSpec> = mesh
+            .tiles()
+            .map(|t| SourceSpec {
+                tile: t,
+                group: t.index() % 2,
+                cache: Schedule::Constant(cache_rate),
+                mem: Schedule::Constant(mem_rate),
+            })
+            .collect();
+        let traffic = TrafficSpec::new(sources, 2).expect("valid traffic");
+        let serial = Network::new(cfg.clone(), traffic.clone())
+            .expect("valid config")
+            .run();
+        cfg.shards = shards;
+        let sharded = Network::new(cfg, traffic).expect("valid config").run();
+        prop_assert!(serial.semantic_eq(&sharded), "sharded run diverged");
+        prop_assert_eq!(serial.per_source, sharded.per_source);
+        prop_assert_eq!(
+            serial.network.link_flit_traversals,
+            sharded.network.link_flit_traversals
+        );
+        prop_assert_eq!(
+            serial.network.peak_buffered_flits,
+            sharded.network.peak_buffered_flits
+        );
+    }
+}
