@@ -9,7 +9,9 @@ use noc_model::{LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies};
 use noc_sim::telemetry::{NoopSink, RingSink};
 use noc_sim::{InjectionProcess, Network, Schedule, SimConfig, TrafficSpec};
 use obm_bench::harness::paper_instance;
-use obm_bench::sim_bridge::{simulate_mapping, simulate_mapping_probed, simulate_mapping_sharded};
+use obm_bench::sim_bridge::{
+    simulate_mapping, simulate_mapping_metered, simulate_mapping_probed, simulate_mapping_sharded,
+};
 use obm_core::algorithms::{Mapper, SortSelectSwap};
 use obm_core::{traffic_spec, ObmInstance, RemapConfig, RemapController};
 use workload::PaperConfig;
@@ -70,6 +72,16 @@ fn sim_c1_paper_load(c: &mut Criterion) {
             let mut sink = RingSink::new(64);
             simulate_mapping_probed(&pi, &mapping, 10_000, 7, &mut sink)
         })
+    });
+    // Same run with a metrics registry attached (DESIGN.md §17): the
+    // delta against the unprobed median prices the *enabled* metrics
+    // path (`metrics_delta_pct/enabled`); the unprobed median itself,
+    // held against the PR 9 baseline, prices the *disabled* path — the
+    // never-taken branches must stay within noise
+    // (`metrics_delta_pct/disabled`).
+    group.bench_function("c1_8x8_10k_cycles_metrics", |b| {
+        let registry = noc_metrics::MetricsRegistry::new();
+        b.iter(|| simulate_mapping_metered(&pi, &mapping, 10_000, 7, registry.handle()))
     });
     group.finish();
 }

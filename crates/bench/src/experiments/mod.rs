@@ -67,6 +67,32 @@ pub fn run(id: &str, fast: bool) -> Option<String> {
 /// experiments. Ids whose output is pinned to the default Bernoulli RNG
 /// stream (seeded replays, golden comparisons) ignore `injection`.
 pub fn run_with(id: &str, fast: bool, injection: noc_sim::InjectionProcess) -> Option<String> {
+    run_with_metrics(id, fast, injection, &noc_metrics::MetricsHandle::disabled())
+}
+
+/// [`run_with`] reporting into a metrics registry (DESIGN.md §17,
+/// `obm experiments <id> --metrics`). Every experiment counts its run
+/// under `experiment_runs_total`; `validate` additionally publishes its
+/// throughput/parallelism gauges and the portfolio instrumentation.
+pub fn run_with_metrics(
+    id: &str,
+    fast: bool,
+    injection: noc_sim::InjectionProcess,
+    metrics: &noc_metrics::MetricsHandle,
+) -> Option<String> {
+    let out = dispatch(id, fast, injection, metrics);
+    if out.is_some() {
+        metrics.inc("experiment_runs_total");
+    }
+    out
+}
+
+fn dispatch(
+    id: &str,
+    fast: bool,
+    injection: noc_sim::InjectionProcess,
+    metrics: &noc_metrics::MetricsHandle,
+) -> Option<String> {
     Some(match id {
         "table1" => table1::run(fast),
         "table3" => table3::run(),
@@ -79,7 +105,7 @@ pub fn run_with(id: &str, fast: bool, injection: noc_sim::InjectionProcess) -> O
         "fig10" => lineup_views::run_fig10(),
         "fig11" => lineup_views::run_fig11(),
         "fig12" => fig12::run(fast),
-        "validate" => validate::run_with(fast, injection),
+        "validate" => validate::run_with_metrics(fast, injection, metrics),
         "ablation" => ablation::run(),
         "loadcurve" => loadcurve::run_with(fast, injection),
         "scaling" => scaling::run(fast),

@@ -8,6 +8,7 @@ use crate::harness::{all_paper_instances, paper_instance};
 use crate::pool;
 use crate::sim_bridge::simulate_mapping_probed_with;
 use crate::table::{f, MarkdownTable};
+use noc_metrics::{MetricsHandle, MetricsRegistry};
 use noc_sim::telemetry::{Phase, RingSink};
 use noc_sim::InjectionProcess;
 use obm_core::algorithms::{Mapper, MonteCarlo, SimulatedAnnealing, SortSelectSwap};
@@ -22,6 +23,25 @@ pub fn run(fast: bool) -> String {
 }
 
 pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
+    run_with_metrics(fast, injection, &MetricsHandle::disabled())
+}
+
+/// [`run_with`] reporting into a metrics registry (DESIGN.md §17). The
+/// sweep's throughput and parallelism figures are published as gauges
+/// and the printed footer reads them back from the registry, so the
+/// report and an exported snapshot can never disagree. With a disabled
+/// handle a private registry is used — the gauges still back the
+/// printout.
+pub fn run_with_metrics(
+    fast: bool,
+    injection: InjectionProcess,
+    metrics: &MetricsHandle,
+) -> String {
+    let metrics = if metrics.enabled() {
+        metrics.clone()
+    } else {
+        MetricsRegistry::new().handle()
+    };
     let cycles = if fast { 40_000 } else { 200_000 };
     let instances = if fast {
         vec![
@@ -72,6 +92,7 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
             .algorithm(Algorithm::BalancedGreedy)
             .seeds([0, 1])
             .workers(2)
+            .metrics(metrics.clone())
             .build()
             .expect("valid portfolio request")
             .solve();
@@ -142,10 +163,29 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
         ]);
     }
     // Per-worker wall times, so the aggregate is per-thread simulator
-    // throughput (not wall-clock of the parallel sweep).
-    let agg_cps = total_cycles as f64 * 1e9 / total_wall_nanos.max(1) as f64;
-    let agg_fps = total_flit_hops as f64 * 1e9 / total_wall_nanos.max(1) as f64;
-    let agg_eps = total_evals as f64 * 1e9 / total_eval_nanos.max(1) as f64;
+    // throughput (not wall-clock of the parallel sweep). Published as
+    // gauges first, then read back for the footer — the snapshot is the
+    // source of truth (wall-derived gauges are zero under the logical
+    // clock, and the footer honestly prints that zero).
+    metrics.wall_gauge_set(
+        "validate_sim_cycles_per_sec",
+        total_cycles as f64 * 1e9 / total_wall_nanos.max(1) as f64,
+    );
+    metrics.wall_gauge_set(
+        "validate_sim_flit_hops_per_sec",
+        total_flit_hops as f64 * 1e9 / total_wall_nanos.max(1) as f64,
+    );
+    metrics.wall_gauge_set(
+        "validate_evals_per_sec",
+        total_evals as f64 * 1e9 / total_eval_nanos.max(1) as f64,
+    );
+    metrics.gauge_set("pool_effective_workers", pool::effective_workers() as f64);
+    metrics.gauge_set("pool_detected_cores", pool::detected_cores() as f64);
+    metrics.gauge_set("sim_shards_env", noc_sim::env_shards().unwrap_or(1) as f64);
+    let gauge = |name: &str| metrics.gauge_value(name).unwrap_or(0.0);
+    let agg_cps = gauge("validate_sim_cycles_per_sec");
+    let agg_fps = gauge("validate_sim_flit_hops_per_sec");
+    let agg_eps = gauge("validate_evals_per_sec");
     format!(
         "## Validation — analytic model vs cycle-level simulation ({injection:?} injection)\n\n{}\n\
          Worst g-APL discrepancy {:.1}%; worst td_q {:.3} cycles \
@@ -162,9 +202,9 @@ pub fn run_with(fast: bool, injection: InjectionProcess) -> String {
         agg_cps / 1e6,
         agg_fps / 1e6,
         agg_eps / 1e6,
-        pool::effective_workers(),
-        pool::detected_cores(),
-        noc_sim::env_shards().unwrap_or(1),
+        gauge("pool_effective_workers") as usize,
+        gauge("pool_detected_cores") as usize,
+        gauge("sim_shards_env") as usize,
     )
 }
 

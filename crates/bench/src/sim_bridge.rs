@@ -76,6 +76,24 @@ pub fn simulate_mapping(
     )
 }
 
+/// [`simulate_mapping`] with a metrics registry attached (DESIGN.md
+/// §17). The report is bit-identical to the plain run — the registry is
+/// a write-only observer; the criterion twin of this helper prices the
+/// enabled-path overhead (`metrics_delta_pct/enabled`).
+pub fn simulate_mapping_metered(
+    pi: &PaperInstance,
+    mapping: &Mapping,
+    measure_cycles: u64,
+    seed: u64,
+    metrics: noc_metrics::MetricsHandle,
+) -> SimReport {
+    let cfg = paper_sim_config(measure_cycles, seed, InjectionProcess::BernoulliPerCycle);
+    Network::new(cfg, traffic_from_mapping(pi, mapping))
+        .expect("paper scenario is valid")
+        .with_metrics(metrics)
+        .run()
+}
+
 /// [`simulate_mapping`] with an explicit shard count for the row-band
 /// parallel engine, overriding `OBM_SIM_SHARDS`. Bit-identical to the
 /// serial run for any count — the knob only trades wall-clock.

@@ -2,6 +2,7 @@
 //! tests can drive them without a process boundary.
 
 use crate::spec::{spec_from_workload, ControllerSpec, InstanceSpec};
+use noc_metrics::{MetricsHandle, MetricsRegistry, MetricsSnapshot};
 use noc_model::{
     ChipLayout, LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies, Topology,
 };
@@ -229,6 +230,7 @@ pub fn simulate_command(
     seed: u64,
     cycles: u64,
     layout: LayoutFlags,
+    metrics: &MetricsHandle,
 ) -> Result<String, String> {
     let spec = InstanceSpec::parse(spec_text).map_err(|e| e.to_string())?;
     let (spec, chip) = layout.apply(spec)?;
@@ -243,6 +245,7 @@ pub fn simulate_command(
     let traffic = obm_core::traffic_spec(&inst, &mapping);
     let report = Network::new(cfg, traffic)
         .map_err(|e| format!("invalid simulation config: {e}"))?
+        .with_metrics(metrics.clone())
         .run();
     let analytic = evaluate(&inst, &mapping);
     let mut out = String::new();
@@ -682,6 +685,10 @@ pub struct SolveArgs<'a> {
     pub resume_json: Option<&'a str>,
     /// `--topology`/`--mcs` overrides.
     pub layout: LayoutFlags<'a>,
+    /// `--metrics` registry handle (disabled when the flag is absent; the
+    /// command then opens a private registry so the printed parallelism
+    /// and throughput figures are still registry-backed).
+    pub metrics: MetricsHandle,
 }
 
 fn portfolio_algorithms(names: &str) -> Result<Vec<Algorithm>, String> {
@@ -734,10 +741,21 @@ pub fn solve_command(spec_text: &str, args: &SolveArgs) -> Result<(String, Strin
     let seeds = parse_seed_list(args.seeds)?;
     let objective: ObjectiveSpec = args.objective.parse()?;
 
+    // Registry-backed reporting: with no `--metrics` flag the passed
+    // handle is disabled, so open a private registry — the parallelism
+    // and throughput lines below read their figures back from gauges
+    // either way, keeping report and snapshot in lockstep.
+    let metrics = if args.metrics.enabled() {
+        args.metrics.clone()
+    } else {
+        MetricsRegistry::new().handle()
+    };
+
     let mut builder = SolveRequest::builder(&inst)
         .algorithms(algorithms)
         .seeds(seeds)
         .objective(objective)
+        .metrics(metrics.clone())
         .aggressive_pruning(args.aggressive);
     if let Some(ms) = args.deadline_ms {
         builder = builder.deadline(std::time::Duration::from_millis(ms));
@@ -756,10 +774,20 @@ pub fn solve_command(spec_text: &str, args: &SolveArgs) -> Result<(String, Strin
     let workers = request.workers();
     let outcome = request.solve();
 
+    // Fold the ad-hoc parallelism figures into registry gauges
+    // (DESIGN.md §17): publish first, then read back for the printout,
+    // so the report and an exported snapshot can never disagree. The
+    // engine has already set `portfolio_workers` during the race.
+    metrics.gauge_set(
+        "cli_detected_cores",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1) as f64,
+    );
+    metrics.gauge_set("sim_shards_env", noc_sim::env_shards().unwrap_or(1) as f64);
+    let gauge = |name: &str| metrics.gauge_value(name).unwrap_or(0.0);
+
     let mut out = String::new();
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     out.push_str(&format!(
         "portfolio: {} task(s) across {} worker(s) | termination: {}\n",
         outcome.stats.len(),
@@ -770,9 +798,15 @@ pub fn solve_command(spec_text: &str, args: &SolveArgs) -> Result<(String, Strin
     // configured workers vs detected cores, and the simulator shard knob
     // (bit-identical to serial; consumed by `obm simulate`/`trace`).
     out.push_str(&format!(
-        "parallelism: {workers} configured worker(s) on {cores} detected core(s); \
+        "parallelism: {} configured worker(s) on {} detected core(s); \
          sim shards: {} (OBM_SIM_SHARDS)\n",
-        noc_sim::env_shards().unwrap_or(1)
+        gauge("portfolio_workers") as usize,
+        gauge("cli_detected_cores") as usize,
+        gauge("sim_shards_env") as usize,
+    ));
+    out.push_str(&format!(
+        "throughput: {:.0} eval(s)/s aggregate over timed tasks (portfolio_evals_per_sec)\n",
+        gauge("portfolio_evals_per_sec"),
     ));
     if outcome.resume_rejected {
         out.push_str("note: --resume checkpoint did not match this request; all tasks re-ran\n");
@@ -840,6 +874,8 @@ pub struct PlaceArgs<'a> {
     pub workers: Option<usize>,
     /// `--grid`: render the best mapping as an application grid.
     pub grid: bool,
+    /// `--metrics` registry handle (disabled when the flag is absent).
+    pub metrics: MetricsHandle,
 }
 
 fn controller_list(layout: &ChipLayout) -> String {
@@ -869,6 +905,7 @@ pub fn place_command(spec_text: &str, args: &PlaceArgs) -> Result<String, String
         .map_err(|e| format!("--topology: {e}"))?;
     opts.seed = args.seed;
     opts.inner_seed = args.seed;
+    opts.metrics = args.metrics.clone();
     if args.exhaustive && args.annealed.is_some() {
         return Err("--exhaustive and --annealed are mutually exclusive".to_string());
     }
@@ -963,6 +1000,23 @@ pub fn latency_command(n: usize, controllers: &str) -> Result<String, String> {
         out.push('\n');
     }
     Ok(out)
+}
+
+/// `obm status <snapshot>...` — parse one or more exported metrics
+/// snapshots (Prometheus text or JSON lines, sniffed per file), merge
+/// them (counters/histograms sum, gauges last-wins in argument order)
+/// and render the ASCII dashboard.
+pub fn status_command(paths: &[String]) -> Result<String, String> {
+    if paths.is_empty() {
+        return Err("status needs at least one metrics snapshot file".to_string());
+    }
+    let mut merged = MetricsSnapshot::default();
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let snap = MetricsSnapshot::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        merged.merge(&snap);
+    }
+    Ok(merged.render_dashboard(paths.len()))
 }
 
 #[cfg(test)]
@@ -1104,7 +1158,15 @@ thread 8.5 1.3
 
     #[test]
     fn simulate_small() {
-        let out = simulate_command(SPEC, "sss", 1, 5_000, LayoutFlags::default()).unwrap();
+        let out = simulate_command(
+            SPEC,
+            "sss",
+            1,
+            5_000,
+            LayoutFlags::default(),
+            &MetricsHandle::disabled(),
+        )
+        .unwrap();
         assert!(out.contains("simulated"), "{out}");
         assert!(!out.contains("undrained"), "{out}");
     }
@@ -1331,6 +1393,7 @@ thread 5.0 0.7
             objective: "min-max-apl",
             resume_json: resume,
             layout: LayoutFlags::default(),
+            metrics: MetricsHandle::disabled(),
         }
     }
 
@@ -1437,7 +1500,15 @@ thread 5.0 0.7
         )
         .unwrap();
         assert_ne!(eval_torus, eval_mesh);
-        let sim = simulate_command(SPEC, "sss", 1, 5_000, topo("torus")).unwrap();
+        let sim = simulate_command(
+            SPEC,
+            "sss",
+            1,
+            5_000,
+            topo("torus"),
+            &MetricsHandle::disabled(),
+        )
+        .unwrap();
         assert!(!sim.contains("undrained"), "{sim}");
     }
 
@@ -1451,6 +1522,7 @@ thread 5.0 0.7
             portfolio: false,
             workers: None,
             grid: true,
+            metrics: MetricsHandle::disabled(),
         }
     }
 

@@ -27,6 +27,11 @@
 //! `map`, `eval`, `simulate`, `solve` and `experiments trace|heatmap`
 //! additionally accept `--topology mesh|torus` and
 //! `--mcs corners|edge-centers|custom:<k1,k2,...>` layout overrides.
+//!
+//! `simulate`, `solve`, `place` and every `experiments` subcommand accept
+//! `--metrics FILE [--metrics-format prom|json]` to export a runtime
+//! metrics snapshot (DESIGN.md §17); `obm status <snapshot>...` renders
+//! one or more exported snapshots as an ASCII dashboard.
 
 mod commands;
 mod spec;
@@ -55,11 +60,19 @@ USAGE:
   obm place <spec-file> [--controllers K] [--topology mesh|torus]
             [--exhaustive | --annealed N] [--seed S] [--portfolio] [--workers N] [--grid]
   obm latency [--mesh N] [--controllers corners|edges]
+  obm status <snapshot-file>...                 render exported metrics snapshots
+                                                as an ASCII dashboard (merged)
 
 Layout overrides (map, eval, simulate, solve, experiments trace/heatmap):
   --topology mesh|torus                        link topology (default mesh)
   --mcs corners|edge-centers|custom:<k1,k2,..> memory-controller placement
                                                (default: the spec's controllers line)
+
+Metrics export (simulate, solve, place, experiments *):
+  --metrics FILE               write a runtime-metrics snapshot after the run
+  --metrics-format prom|json   snapshot format (default prom: Prometheus text)
+  OBM_METRICS_CLOCK=logical    zero wall-derived durations/gauges, making the
+                               snapshot byte-deterministic for a fixed seed
 
 The spec format is documented in the repository README and crates/cli/src/spec.rs."
 }
@@ -137,6 +150,66 @@ fn layout_flags(args: &Args) -> Result<commands::LayoutFlags<'_>, String> {
     })
 }
 
+/// Where `--metrics` asked for the snapshot to land.
+struct MetricsSink {
+    path: String,
+    json: bool,
+}
+
+/// `--metrics <path>` / `--metrics-format prom|json`: build the registry
+/// every instrumented command reports into. Absent flag ⇒ disabled handle
+/// (the never-taken-branch fast path). `OBM_METRICS_CLOCK=logical` swaps
+/// the wall clock for a logical one, zeroing every wall-derived value so
+/// fixed-seed snapshots are byte-deterministic (DESIGN.md §17).
+fn metrics_setup(args: &Args) -> Result<(noc_metrics::MetricsHandle, Option<MetricsSink>), String> {
+    let Some(path) = args.value_flag("metrics")? else {
+        return Ok((noc_metrics::MetricsHandle::disabled(), None));
+    };
+    let json = match args.value_flag("metrics-format")?.unwrap_or("prom") {
+        "prom" => false,
+        "json" => true,
+        other => {
+            return Err(format!(
+                "--metrics-format: unknown format '{other}' (try prom or json)"
+            ))
+        }
+    };
+    let clock = match std::env::var("OBM_METRICS_CLOCK") {
+        Err(_) => noc_metrics::ClockMode::Wall,
+        Ok(v) if v == "wall" || v.is_empty() => noc_metrics::ClockMode::Wall,
+        Ok(v) if v == "logical" => noc_metrics::ClockMode::Logical,
+        Ok(v) => {
+            return Err(format!(
+                "OBM_METRICS_CLOCK: unknown mode '{v}' (try wall or logical)"
+            ))
+        }
+    };
+    let registry = noc_metrics::MetricsRegistry::with_clock(clock);
+    Ok((
+        registry.handle(),
+        Some(MetricsSink {
+            path: path.to_string(),
+            json,
+        }),
+    ))
+}
+
+/// Export the end-of-run snapshot to the `--metrics` file, if asked for.
+fn write_metrics(
+    metrics: &noc_metrics::MetricsHandle,
+    sink: &Option<MetricsSink>,
+) -> Result<(), String> {
+    let (Some(sink), Some(snap)) = (sink.as_ref(), metrics.snapshot()) else {
+        return Ok(());
+    };
+    let text = if sink.json {
+        snap.to_json_lines()
+    } else {
+        snap.to_prometheus()
+    };
+    std::fs::write(&sink.path, text).map_err(|e| format!("cannot write {}: {e}", sink.path))
+}
+
 fn run() -> Result<String, String> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -144,7 +217,18 @@ fn run() -> Result<String, String> {
     }
     let cmd = raw.remove(0);
     let args = Args::parse(raw)?;
-    match cmd.as_str() {
+    let (metrics, sink) = metrics_setup(&args)?;
+    let out = run_command(&cmd, &args, &metrics)?;
+    write_metrics(&metrics, &sink)?;
+    Ok(out)
+}
+
+fn run_command(
+    cmd: &str,
+    args: &Args,
+    metrics: &noc_metrics::MetricsHandle,
+) -> Result<String, String> {
+    match cmd {
         "gen" => {
             let cfg = args
                 .positional
@@ -164,14 +248,14 @@ fn run() -> Result<String, String> {
                 seed,
                 args.flag("grid").is_some(),
                 objective,
-                layout_flags(&args)?,
+                layout_flags(args)?,
             )
         }
         "eval" => {
             let spec = read(args.positional.first().ok_or("eval needs a spec file")?)?;
             let mapping = read(args.positional.get(1).ok_or("eval needs a mapping file")?)?;
             let objective = args.value_flag("objective")?.unwrap_or("min-max-apl");
-            commands::eval_command(&spec, &mapping, objective, layout_flags(&args)?)
+            commands::eval_command(&spec, &mapping, objective, layout_flags(args)?)
         }
         "simulate" => {
             let spec = read(
@@ -182,7 +266,7 @@ fn run() -> Result<String, String> {
             let algo = args.value_flag("algo")?.unwrap_or("sss");
             let seed = args.parse_flag::<u64>("seed", 0)?;
             let cycles = args.parse_flag::<u64>("cycles", 50_000)?;
-            commands::simulate_command(&spec, algo, seed, cycles, layout_flags(&args)?)
+            commands::simulate_command(&spec, algo, seed, cycles, layout_flags(args)?, metrics)
         }
         "experiments" => {
             let sub = args.positional.first().ok_or(
@@ -201,7 +285,7 @@ fn run() -> Result<String, String> {
                     "injection",
                     noc_sim::InjectionProcess::Geometric,
                 )?;
-                return obm_bench::experiments::run_with(sub, fast, injection)
+                return obm_bench::experiments::run_with_metrics(sub, fast, injection, metrics)
                     .map(|out| out.trim_end().to_string())
                     .ok_or_else(|| format!("experiment '{sub}' unavailable"));
             }
@@ -219,7 +303,7 @@ fn run() -> Result<String, String> {
             let algo = args.value_flag("algo")?.unwrap_or("sss");
             let seed = args.parse_flag::<u64>("seed", 0)?;
             let cycles = args.parse_flag::<u64>("cycles", 20_000)?;
-            let layout = layout_flags(&args)?;
+            let layout = layout_flags(args)?;
             let out = if sub == "heatmap" {
                 commands::heatmap_command(
                     &spec,
@@ -277,7 +361,8 @@ fn run() -> Result<String, String> {
                 aggressive: args.flag("aggressive").is_some(),
                 objective: args.value_flag("objective")?.unwrap_or("min-max-apl"),
                 resume_json: resume_text.as_deref(),
-                layout: layout_flags(&args)?,
+                layout: layout_flags(args)?,
+                metrics: metrics.clone(),
             };
             let (report, checkpoint) = commands::solve_command(&spec, &solve_args)?;
             if let Some(path) = args.value_flag("checkpoint")? {
@@ -297,6 +382,7 @@ fn run() -> Result<String, String> {
                 portfolio: args.flag("portfolio").is_some(),
                 workers: args.opt_parse_flag::<usize>("workers")?,
                 grid: args.flag("grid").is_some(),
+                metrics: metrics.clone(),
             };
             commands::place_command(&spec, &place_args)
         }
@@ -305,6 +391,7 @@ fn run() -> Result<String, String> {
             let ctrl = args.value_flag("controllers")?.unwrap_or("corners");
             commands::latency_command(n, ctrl)
         }
+        "status" => commands::status_command(&args.positional),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }

@@ -179,17 +179,7 @@ impl Mesh {
 
     /// Hop count between two tiles on a **torus** of the same dimensions
     /// (wraparound links): per-dimension distance is
-    /// `min(|Δ|, size − |Δ|)`.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use Topology::Torus.hops(&mesh, a, b) or a ChipLayout (crate::layout)"
-    )]
-    #[inline]
-    pub fn torus_hops(&self, a: TileId, b: TileId) -> usize {
-        self.torus_hops_impl(a, b)
-    }
-
-    /// Shared body of the (deprecated) public `torus_hops` and the
+    /// `min(|Δ|, size − |Δ|)`. Body of the
     /// [`Topology`](crate::layout::Topology)-parameterized API.
     #[inline]
     pub(crate) fn torus_hops_impl(&self, a: TileId, b: TileId) -> usize {
@@ -203,17 +193,8 @@ impl Mesh {
     /// Average torus hop count from tile `k` to all tiles including
     /// itself — the torus analogue of Eq. (3). A torus is
     /// vertex-transitive, so this is the same for every tile: uniform
-    /// cache latency by construction.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use Topology::Torus.avg_cache_hops(&mesh, k) or a ChipLayout (crate::layout)"
-    )]
-    pub fn avg_cache_hops_torus(&self, k: TileId) -> f64 {
-        self.avg_cache_hops_torus_impl(k)
-    }
-
-    /// Shared body of the (deprecated) public `avg_cache_hops_torus` and
-    /// the [`Topology`](crate::layout::Topology)-parameterized API.
+    /// cache latency by construction. Body of the
+    /// [`Topology`](crate::layout::Topology)-parameterized API.
     pub(crate) fn avg_cache_hops_torus_impl(&self, k: TileId) -> f64 {
         let c = self.coord(k);
         let row_sum: usize = (0..self.rows)
@@ -333,11 +314,6 @@ mod tests {
         assert_eq!(m.hops(a, b), 6);
         assert_eq!(m.torus_hops_impl(a, b), 2); // wrap both dimensions
         assert_eq!(m.torus_hops_impl(a, a), 0);
-        // The deprecated public entry point stays behaviour-identical.
-        #[allow(deprecated)]
-        {
-            assert_eq!(m.torus_hops(a, b), 2);
-        }
     }
 
     #[test]
@@ -349,10 +325,6 @@ mod tests {
         }
         // and strictly better than the mesh corner
         assert!(first < m.avg_cache_hops(TileId(0)));
-        #[allow(deprecated)]
-        {
-            assert_eq!(m.avg_cache_hops_torus(TileId(0)), first);
-        }
     }
 
     #[test]

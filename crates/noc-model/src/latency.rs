@@ -6,7 +6,7 @@
 //! enters the network and pays neither hop nor serialization latency.
 
 use crate::geometry::{Mesh, TileId};
-use crate::layout::{ChipLayout, Topology};
+use crate::layout::ChipLayout;
 use crate::placement::MemoryControllers;
 use crate::traffic::PacketFormat;
 use serde::{Deserialize, Serialize};
@@ -154,26 +154,6 @@ impl TileLatencies {
         }
     }
 
-    /// Torus variant of [`TileLatencies::compute`]: wraparound links make
-    /// the cache latency identical on every tile (vertex transitivity), so
-    /// only the memory-controller distances differentiate tiles. Useful as
-    /// a topology ablation — most of the OBM problem's tension comes from
-    /// the mesh's centre-vs-perimeter asymmetry.
-    ///
-    /// # Panics
-    /// Panics if the controller set does not fit the mesh (the pre-layout
-    /// API's behaviour); [`TileLatencies::for_layout`] with
-    /// [`ChipLayout::try_new`] reports that as a typed `PlacementError`.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use for_layout with a ChipLayout built on Topology::Torus"
-    )]
-    pub fn compute_torus(mesh: &Mesh, mcs: &MemoryControllers, params: LatencyParams) -> Self {
-        let layout = ChipLayout::try_new(*mesh, Topology::Torus, mcs.clone(), Vec::new())
-            .expect("controller set fits the mesh");
-        TileLatencies::for_layout(&layout, params)
-    }
-
     /// Convenience constructor for the paper's platform: square mesh,
     /// corner controllers.
     pub fn paper_default(mesh: &Mesh) -> Self {
@@ -254,6 +234,7 @@ impl TileLatencies {
 mod tests {
     use super::*;
     use crate::geometry::Coord;
+    use crate::layout::Topology;
 
     #[test]
     fn fig5_tile_latencies() {
@@ -347,11 +328,6 @@ mod tests {
         let torus = ChipLayout::try_new(mesh, Topology::Torus, mcs.clone(), Vec::new())
             .expect("valid layout");
         let torus_tl = TileLatencies::for_layout(&torus, params);
-        // The deprecated entry point delegates to the same path.
-        #[allow(deprecated)]
-        {
-            assert_eq!(TileLatencies::compute_torus(&mesh, &mcs, params), torus_tl);
-        }
         let first = torus_tl.tc(TileId(0));
         for k in mesh.tiles() {
             assert!(

@@ -61,15 +61,6 @@ impl MemoryControllers {
         Ok(MemoryControllers { tiles })
     }
 
-    /// An arbitrary custom placement.
-    ///
-    /// # Panics
-    /// Panics if `tiles` is empty or contains an out-of-range tile.
-    #[deprecated(since = "0.8.0", note = "use try_custom, which returns PlacementError")]
-    pub fn custom(mesh: &Mesh, tiles: Vec<TileId>) -> Self {
-        MemoryControllers::try_custom(mesh, tiles).expect("valid controller placement")
-    }
-
     /// The controller tiles, sorted and deduplicated.
     pub fn tiles(&self) -> &[TileId] {
         &self.tiles
@@ -194,13 +185,5 @@ mod tests {
         let mcs = MemoryControllers::try_custom(&m, vec![TileId(5), TileId(2), TileId(5)])
             .expect("valid");
         assert_eq!(mcs.tiles(), &[TileId(2), TileId(5)]);
-    }
-
-    #[test]
-    #[should_panic]
-    fn empty_custom_panics() {
-        let m = Mesh::square(4);
-        #[allow(deprecated)]
-        let _ = MemoryControllers::custom(&m, vec![]);
     }
 }

@@ -23,6 +23,7 @@ use crate::config::{
 use crate::packet::{Flit, PacketId, PacketInfo, PacketStamps, FLIT_HEAD, FLIT_MEM, FLIT_TAIL};
 use crate::stats::SimReport;
 use crate::traffic::{SourceSpec, TrafficSpec};
+use noc_metrics::MetricsHandle;
 use noc_model::{
     route_xy, route_xy_torus, route_yx, route_yx_torus, Mesh, PacketClass, RouteDir, TileId,
     Topology,
@@ -353,6 +354,10 @@ pub(crate) struct StepCtx {
     /// Whether a probe is attached: gates observability event emission so
     /// the plain path records nothing.
     probed: bool,
+    /// Whether a metrics registry is attached: gates the wall-clock span
+    /// timestamps in [`run_band`] (DESIGN.md §17). Like `probed`, false
+    /// costs one never-taken branch per band pass.
+    timed: bool,
 }
 
 /// An observability or coordinator-state side effect recorded by the
@@ -408,6 +413,13 @@ pub(crate) struct ShardSink {
     /// Net change to the global buffered-flit count (injects minus pops;
     /// deliveries are counted when applied).
     buffered: isize,
+    /// Wall-clock time spent inside [`run_band`] on this sink's shard
+    /// (metrics span `sim/shard/band`; zero unless `StepCtx::timed`).
+    /// Drained — with `band_count`/`band_max_nanos` — by the coordinator
+    /// at the barrier, so timing never feeds back into simulation state.
+    band_nanos: u64,
+    band_count: u64,
+    band_max_nanos: u64,
 }
 
 /// Advance one band's NIs and routers by one cycle. Both id lists are
@@ -426,8 +438,15 @@ pub(crate) fn run_band(
     ctx: &StepCtx,
     sink: &mut ShardSink,
 ) {
+    let start = ctx.timed.then(Instant::now);
     inject_band(nis, routers, base, ni_ids, cycle, ctx, sink);
     step_band(routers, base, router_ids, cycle, ctx, sink);
+    if let Some(s) = start {
+        let nanos = s.elapsed().as_nanos() as u64;
+        sink.band_nanos += nanos;
+        sink.band_count += 1;
+        sink.band_max_nanos = sink.band_max_nanos.max(nanos);
+    }
 }
 
 /// NI injection for one band: one flit per cycle per tile into the
@@ -831,6 +850,34 @@ pub struct Network {
     arrival_draws: u64,
     /// Cycles the event-horizon fast-forward jumped over.
     skipped_cycles: u64,
+    /// Write-only runtime metrics sink (DESIGN.md §17). Disabled by
+    /// default — every instrument then costs one never-taken branch —
+    /// and, enabled or not, it never feeds back into simulation state:
+    /// a fixed seed produces a bit-identical [`SimReport`] either way
+    /// (pinned by `tests/metrics.rs`).
+    metrics: MetricsHandle,
+}
+
+/// Wall-clock accumulators for the coordinator-side metric spans, kept
+/// out of `Network` so one run's timings never leak into the next.
+#[derive(Default)]
+struct MetricTimes {
+    /// Shard-pool dispatch + barrier wait (`sim/shard/barrier`).
+    barrier_nanos: u64,
+    barrier_count: u64,
+    barrier_max: u64,
+    /// Sink merge + event replay + transfer apply (`sim/shard/replay`).
+    replay_nanos: u64,
+    replay_count: u64,
+    replay_max: u64,
+    /// Worker-side band passes, drained from the sinks (`sim/shard/band`).
+    band_nanos: u64,
+    band_count: u64,
+    band_max: u64,
+    /// Full serial-path cycles (`sim/serial/cycle`).
+    serial_nanos: u64,
+    serial_count: u64,
+    serial_max: u64,
 }
 
 /// Class tag stored in arrival events (heap tuples order by it).
@@ -966,8 +1013,20 @@ impl Network {
             arrivals: BinaryHeap::new(),
             arrival_draws: 0,
             skipped_cycles: 0,
+            metrics: MetricsHandle::disabled(),
             cfg,
         })
+    }
+
+    /// Attach a runtime-metrics handle (DESIGN.md §17). The run then
+    /// reports `sim_*` counters (cycles, injected/delivered packets,
+    /// link traversals, skipped cycles), a `sim_shards` gauge, and the
+    /// `sim/shard/{barrier,band,replay}` / `sim/serial/cycle` spans.
+    /// Metrics are write-only observers: results stay bit-identical to
+    /// a run without the handle (the PR 2 purity contract).
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Run the configured warm-up + measurement + drain, returning the
@@ -1083,6 +1142,7 @@ impl Network {
             slot_port,
             neighbors,
             probed,
+            timed: self.metrics.enabled(),
         }
     }
 
@@ -1098,6 +1158,10 @@ impl Network {
         mut pool: Option<&mut crate::shard::ShardPool>,
     ) -> Result<SimReport, ConfigError> {
         let wall_start = Instant::now();
+        // Coordinator-side span accumulators; `timed` hoists the handle
+        // check so the disabled path pays one branch per cycle, not four.
+        let mut times = MetricTimes::default();
+        let timed = self.metrics.enabled();
         if controller.is_some() {
             self.source_accum = vec![SourceCounters::default(); self.sources.len()];
         }
@@ -1151,8 +1215,8 @@ impl Network {
                 }
             }
             match pool.as_deref_mut() {
-                Some(p) => self.cycle_sharded(cycle, p, &mut mark),
-                None => self.cycle_serial(cycle, ctx, &mut mark),
+                Some(p) => self.cycle_sharded(cycle, p, &mut mark, timed, &mut times),
+                None => self.cycle_serial(cycle, ctx, &mut mark, timed, &mut times),
             }
             // `total_buffered` is maintained incrementally; sampling it here
             // (after deliveries are applied) matches the original
@@ -1278,13 +1342,74 @@ impl Network {
             skipped_cycles: self.skipped_cycles,
             wall_nanos: wall_start.elapsed().as_nanos() as u64,
         };
+        // Flush run totals into the metrics registry (write-only; skipped
+        // entirely when the handle is disabled). Durations route through
+        // `record_span` / `wall_gauge_set`, which the logical clock zeroes
+        // so fixed-seed snapshots stay byte-identical.
+        if self.metrics.enabled() {
+            let m = &self.metrics;
+            m.add("sim_runs_total", 1);
+            m.add("sim_cycles_total", self.cycles_run);
+            m.add("sim_injected_packets_total", self.report.injected);
+            m.add("sim_delivered_packets_total", self.report.delivered);
+            m.add("sim_link_flit_traversals_total", self.link_flit_traversals);
+            m.add("sim_skipped_cycles_total", self.skipped_cycles);
+            m.gauge_set("sim_shards", self.cfg.effective_shards() as f64);
+            let wall = self.report.network.wall_nanos;
+            if wall > 0 {
+                m.wall_gauge_set(
+                    "sim_cycles_per_sec",
+                    self.cycles_run as f64 * 1e9 / wall as f64,
+                );
+            }
+            if times.barrier_count > 0 {
+                m.record_span(
+                    "sim/shard/barrier",
+                    times.barrier_count,
+                    times.barrier_nanos,
+                    times.barrier_max,
+                );
+            }
+            if times.band_count > 0 {
+                m.record_span(
+                    "sim/shard/band",
+                    times.band_count,
+                    times.band_nanos,
+                    times.band_max,
+                );
+            }
+            if times.replay_count > 0 {
+                m.record_span(
+                    "sim/shard/replay",
+                    times.replay_count,
+                    times.replay_nanos,
+                    times.replay_max,
+                );
+            }
+            if times.serial_count > 0 {
+                m.record_span(
+                    "sim/serial/cycle",
+                    times.serial_count,
+                    times.serial_nanos,
+                    times.serial_max,
+                );
+            }
+        }
         Ok(std::mem::replace(&mut self.report, SimReport::new(0)))
     }
 
     /// One cycle of the datapath on the serial path: run the full-mesh
     /// band inline, then merge its effect sink exactly as the sharded
     /// barrier would merge many.
-    fn cycle_serial(&mut self, cycle: u64, ctx: &StepCtx, mark: &mut Option<Instant>) {
+    fn cycle_serial(
+        &mut self,
+        cycle: u64,
+        ctx: &StepCtx,
+        mark: &mut Option<Instant>,
+        timed: bool,
+        times: &mut MetricTimes,
+    ) {
+        let t0 = timed.then(Instant::now);
         let mut sink = std::mem::take(&mut self.scratch_sink);
         let mut nids = std::mem::take(&mut self.scratch_nids);
         let mut rids = std::mem::take(&mut self.scratch_rids);
@@ -1335,6 +1460,12 @@ impl Network {
         self.scratch_sink = sink;
         self.scratch_nids = nids;
         self.scratch_rids = rids;
+        if let Some(t) = t0 {
+            let nanos = t.elapsed().as_nanos() as u64;
+            times.serial_nanos += nanos;
+            times.serial_count += 1;
+            times.serial_max = times.serial_max.max(nanos);
+        }
     }
 
     /// One cycle of the datapath on the sharded path: dispatch the cycle
@@ -1345,7 +1476,10 @@ impl Network {
         cycle: u64,
         pool: &mut crate::shard::ShardPool,
         mark: &mut Option<Instant>,
+        timed: bool,
+        times: &mut MetricTimes,
     ) {
+        let t0 = timed.then(Instant::now);
         pool.run_cycle(
             cycle,
             &mut self.routers,
@@ -1353,6 +1487,12 @@ impl Network {
             &self.active_routers,
             &self.active_nis,
         );
+        if let Some(t) = t0 {
+            let nanos = t.elapsed().as_nanos() as u64;
+            times.barrier_nanos += nanos;
+            times.barrier_count += 1;
+            times.barrier_max = times.barrier_max.max(nanos);
+        }
         // The whole worker round-trip lands in the inject span; the
         // profile's phase split is meaningful on the serial path only
         // (wall-clock phases are nondeterministic either way).
@@ -1363,6 +1503,17 @@ impl Network {
             }
         }
         let mut sinks = pool.take_sinks();
+        if timed {
+            for s in sinks.iter_mut() {
+                times.band_nanos += s.band_nanos;
+                times.band_count += s.band_count;
+                times.band_max = times.band_max.max(s.band_max_nanos);
+                s.band_nanos = 0;
+                s.band_count = 0;
+                s.band_max_nanos = 0;
+            }
+        }
+        let t1 = timed.then(Instant::now);
         self.merge_effects(&mut sinks);
         self.replay_events(cycle, &mut sinks);
         if let Some(m) = mark.as_mut() {
@@ -1377,6 +1528,12 @@ impl Network {
             if let Some(p) = self.profile.as_mut() {
                 p.traverse_nanos += nanos;
             }
+        }
+        if let Some(t) = t1 {
+            let nanos = t.elapsed().as_nanos() as u64;
+            times.replay_nanos += nanos;
+            times.replay_count += 1;
+            times.replay_max = times.replay_max.max(nanos);
         }
         pool.put_sinks(sinks);
     }

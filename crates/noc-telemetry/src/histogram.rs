@@ -113,6 +113,16 @@ impl LatencyHistogram {
         self.total += other.total;
     }
 
+    /// Record `count` observations of `latency` at once (the bulk form
+    /// `noc-metrics` uses to rebuild a histogram from its exported
+    /// sparse pairs).
+    pub fn record_n(&mut self, latency: u64, count: u64) {
+        if count > 0 {
+            *self.counts.entry(latency).or_insert(0) += count;
+            self.total += count;
+        }
+    }
+
     /// Log2-compressed view for compact export: bucket 0 holds latency 0,
     /// bucket `b ≥ 1` holds `[2^(b-1), 2^b)`. Empty buckets are omitted;
     /// `lo`/`hi` report the actually-observed extrema inside each bucket,

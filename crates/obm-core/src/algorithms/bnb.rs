@@ -284,25 +284,6 @@ impl BranchAndBound {
             cancelled: search.cancelled,
         }
     }
-
-    /// Solve the instance exactly (or best-effort within the node budget).
-    #[deprecated(
-        since = "0.3.0",
-        note = "use solve_budgeted(inst, &CancelToken::never(), None); see DESIGN.md §10.4"
-    )]
-    pub fn solve(&self, inst: &ObmInstance) -> BnbResult {
-        self.solve_budgeted(inst, &CancelToken::never(), None)
-    }
-
-    /// Exact optimum value if provable within budget.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use solve_budgeted and check proven_optimal; see DESIGN.md §10.4"
-    )]
-    pub fn optimal_value(&self, inst: &ObmInstance) -> Option<f64> {
-        let r = self.solve_budgeted(inst, &CancelToken::never(), None);
-        r.proven_optimal.then_some(r.objective)
-    }
 }
 
 impl Mapper for BranchAndBound {
@@ -413,9 +394,6 @@ mod tests {
         assert!(r.mapping.is_valid_for(&inst));
         assert!(r.objective.is_finite());
         assert!(!r.cancelled);
-        #[allow(deprecated)]
-        let shim = tiny.optimal_value(&inst);
-        assert!(shim.is_none());
     }
 
     #[test]

@@ -19,15 +19,6 @@ impl BruteForce {
     /// Safety limit on instance size (10! ≈ 3.6M states).
     pub const MAX_THREADS: usize = 10;
 
-    /// Exact optimal max-APL value (without materializing the argmin).
-    #[deprecated(
-        since = "0.3.0",
-        note = "use evaluate(inst, &BruteForce.map(inst, 0)).max_apl; see DESIGN.md §10.4"
-    )]
-    pub fn optimal_value(inst: &ObmInstance) -> f64 {
-        Self::search(inst).1
-    }
-
     fn search(inst: &ObmInstance) -> (Mapping, f64) {
         assert!(
             inst.num_threads() <= Self::MAX_THREADS,
@@ -119,12 +110,10 @@ mod tests {
         let inst = small_instance(vec![1.0, 5.0, 2.0, 4.0], vec![0, 2, 4]);
         let m = BruteForce.map(&inst, 0);
         assert!(m.is_valid_for(&inst));
-        // Check against a full re-evaluation (and that the deprecated
-        // value-only shim still agrees).
+        // Check against a full re-evaluation through the search's own
+        // value channel.
         let val = evaluate(&inst, &m).max_apl;
-        #[allow(deprecated)]
-        let shim = BruteForce::optimal_value(&inst);
-        assert!((val - shim).abs() < 1e-12);
+        assert!((val - BruteForce::search(&inst).1).abs() < 1e-12);
     }
 
     #[test]

@@ -23,8 +23,7 @@ impl RandomMapper {
     }
 
     /// Estimate the random-mapping averages (g-APL, max-APL, dev-APL) over
-    /// `samples` draws — the "Random" row of Table 1. The canonical home of
-    /// the former free function [`random_averages`].
+    /// `samples` draws — the "Random" row of Table 1.
     ///
     /// Scoring fans out over the host's cores via
     /// [`BatchEvaluator::eval_many_parallel`], whose fixed-chunk contract
@@ -100,16 +99,6 @@ pub struct RandomAverages {
     pub mean_dev_apl: f64,
 }
 
-/// Estimate the random-mapping averages (g-APL, max-APL, dev-APL) over
-/// `samples` draws.
-#[deprecated(
-    since = "0.3.0",
-    note = "use RandomMapper::averages; see DESIGN.md §10.4 for the API mapping"
-)]
-pub fn random_averages(inst: &ObmInstance, samples: usize, seed: u64) -> RandomAverages {
-    RandomMapper::averages(inst, samples, seed)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,14 +143,6 @@ mod tests {
             let par = RandomMapper::averages_with_workers(&inst, 600, 11, workers);
             assert_eq!(serial, par, "workers = {workers}");
         }
-    }
-
-    #[test]
-    fn deprecated_free_fn_matches_canonical_home() {
-        let inst = inst();
-        #[allow(deprecated)]
-        let shim = random_averages(&inst, 50, 3);
-        assert_eq!(shim, RandomMapper::averages(&inst, 50, 3));
     }
 
     #[test]

@@ -221,14 +221,6 @@ impl DynamicSystem {
         outcome.migration_cost = migration_distance(mesh, previous, &outcome.mapping);
         outcome
     }
-
-    /// Tuple form of [`remap`](Self::remap), kept for one release for
-    /// callers of the pre-`RemapOutcome` API.
-    #[deprecated(note = "use `remap`, which returns a `RemapOutcome`")]
-    pub fn remap_parts(&self, mapper: &dyn Mapper, seed: u64) -> (ObmInstance, Mapping, AplReport) {
-        let out = self.remap(mapper, seed);
-        (out.instance, out.mapping, out.report)
-    }
 }
 
 #[cfg(test)]
@@ -337,17 +329,5 @@ mod tests {
         let moved = sys.remap_from(&SortSelectSwap::default(), 0, &ident, &mesh);
         assert!(moved.threads_moved > 0);
         assert!(moved.migration_cost >= moved.threads_moved as u64);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn remap_parts_matches_remap() {
-        let mut sys = system();
-        sys.add_app(spec("a", 8, 1.0)).unwrap();
-        let out = sys.remap(&SortSelectSwap::default(), 7);
-        let (inst, mapping, report) = sys.remap_parts(&SortSelectSwap::default(), 7);
-        assert_eq!(inst, out.instance);
-        assert_eq!(mapping, out.mapping);
-        assert_eq!(report.max_apl.to_bits(), out.report.max_apl.to_bits());
     }
 }

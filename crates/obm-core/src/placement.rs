@@ -25,6 +25,7 @@
 use crate::cancel::CancelToken;
 use crate::eval::evaluate;
 use crate::problem::{Mapping, ObmInstance};
+use noc_metrics::{Counter, MetricsHandle};
 use noc_model::{
     ChipLayout, LatencyParams, MemoryControllers, Mesh, TileId, TileLatencies, Topology,
 };
@@ -85,6 +86,12 @@ pub struct PlacementOptions {
     pub inner_seed: u64,
     /// Cooperative cancellation, polled between inner solves.
     pub cancel: CancelToken,
+    /// Write-only runtime metrics sink (DESIGN.md §17): the search
+    /// counts scanned candidates, memo hits and fresh inner solves, and
+    /// times each inner solve under the `placement/inner_solve` span.
+    /// Disabled by default; never read back, so the search trajectory is
+    /// unchanged by it.
+    pub metrics: MetricsHandle,
 }
 
 impl PlacementOptions {
@@ -99,6 +106,7 @@ impl PlacementOptions {
             seed: 1,
             inner_seed: 1,
             cancel: CancelToken::never(),
+            metrics: MetricsHandle::disabled(),
         }
     }
 }
@@ -261,6 +269,8 @@ where
         });
     }
 
+    // Counters are pre-resolved once so the per-candidate hot path is a
+    // lock-free atomic add (or a never-taken branch when disabled).
     let mut search = Search {
         inst,
         mesh,
@@ -268,6 +278,9 @@ where
         inner: &mut inner,
         memo: HashMap::new(),
         evaluated: 0,
+        c_candidates: opts.metrics.counter("placement_candidates_total"),
+        c_memo_hits: opts.metrics.counter("placement_memo_hits_total"),
+        c_inner_solves: opts.metrics.counter("placement_inner_solves_total"),
     };
 
     let baseline_tiles = baseline_placement(mesh, k);
@@ -315,6 +328,10 @@ struct Search<'a, F> {
     /// revisits states, and geometric duplicates share a canonical key.
     memo: HashMap<Vec<usize>, (Mapping, f64)>,
     evaluated: usize,
+    /// Pre-resolved metric counters (inert when metrics are disabled).
+    c_candidates: Counter,
+    c_memo_hits: Counter,
+    c_inner_solves: Counter,
 }
 
 impl<F> Search<'_, F>
@@ -331,8 +348,10 @@ where
     /// Solve the instance induced by placing controllers on `tiles`
     /// (memoized). Returns the mapping and objective.
     fn score(&mut self, tiles: &[TileId]) -> Result<(Mapping, f64), PlacementSearchError> {
+        self.c_candidates.inc();
         let key: Vec<usize> = tiles.iter().map(|t| t.index()).collect();
         if let Some((m, v)) = self.memo.get(&key) {
+            self.c_memo_hits.inc();
             return Ok((m.clone(), *v));
         }
         if self.opts.cancel.is_cancelled() {
@@ -353,7 +372,10 @@ where
                 .collect();
             induced = induced.with_app_weights(w);
         }
+        self.c_inner_solves.inc();
+        let span = self.opts.metrics.span("placement/inner_solve");
         let (mapping, objective) = (self.inner)(&induced, self.opts.inner_seed);
+        drop(span);
         self.evaluated += 1;
         self.memo.insert(key, (mapping.clone(), objective));
         Ok((mapping, objective))

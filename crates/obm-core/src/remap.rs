@@ -23,6 +23,7 @@ use crate::objective::{
     migration_distance, refine_for_objective, threads_moved, MigrationPenalized, MinMaxApl,
 };
 use crate::problem::{Mapping, ObmInstance};
+use noc_metrics::MetricsHandle;
 use noc_model::{Mesh, TileId};
 use noc_sim::SourceCounters;
 use noc_telemetry::WindowRecord;
@@ -174,6 +175,11 @@ pub struct RemapController {
     events: Vec<RemapEvent>,
     /// Re-solves triggered (accepted or rejected) — solver-effort gauge.
     solves: u64,
+    /// Write-only runtime metrics sink (DESIGN.md §17): `remap_*`
+    /// counters, the `remap_migrated_threads` histogram and the
+    /// `remap/resolve` span. Disabled by default; never read back, so
+    /// controller decisions are unchanged by it.
+    metrics: MetricsHandle,
 }
 
 impl RemapController {
@@ -235,7 +241,18 @@ impl RemapController {
             prev_counts: vec![(0, 0); n],
             events: Vec::new(),
             solves: 0,
+            metrics: MetricsHandle::disabled(),
         })
+    }
+
+    /// Attach a runtime-metrics handle (DESIGN.md §17). The controller
+    /// then counts observed windows, state transitions, re-solves and
+    /// accept/reject outcomes, records migrated-thread counts in the
+    /// `remap_migrated_threads` histogram, and times each re-solve under
+    /// the `remap/resolve` span. Metrics never influence its decisions.
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Accepted remap events, in order.
@@ -332,6 +349,8 @@ impl RemapController {
         rec: &WindowRecord,
     ) -> Option<Vec<TileId>> {
         self.solves += 1;
+        self.metrics.inc("remap_solves_total");
+        let _span = self.metrics.span("remap/resolve");
         let inst = self.reestimated_instance();
         let objective = MigrationPenalized {
             base: MinMaxApl,
@@ -352,8 +371,11 @@ impl RemapController {
             + self.cfg.migration_weight
                 * migration_distance(&self.mesh, &self.mapping, &candidate) as f64;
         if moved == 0 || candidate_score.total_cmp(&incumbent_score) != std::cmp::Ordering::Less {
+            self.metrics.inc("remap_rejected_total");
             return None;
         }
+        self.metrics.inc("remap_accepted_total");
+        self.metrics.observe("remap_migrated_threads", moved as u64);
         let (app, realized, baseline, drift) = trigger;
         self.events.push(RemapEvent {
             cycle: rec.end_cycle,
@@ -392,6 +414,7 @@ impl noc_sim::SwapController for RemapController {
             return None;
         }
         self.update_rates(per_source, width);
+        self.metrics.inc("remap_windows_total");
         match self.state {
             State::Calibrating(seen) => {
                 for (i, acc) in record.groups.iter().enumerate() {
@@ -409,6 +432,7 @@ impl noc_sim::SwapController for RemapController {
                         };
                     }
                     self.state = State::Monitoring;
+                    self.metrics.inc("remap_state_transitions_total");
                 } else {
                     self.state = State::Calibrating(seen + 1);
                 }
@@ -444,6 +468,7 @@ impl noc_sim::SwapController for RemapController {
                 // baseline; a rejected one should not be retried every
                 // window while the drift persists.
                 self.state = State::Cooldown(self.cfg.cooldown_windows);
+                self.metrics.inc("remap_state_transitions_total");
                 swap
             }
             State::Cooldown(left) => {
@@ -453,6 +478,7 @@ impl noc_sim::SwapController for RemapController {
                     self.baseline_lat.iter_mut().for_each(|v| *v = 0.0);
                     self.baseline_pkts.iter_mut().for_each(|v| *v = 0);
                     self.state = State::Calibrating(0);
+                    self.metrics.inc("remap_state_transitions_total");
                 }
                 None
             }

@@ -293,6 +293,7 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
         let slots_ref = &slots;
         let token_ref = &token;
         let bound_ref = &bound;
+        let metrics_ref = &req.metrics;
         let aggressive = req.aggressive_pruning;
         // The vendored scope wraps std scoped threads: worker panics
         // propagate on scope exit, and the Ok wrapper is unconditional.
@@ -304,6 +305,11 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
                         break;
                     }
                     let t = &tasks_ref[runnable_ref[i]];
+                    // One aggregated span per task identity; purely
+                    // observational (recorded on drop, never read back).
+                    let _task_span = metrics_ref.enabled().then(|| {
+                        metrics_ref.span(&format!("portfolio/task/{}-s{}", t.name, t.seed))
+                    });
                     let mut buf = BufferProbe {
                         enabled: capture,
                         events: Vec::new(),
@@ -437,6 +443,47 @@ pub(crate) fn run(req: &SolveRequest<'_>, probe: &mut dyn Probe) -> SolveOutcome
             }
         })
         .collect();
+
+    // Publish run-level metrics (DESIGN.md §17). This happens after the
+    // merge and is write-only, so it can never feed back into the
+    // winner, the stats, or the checkpoint — the registry-backed gauges
+    // are also what `obm solve` prints, so the table and the snapshot
+    // can never disagree.
+    let metrics = &req.metrics;
+    if metrics.enabled() {
+        metrics.inc("portfolio_solves_total");
+        metrics.add("portfolio_tasks_total", tasks.len() as u64);
+        let completed_evals: u64 = stats
+            .iter()
+            .filter(|s| s.objective.is_some())
+            .map(|s| s.evaluations)
+            .sum();
+        metrics.add("portfolio_evals_total", completed_evals);
+        // Incumbent improvements as a sequential rank-order scan — the
+        // same stream the probe replay emits, counted unconditionally.
+        let mut incumbent = f64::INFINITY;
+        let mut improvements = 0u64;
+        for r in results.iter().flatten() {
+            if r.value.total_cmp(&incumbent) == std::cmp::Ordering::Less {
+                incumbent = r.value;
+                improvements += 1;
+            }
+        }
+        metrics.add("portfolio_incumbent_improvements_total", improvements);
+        metrics.gauge_set("portfolio_workers", req.workers as f64);
+        let (timed_evals, timed_nanos) = stats
+            .iter()
+            .filter(|s| s.objective.is_some() && s.wall_nanos > 0 && !s.resumed)
+            .fold((0u64, 0u64), |(e, n), s| {
+                (e + s.evaluations, n + s.wall_nanos)
+            });
+        if timed_nanos > 0 {
+            metrics.wall_gauge_set(
+                "portfolio_evals_per_sec",
+                timed_evals as f64 * 1e9 / timed_nanos as f64,
+            );
+        }
+    }
 
     let checkpoint = Checkpoint {
         fingerprint: fp,

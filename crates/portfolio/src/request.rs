@@ -3,6 +3,7 @@
 
 use std::time::Duration;
 
+use noc_metrics::MetricsHandle;
 use noc_telemetry::{NoopSink, Probe};
 use obm_core::algorithms::{
     BalancedGreedy, BranchAndBound, HybridSssSa, Mapper, MonteCarlo, SimulatedAnnealing,
@@ -243,6 +244,7 @@ pub struct SolveRequest<'a> {
     pub(crate) objective: ObjectiveSpec,
     pub(crate) cancel: CancelToken,
     pub(crate) resume: Option<Checkpoint>,
+    pub(crate) metrics: MetricsHandle,
 }
 
 impl<'a> SolveRequest<'a> {
@@ -258,6 +260,7 @@ impl<'a> SolveRequest<'a> {
             objective: ObjectiveSpec::default(),
             cancel: CancelToken::never(),
             resume: None,
+            metrics: MetricsHandle::disabled(),
         }
     }
 
@@ -313,6 +316,7 @@ pub struct SolveRequestBuilder<'a> {
     objective: ObjectiveSpec,
     cancel: CancelToken,
     resume: Option<Checkpoint>,
+    metrics: MetricsHandle,
 }
 
 impl<'a> SolveRequestBuilder<'a> {
@@ -405,6 +409,15 @@ impl<'a> SolveRequestBuilder<'a> {
         self
     }
 
+    /// Report runtime metrics (task counts, evaluation totals, per-task
+    /// spans — DESIGN.md §17) into `handle`'s registry. Metrics are
+    /// write-only observers: the winner, stats and checkpoint are
+    /// bit-identical with metrics enabled or disabled (the default).
+    pub fn metrics(mut self, handle: MetricsHandle) -> Self {
+        self.metrics = handle;
+        self
+    }
+
     /// Validate and freeze the request.
     pub fn build(self) -> Result<SolveRequest<'a>, RequestError> {
         if self.algorithms.is_empty() {
@@ -434,6 +447,7 @@ impl<'a> SolveRequestBuilder<'a> {
             objective: self.objective,
             cancel: self.cancel,
             resume: self.resume,
+            metrics: self.metrics,
         })
     }
 }

@@ -33,7 +33,7 @@ parse() {
     label = $2
     val = $3
     gsub(/[:, ]/, "", val)
-    if (label != "" && val + 0 == val) print label, val
+    if (label != "" && val ~ /^-?[0-9]+(\.[0-9]+)?$/) print label, val
   }' "$1"
 }
 

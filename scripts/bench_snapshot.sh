@@ -38,13 +38,19 @@
 # _sharded4 twin, a derived "shard_delta_pct/c1_8x8_10k_cycles" key
 # records the 4-shard engine's wall-clock delta as a percentage of the
 # serial median (negative = sharding is faster; on a 1-core host this
-# prices the barrier overhead instead). Every snapshot also records the
-# host's core count under "meta/nproc" so shard/pool numbers can be
-# read in context.
+# prices the barrier overhead instead). When the run contains
+# c1_8x8_10k_cycles and its _metrics twin, a derived
+# "metrics_delta_pct/enabled" key prices the enabled metrics registry
+# against the unprobed median, and "metrics_delta_pct/disabled" holds
+# the unprobed median itself against the PR 9 baseline (override with
+# C1_PR9_NS) — the disabled path is never-taken branches and must stay
+# within noise (DESIGN.md §17 budgets: disabled <= 1%, enabled <= 10%).
+# Every snapshot also records the host's core count under "meta/nproc"
+# so shard/pool numbers can be read in context.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR${BENCH_PR:-9}.json"
+out="BENCH_PR${BENCH_PR:-10}.json"
 benches=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -63,7 +69,8 @@ done
 
 # criterion's stub prints:  <label>  time:  <ns> ns/iter (<n> samples)
 awk -v nproc="$(nproc 2>/dev/null || echo 1)" \
-    -v load48_pr8="${LOAD48_PR8_NS:-208283461}" '
+    -v load48_pr8="${LOAD48_PR8_NS:-208283461}" \
+    -v c1_pr9="${C1_PR9_NS:-19650431}" '
   / time: +[0-9]+ ns\/iter / {
     label = $1
     for (i = 2; i <= NF; i++) if ($i == "time:") { ns = $(i + 1); break }
@@ -96,6 +103,13 @@ awk -v nproc="$(nproc 2>/dev/null || echo 1)" \
     if (load48 > 0 && load48_pr8 > 0)
       printf ",\n  \"speedup/load_48_vs_pr8\": %.2f",
         load48_pr8 / load48
+    metered = medians["noc_sim/c1_8x8_10k_cycles_metrics"]
+    if (base > 0 && metered > 0)
+      printf ",\n  \"metrics_delta_pct/enabled\": %.2f",
+        100.0 * (metered - base) / base
+    if (base > 0 && c1_pr9 > 0)
+      printf ",\n  \"metrics_delta_pct/disabled\": %.2f",
+        100.0 * (base - c1_pr9) / c1_pr9
     sharded = medians["noc_sim/c1_8x8_10k_cycles_sharded4"]
     if (base > 0 && sharded > 0)
       printf ",\n  \"shard_delta_pct/c1_8x8_10k_cycles\": %.2f",

@@ -26,7 +26,19 @@
 #                         JSON is arithmetic-checked (heatmap link
 #                         conservation, chrome measured-event count =
 #                         delivered) and the heatmap output must be
-#                         byte-identical across two same-seed runs
+#                         byte-identical across two same-seed runs;
+#                         the metrics surface (`--metrics` on simulate/
+#                         solve + `obm status`) is smoke-tested the same
+#                         way: family grep on the Prometheus text and
+#                         byte-determinism across two same-seed runs
+#                         under OBM_METRICS_CLOCK=logical
+#   6b. bench gate       — `bench_compare.sh BENCH_PR9.json
+#                         BENCH_PR10.json` guards the simulator hot
+#                         loop: the disabled metrics path is priced by
+#                         the raw c1 median (<= 10% vs the PR 9
+#                         snapshot; DESIGN.md §17 budgets <= 1% on a
+#                         quiet host), the enabled path by the
+#                         metrics_delta_pct/enabled derived key
 #   7. panic gate       — no new unwrap()/assert!/panic! in the non-test
 #                         portions of noc-sim's config/network/traffic
 #                         constructor paths (typed ConfigError), the
@@ -41,9 +53,13 @@
 #                         a mid-run controller must never abort a
 #                         simulation), the ChipLayout/placement
 #                         constructors and the outer placement search
-#                         (typed PlacementError), or the shard worker
+#                         (typed PlacementError), the shard worker
 #                         pool (a dead worker must surface as a
-#                         closed channel, never an abort)
+#                         closed channel, never an abort), or the
+#                         noc-metrics registry (a metrics write must
+#                         never abort the run it observes — poisoned
+#                         locks are recovered, snapshot parsing
+#                         returns SnapshotError)
 #
 # The tier-1 commands match ROADMAP.md; `--workspace` matters because the
 # root package is a facade crate and a bare `cargo build` would silently
@@ -67,7 +83,7 @@ echo "==> examples: build and run every example"
 cargo build --release --workspace --examples
 for ex in quickstart simulate_mapping app_consolidation custom_chip \
     np_reduction qos_priorities portfolio_solve noc_observability \
-    online_remap placement_search; do
+    online_remap placement_search runtime_metrics; do
     echo "--> example: $ex"
     cargo run --quiet --release --example "$ex" >/dev/null
 done
@@ -122,6 +138,14 @@ echo "==> placement determinism suite (release)"
 # layouts — must hold under release codegen too.
 cargo test -q --release --test placement
 
+echo "==> metrics purity suite (release)"
+# The noc-metrics registry's contract — metrics-on runs bit-identical to
+# metrics-off (simulator report + portfolio mapping), lossless snapshot
+# round-trips through both export formats, and byte-deterministic
+# logical-clock exports — must hold under release codegen too.
+cargo test -q --release --test metrics
+cargo test -q --release -p noc-metrics
+
 echo "==> CLI observability smoke: heatmap + chrome-trace JSON"
 # Run the spatial-observability subcommands end to end on a generated C1
 # instance and re-derive the invariants the test suite pins — in shell,
@@ -157,6 +181,45 @@ measured=$(grep -o '"measured":true' "$smokedir/c1.trace.json" | wc -l)
     || { echo "chrome trace drift: metadata delivered=$delivered, measured X events=$measured"; exit 1; }
 echo "--> chrome trace: $measured measured packet events = delivered"
 
+echo "==> CLI metrics smoke: --metrics export + obm status"
+# Drive the metrics surface end to end against the shipped binary: a
+# seeded simulate and a seeded solve export Prometheus snapshots under
+# the logical clock (all wall-derived values zeroed), which must be
+# byte-identical across two same-seed runs; the expected metric
+# families from both subsystems must be present; and `obm status` must
+# merge and render the snapshots.
+OBM_METRICS_CLOCK=logical "$obm" simulate "$smokedir/c1.spec" --cycles 2000 \
+    --metrics "$smokedir/sim.prom" >/dev/null
+OBM_METRICS_CLOCK=logical "$obm" simulate "$smokedir/c1.spec" --cycles 2000 \
+    --metrics "$smokedir/sim2.prom" >/dev/null
+cmp -s "$smokedir/sim.prom" "$smokedir/sim2.prom" \
+    || { echo "metrics snapshot differs across two same-seed logical-clock runs"; exit 1; }
+for family in sim_runs_total sim_cycles_total sim_injected_packets_total \
+    sim_delivered_packets_total sim_link_flit_traversals_total sim_shards; do
+    grep -q "^$family " "$smokedir/sim.prom" \
+        || { echo "metrics family $family missing from simulate snapshot"; exit 1; }
+done
+OBM_METRICS_CLOCK=logical "$obm" solve "$smokedir/c1.spec" --algos sss,greedy \
+    --seeds 0 --metrics "$smokedir/solve.prom" >/dev/null
+for family in portfolio_solves_total portfolio_tasks_total \
+    portfolio_evals_total portfolio_workers; do
+    grep -q "^$family " "$smokedir/solve.prom" \
+        || { echo "metrics family $family missing from solve snapshot"; exit 1; }
+done
+"$obm" status "$smokedir/sim.prom" "$smokedir/solve.prom" > "$smokedir/status.txt"
+grep -q "2 snapshots merged" "$smokedir/status.txt" \
+    || { echo "obm status did not merge both snapshots"; exit 1; }
+grep -q "sim_cycles_total" "$smokedir/status.txt" \
+    || { echo "obm status dashboard missing sim counters"; exit 1; }
+echo "--> metrics: deterministic logical-clock snapshots, status renders $(wc -l < "$smokedir/status.txt") lines"
+
+echo "==> bench snapshot regression gate (PR 9 -> PR 10)"
+# Compares the committed snapshots; raw ns/iter labels may not regress
+# by more than 10%. The disabled metrics path rides in the raw c1
+# median; metrics_delta_pct/* keys are informational in the comparison
+# but bounded by the budgets documented in DESIGN.md §17.
+scripts/bench_compare.sh BENCH_PR9.json BENCH_PR10.json
+
 echo "==> panic gate: error-typed constructor and solver paths"
 # SimConfig::validate(), TrafficSpec::new() and Network::new() report bad
 # input through typed ConfigError values; the portfolio engine reports
@@ -175,7 +238,7 @@ for f in crates/noc-sim/src/config.rs crates/noc-sim/src/network.rs \
     crates/obm-core/src/batch.rs \
     crates/obm-core/src/objective.rs crates/obm-core/src/remap.rs \
     crates/noc-model/src/layout.rs crates/noc-model/src/placement.rs \
-    crates/obm-core/src/placement.rs; do
+    crates/obm-core/src/placement.rs crates/noc-metrics/src/*.rs; do
     cut=$(grep -n '#\[cfg(test)\]' "$f" | head -1 | cut -d: -f1 || true)
     cut=${cut:-$(( $(wc -l < "$f") + 1 ))}
     if hits=$(head -n $((cut - 1)) "$f" \

@@ -18,7 +18,11 @@
 //!   `RemapController` (DESIGN.md §14);
 //! * [`portfolio`] — deterministic parallel solver-portfolio engine racing
 //!   the mappers behind the `SolveRequest`/`SolveOutcome` API;
-//! * [`power`] — DSENT-substitute NoC power model.
+//! * [`power`] — DSENT-substitute NoC power model;
+//! * [`metrics`] — lock-free runtime metrics registry (counters, gauges,
+//!   histograms, hierarchical spans) with deterministic Prometheus/JSON
+//!   snapshot export (DESIGN.md §17). Write-only observability: results
+//!   are bit-identical with metrics on or off.
 //!
 //! Most programs only need the [`prelude`]:
 //!
@@ -36,10 +40,13 @@
 //! See `examples/quickstart.rs` for an end-to-end tour,
 //! `examples/simulate_mapping.rs` for the simulator + telemetry side and
 //! `examples/noc_observability.rs` for the spatial heatmap, exact latency
-//! histograms and the per-packet latency decomposition.
+//! histograms and the per-packet latency decomposition, and
+//! `examples/runtime_metrics.rs` for the metrics registry observing all
+//! four instrumented subsystems.
 
 pub use assignment as lap;
 pub use cmp_cache as cache;
+pub use noc_metrics as metrics;
 pub use noc_model as model;
 pub use noc_power as power;
 pub use noc_sim as sim;
@@ -63,6 +70,7 @@ pub mod prelude {
         ObmInstance, PlacementOptions, PlacementOutcome, RemapConfig, RemapController, RemapError,
         RemapEvent, RemapOutcome, SearchMode,
     };
+    pub use crate::metrics::{ClockMode, MetricsHandle, MetricsRegistry, MetricsSnapshot};
     pub use crate::model::{
         ChipLayout, Coord, LatencyParams, MemoryControllers, Mesh, PlacementError, TileId,
         TileLatencies, Topology,
